@@ -1,0 +1,80 @@
+// Co-design sweep: the miniapp's second purpose ("a simple tool for a
+// future activity of co-design and benchmarking of novel architectures",
+// paper Sec. II.A).  Runs the paper workload on the KNL model and on a
+// contemporary Xeon model, across layouts and modes, and reports where the
+// task-based reformulation pays off on each architecture.
+#include "common.hpp"
+
+namespace {
+
+double run_on(const fx::model::MachineConfig& machine, int nranks, int ntg,
+              fx::fftx::PipelineMode mode, int threads) {
+  const fx::fftx::Descriptor desc(fx::pw::Cell{20.0}, 80.0, nranks, ntg);
+  fx::model::ProgramConfig pcfg;
+  pcfg.mode = mode;
+  pcfg.num_bands = 128;
+  const auto bundle = fx::model::build_program(desc, pcfg);
+  fx::model::SimConfig scfg;
+  scfg.mode = mode;
+  scfg.threads_per_rank = threads;
+  return fx::model::simulate(bundle, machine, scfg, nullptr).makespan;
+}
+
+}  // namespace
+
+int main() {
+  using fx::fftx::PipelineMode;
+
+  fx::core::CsvWriter csv("bench/out/codesign.csv");
+  csv.row({"arch", "layout", "mode", "runtime_s"});
+
+  struct Arch {
+    const char* name;
+    fx::model::MachineConfig machine;
+    int full_node_threads;  // hardware threads for the "full node" points
+  };
+  const Arch archs[] = {
+      {"KNL 68c@1.4GHz", fx::model::MachineConfig::knl(), 64},
+      {"Xeon 36c@2.3GHz", fx::model::MachineConfig::xeon(), 32},
+  };
+
+  for (const Arch& arch : archs) {
+    fx::core::TablePrinter t(
+        fx::core::cat("Co-design: paper workload on ", arch.name));
+    t.header({"version", "layout", "runtime [s]", "vs original"});
+    const int total = arch.full_node_threads;
+    const double orig =
+        run_on(arch.machine, total, 8, PipelineMode::Original, 1);
+    struct Row {
+      const char* name;
+      PipelineMode mode;
+      int nranks;
+      int ntg;
+      int threads;
+    };
+    const Row rows[] = {
+        {"original", PipelineMode::Original, total, 8, 1},
+        {"task-per-step", PipelineMode::TaskPerStep, total / 8, 1, 8},
+        {"task-per-FFT", PipelineMode::TaskPerFft, total / 8, 1, 8},
+        {"combined", PipelineMode::Combined, total / 8, 1, 8},
+    };
+    for (const Row& row : rows) {
+      const double rt =
+          run_on(arch.machine, row.nranks, row.ntg, row.mode, row.threads);
+      t.row({row.name,
+             fx::core::cat(row.nranks, " ranks x ", row.threads, " thr"),
+             fx::core::fixed(rt, 4),
+             fx::core::fixed((orig - rt) / orig * 100.0, 1) + " %"});
+      csv.row({arch.name, fx::core::cat(row.nranks, "x", row.threads),
+               to_string(row.mode), fx::core::cat(rt)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: the contention-driven gain of the task "
+               "version is largest on the many-core, low-frequency KNL; "
+               "the wide Xeon cores leave less contention to recover, so "
+               "the gap narrows -- the paper's motivation for choosing "
+               "strategy 2 specifically on KNL.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// google-benchmark microbenches of the FFT engine substrate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+#include "fft/plan3d.hpp"
+
+namespace {
+
+using fx::fft::cplx;
+using fx::fft::Direction;
+
+std::vector<cplx> random_signal(std::size_t n) {
+  fx::core::Rng rng(n);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fx::fft::Fft1d plan(n, Direction::Forward);
+  fx::fft::Workspace ws;
+  const auto in = random_signal(n);
+  std::vector<cplx> out(n);
+  for (auto _ : state) {
+    plan.execute(in.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+// Powers of two, QE grid sizes (60, 120), mixed radix, Bluestein primes.
+BENCHMARK(BM_Fft1d)->Arg(64)->Arg(60)->Arg(120)->Arg(128)->Arg(243)->Arg(256)
+    ->Arg(720)->Arg(1024)->Arg(1009 /* prime: Bluestein */);
+
+void BM_Fft1dBatchedSticks(benchmark::State& state) {
+  // The pipeline's Z-stick workload: many contiguous length-nz transforms.
+  const std::size_t nz = 60;
+  const auto nsticks = static_cast<std::size_t>(state.range(0));
+  const fx::fft::Fft1d plan(nz, Direction::Backward);
+  fx::fft::Workspace ws;
+  auto data = random_signal(nz * nsticks);
+  for (auto _ : state) {
+    plan.execute_many(nsticks, data.data(), 1, nz, data.data(), 1, nz, ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nz * nsticks));
+}
+BENCHMARK(BM_Fft1dBatchedSticks)->Arg(32)->Arg(320)->Arg(2550);
+
+void BM_Fft2dPlane(benchmark::State& state) {
+  // One real-space plane of the paper's 60^3 grid (and a bigger one).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fx::fft::Fft2d plan(n, n, Direction::Backward);
+  fx::fft::Workspace ws;
+  auto data = random_signal(n * n);
+  for (auto _ : state) {
+    plan.execute(data.data(), data.data(), ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Fft2dPlane)->Arg(60)->Arg(120);
+
+void BM_Fft3dGrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fx::fft::Fft3d plan(n, n, n, Direction::Backward);
+  fx::fft::Workspace ws;
+  auto data = random_signal(n * n * n);
+  for (auto _ : state) {
+    plan.execute(data.data(), data.data(), ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Fft3dGrid)->Arg(20)->Arg(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

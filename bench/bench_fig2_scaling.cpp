@@ -1,0 +1,41 @@
+// Figure 2: runtime of the FFT phase (original version) with increasing
+// MPI ranks, 1x8 .. 32x8; the last two points use 2- and 4-way
+// hyper-threading.  Paper shape: poor scaling beyond 8x8 and *no benefit*
+// (a slight regression) from hyper-threading.
+#include "common.hpp"
+
+int main() {
+  using fxbench::ModelConfig;
+  using fxbench::run_model;
+
+  fx::core::TablePrinter t(
+      "Fig. 2 -- FFT phase runtime, original version (KNL model; ecut 80 Ry, "
+      "alat 20, 128 bands, 8 task groups)");
+  t.header({"config (ranks x task groups)", "total ranks", "hw threads/core",
+            "model runtime [s]", "speedup vs 1 x 8"});
+  fx::core::CsvWriter csv("bench/out/fig2_scaling.csv");
+  csv.row({"config", "total_ranks", "runtime_s", "speedup"});
+
+  double base = 0.0;
+  for (int n : fxbench::original_sweep_n()) {
+    ModelConfig cfg;
+    cfg.nranks = n * 8;
+    cfg.ntg = 8;
+    cfg.mode = fx::fftx::PipelineMode::Original;
+    cfg.threads = 1;
+    const auto r = run_model(cfg);
+    if (base == 0.0) base = r.runtime_s;
+    const int ht = (n * 8 + 67) / 68;
+    const std::string label = fx::core::cat(n, " x 8");
+    t.row({label, fx::core::cat(n * 8), fx::core::cat(ht),
+           fx::core::fixed(r.runtime_s, 4),
+           fx::core::fixed(base / r.runtime_s, 2) + "x"});
+    csv.row({label, fx::core::cat(n * 8), fx::core::cat(r.runtime_s),
+             fx::core::cat(base / r.runtime_s)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected paper shape: sub-linear scaling that flattens at "
+               "the full node; the hyper-threaded points (16x8, 32x8) do not "
+               "improve on 8x8.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 3: Paraver-style timelines of the 8x8 original run -- the whole
+// FFT phase (top), then a zoom into one of the 8 repeating sub-phases
+// showing average IPC, MPI calls, and the communicators in use.
+//
+// Things to see (paper Sec. III): 8 repeating band-iteration blocks; inside
+// one block the low-IPC psi preparation, the Z FFT, the scatter Alltoall,
+// the high-IPC central FFT-XY/VOFR block, and the mirrored backward path;
+// pack/unpack on the 8-rank neighboring communicators, scatters on the
+// 8-rank alternating communicators.
+#include "common.hpp"
+
+int main() {
+  using fx::trace::TimelineOptions;
+  using fx::trace::TimelineView;
+
+  fxbench::ModelConfig cfg;
+  cfg.nranks = 64;
+  cfg.ntg = 8;
+  cfg.mode = fx::fftx::PipelineMode::Original;
+  cfg.threads = 1;
+  // 64 bands processed 8 at a time -> the paper's 8 repeating phases.
+  cfg.workload.num_bands = 64;
+
+  fx::trace::Tracer tracer(cfg.nranks);
+  const auto r = fxbench::run_model(cfg, &tracer);
+  tracer.normalize_time();
+
+  std::cout << "Fig. 3 -- timelines of the original 8 x 8 run (KNL model, "
+               "64 bands => 8 iterations), runtime "
+            << fx::core::fixed(r.runtime_s * 1e3, 1) << " ms\n\n";
+
+  TimelineOptions opt;
+  opt.width = 110;
+  opt.freq_ghz = 1.4;
+
+  std::cout << "== full FFT phase, compute phases ==\n";
+  opt.view = TimelineView::Phase;
+  std::cout << fx::trace::render_timeline(tracer, opt) << "\n";
+
+  // Zoom into the third repeating block, like the paper.
+  const double t_total = tracer.t_max();
+  opt.t_begin = t_total * 2.0 / 8.0;
+  opt.t_end = t_total * 3.0 / 8.0;
+
+  std::cout << "== zoom, iteration 3 of 8: average IPC ==\n";
+  opt.view = TimelineView::Ipc;
+  std::cout << fx::trace::render_timeline(tracer, opt) << "\n";
+
+  std::cout << "== zoom, iteration 3 of 8: MPI calls ==\n";
+  opt.view = TimelineView::MpiCall;
+  std::cout << fx::trace::render_timeline(tracer, opt) << "\n";
+
+  std::cout << "== zoom, iteration 3 of 8: communicators ==\n";
+  opt.view = TimelineView::Communicator;
+  std::cout << fx::trace::render_timeline(tracer, opt) << "\n";
+
+  fx::trace::write_events_csv(tracer, "bench/out/fig3_events.csv");
+  std::cout << "raw events written to bench/out/fig3_events.csv\n";
+  return 0;
+}

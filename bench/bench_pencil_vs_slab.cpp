@@ -1,0 +1,116 @@
+// Slab vs pencil decomposition of the dense-grid 3D FFT.
+//
+// The slab scheme (GridFft) does ONE Alltoallv over all P ranks and stops
+// scaling at P > nz; the pencil scheme (PencilFft) does TWO Alltoallvs,
+// each inside one row/column of a Pr x Pc process grid (the heFFTe /
+// P3DFFT layout).  This bench compares exchanged bytes per transform, the
+// collective fan-in, and real-backend wall time -- and shows the pencil
+// scheme operating at P > nz where slabs cannot even be configured
+// meaningfully.
+#include "common.hpp"
+#include "core/timer.hpp"
+#include "fftx/grid_fft.hpp"
+#include "fftx/pencil_fft.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using fx::fft::cplx;
+
+struct Numbers {
+  double wall = 0.0;
+  double bytes = 0.0;  // payload per rank 0 per round trip
+};
+
+Numbers run_slab(int P, const fx::pw::GridDims& dims, int reps) {
+  Numbers out;
+  fx::mpi::Runtime::run(P, [&](fx::mpi::Comm& world) {
+    fx::fftx::GridFft grid(world, dims);
+    fx::fft::Workspace ws;
+    std::vector<cplx> pencils(grid.pencil_elems(), cplx{0.25, -0.5});
+    std::vector<cplx> planes(grid.plane_elems());
+    const std::size_t before = world.bytes_sent();
+    world.barrier();
+    fx::core::WallTimer t;
+    for (int i = 0; i < reps; ++i) {
+      grid.to_real(pencils, planes, ws, 2 * i);
+      grid.to_recip(planes, pencils, ws, 2 * i + 1);
+    }
+    world.barrier();
+    if (world.rank() == 0) {
+      out.wall = t.seconds() / reps;
+      out.bytes = static_cast<double>(world.bytes_sent() - before) / reps;
+    }
+  });
+  return out;
+}
+
+Numbers run_pencil(int prows, int pcols, const fx::pw::GridDims& dims,
+                   int reps) {
+  Numbers out;
+  fx::mpi::Runtime::run(prows * pcols, [&](fx::mpi::Comm& world) {
+    fx::fftx::PencilFft fft(world, dims, prows, pcols);
+    fx::fft::Workspace ws;
+    std::vector<cplx> zp(fft.zpencil_elems(), cplx{0.25, -0.5});
+    std::vector<cplx> xp(fft.xpencil_elems());
+    world.barrier();
+    fx::core::WallTimer t;
+    for (int i = 0; i < reps; ++i) {
+      fft.to_real(zp, xp, ws, 2 * i);
+      fft.to_recip(xp, zp, ws, 2 * i + 1);
+    }
+    world.barrier();
+    if (world.rank() == 0) {
+      out.wall = t.seconds() / reps;
+      // Count through the split comms: world observer not attached there;
+      // report the analytic volume instead (both transposes move the whole
+      // local block): 4 transposes per round trip.
+      out.bytes = 4.0 * static_cast<double>(fft.zpencil_elems()) *
+                  sizeof(cplx);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const fx::pw::GridDims dims{24, 24, 24};
+  constexpr int kReps = 3;
+
+  fx::core::TablePrinter t(
+      "Slab (GridFft) vs pencil (PencilFft) decomposition, 24^3 grid, "
+      "real backend");
+  t.header({"layout", "ranks", "largest collective", "wall/transform [s]"});
+  fx::core::CsvWriter csv("bench/out/pencil_vs_slab.csv");
+  csv.row({"layout", "ranks", "wall_s"});
+
+  for (int P : {2, 4, 8}) {
+    const auto slab = run_slab(P, dims, kReps);
+    t.row({"slab", fx::core::cat(P), fx::core::cat(P, " ranks"),
+           fx::core::fixed(slab.wall, 4)});
+    csv.row({"slab", fx::core::cat(P), fx::core::cat(slab.wall)});
+
+    const int pr = P >= 4 ? 2 : 1;
+    const int pc = P / pr;
+    const auto pencil = run_pencil(pr, pc, dims, kReps);
+    t.row({fx::core::cat("pencil ", pr, "x", pc), fx::core::cat(P),
+           fx::core::cat(std::max(pr, pc), " ranks"),
+           fx::core::fixed(pencil.wall, 4)});
+    csv.row({fx::core::cat("pencil", pr, "x", pc), fx::core::cat(P),
+             fx::core::cat(pencil.wall)});
+  }
+
+  // The regime slabs cannot reach: more ranks than planes.
+  const fx::pw::GridDims tiny{12, 12, 6};
+  const auto many = run_pencil(4, 3, tiny, kReps);
+  t.row({"pencil 4x3 (P > nz!)", "12", "4 ranks",
+         fx::core::fixed(many.wall, 4)});
+  t.print(std::cout);
+  std::cout << "\nReading: slabs do one P-wide exchange and cap at nz "
+               "ranks; pencils trade that for two sqrt(P)-sized exchanges "
+               "and keep scaling -- the decomposition heFFTe-class "
+               "libraries use, and the distributed-FFT context the paper's "
+               "task-group scheme lives in.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Comparison of the paper's optimization strategies (Sec. IV) plus its
+// future-work combination, at two operating points:
+//
+//   * a compute-bound point (the full-node KNL case the paper targets with
+//     strategy 2, task-per-FFT), and
+//   * a communication-bound point (slow network; the regime the paper says
+//     strategy 1, task-per-step with comm/compute overlap, is meant for).
+#include "common.hpp"
+
+namespace {
+
+double run_with(const fxbench::ModelConfig& base, fx::fftx::PipelineMode mode,
+                int threads, int ntg, const fx::model::MachineConfig& machine) {
+  const fx::fftx::Descriptor desc(fx::pw::Cell{base.workload.alat_bohr},
+                                  base.workload.ecut_ry, base.nranks, ntg);
+  fx::model::ProgramConfig pcfg;
+  pcfg.mode = mode;
+  pcfg.num_bands = base.workload.num_bands;
+  const auto bundle = fx::model::build_program(desc, pcfg);
+  fx::model::SimConfig scfg;
+  scfg.mode = mode;
+  scfg.threads_per_rank = threads;
+  return fx::model::simulate(bundle, machine, scfg, nullptr).makespan;
+}
+
+}  // namespace
+
+int main() {
+  using fx::fftx::PipelineMode;
+
+  fx::core::CsvWriter csv("bench/out/strategies.csv");
+  csv.row({"regime", "mode", "runtime_s"});
+
+  auto report = [&](const char* title, const fx::model::MachineConfig& machine,
+                    const char* regime) {
+    fxbench::ModelConfig base;
+    base.nranks = 8;
+
+    fx::core::TablePrinter t(title);
+    t.header({"version", "layout", "runtime [s]", "vs original"});
+    // Baseline: the original version on the full node (64 ranks x 8 groups).
+    fxbench::ModelConfig full = base;
+    full.nranks = 64;
+    const double orig = run_with(full, PipelineMode::Original, 1, 8, machine);
+    struct Row {
+      const char* name;
+      PipelineMode mode;
+      int threads;
+      int ntg;
+    };
+    const Row rows[] = {
+        {"original (Fig 1)", PipelineMode::Original, 1, 8},
+        {"task-per-step (Fig 4)", PipelineMode::TaskPerStep, 8, 1},
+        {"task-per-FFT (Fig 5)", PipelineMode::TaskPerFft, 8, 1},
+        {"combined (future work)", PipelineMode::Combined, 8, 1},
+    };
+    for (const Row& row : rows) {
+      // Original: 64 ranks x 8 groups; task modes: 8 ranks x 8 threads.
+      fxbench::ModelConfig cfg = base;
+      cfg.nranks = row.mode == PipelineMode::Original ? 64 : 8;
+      const double rt =
+          run_with(cfg, row.mode, row.threads, row.ntg, machine);
+      t.row({row.name,
+             row.mode == PipelineMode::Original ? "64 ranks x 8 groups"
+                                                : "8 ranks x 8 threads",
+             fx::core::fixed(rt, 4),
+             fx::core::fixed((orig - rt) / orig * 100.0, 1) + " %"});
+      csv.row({regime, to_string(row.mode), fx::core::cat(rt)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  };
+
+  report("Strategies on the KNL node (compute-bound regime)",
+         fx::model::MachineConfig::knl(), "compute_bound");
+
+  auto slow_net = fx::model::MachineConfig::knl();
+  slow_net.net_bw_gbps /= 12.0;
+  slow_net.per_member_us *= 6.0;
+  slow_net.alpha_us *= 10.0;
+  report(
+      "Strategies with an expensive interconnect (communication-bound "
+      "regime: strategy 1's overlap matters most here)",
+      slow_net, "comm_bound");
+
+  std::cout << "Expected shape: on the KNL node both task strategies beat "
+               "the original with task-per-FFT at least as good as "
+               "task-per-step; in the communication-bound regime the "
+               "overlap of task-per-step/combined recovers a larger share "
+               "of the lost time.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenches of the message-passing and tasking
+// substrates (host wall-clock; functional costs, not KNL numbers).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "tasking/runtime.hpp"
+
+namespace {
+
+void BM_AlltoallBytes(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto bytes = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& comm) {
+      std::vector<char> send(bytes * static_cast<std::size_t>(nranks), 1);
+      std::vector<char> recv(send.size());
+      for (int it = 0; it < 8; ++it) {
+        comm.alltoall_bytes(send.data(), recv.data(), bytes, it);
+      }
+      benchmark::DoNotOptimize(recv.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(bytes) * nranks * nranks);
+}
+BENCHMARK(BM_AlltoallBytes)
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->Args({8, 65536});
+
+void BM_Barrier(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& comm) {
+      for (int it = 0; it < 32; ++it) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8);
+
+void BM_TaskSubmitDrain(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fx::task::TaskRuntime rt(workers);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i) {
+      rt.submit("t", [&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt.taskwait();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_TaskSubmitDrain)->Arg(1)->Arg(4);
+
+void BM_TaskDependencyChain(benchmark::State& state) {
+  // Worst case for the dependency tracker: one long chain on one object.
+  for (auto _ : state) {
+    fx::task::TaskRuntime rt(2);
+    long value = 0;
+    for (int i = 0; i < 500; ++i) {
+      rt.submit("link", {fx::task::inout(value)}, [&value] { ++value; });
+    }
+    rt.taskwait();
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 500);
+}
+BENCHMARK(BM_TaskDependencyChain);
+
+void BM_Taskloop(benchmark::State& state) {
+  const auto grain = static_cast<std::size_t>(state.range(0));
+  fx::task::TaskRuntime rt(4);
+  std::vector<double> data(10000, 1.0);
+  for (auto _ : state) {
+    rt.taskloop("loop", 0, data.size(), grain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i) data[i] *= 1.0001;
+                });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Taskloop)->Arg(10)->Arg(200)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

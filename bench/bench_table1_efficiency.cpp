@@ -1,0 +1,33 @@
+// Table I: efficiency and scalability factors of the original version for
+// 1x8 .. 16x8, computed by the POP model on model-backend traces, printed
+// side by side with the paper's measured values.
+#include "common.hpp"
+
+int main() {
+  using fxbench::ModelConfig;
+
+  std::vector<fx::trace::EfficiencySummary> runs;
+  std::vector<fx::trace::ScalabilityFactors> scal;
+  for (int n : {1, 2, 4, 8, 16}) {
+    ModelConfig cfg;
+    cfg.nranks = n * 8;
+    cfg.ntg = 8;
+    cfg.mode = fx::fftx::PipelineMode::Original;
+    cfg.threads = 1;
+    runs.push_back(fxbench::run_model(cfg).eff);
+  }
+  for (const auto& r : runs) {
+    scal.push_back(fx::trace::scale_against(runs.front(), r));
+  }
+  fxbench::print_efficiency_table(
+      "Table I -- efficiency and scalability factors, original version "
+      "(model | paper)",
+      fxbench::paper_table1(), runs, scal, "bench/out/table1_efficiency.csv");
+
+  std::cout << "\nAvg IPC per configuration:";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::cout << ' ' << fx::core::fixed(runs[i].avg_ipc, 2);
+  }
+  std::cout << "  (paper: ~1.1 at 1x8 down to ~0.6 at 8x8, ~0.3 at 16x8)\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Shared infrastructure of the figure/table benches.
+//
+// Every bench regenerates one table or figure of the paper on the KNL
+// machine model (the substitution for the obsolete testbed; see DESIGN.md),
+// using the paper's workload: plane-wave cutoff 80 Ry, lattice parameter
+// 20 bohr, 128 bands, 8 FFT task groups (original) or 8 worker threads
+// (task version).  Where it is cheap, benches additionally run the real
+// backend on a reduced workload to cross-check the shapes.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/csv.hpp"
+#include "core/format.hpp"
+#include "core/table.hpp"
+#include "fftx/descriptor.hpp"
+#include "fftx/pipeline.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/program.hpp"
+#include "perfmodel/simulator.hpp"
+#include "trace/analysis.hpp"
+#include "trace/timeline.hpp"
+
+namespace fxbench {
+
+/// The paper's workload parameters (Sec. III).
+struct Workload {
+  double ecut_ry = 80.0;
+  double alat_bohr = 20.0;
+  int num_bands = 128;
+};
+
+struct ModelConfig {
+  int nranks = 8;       ///< world size P
+  int ntg = 8;          ///< FFT task groups (original scheme)
+  fx::fftx::PipelineMode mode = fx::fftx::PipelineMode::Original;
+  int threads = 1;      ///< workers per rank (task modes)
+  Workload workload;
+};
+
+struct ModelResult {
+  double runtime_s = 0.0;
+  fx::trace::EfficiencySummary eff;
+};
+
+/// Builds descriptor + program, simulates on the KNL model, analyzes.
+inline ModelResult run_model(const ModelConfig& cfg,
+                             fx::trace::Tracer* tracer = nullptr) {
+  const fx::fftx::Descriptor desc(fx::pw::Cell{cfg.workload.alat_bohr},
+                                  cfg.workload.ecut_ry, cfg.nranks, cfg.ntg);
+  fx::model::ProgramConfig pcfg;
+  pcfg.mode = cfg.mode;
+  pcfg.num_bands = cfg.workload.num_bands;
+  const auto bundle = fx::model::build_program(desc, pcfg);
+
+  fx::model::SimConfig scfg;
+  scfg.mode = cfg.mode;
+  scfg.threads_per_rank = cfg.threads;
+
+  const auto machine = fx::model::MachineConfig::knl();
+  std::unique_ptr<fx::trace::Tracer> local;
+  if (tracer == nullptr) {
+    local = std::make_unique<fx::trace::Tracer>(cfg.nranks);
+    tracer = local.get();
+  }
+  const auto sim = fx::model::simulate(bundle, machine, scfg, tracer);
+
+  ModelResult r;
+  r.runtime_s = sim.makespan;
+  r.eff = fx::trace::analyze_efficiency(*tracer, machine.freq_ghz);
+  return r;
+}
+
+/// The original-version sweep labels of Fig. 2 / Table I: "N x 8" means
+/// N*8 MPI ranks in 8 task groups; 16x8 and 32x8 oversubscribe the node
+/// with 2- and 4-way hyper-threading.
+inline std::vector<int> original_sweep_n() { return {1, 2, 4, 8, 16, 32}; }
+
+/// Paper Table I (original version), column order 1x8..16x8.
+struct PaperTable {
+  std::vector<std::string> labels;
+  std::vector<double> parallel_eff, load_balance, comm_eff, sync_eff,
+      transfer_eff, comp_scal, ipc_scal, ins_scal, global_eff;
+};
+
+inline PaperTable paper_table1() {
+  PaperTable t;
+  t.labels = {"1 x 8", "2 x 8", "4 x 8", "8 x 8", "16 x 8"};
+  t.parallel_eff = {0.9575, 0.9121, 0.9270, 0.9097, 0.8615};
+  t.load_balance = {0.9731, 0.9504, 0.9831, 0.9818, 0.9691};
+  t.comm_eff = {0.9840, 0.9597, 0.9429, 0.9266, 0.8890};
+  t.sync_eff = {0.9956, 0.9888, 0.9809, 0.9776, 0.9581};
+  t.transfer_eff = {0.9883, 0.9706, 0.9613, 0.9478, 0.9278};
+  t.comp_scal = {1.0000, 0.9187, 0.7809, 0.5474, 0.2732};
+  t.ipc_scal = {1.0000, 0.9278, 0.7868, 0.5628, 0.2826};
+  t.ins_scal = {1.0000, 0.9978, 0.9962, 0.9942, 0.9888};
+  t.global_eff = {0.9575, 0.8380, 0.7239, 0.4979, 0.2354};
+  return t;
+}
+
+inline PaperTable paper_table2() {
+  PaperTable t;
+  t.labels = {"1 x 8", "2 x 8", "4 x 8", "8 x 8", "16 x 8"};
+  t.parallel_eff = {0.9913, 0.9553, 0.9167, 0.8333, 0.7047};
+  t.load_balance = {0.9986, 0.9825, 0.9552, 0.9181, 0.9032};
+  t.comm_eff = {0.9926, 0.9723, 0.9597, 0.9077, 0.7803};
+  t.sync_eff = {1.0000, 0.9984, 0.9985, 0.9752, 0.9217};
+  t.transfer_eff = {0.9926, 0.9739, 0.9611, 0.9307, 0.8466};
+  t.comp_scal = {1.0000, 0.9256, 0.8116, 0.6136, 0.3729};
+  t.ipc_scal = {1.0000, 0.9404, 0.8405, 0.6614, 0.4257};
+  t.ins_scal = {1.0000, 0.9946, 0.9855, 0.9719, 0.9118};
+  t.global_eff = {0.9913, 0.8842, 0.7440, 0.5113, 0.2628};
+  return t;
+}
+
+/// Emits a paper-vs-model efficiency table (one metric per row).
+inline void print_efficiency_table(
+    const std::string& title, const PaperTable& paper,
+    const std::vector<fx::trace::EfficiencySummary>& runs,
+    const std::vector<fx::trace::ScalabilityFactors>& scal,
+    const std::string& csv_path) {
+  using fx::core::pct;
+  fx::core::TablePrinter t(title);
+  std::vector<std::string> head{"metric (model | paper)"};
+  for (const auto& l : paper.labels) head.push_back(l);
+  t.header(head);
+
+  auto row = [&](const std::string& name, auto getter,
+                 const std::vector<double>& paper_vals) {
+    std::vector<std::string> cells{name};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      cells.push_back(pct(getter(i)) + " | " + pct(paper_vals[i]));
+    }
+    t.row(cells);
+  };
+
+  row("Parallel efficiency",
+      [&](std::size_t i) { return runs[i].parallel_efficiency; },
+      paper.parallel_eff);
+  row("  Load Balance",
+      [&](std::size_t i) { return runs[i].load_balance; },
+      paper.load_balance);
+  row("  Communication Efficiency",
+      [&](std::size_t i) { return runs[i].comm_efficiency; }, paper.comm_eff);
+  row("    Synchronization",
+      [&](std::size_t i) { return runs[i].sync_efficiency; }, paper.sync_eff);
+  row("    Transfer",
+      [&](std::size_t i) { return runs[i].transfer_efficiency; },
+      paper.transfer_eff);
+  row("Computation Scalability",
+      [&](std::size_t i) { return scal[i].computation_scalability; },
+      paper.comp_scal);
+  row("  IPC Scalability",
+      [&](std::size_t i) { return scal[i].ipc_scalability; }, paper.ipc_scal);
+  row("  Instructions Scalability",
+      [&](std::size_t i) { return scal[i].instruction_scalability; },
+      paper.ins_scal);
+  row("Global Efficiency",
+      [&](std::size_t i) { return scal[i].global_efficiency; },
+      paper.global_eff);
+  t.print(std::cout);
+
+  fx::core::CsvWriter csv(csv_path);
+  std::vector<std::string> h{"metric"};
+  for (const auto& l : paper.labels) {
+    h.push_back(l + " model");
+    h.push_back(l + " paper");
+  }
+  csv.row(h);
+  auto csv_row = [&](const std::string& name, auto getter,
+                     const std::vector<double>& paper_vals) {
+    std::vector<std::string> cells{name};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      cells.push_back(fx::core::cat(getter(i)));
+      cells.push_back(fx::core::cat(paper_vals[i]));
+    }
+    csv.row(cells);
+  };
+  csv_row("parallel_efficiency",
+          [&](std::size_t i) { return runs[i].parallel_efficiency; },
+          paper.parallel_eff);
+  csv_row("load_balance", [&](std::size_t i) { return runs[i].load_balance; },
+          paper.load_balance);
+  csv_row("comm_efficiency",
+          [&](std::size_t i) { return runs[i].comm_efficiency; },
+          paper.comm_eff);
+  csv_row("sync_efficiency",
+          [&](std::size_t i) { return runs[i].sync_efficiency; },
+          paper.sync_eff);
+  csv_row("transfer_efficiency",
+          [&](std::size_t i) { return runs[i].transfer_efficiency; },
+          paper.transfer_eff);
+  csv_row("computation_scalability",
+          [&](std::size_t i) { return scal[i].computation_scalability; },
+          paper.comp_scal);
+  csv_row("ipc_scalability",
+          [&](std::size_t i) { return scal[i].ipc_scalability; },
+          paper.ipc_scal);
+  csv_row("instruction_scalability",
+          [&](std::size_t i) { return scal[i].instruction_scalability; },
+          paper.ins_scal);
+  csv_row("global_efficiency",
+          [&](std::size_t i) { return scal[i].global_efficiency; },
+          paper.global_eff);
+}
+
+}  // namespace fxbench

@@ -1,0 +1,71 @@
+// Quickstart: the two entry points of the library in ~60 lines.
+//
+//  1. Serial FFTs: plan once, execute many times (thread-safe).
+//  2. The distributed band-FFT pipeline: reciprocal -> real space, apply a
+//     potential, transform back -- Quantum ESPRESSO's FFTXlib kernel --
+//     run here with 4 simulated MPI ranks and 2 task groups.
+//
+// Build tree: ./build/examples/quickstart
+#include <complex>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "fft/plan3d.hpp"
+#include "fftx/pipeline.hpp"
+#include "fftx/reference.hpp"
+#include "simmpi/runtime.hpp"
+
+int main() {
+  using fx::fft::cplx;
+
+  // --- 1. A serial 3D FFT round trip -------------------------------------
+  const std::size_t n = 24;
+  fx::fft::Fft3d forward(n, n, n, fx::fft::Direction::Forward);
+  fx::fft::Fft3d backward(n, n, n, fx::fft::Direction::Backward);
+
+  std::vector<cplx> grid(n * n * n, cplx{0.0, 0.0});
+  grid[1 + n * (2 + n * 3)] = cplx{1.0, 0.0};  // a single plane wave
+
+  std::vector<cplx> spectrum(grid.size());
+  forward.execute(grid.data(), spectrum.data());
+  backward.execute(spectrum.data(), spectrum.data());
+  // Unnormalized transforms: backward(forward(x)) == volume * x.
+  const double scale = static_cast<double>(grid.size());
+  std::cout << "serial 3D round trip error: "
+            << std::abs(spectrum[1 + n * (2 + n * 3)] / scale -
+                        cplx{1.0, 0.0})
+            << "\n";
+
+  // --- 2. The distributed band FFT ---------------------------------------
+  // Plane-wave workload: cubic cell (8 bohr), 8 Ry cutoff, 8 bands.
+  const auto desc = std::make_shared<const fx::fftx::Descriptor>(
+      fx::pw::Cell{8.0}, 8.0, /*nproc=*/4, /*ntg=*/2);
+  std::cout << "grid " << desc->dims().nx << "^3, "
+            << desc->sphere().size() << " plane waves, "
+            << desc->total_sticks() << " sticks over " << desc->nproc()
+            << " ranks\n";
+
+  double worst = 0.0;
+  fx::mpi::Runtime::run(4, [&](fx::mpi::Comm& world) {
+    fx::fftx::PipelineConfig cfg;
+    cfg.num_bands = 8;
+    cfg.mode = fx::fftx::PipelineMode::Original;
+    fx::fftx::BandFftPipeline pipe(world, desc, cfg);
+    pipe.initialize_bands();
+    pipe.run();
+
+    // Verify this rank's slice of band 0 against the serial oracle.
+    const auto want = fx::fftx::reference_band_output(*desc, 0, true);
+    const auto mine = pipe.band(0);
+    const auto index = desc->world_g_index(world.rank());
+    double err = 0.0;
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      err = std::max(err, std::abs(mine[k] - want[index[k]]));
+    }
+    if (world.rank() == 0) worst = err;
+  });
+  std::cout << "distributed pipeline vs serial oracle (band 0): max error "
+            << worst << "\n";
+  return 0;
+}

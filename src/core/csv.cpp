@@ -1,0 +1,41 @@
+#include "core/csv.hpp"
+
+#include <filesystem>
+
+#include "core/error.hpp"
+
+namespace fx::core {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // A failure here surfaces as the open failure below.
+  }
+  out_.open(path, std::ios::trunc);
+  FX_CHECK(out_.is_open(), "cannot open CSV output file: " + path);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    const std::string& c = cells[i];
+    const bool quote = c.find_first_of(",\"\n") != std::string::npos;
+    if (!quote) {
+      out_ << c;
+      continue;
+    }
+    out_ << '"';
+    for (char ch : c) {
+      if (ch == '"') out_ << '"';
+      out_ << ch;
+    }
+    out_ << '"';
+  }
+  out_ << '\n';
+}
+
+}  // namespace fx::core

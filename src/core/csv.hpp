@@ -1,0 +1,30 @@
+// CSV emission for bench outputs (one file per reproduced table/figure).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fx::core {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// separators).  Creates parent-less paths relative to the working
+/// directory; callers pass e.g. "bench/out/fig2.csv".
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws fx::core::Error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = delete;
+  CsvWriter& operator=(CsvWriter&&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace fx::core

@@ -1,0 +1,54 @@
+// Error handling primitives shared by every module.
+//
+// The library reports contract violations and unrecoverable conditions via
+// fx::core::Error (derived from std::runtime_error).  FX_CHECK is an
+// always-on check (release builds included) for conditions that depend on
+// user input; FX_ASSERT is for internal invariants and compiles to the same
+// thing -- the cost is negligible next to FFT work, and P.7 of the C++ Core
+// Guidelines ("catch run-time errors early") wins over micro-savings.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fx::core {
+
+/// Exception type thrown by all FX_CHECK / FX_ASSERT failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* cond,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fx::core
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage): assertion macros need
+// stringification and source location, which functions cannot provide
+// portably before C++20 std::source_location adoption in our toolchain.
+#define FX_CHECK(cond, ...)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::fx::core::detail::fail("FX_CHECK", #cond, __FILE__, __LINE__,    \
+                               ::std::string{__VA_ARGS__});              \
+    }                                                                    \
+  } while (false)
+
+#define FX_ASSERT(cond, ...)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::fx::core::detail::fail("FX_ASSERT", #cond, __FILE__, __LINE__,   \
+                               ::std::string{__VA_ARGS__});              \
+    }                                                                    \
+  } while (false)
+// NOLINTEND(cppcoreguidelines-macro-usage)

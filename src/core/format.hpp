@@ -1,0 +1,31 @@
+// Minimal string formatting helpers (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace fx::core {
+
+/// Concatenate any streamable arguments into a std::string.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Fixed-point decimal with the given number of digits, e.g. fixed(3.14159, 2)
+/// -> "3.14".  Used by the table printer to mirror the paper's layout.
+inline std::string fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+/// Percentage string matching the paper's tables, e.g. pct(0.9575) -> "95.75 %".
+inline std::string pct(double fraction, int digits = 2) {
+  return fixed(fraction * 100.0, digits) + " %";
+}
+
+}  // namespace fx::core

@@ -1,0 +1,43 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace fx::core {
+
+double Welford::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  const double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace fx::core

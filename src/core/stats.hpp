@@ -1,0 +1,45 @@
+// Streaming statistics used by the efficiency analyzer and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fx::core {
+
+/// Welford single-pass accumulator: numerically stable mean and variance.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation of a span; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Median (of a copy; the input is not modified).
+double median(std::span<const double> xs);
+
+}  // namespace fx::core

@@ -1,0 +1,69 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace fx::core {
+
+void TablePrinter::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  // Column widths across header and all rows.
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  auto rule = [&os](char c, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) os << c;
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << "  ";
+      os << cells[i];
+      // Pad all but the last column (first column left-aligned, numeric
+      // columns right-aligned would need type info; uniform left-align with
+      // padding keeps the output diff-stable).
+      if (i + 1 < cells.size()) {
+        for (std::size_t p = cells[i].size(); p < width[i]; ++p) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    rule('=', std::max(total, title_.size()));
+    os << title_ << '\n';
+    rule('=', std::max(total, title_.size()));
+  }
+  if (!header_.empty()) {
+    emit(header_);
+    rule('-', total);
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TablePrinter::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace fx::core

@@ -1,0 +1,46 @@
+// Fixed-width console table printer.
+//
+// The figure/table benches print rows that mirror the paper's layout
+// (e.g. Table I "Load Balance  97.31 %  95.04 % ...").  TablePrinter keeps
+// the columns aligned regardless of cell width and emits both console text
+// and a machine-readable form via core/csv.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fx::core {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Optional title printed above the table, boxed with '=' rules.
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (printed with a '-' rule underneath).
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; rows may have differing cell counts.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table to the stream.
+  void print(std::ostream& os) const;
+
+  /// Convenience: renders to a string.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<std::string>& header_row() const {
+    return header_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fx::core

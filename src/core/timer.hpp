@@ -1,0 +1,32 @@
+// Wall-clock timing for the real execution backend.
+#pragma once
+
+#include <chrono>
+
+namespace fx::core {
+
+/// Monotonic wall-clock stopwatch with double-precision seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Seconds since an arbitrary fixed epoch; used to timestamp trace events
+  /// consistently across threads.
+  static double now() {
+    return std::chrono::duration<double>(Clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fx::core

@@ -1,0 +1,73 @@
+#include "fft/bluestein.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+#include "fft/plan1d.hpp"
+
+namespace fx::fft {
+
+namespace {
+std::size_t next_pow2(std::size_t n) {
+  std::size_t m = 1;
+  while (m < n) m <<= 1;
+  return m;
+}
+}  // namespace
+
+Bluestein::Bluestein(std::size_t n, Direction dir)
+    : n_(n), m_(next_pow2(2 * n - 1)) {
+  FX_CHECK(n >= 2);
+  const double s = sign_of(dir);
+
+  // chirp_[j] = exp(s*pi*i*j^2/n).  Reduce j^2 mod 2n before the float
+  // multiply: exp has period 2*pi and pi*j^2/n wraps at j^2 == 2n.
+  chirp_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t e = (j * j) % (2 * n_);
+    const double ang = s * std::numbers::pi * static_cast<double>(e) /
+                       static_cast<double>(n_);
+    chirp_[j] = cplx{std::cos(ang), std::sin(ang)};
+  }
+
+  // Kernel g[d] = conj(chirp_[|d|]) laid out circularly in length m_.
+  cvec g(m_, cplx{0.0, 0.0});
+  g[0] = std::conj(chirp_[0]);
+  for (std::size_t j = 1; j < n_; ++j) {
+    g[j] = std::conj(chirp_[j]);
+    g[m_ - j] = std::conj(chirp_[j]);
+  }
+
+  fwd_ = std::make_unique<Fft1d>(m_, Direction::Forward);
+  bwd_ = std::make_unique<Fft1d>(m_, Direction::Backward);
+  FX_ASSERT(!fwd_->uses_bluestein(), "power-of-two inner plan expected");
+
+  kernel_hat_.resize(m_);
+  Workspace ws;
+  fwd_->execute(g.data(), kernel_hat_.data(), ws);
+}
+
+Bluestein::~Bluestein() = default;
+
+void Bluestein::execute(const cplx* in, cplx* out, Workspace& ws) const {
+  // X[k] = chirp_[k] * (a (*) g)[k]  with a[j] = x[j]*chirp_[j] and the
+  // convolution computed spectrally on length m_.
+  Workspace::Buffer a(ws, m_);
+  Workspace::Buffer spectrum(ws, m_);
+
+  cplx* ap = a.data();
+  for (std::size_t j = 0; j < n_; ++j) ap[j] = in[j] * chirp_[j];
+  for (std::size_t j = n_; j < m_; ++j) ap[j] = cplx{0.0, 0.0};
+
+  fwd_->execute(ap, spectrum.data(), ws);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < m_; ++k) {
+    spectrum.data()[k] *= kernel_hat_[k] * inv_m;
+  }
+  bwd_->execute(spectrum.data(), ap, ws);
+
+  for (std::size_t k = 0; k < n_; ++k) out[k] = chirp_[k] * ap[k];
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,42 @@
+// Bluestein chirp-z transform: DFT of arbitrary length n via a circular
+// convolution of length M = next power of two >= 2n-1.
+//
+// Used by Fft1d for sizes with prime factors > 13.  The kernel spectrum is
+// precomputed at plan time; execution costs two power-of-two transforms.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "fft/types.hpp"
+#include "fft/workspace.hpp"
+
+namespace fx::fft {
+
+class Fft1d;
+
+class Bluestein {
+ public:
+  Bluestein(std::size_t n, Direction dir);
+  ~Bluestein();
+
+  Bluestein(const Bluestein&) = delete;
+  Bluestein& operator=(const Bluestein&) = delete;
+  Bluestein(Bluestein&&) = delete;
+  Bluestein& operator=(Bluestein&&) = delete;
+
+  /// Out-of-place transform of contiguous data (in != out).
+  void execute(const cplx* in, cplx* out, Workspace& ws) const;
+
+  [[nodiscard]] std::size_t conv_size() const { return m_; }
+
+ private:
+  std::size_t n_;
+  std::size_t m_;      // power-of-two convolution length
+  cvec chirp_;         // chirp_[j] = exp(sign*pi*i*j^2/n)
+  cvec kernel_hat_;    // forward FFT_M of the symmetric conj-chirp kernel
+  std::unique_ptr<Fft1d> fwd_;  // length-m_ forward plan
+  std::unique_ptr<Fft1d> bwd_;  // length-m_ backward plan
+};
+
+}  // namespace fx::fft

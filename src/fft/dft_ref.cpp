@@ -1,0 +1,66 @@
+#include "fft/dft_ref.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace fx::fft {
+
+void dft_reference(std::span<const cplx> in, std::span<cplx> out,
+                   Direction dir) {
+  FX_CHECK(in.size() == out.size());
+  FX_CHECK(in.data() != out.data(), "dft_reference requires out-of-place");
+  const std::size_t n = in.size();
+  if (n == 0) return;
+  const double w = sign_of(dir) * 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = w * static_cast<double>((j * k) % n);
+      acc += in[j] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+}
+
+void dft3d_reference(std::span<const cplx> in, std::span<cplx> out,
+                     std::size_t nx, std::size_t ny, std::size_t nz,
+                     Direction dir) {
+  const std::size_t n = nx * ny * nz;
+  FX_CHECK(in.size() == n && out.size() == n);
+
+  // Transform along each axis in turn; O(n * (nx+ny+nz)) total.
+  std::vector<cplx> cur(in.begin(), in.end());
+  std::vector<cplx> line_in;
+  std::vector<cplx> line_out;
+
+  auto sweep = [&](std::size_t len, auto index_of) {
+    line_in.resize(len);
+    line_out.resize(len);
+    const std::size_t nlines = n / len;
+    std::vector<cplx> next(n);
+    for (std::size_t l = 0; l < nlines; ++l) {
+      for (std::size_t i = 0; i < len; ++i) line_in[i] = cur[index_of(l, i)];
+      dft_reference(line_in, line_out, dir);
+      for (std::size_t i = 0; i < len; ++i) next[index_of(l, i)] = line_out[i];
+    }
+    cur = std::move(next);
+  };
+
+  // x lines: l enumerates (iy, iz) pairs.
+  sweep(nx, [&](std::size_t l, std::size_t i) { return i + nx * l; });
+  // y lines: l = ix + nx*iz.
+  sweep(ny, [&](std::size_t l, std::size_t i) {
+    const std::size_t ix = l % nx;
+    const std::size_t iz = l / nx;
+    return ix + nx * (i + ny * iz);
+  });
+  // z lines: l = ix + nx*iy.
+  sweep(nz, [&](std::size_t l, std::size_t i) { return l + nx * ny * i; });
+
+  std::copy(cur.begin(), cur.end(), out.begin());
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,24 @@
+// Naive O(n^2) reference DFT.
+//
+// The test suite validates every fast path against this direct evaluation of
+// the definition; it is deliberately simple enough to inspect by eye.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "fft/types.hpp"
+
+namespace fx::fft {
+
+/// out[k] = sum_j in[j] * exp(sign * 2*pi*i * j*k / n), n == in.size().
+/// in and out must not alias and must have equal size.
+void dft_reference(std::span<const cplx> in, std::span<cplx> out, Direction dir);
+
+/// 3D reference transform on a row-major (z-major) nx*ny*nz grid:
+/// index = ix + nx*(iy + ny*iz).  Used to validate the distributed pipeline.
+void dft3d_reference(std::span<const cplx> in, std::span<cplx> out,
+                     std::size_t nx, std::size_t ny, std::size_t nz,
+                     Direction dir);
+
+}  // namespace fx::fft

@@ -1,0 +1,71 @@
+#include "fft/gamma.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace fx::fft {
+
+void fft_two_real(const Fft1d& forward_plan, std::span<const double> a,
+                  std::span<const double> b, std::span<cplx> spectrum_a,
+                  std::span<cplx> spectrum_b, Workspace& ws) {
+  const std::size_t n = forward_plan.size();
+  FX_CHECK(forward_plan.direction() == Direction::Forward,
+           "fft_two_real needs a Forward plan");
+  FX_CHECK(a.size() == n && b.size() == n && spectrum_a.size() == n &&
+               spectrum_b.size() == n,
+           "fft_two_real size mismatch");
+
+  Workspace::Buffer packed(ws, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    packed.data()[j] = cplx{a[j], b[j]};
+  }
+  Workspace::Buffer z(ws, n);
+  forward_plan.execute(packed.data(), z.data(), ws);
+
+  // A(k) = (Z(k) + conj(Z(n-k)))/2;  B(k) = (Z(k) - conj(Z(n-k)))/(2i).
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx zk = z.data()[k];
+    const cplx zm = std::conj(z.data()[k == 0 ? 0 : n - k]);
+    spectrum_a[k] = 0.5 * (zk + zm);
+    const cplx diff = zk - zm;
+    spectrum_b[k] = cplx{0.5 * diff.imag(), -0.5 * diff.real()};
+  }
+}
+
+void ifft_two_real(const Fft1d& backward_plan,
+                   std::span<const cplx> spectrum_a,
+                   std::span<const cplx> spectrum_b, std::span<double> a,
+                   std::span<double> b, Workspace& ws) {
+  const std::size_t n = backward_plan.size();
+  FX_CHECK(backward_plan.direction() == Direction::Backward,
+           "ifft_two_real needs a Backward plan");
+  FX_CHECK(a.size() == n && b.size() == n && spectrum_a.size() == n &&
+               spectrum_b.size() == n,
+           "ifft_two_real size mismatch");
+
+  // Z(k) = A(k) + i*B(k): for Hermitian A, B the inverse transform of Z is
+  // exactly a + i*b.
+  Workspace::Buffer z(ws, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    z.data()[k] = spectrum_a[k] + cplx{0.0, 1.0} * spectrum_b[k];
+  }
+  Workspace::Buffer out(ws, n);
+  backward_plan.execute(z.data(), out.data(), ws);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = out.data()[j].real() * inv_n;
+    b[j] = out.data()[j].imag() * inv_n;
+  }
+}
+
+bool is_hermitian(std::span<const cplx> spectrum, double tol) {
+  const std::size_t n = spectrum.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx mirror = std::conj(spectrum[k == 0 ? 0 : n - k]);
+    if (std::abs(spectrum[k] - mirror) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,44 @@
+// Gamma-point packing: two real signals through one complex FFT.
+//
+// At the Gamma point, Quantum ESPRESSO's wave functions are real in real
+// space, so their spectra are Hermitian: X(-k) = conj(X(k)).  Two real
+// signals a, b can therefore share one complex transform of z = a + i*b:
+//
+//   A(k) = (Z(k) + conj(Z(n-k))) / 2
+//   B(k) = (Z(k) - conj(Z(n-k))) / (2i)
+//
+// and conversely two Hermitian spectra pack into one complex inverse
+// transform.  This halves the FFT work for Gamma-only calculations --
+// QE's classic "two bands at a time" trick, exposed here as utilities on
+// top of the engine.
+#pragma once
+
+#include <span>
+
+#include "fft/plan1d.hpp"
+#include "fft/types.hpp"
+
+namespace fx::fft {
+
+/// Forward direction: transforms two real signals a, b (length n) with one
+/// length-n complex FFT; writes their full complex spectra (length n each).
+/// Buffers must not alias.  Uses the provided Forward plan (plan.size()
+/// must equal a.size() == b.size()).
+void fft_two_real(const Fft1d& forward_plan, std::span<const double> a,
+                  std::span<const double> b, std::span<cplx> spectrum_a,
+                  std::span<cplx> spectrum_b, Workspace& ws);
+
+/// Inverse direction: reconstructs the two real signals from their spectra
+/// with one complex backward transform.  The spectra must be Hermitian
+/// (X(n-k) == conj(X(k)) within `tolerance` of the checks the debug build
+/// asserts); the imaginary parts of the unpacked result are the numerical
+/// error and are discarded.  Outputs are scaled by 1/n (round trip with
+/// fft_two_real restores the inputs).
+void ifft_two_real(const Fft1d& backward_plan, std::span<const cplx> spectrum_a,
+                   std::span<const cplx> spectrum_b, std::span<double> a,
+                   std::span<double> b, Workspace& ws);
+
+/// True if `spectrum` is Hermitian within `tol` (max absolute deviation).
+bool is_hermitian(std::span<const cplx> spectrum, double tol);
+
+}  // namespace fx::fft

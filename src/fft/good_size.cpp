@@ -1,0 +1,27 @@
+#include "fft/good_size.hpp"
+
+
+#include <initializer_list>
+namespace fx::fft {
+
+bool is_good_fft_size(std::size_t n) {
+  if (n == 0) return false;
+  int sevens = 0;
+  while (n % 7 == 0) {
+    n /= 7;
+    if (++sevens > 1) return false;
+  }
+  for (std::size_t p : {2UL, 3UL, 5UL}) {
+    while (n % p == 0) n /= p;
+  }
+  return n == 1;
+}
+
+std::size_t good_fft_size(std::size_t n) {
+  if (n <= 1) return 1;
+  std::size_t m = n;
+  while (!is_good_fft_size(m)) ++m;
+  return m;
+}
+
+}  // namespace fx::fft

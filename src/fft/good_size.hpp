@@ -1,0 +1,20 @@
+// FFT-friendly grid dimensions.
+//
+// Quantum ESPRESSO restricts FFT grid dimensions to products of small primes
+// (good_fft_dimension in fft_support.f90): 2^a * 3^b * 5^c * 7^d with d <= 1,
+// because its vendor FFT backends degrade badly on large prime factors.
+// The plane-wave substrate uses good_fft_size() when deriving grid
+// dimensions from the energy cutoff.
+#pragma once
+
+#include <cstddef>
+
+namespace fx::fft {
+
+/// True if n == 2^a * 3^b * 5^c * 7^d with d <= 1 (and n >= 1).
+bool is_good_fft_size(std::size_t n);
+
+/// Smallest good FFT size >= n.  n == 0 yields 1.
+std::size_t good_fft_size(std::size_t n);
+
+}  // namespace fx::fft

@@ -1,0 +1,214 @@
+#include "fft/plan1d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <initializer_list>
+#include <numbers>
+
+#include "core/error.hpp"
+#include "fft/bluestein.hpp"
+
+namespace fx::fft {
+
+namespace {
+
+/// Factorizes n into the supported radices (4 preferred over 2x2 for fewer
+/// passes).  Returns an empty vector if a prime factor > 13 remains,
+/// signalling the Bluestein fallback.
+std::vector<std::size_t> factorize(std::size_t n) {
+  std::vector<std::size_t> factors;
+  while (n % 4 == 0) {
+    factors.push_back(4);
+    n /= 4;
+  }
+  for (std::size_t p : {2UL, 3UL, 5UL, 7UL, 11UL, 13UL}) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n != 1) return {};
+  return factors;
+}
+
+}  // namespace
+
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Fft1d::Fft1d(std::size_t n, Direction dir) : n_(n), dir_(dir) {
+  FX_CHECK(n >= 1, "FFT length must be positive");
+  factors_ = factorize(n);
+  if (factors_.empty() && n > 1) {
+    bluestein_ = std::make_unique<Bluestein>(n, dir);
+    return;
+  }
+  twiddle_.resize(n);
+  const double w = sign_of(dir) * 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = w * static_cast<double>(k);
+    twiddle_[k] = cplx{std::cos(ang), std::sin(ang)};
+  }
+}
+
+Fft1d::~Fft1d() = default;
+Fft1d::Fft1d(Fft1d&&) noexcept = default;
+Fft1d& Fft1d::operator=(Fft1d&&) noexcept = default;
+
+void Fft1d::small_dft(std::size_t r, const cplx* z, cplx* out,
+                      std::size_t ostride) const {
+  // out[t*ostride] = sum_q z[q] * w_r^{t*q}, w_r = exp(sign*2*pi*i/r).
+  const double s = sign_of(dir_);
+  switch (r) {
+    case 1:
+      out[0] = z[0];
+      return;
+    case 2:
+      out[0] = z[0] + z[1];
+      out[ostride] = z[0] - z[1];
+      return;
+    case 3: {
+      // w = -1/2 + i*s*sqrt(3)/2.
+      constexpr double kHalfSqrt3 = 0.86602540378443864676;
+      const cplx t = z[1] + z[2];
+      const cplx u = z[0] - 0.5 * t;
+      const cplx dz = z[1] - z[2];
+      const cplx v{-s * kHalfSqrt3 * dz.imag(), s * kHalfSqrt3 * dz.real()};
+      out[0] = z[0] + t;
+      out[ostride] = u + v;
+      out[2 * ostride] = u - v;
+      return;
+    }
+    case 4: {
+      const cplx t0 = z[0] + z[2];
+      const cplx t1 = z[0] - z[2];
+      const cplx t2 = z[1] + z[3];
+      const cplx t3 = z[1] - z[3];
+      // i*s*t3:
+      const cplx it3{-s * t3.imag(), s * t3.real()};
+      out[0] = t0 + t2;
+      out[ostride] = t1 + it3;
+      out[2 * ostride] = t0 - t2;
+      out[3 * ostride] = t1 - it3;
+      return;
+    }
+    default: {
+      // Generic O(r^2) kernel via the full twiddle table:
+      // w_r^{tq} = twiddle_[((t*q) % r) * (n_/r)].
+      const std::size_t step = n_ / r;
+      for (std::size_t t = 0; t < r; ++t) {
+        cplx acc = z[0];
+        for (std::size_t q = 1; q < r; ++q) {
+          acc += z[q] * twiddle_[((t * q) % r) * step];
+        }
+        out[t * ostride] = acc;
+      }
+      return;
+    }
+  }
+}
+
+void Fft1d::recurse(std::size_t n, std::size_t factor_index, const cplx* in,
+                    std::size_t istride, cplx* out, cplx* scratch) const {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t r = factors_[factor_index];
+  const std::size_t m = n / r;
+
+  if (m == 1) {
+    // Leaf: a single small DFT straight from the (strided) input.
+    cplx z[13];
+    for (std::size_t q = 0; q < r; ++q) z[q] = in[q * istride];
+    small_dft(r, z, out, 1);
+    return;
+  }
+
+  // Decimation in time: r interleaved sub-transforms of length m, computed
+  // into `scratch`; the sub-calls use the matching region of `out` as their
+  // own scratch (regions are disjoint per q, so this ping-pong is safe).
+  for (std::size_t q = 0; q < r; ++q) {
+    recurse(m, factor_index + 1, in + q * istride, istride * r,
+            scratch + q * m, out + q * m);
+  }
+
+  // Combine: out[j + t*m] = sum_q w_n^{j*q} * w_r^{t*q} * scratch[q*m + j].
+  // w_n^{e} = twiddle_[e * (n_/n)]; e = j*q < n so no modular reduction.
+  const std::size_t step = n_ / n;
+  cplx z[13];
+  for (std::size_t j = 0; j < m; ++j) {
+    z[0] = scratch[j];
+    for (std::size_t q = 1; q < r; ++q) {
+      z[q] = scratch[q * m + j] * twiddle_[j * q * step];
+    }
+    small_dft(r, z, out + j, m);
+  }
+}
+
+void Fft1d::execute(const cplx* in, cplx* out, Workspace& ws) const {
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (in == out) {
+    Workspace::Buffer copy(ws, n_);
+    std::memcpy(copy.data(), in, n_ * sizeof(cplx));
+    execute(copy.data(), out, ws);
+    return;
+  }
+  if (bluestein_) {
+    bluestein_->execute(in, out, ws);
+    return;
+  }
+  Workspace::Buffer scratch(ws, n_);
+  recurse(n_, 0, in, 1, out, scratch.data());
+}
+
+void Fft1d::execute(const cplx* in, cplx* out) const {
+  execute(in, out, thread_workspace());
+}
+
+void Fft1d::execute_contiguous_from_strided(const cplx* in, std::size_t istride,
+                                            cplx* out, Workspace& ws) const {
+  // `out` is contiguous and distinct from `in`.
+  if (bluestein_) {
+    Workspace::Buffer gathered(ws, n_);
+    for (std::size_t j = 0; j < n_; ++j) gathered.data()[j] = in[j * istride];
+    bluestein_->execute(gathered.data(), out, ws);
+    return;
+  }
+  Workspace::Buffer scratch(ws, n_);
+  recurse(n_, 0, in, istride, out, scratch.data());
+}
+
+void Fft1d::execute_strided(const cplx* in, std::size_t istride, cplx* out,
+                            std::size_t ostride, Workspace& ws) const {
+  FX_CHECK(istride >= 1 && ostride >= 1);
+  if (istride == 1 && ostride == 1) {
+    execute(in, out, ws);
+    return;
+  }
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Compute into a contiguous lease, then scatter.  This also makes
+  // in-place strided transforms (in == out) safe.
+  Workspace::Buffer result(ws, n_);
+  execute_contiguous_from_strided(in, istride, result.data(), ws);
+  for (std::size_t k = 0; k < n_; ++k) out[k * ostride] = result.data()[k];
+}
+
+void Fft1d::execute_many(std::size_t howmany, const cplx* in,
+                         std::size_t istride, std::size_t idist, cplx* out,
+                         std::size_t ostride, std::size_t odist,
+                         Workspace& ws) const {
+  for (std::size_t b = 0; b < howmany; ++b) {
+    execute_strided(in + b * idist, istride, out + b * odist, ostride, ws);
+  }
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,38 @@
+// Two-dimensional complex FFT on a row-major nx*ny plane (x fastest).
+//
+// This is the engine behind the pipeline's cft_2xy equivalent: QE performs
+// the XY transform of every real-space plane a rank owns.  The transform is
+// computed as ny row FFTs of length nx followed by nx column FFTs of length
+// ny (stride nx).
+#pragma once
+
+#include <cstddef>
+
+#include "fft/plan1d.hpp"
+#include "fft/types.hpp"
+#include "fft/workspace.hpp"
+
+namespace fx::fft {
+
+class Fft2d {
+ public:
+  Fft2d(std::size_t nx, std::size_t ny, Direction dir);
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] Direction direction() const { return dir_; }
+
+  /// Transforms one plane of nx*ny contiguous elements, indexed
+  /// data[ix + nx*iy].  In-place (the pipeline's usage) or out-of-place.
+  void execute(const cplx* in, cplx* out, Workspace& ws) const;
+  void execute(const cplx* in, cplx* out) const;
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  Direction dir_;
+  Fft1d along_x_;
+  Fft1d along_y_;
+};
+
+}  // namespace fx::fft

@@ -1,0 +1,21 @@
+#include "fft/plan3d.hpp"
+
+namespace fx::fft {
+
+Fft3d::Fft3d(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir)
+    : nz_(nz), xy_(nx, ny, dir), along_z_(nz, dir) {}
+
+void Fft3d::execute(const cplx* in, cplx* out, Workspace& ws) const {
+  const std::size_t plane = nx() * ny();
+  for (std::size_t iz = 0; iz < nz_; ++iz) {
+    xy_.execute(in + iz * plane, out + iz * plane, ws);
+  }
+  // Z lines: one per (ix, iy), stride = plane size.
+  along_z_.execute_many(plane, out, plane, 1, out, plane, 1, ws);
+}
+
+void Fft3d::execute(const cplx* in, cplx* out) const {
+  execute(in, out, thread_workspace());
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,38 @@
+// Three-dimensional complex FFT on a row-major nx*ny*nz grid
+// (index = ix + nx*(iy + ny*iz)).
+//
+// The distributed pipeline never calls this directly -- it decomposes the 3D
+// transform into Z pencils and XY planes across ranks -- but the serial 3D
+// plan is the oracle the tests and examples compare the pipeline against,
+// and the quickstart example's entry point.
+#pragma once
+
+#include <cstddef>
+
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+#include "fft/types.hpp"
+
+namespace fx::fft {
+
+class Fft3d {
+ public:
+  Fft3d(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir);
+
+  [[nodiscard]] std::size_t nx() const { return xy_.nx(); }
+  [[nodiscard]] std::size_t ny() const { return xy_.ny(); }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t volume() const { return xy_.nx() * xy_.ny() * nz_; }
+  [[nodiscard]] Direction direction() const { return xy_.direction(); }
+
+  /// Transforms the full grid; in-place or out-of-place.
+  void execute(const cplx* in, cplx* out, Workspace& ws) const;
+  void execute(const cplx* in, cplx* out) const;
+
+ private:
+  std::size_t nz_;
+  Fft2d xy_;
+  Fft1d along_z_;
+};
+
+}  // namespace fx::fft

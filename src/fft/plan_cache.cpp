@@ -1,0 +1,38 @@
+#include "fft/plan_cache.hpp"
+
+namespace fx::fft {
+
+std::shared_ptr<const Fft1d> PlanCache::plan1d(std::size_t n, Direction dir) {
+  const auto key = std::make_pair(n, static_cast<int>(dir));
+  std::lock_guard lock(mu_);
+  auto& slot = c1_[key];
+  if (!slot) slot = std::make_shared<const Fft1d>(n, dir);
+  return slot;
+}
+
+std::shared_ptr<const Fft2d> PlanCache::plan2d(std::size_t nx, std::size_t ny,
+                                               Direction dir) {
+  const auto key = std::make_tuple(nx, ny, static_cast<int>(dir));
+  std::lock_guard lock(mu_);
+  auto& slot = c2_[key];
+  if (!slot) slot = std::make_shared<const Fft2d>(nx, ny, dir);
+  return slot;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return c1_.size() + c2_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mu_);
+  c1_.clear();
+  c2_.clear();
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,46 @@
+// Thread-safe plan cache.
+//
+// Plans are immutable after construction, so they can be shared freely;
+// building one costs a twiddle-table fill (or a Bluestein kernel FFT),
+// which is worth amortizing when many pipeline instances or tasks need the
+// same sizes.  The cache hands out shared_ptrs; entries live as long as
+// the cache (plus any outstanding users).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+
+namespace fx::fft {
+
+class PlanCache {
+ public:
+  /// Returns (building on first use) the 1D plan for (n, dir).
+  std::shared_ptr<const Fft1d> plan1d(std::size_t n, Direction dir);
+
+  /// Returns (building on first use) the 2D plan for (nx, ny, dir).
+  std::shared_ptr<const Fft2d> plan2d(std::size_t nx, std::size_t ny,
+                                      Direction dir);
+
+  /// Number of distinct plans currently cached.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops all cached plans (outstanding shared_ptrs stay valid).
+  void clear();
+
+  /// Process-wide shared instance.
+  static PlanCache& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::size_t, int>, std::shared_ptr<const Fft1d>> c1_;
+  std::map<std::tuple<std::size_t, std::size_t, int>,
+           std::shared_ptr<const Fft2d>>
+      c2_;
+};
+
+}  // namespace fx::fft

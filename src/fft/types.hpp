@@ -1,0 +1,30 @@
+// Shared numeric types for the FFT engine.
+#pragma once
+
+#include <complex>
+
+#include "core/aligned.hpp"
+
+namespace fx::fft {
+
+/// All transforms operate on double-precision complex numbers, matching
+/// Quantum ESPRESSO's wave-function representation.
+using cplx = std::complex<double>;
+
+using cvec = fx::core::aligned_vector<cplx>;
+
+/// Transform direction.  Forward uses exp(-2*pi*i*j*k/n); Backward uses
+/// exp(+2*pi*i*j*k/n).  Both are unnormalized: Backward(Forward(x)) == n*x.
+enum class Direction { Forward, Backward };
+
+/// Sign of the exponent for a direction: -1 for Forward, +1 for Backward.
+constexpr double sign_of(Direction d) {
+  return d == Direction::Forward ? -1.0 : 1.0;
+}
+
+/// The opposite direction (used by Bluestein's embedded inverse transform).
+constexpr Direction reverse(Direction d) {
+  return d == Direction::Forward ? Direction::Backward : Direction::Forward;
+}
+
+}  // namespace fx::fft

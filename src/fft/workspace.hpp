@@ -1,0 +1,56 @@
+// Reusable scratch memory for FFT execution.
+//
+// Plans are immutable after construction and safe to execute from many
+// threads concurrently; all mutable state lives in a Workspace that the
+// caller owns (one per thread).  A convenience thread-local workspace is
+// provided for callers that do not want to manage one explicitly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace fx::fft {
+
+/// Pool of complex buffers handed out as RAII leases.  Leases may nest
+/// (e.g. a Bluestein transform leasing buffers while its inner power-of-two
+/// plan leases its own); buffers return to the pool in destruction order.
+class Workspace {
+ public:
+  /// RAII lease of a buffer of at least n elements (contents undefined).
+  class Buffer {
+   public:
+    Buffer(Workspace& ws, std::size_t n) : ws_(ws) {
+      if (!ws.pool_.empty()) {
+        v_ = std::move(ws.pool_.back());
+        ws.pool_.pop_back();
+      }
+      v_.resize(n);
+    }
+    ~Buffer() { ws_.pool_.push_back(std::move(v_)); }
+
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    Buffer(Buffer&&) = delete;
+    Buffer& operator=(Buffer&&) = delete;
+
+    [[nodiscard]] cplx* data() { return v_.data(); }
+    [[nodiscard]] std::span<cplx> span() { return {v_.data(), v_.size()}; }
+
+   private:
+    Workspace& ws_;
+    cvec v_;
+  };
+
+ private:
+  friend class Buffer;
+  std::vector<cvec> pool_;
+};
+
+/// Per-thread default workspace for the convenience execute() overloads.
+Workspace& thread_workspace();
+
+}  // namespace fx::fft

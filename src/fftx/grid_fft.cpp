@@ -1,0 +1,145 @@
+#include "fftx/grid_fft.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace fx::fftx {
+
+using fft::cplx;
+using fft::Direction;
+
+GridFft::GridFft(mpi::Comm comm, const pw::GridDims& dims)
+    : comm_(comm),
+      dims_(dims),
+      me_(comm.rank()),
+      cols_(dims.plane(), comm.size()),
+      planes_(dims.nz, comm.size()),
+      z_bwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Backward)),
+      z_fwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Forward)),
+      xy_bwd_(
+          fft::PlanCache::global().plan2d(dims.nx, dims.ny, Direction::Backward)),
+      xy_fwd_(
+          fft::PlanCache::global().plan2d(dims.nx, dims.ny, Direction::Forward)) {
+  const int P = comm_.size();
+  send_counts_.resize(static_cast<std::size_t>(P));
+  send_displs_.resize(static_cast<std::size_t>(P));
+  recv_counts_.resize(static_cast<std::size_t>(P));
+  recv_displs_.resize(static_cast<std::size_t>(P));
+  std::size_t soff = 0;
+  std::size_t roff = 0;
+  for (int p = 0; p < P; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    send_counts_[pu] = ncols(me_) * nplanes(p);
+    send_displs_[pu] = soff;
+    soff += send_counts_[pu];
+    recv_counts_[pu] = ncols(p) * nplanes(me_);
+    recv_displs_[pu] = roff;
+    roff += recv_counts_[pu];
+  }
+  const std::size_t stage = std::max(pencil_elems(), plane_elems());
+  stage_a_.resize(stage);
+  stage_b_.resize(stage);
+}
+
+void GridFft::transpose_to_planes(std::span<const cplx> pencils,
+                                  std::span<cplx> planes, int tag) {
+  const std::size_t nz = dims_.nz;
+  const std::size_t nxny = dims_.plane();
+  const int P = comm_.size();
+
+  // Marshal per destination: [peer][local col][iz in peer's planes].
+  std::size_t pos = 0;
+  for (int p = 0; p < P; ++p) {
+    const std::size_t first = plane_first(p);
+    const std::size_t count = nplanes(p);
+    for (std::size_t c = 0; c < ncols(me_); ++c) {
+      const cplx* src = pencils.data() + c * nz + first;
+      std::copy(src, src + count, stage_b_.data() + pos);
+      pos += count;
+    }
+  }
+  comm_.alltoallv(stage_b_.data(), send_counts_.data(), send_displs_.data(),
+                  stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
+                  tag);
+  // Unmarshal into plane-major layout.
+  pos = 0;
+  for (int q = 0; q < P; ++q) {
+    const std::size_t base = col_first(q);
+    for (std::size_t c = 0; c < ncols(q); ++c) {
+      for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+        planes[iz * nxny + base + c] = stage_a_[pos++];
+      }
+    }
+  }
+}
+
+void GridFft::transpose_to_pencils(std::span<const cplx> planes,
+                                   std::span<cplx> pencils, int tag) {
+  const std::size_t nz = dims_.nz;
+  const std::size_t nxny = dims_.plane();
+  const int P = comm_.size();
+
+  // Marshal: exact reverse of transpose_to_planes' unmarshal.
+  std::size_t pos = 0;
+  for (int q = 0; q < P; ++q) {
+    const std::size_t base = col_first(q);
+    for (std::size_t c = 0; c < ncols(q); ++c) {
+      for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+        stage_a_[pos++] = planes[iz * nxny + base + c];
+      }
+    }
+  }
+  // Counts swap roles relative to the forward transpose.
+  comm_.alltoallv(stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
+                  stage_b_.data(), send_counts_.data(), send_displs_.data(),
+                  tag);
+  pos = 0;
+  for (int p = 0; p < P; ++p) {
+    const std::size_t first = plane_first(p);
+    const std::size_t count = nplanes(p);
+    for (std::size_t c = 0; c < ncols(me_); ++c) {
+      cplx* dst = pencils.data() + c * nz + first;
+      std::copy(stage_b_.data() + pos, stage_b_.data() + pos + count, dst);
+      pos += count;
+    }
+  }
+}
+
+void GridFft::to_real(std::span<const cplx> pencils, std::span<cplx> planes,
+                      fft::Workspace& ws, int tag) {
+  FX_CHECK(pencils.size() == pencil_elems() && planes.size() == plane_elems(),
+           "GridFft::to_real buffer size mismatch");
+  const std::size_t nz = dims_.nz;
+  const std::size_t nxny = dims_.plane();
+
+  // Z transforms into a scratch copy (input is const).
+  core::aligned_vector<cplx> work(pencils.begin(), pencils.end());
+  z_bwd_->execute_many(ncols(me_), work.data(), 1, nz, work.data(), 1, nz,
+                       ws);
+  transpose_to_planes({work.data(), work.size()}, planes, tag);
+  for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+    xy_bwd_->execute(planes.data() + iz * nxny, planes.data() + iz * nxny,
+                     ws);
+  }
+}
+
+void GridFft::to_recip(std::span<const cplx> planes, std::span<cplx> pencils,
+                       fft::Workspace& ws, int tag) {
+  FX_CHECK(pencils.size() == pencil_elems() && planes.size() == plane_elems(),
+           "GridFft::to_recip buffer size mismatch");
+  const std::size_t nz = dims_.nz;
+  const std::size_t nxny = dims_.plane();
+
+  core::aligned_vector<cplx> work(planes.begin(), planes.end());
+  for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+    xy_fwd_->execute(work.data() + iz * nxny, work.data() + iz * nxny, ws);
+  }
+  transpose_to_pencils({work.data(), work.size()}, pencils, tag);
+  z_fwd_->execute_many(ncols(me_), pencils.data(), 1, nz, pencils.data(), 1,
+                       nz, ws);
+  const double inv_vol = 1.0 / static_cast<double>(dims_.volume());
+  for (auto& v : pencils) v *= inv_vol;
+}
+
+}  // namespace fx::fftx

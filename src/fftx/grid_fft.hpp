@@ -1,0 +1,100 @@
+// Distributed full-grid 3D FFT (FFTXlib's dense-grid / charge-density
+// transform).
+//
+// Unlike the wave-function pipeline, density transforms act on the whole
+// nx*ny*nz grid -- no cutoff sphere, no sticks, every (ix, iy) column is
+// populated.  The decomposition is the classic slab scheme:
+//
+//   reciprocal space: each rank owns a block of the nx*ny Z-columns,
+//                     stored column-major [col][iz];
+//   real space:       each rank owns a block of Z planes, stored
+//                     plane-major [iz][iy][ix];
+//
+// with one Alltoallv transpose between the 1D-Z and 2D-XY transform
+// stages.  Comparing its exchange volume with the wave pipeline's
+// quantifies what the sphere/stick optimization buys QE
+// (bench_sphere_vs_dense).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+#include "fft/plan_cache.hpp"
+#include "pw/grid.hpp"
+#include "pw/sticks.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx::fftx {
+
+class GridFft {
+ public:
+  /// One instance per rank of `comm`; all ranks must pass the same dims.
+  GridFft(mpi::Comm comm, const pw::GridDims& dims);
+
+  [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
+
+  // --- Local layout ---
+  /// Z-columns (of nx*ny) owned by `rank` in reciprocal space.
+  [[nodiscard]] std::size_t ncols(int rank) const {
+    return cols_.count(rank);
+  }
+  [[nodiscard]] std::size_t col_first(int rank) const {
+    return cols_.first(rank);
+  }
+  /// Z planes owned by `rank` in real space.
+  [[nodiscard]] std::size_t nplanes(int rank) const {
+    return planes_.count(rank);
+  }
+  [[nodiscard]] std::size_t plane_first(int rank) const {
+    return planes_.first(rank);
+  }
+  /// Local buffer sizes for this rank.
+  [[nodiscard]] std::size_t pencil_elems() const {
+    return ncols(me_) * dims_.nz;
+  }
+  [[nodiscard]] std::size_t plane_elems() const {
+    return nplanes(me_) * dims_.plane();
+  }
+
+  // --- Transforms (collective; every rank must call with the same tag) ---
+  /// Reciprocal -> real: consumes this rank's pencils [col][iz], produces
+  /// its real-space planes [iz][iy][ix].  Unnormalized (engine Backward).
+  void to_real(std::span<const fft::cplx> pencils, std::span<fft::cplx> planes,
+               fft::Workspace& ws, int tag = 0);
+
+  /// Real -> reciprocal: inverse path, scaled by 1/volume so that
+  /// to_real followed by to_recip is the identity.
+  void to_recip(std::span<const fft::cplx> planes, std::span<fft::cplx> pencils,
+                fft::Workspace& ws, int tag = 0);
+
+ private:
+  void transpose_to_planes(std::span<const fft::cplx> pencils,
+                           std::span<fft::cplx> planes, int tag);
+  void transpose_to_pencils(std::span<const fft::cplx> planes,
+                            std::span<fft::cplx> pencils, int tag);
+
+  mpi::Comm comm_;
+  pw::GridDims dims_;
+  int me_;
+  pw::PlaneDist cols_;    ///< distribution of the nx*ny Z-columns
+  pw::PlaneDist planes_;  ///< distribution of the nz planes
+
+  std::shared_ptr<const fft::Fft1d> z_bwd_;
+  std::shared_ptr<const fft::Fft1d> z_fwd_;
+  std::shared_ptr<const fft::Fft2d> xy_bwd_;
+  std::shared_ptr<const fft::Fft2d> xy_fwd_;
+
+  std::vector<std::size_t> send_counts_;
+  std::vector<std::size_t> send_displs_;
+  std::vector<std::size_t> recv_counts_;
+  std::vector<std::size_t> recv_displs_;
+  core::aligned_vector<fft::cplx> stage_a_;
+  core::aligned_vector<fft::cplx> stage_b_;
+};
+
+}  // namespace fx::fftx

@@ -1,0 +1,274 @@
+#include "fftx/pencil_fft.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace fx::fftx {
+
+using fft::cplx;
+using fft::Direction;
+
+PencilFft::PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows,
+                     int pcols)
+    : world_(world),
+      dims_(dims),
+      prows_(prows),
+      pcols_(pcols),
+      row_(world.rank() / pcols),
+      col_(world.rank() % pcols),
+      row_comm_(world_.split(/*color=*/row_, /*key=*/col_)),
+      col_comm_(world_.split(/*color=*/col_, /*key=*/row_)),
+      xdist_(dims.nx, prows),
+      ydist_(dims.ny, pcols),
+      zdist_(dims.nz, pcols),
+      y2dist_(dims.ny, prows),
+      fz_bwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Backward)),
+      fz_fwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Forward)),
+      fy_bwd_(fft::PlanCache::global().plan1d(dims.ny, Direction::Backward)),
+      fy_fwd_(fft::PlanCache::global().plan1d(dims.ny, Direction::Forward)),
+      fx_bwd_(fft::PlanCache::global().plan1d(dims.nx, Direction::Backward)),
+      fx_fwd_(fft::PlanCache::global().plan1d(dims.nx, Direction::Forward)) {
+  FX_CHECK(prows >= 1 && pcols >= 1 && world.size() == prows * pcols,
+           "world size must equal prows * pcols");
+  FX_ASSERT(row_comm_.size() == pcols_ && row_comm_.rank() == col_);
+  FX_ASSERT(col_comm_.size() == prows_ && col_comm_.rank() == row_);
+
+  const std::size_t nxr = nx_of(row_);
+  row_send_counts_.resize(static_cast<std::size_t>(pcols_));
+  row_send_displs_.resize(static_cast<std::size_t>(pcols_));
+  row_recv_counts_.resize(static_cast<std::size_t>(pcols_));
+  row_recv_displs_.resize(static_cast<std::size_t>(pcols_));
+  std::size_t soff = 0;
+  std::size_t roff = 0;
+  for (int c = 0; c < pcols_; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    // Z->Y: I send (my x-block) x (my y-block) x (peer's z-block).
+    row_send_counts_[cu] = nxr * ny_of(col_) * nz_of(c);
+    row_send_displs_[cu] = soff;
+    soff += row_send_counts_[cu];
+    // ... and receive (my x-block) x (peer's y-block) x (my z-block).
+    row_recv_counts_[cu] = nxr * ny_of(c) * nz_of(col_);
+    row_recv_displs_[cu] = roff;
+    roff += row_recv_counts_[cu];
+  }
+
+  col_send_counts_.resize(static_cast<std::size_t>(prows_));
+  col_send_displs_.resize(static_cast<std::size_t>(prows_));
+  col_recv_counts_.resize(static_cast<std::size_t>(prows_));
+  col_recv_displs_.resize(static_cast<std::size_t>(prows_));
+  soff = 0;
+  roff = 0;
+  for (int r = 0; r < prows_; ++r) {
+    const auto ru = static_cast<std::size_t>(r);
+    // Y->X: I send (my x-block) x (peer's y2-block) x (my z-block).
+    col_send_counts_[ru] = nxr * ny2_of(r) * nz_of(col_);
+    col_send_displs_[ru] = soff;
+    soff += col_send_counts_[ru];
+    // ... and receive (peer's x-block) x (my y2-block) x (my z-block).
+    col_recv_counts_[ru] = nx_of(r) * ny2_of(row_) * nz_of(col_);
+    col_recv_displs_[ru] = roff;
+    roff += col_recv_counts_[ru];
+  }
+
+  const std::size_t stage = std::max(
+      {zpencil_elems(), ypencil_elems(), xpencil_elems()});
+  stage_a_.resize(stage);
+  stage_b_.resize(stage);
+  ybuf_.resize(ypencil_elems());
+}
+
+void PencilFft::transpose_z_to_y(const cplx* z, cplx* y, int tag) {
+  const std::size_t nz = dims_.nz;
+  const std::size_t ny = dims_.ny;
+  const std::size_t nxr = nx_of(row_);
+  const std::size_t nyc = ny_of(col_);
+  const std::size_t nzc = nz_of(col_);
+
+  // Marshal per destination column: [peer][ix][iy][iz_local].
+  std::size_t pos = 0;
+  for (int c = 0; c < pcols_; ++c) {
+    const std::size_t z0 = z0_of(c);
+    const std::size_t zc = nz_of(c);
+    for (std::size_t ix = 0; ix < nxr; ++ix) {
+      for (std::size_t iy = 0; iy < nyc; ++iy) {
+        const cplx* src = z + (ix * nyc + iy) * nz + z0;
+        std::copy(src, src + zc, stage_b_.data() + pos);
+        pos += zc;
+      }
+    }
+  }
+  row_comm_.alltoallv(stage_b_.data(), row_send_counts_.data(),
+                      row_send_displs_.data(), stage_a_.data(),
+                      row_recv_counts_.data(), row_recv_displs_.data(), tag);
+  // Unmarshal [peer][ix][iy_local][iz_local] into [ix][iz][iy] storage.
+  pos = 0;
+  for (int c = 0; c < pcols_; ++c) {
+    const std::size_t y0 = y0_of(c);
+    const std::size_t yc = ny_of(c);
+    for (std::size_t ix = 0; ix < nxr; ++ix) {
+      for (std::size_t iy = 0; iy < yc; ++iy) {
+        for (std::size_t iz = 0; iz < nzc; ++iz) {
+          y[(ix * nzc + iz) * ny + y0 + iy] = stage_a_[pos++];
+        }
+      }
+    }
+  }
+}
+
+void PencilFft::transpose_y_to_z(const cplx* y, cplx* z, int tag) {
+  const std::size_t nz = dims_.nz;
+  const std::size_t ny = dims_.ny;
+  const std::size_t nxr = nx_of(row_);
+  const std::size_t nyc = ny_of(col_);
+  const std::size_t nzc = nz_of(col_);
+
+  // Marshal: reverse of transpose_z_to_y's unmarshal.
+  std::size_t pos = 0;
+  for (int c = 0; c < pcols_; ++c) {
+    const std::size_t y0 = y0_of(c);
+    const std::size_t yc = ny_of(c);
+    for (std::size_t ix = 0; ix < nxr; ++ix) {
+      for (std::size_t iy = 0; iy < yc; ++iy) {
+        for (std::size_t iz = 0; iz < nzc; ++iz) {
+          stage_a_[pos++] = y[(ix * nzc + iz) * ny + y0 + iy];
+        }
+      }
+    }
+  }
+  row_comm_.alltoallv(stage_a_.data(), row_recv_counts_.data(),
+                      row_recv_displs_.data(), stage_b_.data(),
+                      row_send_counts_.data(), row_send_displs_.data(), tag);
+  std::size_t rpos = 0;
+  for (int c = 0; c < pcols_; ++c) {
+    const std::size_t z0 = z0_of(c);
+    const std::size_t zc = nz_of(c);
+    for (std::size_t ix = 0; ix < nxr; ++ix) {
+      for (std::size_t iy = 0; iy < nyc; ++iy) {
+        cplx* dst = z + (ix * nyc + iy) * nz + z0;
+        std::copy(stage_b_.data() + rpos, stage_b_.data() + rpos + zc, dst);
+        rpos += zc;
+      }
+    }
+  }
+}
+
+void PencilFft::transpose_y_to_x(const cplx* y, cplx* x, int tag) {
+  const std::size_t ny = dims_.ny;
+  const std::size_t nx = dims_.nx;
+  const std::size_t nxr = nx_of(row_);
+  const std::size_t nzc = nz_of(col_);
+  const std::size_t ny2 = ny2_of(row_);
+
+  // Marshal per destination row: [peer][ix][iy2_local][iz].
+  std::size_t pos = 0;
+  for (int r = 0; r < prows_; ++r) {
+    const std::size_t y0 = y20_of(r);
+    const std::size_t yc = ny2_of(r);
+    for (std::size_t ix = 0; ix < nxr; ++ix) {
+      for (std::size_t iy = 0; iy < yc; ++iy) {
+        for (std::size_t iz = 0; iz < nzc; ++iz) {
+          stage_b_[pos++] = y[(ix * nzc + iz) * ny + y0 + iy];
+        }
+      }
+    }
+  }
+  col_comm_.alltoallv(stage_b_.data(), col_send_counts_.data(),
+                      col_send_displs_.data(), stage_a_.data(),
+                      col_recv_counts_.data(), col_recv_displs_.data(), tag);
+  // Unmarshal [peer][ix_local][iy2][iz] into [iy][iz][ix] storage.
+  pos = 0;
+  for (int r = 0; r < prows_; ++r) {
+    const std::size_t x0 = x0_of(r);
+    const std::size_t xc = nx_of(r);
+    for (std::size_t ix = 0; ix < xc; ++ix) {
+      for (std::size_t iy = 0; iy < ny2; ++iy) {
+        for (std::size_t iz = 0; iz < nzc; ++iz) {
+          x[(iy * nzc + iz) * nx + x0 + ix] = stage_a_[pos++];
+        }
+      }
+    }
+  }
+}
+
+void PencilFft::transpose_x_to_y(const cplx* x, cplx* y, int tag) {
+  const std::size_t ny = dims_.ny;
+  const std::size_t nx = dims_.nx;
+  const std::size_t nxr = nx_of(row_);
+  const std::size_t nzc = nz_of(col_);
+  const std::size_t ny2 = ny2_of(row_);
+
+  std::size_t pos = 0;
+  for (int r = 0; r < prows_; ++r) {
+    const std::size_t x0 = x0_of(r);
+    const std::size_t xc = nx_of(r);
+    for (std::size_t ix = 0; ix < xc; ++ix) {
+      for (std::size_t iy = 0; iy < ny2; ++iy) {
+        for (std::size_t iz = 0; iz < nzc; ++iz) {
+          stage_a_[pos++] = x[(iy * nzc + iz) * nx + x0 + ix];
+        }
+      }
+    }
+  }
+  col_comm_.alltoallv(stage_a_.data(), col_recv_counts_.data(),
+                      col_recv_displs_.data(), stage_b_.data(),
+                      col_send_counts_.data(), col_send_displs_.data(), tag);
+  std::size_t rpos = 0;
+  for (int r = 0; r < prows_; ++r) {
+    const std::size_t y0 = y20_of(r);
+    const std::size_t yc = ny2_of(r);
+    for (std::size_t ix = 0; ix < nxr; ++ix) {
+      for (std::size_t iy = 0; iy < yc; ++iy) {
+        for (std::size_t iz = 0; iz < nzc; ++iz) {
+          y[(ix * nzc + iz) * ny + y0 + iy] = stage_b_[rpos++];
+        }
+      }
+    }
+  }
+}
+
+void PencilFft::to_real(std::span<const cplx> zpencils,
+                        std::span<cplx> xpencils, fft::Workspace& ws,
+                        int tag) {
+  FX_CHECK(zpencils.size() == zpencil_elems() &&
+               xpencils.size() == xpencil_elems(),
+           "PencilFft::to_real buffer size mismatch");
+  const std::size_t nz = dims_.nz;
+  const std::size_t ny = dims_.ny;
+  const std::size_t nx = dims_.nx;
+
+  core::aligned_vector<cplx> work(zpencils.begin(), zpencils.end());
+  fz_bwd_->execute_many(nx_of(row_) * ny_of(col_), work.data(), 1, nz,
+                        work.data(), 1, nz, ws);
+  transpose_z_to_y(work.data(), ybuf_.data(), tag);
+  fy_bwd_->execute_many(nx_of(row_) * nz_of(col_), ybuf_.data(), 1, ny,
+                        ybuf_.data(), 1, ny, ws);
+  transpose_y_to_x(ybuf_.data(), xpencils.data(), tag);
+  fx_bwd_->execute_many(ny2_of(row_) * nz_of(col_), xpencils.data(), 1, nx,
+                        xpencils.data(), 1, nx, ws);
+}
+
+void PencilFft::to_recip(std::span<const cplx> xpencils,
+                         std::span<cplx> zpencils, fft::Workspace& ws,
+                         int tag) {
+  FX_CHECK(zpencils.size() == zpencil_elems() &&
+               xpencils.size() == xpencil_elems(),
+           "PencilFft::to_recip buffer size mismatch");
+  const std::size_t nz = dims_.nz;
+  const std::size_t ny = dims_.ny;
+  const std::size_t nx = dims_.nx;
+
+  core::aligned_vector<cplx> work(xpencils.begin(), xpencils.end());
+  fx_fwd_->execute_many(ny2_of(row_) * nz_of(col_), work.data(), 1, nx,
+                        work.data(), 1, nx, ws);
+  transpose_x_to_y(work.data(), ybuf_.data(), tag);
+  fy_fwd_->execute_many(nx_of(row_) * nz_of(col_), ybuf_.data(), 1, ny,
+                        ybuf_.data(), 1, ny, ws);
+  transpose_y_to_z(ybuf_.data(), zpencils.data(), tag);
+  fz_fwd_->execute_many(nx_of(row_) * ny_of(col_), zpencils.data(), 1, nz,
+                        zpencils.data(), 1, nz, ws);
+  const double inv_vol = 1.0 / static_cast<double>(dims_.volume());
+  for (auto& v : zpencils) v *= inv_vol;
+}
+
+}  // namespace fx::fftx

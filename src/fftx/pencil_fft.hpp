@@ -1,0 +1,119 @@
+// Pencil-decomposed distributed 3D FFT.
+//
+// The slab scheme (GridFft) stops scaling at P > nz: there are only nz
+// planes to hand out.  The pencil scheme arranges P = Pr * Pc ranks in a
+// 2D process grid and keeps two dimensions distributed at all times, so it
+// scales to P ~ nx*ny ranks -- the decomposition modern distributed FFT
+// libraries (heFFTe, P3DFFT) use.  Data passes through three layouts:
+//
+//   Z-pencils: x in X(r), y in Y(c), z full     [reciprocal-space input]
+//      | 1D FFTs along z, then Alltoallv inside the ROW communicator
+//      |   (fixed x-block: trades the y distribution for a z distribution)
+//   Y-pencils: x in X(r), z in Z(c), y full
+//      | 1D FFTs along y, then Alltoallv inside the COLUMN communicator
+//      |   (fixed z-block: trades the x distribution for a y distribution)
+//   X-pencils: y in Y2(r), z in Z(c), x full    [real-space output]
+//      | 1D FFTs along x
+//
+// Each transpose involves only one row or column of the process grid
+// (sqrt(P)-ish ranks) instead of all P -- the communication-structure
+// trade-off bench_pencil_vs_slab quantifies against GridFft.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/plan_cache.hpp"
+#include "pw/grid.hpp"
+#include "pw/sticks.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx::fftx {
+
+class PencilFft {
+ public:
+  /// Collective over `world` (splits the row/column communicators).
+  /// world.size() must equal prows * pcols.
+  PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows, int pcols);
+
+  [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
+  [[nodiscard]] int prows() const { return prows_; }
+  [[nodiscard]] int pcols() const { return pcols_; }
+  [[nodiscard]] int row() const { return row_; }
+  [[nodiscard]] int col() const { return col_; }
+
+  // --- Block accessors (counts along each distributed axis) ---
+  [[nodiscard]] std::size_t nx_of(int r) const { return xdist_.count(r); }
+  [[nodiscard]] std::size_t x0_of(int r) const { return xdist_.first(r); }
+  [[nodiscard]] std::size_t ny_of(int c) const { return ydist_.count(c); }
+  [[nodiscard]] std::size_t y0_of(int c) const { return ydist_.first(c); }
+  [[nodiscard]] std::size_t nz_of(int c) const { return zdist_.count(c); }
+  [[nodiscard]] std::size_t z0_of(int c) const { return zdist_.first(c); }
+  [[nodiscard]] std::size_t ny2_of(int r) const { return y2dist_.count(r); }
+  [[nodiscard]] std::size_t y20_of(int r) const { return y2dist_.first(r); }
+
+  /// Local element counts of the three layouts on this rank.
+  /// Z-pencils: [ix][iy][iz] with iz fastest.
+  [[nodiscard]] std::size_t zpencil_elems() const {
+    return nx_of(row_) * ny_of(col_) * dims_.nz;
+  }
+  /// X-pencils: [iy][iz][ix] with ix fastest.
+  [[nodiscard]] std::size_t xpencil_elems() const {
+    return ny2_of(row_) * nz_of(col_) * dims_.nx;
+  }
+
+  /// Reciprocal -> real space (engine Backward, unnormalized): consumes
+  /// Z-pencils, produces X-pencils.  Collective; tags must agree.
+  void to_real(std::span<const fft::cplx> zpencils,
+               std::span<fft::cplx> xpencils, fft::Workspace& ws, int tag = 0);
+
+  /// Real -> reciprocal, scaled by 1/volume (round trip is the identity).
+  void to_recip(std::span<const fft::cplx> xpencils,
+                std::span<fft::cplx> zpencils, fft::Workspace& ws,
+                int tag = 0);
+
+ private:
+  // ypencil layout: [ix][iz][iy] with iy fastest.
+  [[nodiscard]] std::size_t ypencil_elems() const {
+    return nx_of(row_) * nz_of(col_) * dims_.ny;
+  }
+  void transpose_z_to_y(const fft::cplx* z, fft::cplx* y, int tag);
+  void transpose_y_to_z(const fft::cplx* y, fft::cplx* z, int tag);
+  void transpose_y_to_x(const fft::cplx* y, fft::cplx* x, int tag);
+  void transpose_x_to_y(const fft::cplx* x, fft::cplx* y, int tag);
+
+  mpi::Comm world_;
+  pw::GridDims dims_;
+  int prows_;
+  int pcols_;
+  int row_;
+  int col_;
+  mpi::Comm row_comm_;  ///< fixed row: ranks sharing my x-block
+  mpi::Comm col_comm_;  ///< fixed column: ranks sharing my z-block
+
+  pw::PlaneDist xdist_;   ///< x over process rows
+  pw::PlaneDist ydist_;   ///< y over process columns (Z-pencil stage)
+  pw::PlaneDist zdist_;   ///< z over process columns (Y/X-pencil stages)
+  pw::PlaneDist y2dist_;  ///< y over process rows (X-pencil stage)
+
+  std::shared_ptr<const fft::Fft1d> fz_bwd_, fz_fwd_;
+  std::shared_ptr<const fft::Fft1d> fy_bwd_, fy_fwd_;
+  std::shared_ptr<const fft::Fft1d> fx_bwd_, fx_fwd_;
+
+  // Row-transpose counts (peer = column index), column-transpose counts
+  // (peer = row index); symmetric pairs for the reverse direction.
+  std::vector<std::size_t> row_send_counts_, row_send_displs_;
+  std::vector<std::size_t> row_recv_counts_, row_recv_displs_;
+  std::vector<std::size_t> col_send_counts_, col_send_displs_;
+  std::vector<std::size_t> col_recv_counts_, col_recv_displs_;
+
+  core::aligned_vector<fft::cplx> stage_a_;
+  core::aligned_vector<fft::cplx> stage_b_;
+  core::aligned_vector<fft::cplx> ybuf_;
+};
+
+}  // namespace fx::fftx

@@ -1,0 +1,596 @@
+#include "fftx/pipeline.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+#include "core/timer.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace fx::fftx {
+
+using core::WallTimer;
+using fft::cplx;
+using fft::Direction;
+
+const char* to_string(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::Original:
+      return "original";
+    case PipelineMode::TaskPerStep:
+      return "task_per_step";
+    case PipelineMode::TaskPerFft:
+      return "task_per_fft";
+    case PipelineMode::Combined:
+      return "combined";
+  }
+  return "?";
+}
+
+/// Per-iteration working storage.  Distinct iterations never share one, so
+/// buffers carry no cross-iteration dependencies.
+struct BandFftPipeline::WorkBuffers {
+  core::aligned_vector<cplx> pack_send;   ///< ntg * ng_w (band marshalling)
+  core::aligned_vector<cplx> band_g;      ///< my band on group sticks
+  core::aligned_vector<cplx> pencil;      ///< [stick][iz], nst_b * nz
+  core::aligned_vector<cplx> stage;       ///< scatter marshalling, pencil side
+  core::aligned_vector<cplx> plane_stage; ///< scatter marshalling, plane side
+  core::aligned_vector<cplx> planes;      ///< [iz][iy][ix], npz_b * nx * ny
+};
+
+BandFftPipeline::BandFftPipeline(mpi::Comm world,
+                                 std::shared_ptr<const Descriptor> desc,
+                                 PipelineConfig cfg, trace::Tracer* tracer)
+    : world_(world),
+      desc_(std::move(desc)),
+      cfg_(cfg),
+      tracer_(tracer),
+      w_(world.rank()),
+      g_(w_ % desc_->ntg()),
+      b_(w_ / desc_->ntg()),
+      pack_(world_.split(/*color=*/b_, /*key=*/g_)),
+      scat_(world_.split(/*color=*/g_, /*key=*/b_)),
+      z_to_real_(fft::PlanCache::global().plan1d(desc_->dims().nz,
+                                                 Direction::Backward)),
+      z_to_recip_(fft::PlanCache::global().plan1d(desc_->dims().nz,
+                                                  Direction::Forward)),
+      xy_to_real_(fft::PlanCache::global().plan2d(
+          desc_->dims().nx, desc_->dims().ny, Direction::Backward)),
+      xy_to_recip_(fft::PlanCache::global().plan2d(
+          desc_->dims().nx, desc_->dims().ny, Direction::Forward)) {
+  FX_CHECK(world_.size() == desc_->nproc(),
+           "world size does not match descriptor");
+  FX_CHECK(cfg_.num_bands >= 1 && cfg_.num_bands % desc_->ntg() == 0,
+           "num_bands must be a positive multiple of ntg");
+  FX_ASSERT(pack_.size() == desc_->ntg() && pack_.rank() == g_);
+  FX_ASSERT(scat_.size() == desc_->group_size() && scat_.rank() == b_);
+
+  const int ntg = desc_->ntg();
+  const int rgroup = desc_->group_size();
+  const std::size_t ng_w = desc_->ng_world(w_);
+  const std::size_t nst_b = desc_->nsticks_group(b_);
+  const std::size_t npz_b = desc_->npz(b_);
+
+  psi_.resize(static_cast<std::size_t>(cfg_.num_bands));
+  for (auto& band : psi_) band.resize(ng_w);
+
+  if (cfg_.apply_potential) {
+    vslab_.resize(npz_b * desc_->dims().plane());
+    desc_->fill_potential(b_, vslab_);
+  }
+
+  pack_counts_.resize(static_cast<std::size_t>(ntg));
+  pack_displs_.resize(static_cast<std::size_t>(ntg));
+  pack_send_counts_.assign(static_cast<std::size_t>(ntg), ng_w);
+  pack_send_displs_.resize(static_cast<std::size_t>(ntg));
+  std::size_t off = 0;
+  for (int m = 0; m < ntg; ++m) {
+    const auto mu = static_cast<std::size_t>(m);
+    pack_counts_[mu] = desc_->pack_count(b_, m);
+    pack_displs_[mu] = off;
+    off += pack_counts_[mu];
+    pack_send_displs_[mu] = mu * ng_w;
+  }
+  FX_ASSERT(off == desc_->ng_group(b_));
+
+  scat_send_counts_.resize(static_cast<std::size_t>(rgroup));
+  scat_send_displs_.resize(static_cast<std::size_t>(rgroup));
+  scat_recv_counts_.resize(static_cast<std::size_t>(rgroup));
+  scat_recv_displs_.resize(static_cast<std::size_t>(rgroup));
+  std::size_t soff = 0;
+  std::size_t roff = 0;
+  for (int p = 0; p < rgroup; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    scat_send_counts_[pu] = nst_b * desc_->npz(p);
+    scat_send_displs_[pu] = soff;
+    soff += scat_send_counts_[pu];
+    scat_recv_counts_[pu] = desc_->nsticks_group(p) * npz_b;
+    scat_recv_displs_[pu] = roff;
+    roff += scat_recv_counts_[pu];
+  }
+
+  if (tracer_ != nullptr) {
+    auto forward = [this](const mpi::CommEvent& e) {
+      tracer_->record_comm(trace::CommOpEvent{
+          w_, std::max(0, task::current_worker_id()), e.kind, e.comm_id,
+          e.comm_size, e.tag, e.bytes, e.t_begin, e.t_end});
+    };
+    world_.set_observer(forward);
+    pack_.set_observer(forward);
+    scat_.set_observer(forward);
+  }
+
+  if (cfg_.mode != PipelineMode::Original) {
+    FX_CHECK(cfg_.nthreads >= 1, "task modes need at least one worker");
+    rt_ = std::make_unique<task::TaskRuntime>(cfg_.nthreads, cfg_.policy);
+    if (tracer_ != nullptr) {
+      task::TaskObserver obs;
+      // Start times are captured per worker; end closes the record.
+      auto open = std::make_shared<std::vector<double>>(
+          static_cast<std::size_t>(cfg_.nthreads), 0.0);
+      obs.on_start = [open](int worker, const std::string&, double t) {
+        (*open)[static_cast<std::size_t>(worker)] = t;
+      };
+      obs.on_end = [this, open](int worker, const std::string& label,
+                                double t) {
+        tracer_->record_task(trace::TaskEvent{
+            w_, worker, label, (*open)[static_cast<std::size_t>(worker)], t});
+      };
+      rt_->set_observer(std::move(obs));
+    }
+  }
+}
+
+BandFftPipeline::~BandFftPipeline() = default;
+
+std::unique_ptr<BandFftPipeline::WorkBuffers> BandFftPipeline::make_buffers()
+    const {
+  auto wb = std::make_unique<WorkBuffers>();
+  const std::size_t ng_w = desc_->ng_world(w_);
+  wb->pack_send.resize(static_cast<std::size_t>(desc_->ntg()) * ng_w);
+  wb->band_g.resize(desc_->ng_group(b_));
+  wb->pencil.resize(desc_->pencil_size(b_));
+  wb->stage.resize(desc_->pencil_size(b_));
+  wb->plane_stage.resize(desc_->total_sticks() * desc_->npz(b_));
+  wb->planes.resize(desc_->plane_size(b_));
+  return wb;
+}
+
+BandFftPipeline::WorkBuffers* BandFftPipeline::acquire_buffers() {
+  {
+    std::lock_guard lock(pool_mu_);
+    if (!pool_.empty()) {
+      WorkBuffers* wb = pool_.back().release();
+      pool_.pop_back();
+      return wb;
+    }
+  }
+  return make_buffers().release();
+}
+
+void BandFftPipeline::release_buffers(WorkBuffers* wb) {
+  std::lock_guard lock(pool_mu_);
+  pool_.emplace_back(wb);
+}
+
+void BandFftPipeline::initialize_bands() {
+  const auto ordered = desc_->world_sticks().stick_ordered_g();
+  const auto index = desc_->world_g_index(w_);
+  for (int n = 0; n < cfg_.num_bands; ++n) {
+    auto& band = psi_[static_cast<std::size_t>(n)];
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      band[k] = pw::wf_coefficient(n, ordered[index[k]]);
+    }
+  }
+}
+
+std::span<const cplx> BandFftPipeline::band(int n) const {
+  return psi_[static_cast<std::size_t>(n)];
+}
+
+void BandFftPipeline::record_phase(trace::PhaseKind kind, int iter, double t0,
+                                   double t1, double instructions) const {
+  if (tracer_ == nullptr) return;
+  tracer_->record_compute(trace::ComputeEvent{
+      w_, std::max(0, task::current_worker_id()), kind, iter, t0, t1,
+      instructions});
+}
+
+void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
+  const int ntg = desc_->ntg();
+  const std::size_t ng_w = desc_->ng_world(w_);
+  if (ntg == 1) {
+    // No task groups: the group coefficient order equals the packed order,
+    // so the band-grouping layer (marshal + Alltoallv) disappears -- the
+    // same shortcut QE takes when task groups are off.
+    const double t0 = WallTimer::now();
+    const auto& src = psi_[static_cast<std::size_t>(iter)];
+    std::copy(src.begin(), src.end(), wb.band_g.begin());
+    record_phase(trace::PhaseKind::Pack, iter, t0, WallTimer::now(),
+                 trace::copy_cost(ng_w).instructions);
+    return;
+  }
+  {
+    const double t0 = WallTimer::now();
+    for (int m = 0; m < ntg; ++m) {
+      const auto& src = psi_[static_cast<std::size_t>(iter + m)];
+      std::copy(src.begin(), src.end(),
+                wb.pack_send.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(m) * ng_w));
+    }
+    record_phase(trace::PhaseKind::Pack, iter, t0, WallTimer::now(),
+                 trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
+                     .instructions);
+  }
+  pack_.alltoallv(wb.pack_send.data(), pack_send_counts_.data(),
+                  pack_send_displs_.data(), wb.band_g.data(),
+                  pack_counts_.data(), pack_displs_.data(), /*tag=*/iter);
+}
+
+void BandFftPipeline::do_psi_prep(WorkBuffers& wb, int iter) {
+  const double t0 = WallTimer::now();
+  std::fill(wb.pencil.begin(), wb.pencil.end(), cplx{0.0, 0.0});
+  const auto pidx = desc_->pencil_index(b_);
+  for (std::size_t k = 0; k < pidx.size(); ++k) {
+    wb.pencil[pidx[k]] = wb.band_g[k];
+  }
+  record_phase(trace::PhaseKind::PsiPrep, iter, t0, WallTimer::now(),
+               trace::copy_cost(wb.pencil.size() + pidx.size()).instructions);
+}
+
+void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
+                               bool use_taskloop) {
+  const std::size_t nz = desc_->dims().nz;
+  const std::size_t nst = desc_->nsticks_group(b_);
+  const fft::Fft1d& plan =
+      dir == Direction::Backward ? *z_to_real_ : *z_to_recip_;
+  auto chunk = [&](std::size_t lo, std::size_t hi) {
+    const double t0 = WallTimer::now();
+    plan.execute_many(hi - lo, wb.pencil.data() + lo * nz, 1, nz,
+                      wb.pencil.data() + lo * nz, 1, nz,
+                      fft::thread_workspace());
+    record_phase(trace::PhaseKind::FftZ, iter, t0, WallTimer::now(),
+                 trace::fft_cost((hi - lo) * nz, nz).instructions);
+  };
+  if (use_taskloop && rt_ != nullptr && nst > 0) {
+    rt_->taskloop("fft_z", 0, nst, cfg_.grain_z, chunk);
+  } else {
+    chunk(0, nst);
+  }
+}
+
+void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
+  const std::size_t nz = desc_->dims().nz;
+  const std::size_t nst = desc_->nsticks_group(b_);
+  const std::size_t npz_b = desc_->npz(b_);
+  const std::size_t nxny = desc_->dims().plane();
+  const int rgroup = desc_->group_size();
+
+  {  // Marshal pencil sections per destination rank: [peer][stick][iz].
+    const double t0 = WallTimer::now();
+    std::size_t pos = 0;
+    for (int p = 0; p < rgroup; ++p) {
+      const std::size_t first = desc_->first_plane(p);
+      const std::size_t count = desc_->npz(p);
+      for (std::size_t s = 0; s < nst; ++s) {
+        const cplx* src = wb.pencil.data() + s * nz + first;
+        std::copy(src, src + count, wb.stage.data() + pos);
+        pos += count;
+      }
+    }
+    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
+                 trace::copy_cost(pos).instructions);
+  }
+
+  scat_.alltoallv(wb.stage.data(), scat_send_counts_.data(),
+                  scat_send_displs_.data(), wb.plane_stage.data(),
+                  scat_recv_counts_.data(), scat_recv_displs_.data(),
+                  /*tag=*/iter);
+
+  {  // Unmarshal into zero-filled planes at each stick's (x, y).
+    const double t0 = WallTimer::now();
+    std::fill(wb.planes.begin(), wb.planes.end(), cplx{0.0, 0.0});
+    std::size_t pos = 0;
+    for (int q = 0; q < rgroup; ++q) {
+      for (std::size_t s : desc_->group_sticks(q)) {
+        const std::size_t xy = desc_->stick_xy(s);
+        for (std::size_t iz = 0; iz < npz_b; ++iz) {
+          wb.planes[iz * nxny + xy] = wb.plane_stage[pos++];
+        }
+      }
+    }
+    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
+                 trace::copy_cost(wb.planes.size() + pos).instructions);
+  }
+}
+
+void BandFftPipeline::do_fft_xy(WorkBuffers& wb, int iter, Direction dir,
+                                bool use_taskloop) {
+  const std::size_t npz_b = desc_->npz(b_);
+  const std::size_t nxny = desc_->dims().plane();
+  const fft::Fft2d& plan =
+      dir == Direction::Backward ? *xy_to_real_ : *xy_to_recip_;
+  auto chunk = [&](std::size_t lo, std::size_t hi) {
+    const double t0 = WallTimer::now();
+    for (std::size_t iz = lo; iz < hi; ++iz) {
+      plan.execute(wb.planes.data() + iz * nxny, wb.planes.data() + iz * nxny,
+                   fft::thread_workspace());
+    }
+    record_phase(trace::PhaseKind::FftXy, iter, t0, WallTimer::now(),
+                 trace::fft_cost((hi - lo) * nxny, nxny).instructions);
+  };
+  if (use_taskloop && rt_ != nullptr && npz_b > 0) {
+    rt_->taskloop("fft_xy", 0, npz_b, cfg_.grain_xy, chunk);
+  } else {
+    chunk(0, npz_b);
+  }
+}
+
+void BandFftPipeline::do_vofr(WorkBuffers& wb, int iter) {
+  const double t0 = WallTimer::now();
+  for (std::size_t i = 0; i < wb.planes.size(); ++i) {
+    wb.planes[i] *= vslab_[i];
+  }
+  record_phase(trace::PhaseKind::Vofr, iter, t0, WallTimer::now(),
+               trace::vofr_cost(wb.planes.size()).instructions);
+}
+
+void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
+  const std::size_t nz = desc_->dims().nz;
+  const std::size_t nst = desc_->nsticks_group(b_);
+  const std::size_t npz_b = desc_->npz(b_);
+  const std::size_t nxny = desc_->dims().plane();
+  const int rgroup = desc_->group_size();
+
+  {  // Marshal plane sticks back: exact reverse of the forward unmarshal.
+    const double t0 = WallTimer::now();
+    std::size_t pos = 0;
+    for (int q = 0; q < rgroup; ++q) {
+      for (std::size_t s : desc_->group_sticks(q)) {
+        const std::size_t xy = desc_->stick_xy(s);
+        for (std::size_t iz = 0; iz < npz_b; ++iz) {
+          wb.plane_stage[pos++] = wb.planes[iz * nxny + xy];
+        }
+      }
+    }
+    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
+                 trace::copy_cost(pos).instructions);
+  }
+
+  // Counts swap relative to the forward scatter.
+  scat_.alltoallv(wb.plane_stage.data(), scat_recv_counts_.data(),
+                  scat_recv_displs_.data(), wb.stage.data(),
+                  scat_send_counts_.data(), scat_send_displs_.data(),
+                  /*tag=*/iter);
+
+  {  // Unmarshal pencil sections: reverse of the forward marshal.
+    const double t0 = WallTimer::now();
+    std::size_t pos = 0;
+    for (int p = 0; p < rgroup; ++p) {
+      const std::size_t first = desc_->first_plane(p);
+      const std::size_t count = desc_->npz(p);
+      for (std::size_t s = 0; s < nst; ++s) {
+        cplx* dst = wb.pencil.data() + s * nz + first;
+        std::copy(wb.stage.data() + pos, wb.stage.data() + pos + count, dst);
+        pos += count;
+      }
+    }
+    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
+                 trace::copy_cost(pos).instructions);
+  }
+}
+
+void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
+  const int ntg = desc_->ntg();
+  const std::size_t ng_w = desc_->ng_world(w_);
+  const double inv_vol = 1.0 / static_cast<double>(desc_->dims().volume());
+  if (ntg == 1) {
+    // Inverse of the ntg == 1 pack shortcut: rescale straight into psi.
+    const double t0 = WallTimer::now();
+    const auto pidx = desc_->pencil_index(b_);
+    auto& dst = psi_[static_cast<std::size_t>(iter)];
+    for (std::size_t k = 0; k < pidx.size(); ++k) {
+      dst[k] = wb.pencil[pidx[k]] * inv_vol;
+    }
+    record_phase(trace::PhaseKind::Unpack, iter, t0, WallTimer::now(),
+                 trace::copy_cost(pidx.size()).instructions);
+    return;
+  }
+  {
+    const double t0 = WallTimer::now();
+    const auto pidx = desc_->pencil_index(b_);
+    for (std::size_t k = 0; k < pidx.size(); ++k) {
+      wb.band_g[k] = wb.pencil[pidx[k]] * inv_vol;
+    }
+    record_phase(trace::PhaseKind::Unpack, iter, t0, WallTimer::now(),
+                 trace::copy_cost(pidx.size()).instructions);
+  }
+  // Reverse band redistribution: segment m of band_g returns to member m.
+  pack_.alltoallv(wb.band_g.data(), pack_counts_.data(), pack_displs_.data(),
+                  wb.pack_send.data(), pack_send_counts_.data(),
+                  pack_send_displs_.data(), /*tag=*/iter);
+  {
+    const double t0 = WallTimer::now();
+    for (int m = 0; m < ntg; ++m) {
+      auto& dst = psi_[static_cast<std::size_t>(iter + m)];
+      const cplx* src =
+          wb.pack_send.data() + static_cast<std::size_t>(m) * ng_w;
+      std::copy(src, src + ng_w, dst.begin());
+    }
+    record_phase(trace::PhaseKind::Unpack, iter, t0, WallTimer::now(),
+                 trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
+                     .instructions);
+  }
+}
+
+void BandFftPipeline::do_iteration(WorkBuffers& wb, int iter,
+                                   bool use_taskloop) {
+  do_pack(wb, iter);
+  do_psi_prep(wb, iter);
+  do_fft_z(wb, iter, Direction::Backward, use_taskloop);
+  do_scatter_forward(wb, iter);
+  do_fft_xy(wb, iter, Direction::Backward, use_taskloop);
+  if (cfg_.apply_potential) do_vofr(wb, iter);
+  do_fft_xy(wb, iter, Direction::Forward, use_taskloop);
+  do_scatter_backward(wb, iter);
+  do_fft_z(wb, iter, Direction::Forward, use_taskloop);
+  do_unpack(wb, iter);
+}
+
+void BandFftPipeline::run_original() {
+  auto wb = make_buffers();
+  for (int iter = 0; iter < cfg_.num_bands; iter += desc_->ntg()) {
+    do_iteration(*wb, iter, /*use_taskloop=*/false);
+  }
+}
+
+void BandFftPipeline::run_task_per_fft(bool use_taskloop) {
+  for (int iter = 0; iter < cfg_.num_bands; iter += desc_->ntg()) {
+    rt_->submit(core::cat("band_fft#", iter), [this, iter, use_taskloop] {
+      WorkBuffers* wb = acquire_buffers();
+      do_iteration(*wb, iter, use_taskloop);
+      release_buffers(wb);
+    });
+  }
+  rt_->taskwait();
+}
+
+void BandFftPipeline::run_task_per_step() {
+  const int ntg = desc_->ntg();
+  std::vector<std::unique_ptr<WorkBuffers>> live;
+  live.reserve(static_cast<std::size_t>(cfg_.num_bands / ntg));
+
+  // Sliding iteration window.  Unlike TaskPerFft (where one task holds one
+  // worker for a whole band, bounding the skew between ranks), the step
+  // tasks let a rank race arbitrarily far ahead on later iterations; two
+  // ranks can then block all their workers in collectives of *disjoint*
+  // iteration sets and deadlock.  Capping in-flight iterations at the
+  // worker count keeps the cross-rank skew at one iteration, which makes
+  // the blocked collective sets intersect -- and some instance always
+  // completes.  (OmpSs bounds its task window for the same reason.)
+  const int window = cfg_.nthreads;
+  std::mutex window_mu;
+  std::condition_variable window_cv;
+  int completed_iterations = 0;
+
+  int index = 0;
+  for (int iter = 0; iter < cfg_.num_bands; iter += ntg, ++index) {
+    if (index >= window) {
+      std::unique_lock lock(window_mu);
+      window_cv.wait(lock, [&] {
+        return completed_iterations >= index - window + 1;
+      });
+    }
+    live.push_back(make_buffers());
+    WorkBuffers* wb = live.back().get();
+
+    // Dependency clauses follow the paper's Fig. 4: the band slices of
+    // psi stand for `psis`, pencil/planes for `aux`.
+    std::vector<task::Dep> psi_in;
+    std::vector<task::Dep> psi_out;
+    for (int m = 0; m < ntg; ++m) {
+      auto& band = psi_[static_cast<std::size_t>(iter + m)];
+      psi_in.push_back(task::in(std::span<const cplx>(band)));
+      psi_out.push_back(task::out(std::span<cplx>(band)));
+    }
+    const auto band_g = std::span<cplx>(wb->band_g);
+    const auto pencil = std::span<cplx>(wb->pencil);
+    const auto planes = std::span<cplx>(wb->planes);
+
+    auto deps = psi_in;
+    deps.push_back(task::out(band_g));
+    rt_->submit(core::cat("pack#", iter), std::move(deps),
+                [this, wb, iter] { do_pack(*wb, iter); });
+
+    rt_->submit(core::cat("psi_prep#", iter),
+                {task::in(std::span<const cplx>(wb->band_g)),
+                 task::out(pencil)},
+                [this, wb, iter] { do_psi_prep(*wb, iter); });
+
+    rt_->submit(core::cat("fft_z_fw#", iter), {task::inout(pencil)},
+                [this, wb, iter] {
+                  do_fft_z(*wb, iter, Direction::Backward, true);
+                });
+
+    rt_->submit(core::cat("scatter_fw#", iter),
+                {task::in(std::span<const cplx>(wb->pencil)),
+                 task::out(planes)},
+                [this, wb, iter] { do_scatter_forward(*wb, iter); });
+
+    rt_->submit(core::cat("fft_xy_fw#", iter), {task::inout(planes)},
+                [this, wb, iter] {
+                  do_fft_xy(*wb, iter, Direction::Backward, true);
+                });
+
+    if (cfg_.apply_potential) {
+      rt_->submit(core::cat("vofr#", iter), {task::inout(planes)},
+                  [this, wb, iter] { do_vofr(*wb, iter); });
+    }
+
+    rt_->submit(core::cat("fft_xy_bw#", iter), {task::inout(planes)},
+                [this, wb, iter] {
+                  do_fft_xy(*wb, iter, Direction::Forward, true);
+                });
+
+    rt_->submit(core::cat("scatter_bw#", iter),
+                {task::in(std::span<const cplx>(wb->planes)),
+                 task::out(pencil)},
+                [this, wb, iter] { do_scatter_backward(*wb, iter); });
+
+    rt_->submit(core::cat("fft_z_bw#", iter), {task::inout(pencil)},
+                [this, wb, iter] {
+                  do_fft_z(*wb, iter, Direction::Forward, true);
+                });
+
+    deps = psi_out;
+    deps.push_back(task::in(std::span<const cplx>(wb->pencil)));
+    deps.push_back(task::inout(band_g));
+    rt_->submit(core::cat("unpack#", iter), std::move(deps),
+                [this, wb, iter, &window_mu, &window_cv,
+                 &completed_iterations] {
+                  // Signal the window even if unpack throws, or the
+                  // orchestrator would wait forever on a failed iteration.
+                  struct Signal {
+                    std::mutex& mu;
+                    std::condition_variable& cv;
+                    int& count;
+                    ~Signal() {
+                      {
+                        std::lock_guard lock(mu);
+                        ++count;
+                      }
+                      cv.notify_all();
+                    }
+                  } signal{window_mu, window_cv, completed_iterations};
+                  do_unpack(*wb, iter);
+                });
+  }
+  rt_->taskwait();
+}
+
+double BandFftPipeline::run() {
+  world_.barrier();
+  WallTimer timer;
+  switch (cfg_.mode) {
+    case PipelineMode::Original:
+      run_original();
+      break;
+    case PipelineMode::TaskPerStep:
+      run_task_per_step();
+      break;
+    case PipelineMode::TaskPerFft:
+      run_task_per_fft(/*use_taskloop=*/false);
+      break;
+    case PipelineMode::Combined:
+      run_task_per_fft(/*use_taskloop=*/true);
+      break;
+  }
+  world_.barrier();
+  return timer.seconds();
+}
+
+}  // namespace fx::fftx

@@ -1,0 +1,172 @@
+// The band-FFT pipeline: FFTXlib's kernel in its original task-group form
+// and the paper's two task-based optimizations.
+//
+// One BandFftPipeline instance runs on each world rank and executes, for
+// every band, the forward transform (reciprocal -> real space), the
+// application of the real-space potential (VOFR), and the backward
+// transform -- the loop of the paper's Fig. 1:
+//
+//   DO I = 1, NB, NTG
+//     pack NTG bands          (Alltoallv across the pack comm)
+//     FW-FFT along Z          (1D FFTs on group sticks)
+//     scatter                 (Alltoallv inside the task group)
+//     FW-FFT along XY         (2D FFTs on owned planes)
+//     VOFR
+//     BW-FFT along XY
+//     scatter
+//     BW-FFT along Z
+//     unpack NTG bands
+//   END DO
+//
+// (Paper direction names are kept: "FW" is reciprocal->real, which in FFT
+// engine terms is the unnormalized Backward transform; "BW" is real->
+// reciprocal, engine Forward scaled by 1/N at unpack -- QE's invfft/fwfft
+// convention.)
+//
+// Execution modes:
+//   Original    -- the reference synchronous loop (Fig. 1);
+//   TaskPerStep -- every step above is a dependent task; FFT steps fan out
+//                  further through taskloop (paper Fig. 4, strategy 1:
+//                  overlap communication with computation);
+//   TaskPerFft  -- every iteration is one independent task scheduled over
+//                  the worker threads that replace the FFT task groups
+//                  (paper Fig. 5, strategy 2: de-synchronize compute
+//                  phases to soften resource contention);
+//   Combined    -- the paper's future-work item: TaskPerFft outer tasks
+//                  whose FFT steps also taskloop across idle workers.
+//
+// All modes produce bit-identical coefficients (asserted by the tests):
+// the optimizations reorder work, never arithmetic within a band.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/aligned.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/plan2d.hpp"
+#include "fft/plan_cache.hpp"
+#include "fftx/descriptor.hpp"
+#include "simmpi/comm.hpp"
+#include "tasking/runtime.hpp"
+#include "trace/tracer.hpp"
+
+namespace fx::fftx {
+
+enum class PipelineMode { Original, TaskPerStep, TaskPerFft, Combined };
+
+const char* to_string(PipelineMode mode);
+
+struct PipelineConfig {
+  int num_bands = 8;
+  PipelineMode mode = PipelineMode::Original;
+  /// Worker threads for the task-based modes (the paper replaces the 8 FFT
+  /// task groups with 8 threads).  Ignored by Original.
+  int nthreads = 1;
+  bool apply_potential = true;
+  /// taskloop grain sizes; the paper uses 200 for cft_2z and 10 for cft_2xy.
+  std::size_t grain_z = 200;
+  std::size_t grain_xy = 10;
+  task::SchedulerPolicy policy = task::SchedulerPolicy::Fifo;
+};
+
+class BandFftPipeline {
+ public:
+  /// Collective over all ranks of `world` (performs the communicator
+  /// splits).  `world.size()` must equal `desc->nproc()`, and num_bands
+  /// must be a multiple of desc->ntg().
+  BandFftPipeline(mpi::Comm world, std::shared_ptr<const Descriptor> desc,
+                  PipelineConfig cfg, trace::Tracer* tracer = nullptr);
+  ~BandFftPipeline();
+
+  BandFftPipeline(const BandFftPipeline&) = delete;
+  BandFftPipeline& operator=(const BandFftPipeline&) = delete;
+  BandFftPipeline(BandFftPipeline&&) = delete;
+  BandFftPipeline& operator=(BandFftPipeline&&) = delete;
+
+  /// Fills every band's local coefficients from the deterministic
+  /// wave-function generator (layout independent).
+  void initialize_bands();
+
+  /// Runs the full band loop.  Returns local wall seconds between the
+  /// opening and closing barrier (comparable across ranks).
+  double run();
+
+  /// This rank's packed coefficients of `band` (world stick distribution);
+  /// positions given by descriptor().world_g_index(rank).
+  [[nodiscard]] std::span<const fft::cplx> band(int n) const;
+
+  [[nodiscard]] const Descriptor& descriptor() const { return *desc_; }
+  [[nodiscard]] const PipelineConfig& config() const { return cfg_; }
+  [[nodiscard]] int rank() const { return w_; }
+
+ private:
+  struct WorkBuffers;
+
+  void do_iteration(WorkBuffers& wb, int iter, bool use_taskloop);
+  void do_pack(WorkBuffers& wb, int iter);
+  void do_psi_prep(WorkBuffers& wb, int iter);
+  void do_fft_z(WorkBuffers& wb, int iter, fft::Direction dir,
+                bool use_taskloop);
+  void do_scatter_forward(WorkBuffers& wb, int iter);
+  void do_fft_xy(WorkBuffers& wb, int iter, fft::Direction dir,
+                 bool use_taskloop);
+  void do_vofr(WorkBuffers& wb, int iter);
+  void do_scatter_backward(WorkBuffers& wb, int iter);
+  void do_unpack(WorkBuffers& wb, int iter);
+
+  void run_original();
+  void run_task_per_fft(bool use_taskloop);
+  void run_task_per_step();
+
+  void record_phase(trace::PhaseKind kind, int iter, double t0, double t1,
+                    double instructions) const;
+
+  std::unique_ptr<WorkBuffers> make_buffers() const;
+
+  mpi::Comm world_;
+  std::shared_ptr<const Descriptor> desc_;
+  PipelineConfig cfg_;
+  trace::Tracer* tracer_;
+
+  int w_;  ///< world rank
+  int g_;  ///< task group id (w % ntg)
+  int b_;  ///< group rank (w / ntg)
+
+  mpi::Comm pack_;  ///< the T neighboring ranks (band redistribution)
+  mpi::Comm scat_;  ///< the R alternating ranks (pencil<->plane exchange)
+
+  // Per-band packed coefficients (this rank's world-stick slice).
+  std::vector<core::aligned_vector<fft::cplx>> psi_;
+
+  // Immutable plans (thread-safe execution, shared across the ranks of
+  // this process via the global plan cache) and the potential slab.
+  std::shared_ptr<const fft::Fft1d> z_to_real_;   ///< "FW-FFT along Z"
+  std::shared_ptr<const fft::Fft1d> z_to_recip_;  ///< "BW-FFT along Z"
+  std::shared_ptr<const fft::Fft2d> xy_to_real_;
+  std::shared_ptr<const fft::Fft2d> xy_to_recip_;
+  std::vector<double> vslab_;
+
+  // Pack / scatter exchange counts and displacements (elements).
+  std::vector<std::size_t> pack_counts_;    // recv from member m
+  std::vector<std::size_t> pack_displs_;
+  std::vector<std::size_t> pack_send_counts_;  // ng_w to every member
+  std::vector<std::size_t> pack_send_displs_;
+  std::vector<std::size_t> scat_send_counts_;  // to group peer p
+  std::vector<std::size_t> scat_send_displs_;
+  std::vector<std::size_t> scat_recv_counts_;  // from group peer q
+  std::vector<std::size_t> scat_recv_displs_;
+
+  std::unique_ptr<task::TaskRuntime> rt_;  // task modes only
+
+  // Reusable per-task buffer sets (TaskPerFft/Combined: at most nthreads
+  // iterations are in flight, so the pool never blocks).
+  WorkBuffers* acquire_buffers();
+  void release_buffers(WorkBuffers* wb);
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<WorkBuffers>> pool_;
+};
+
+}  // namespace fx::fftx

@@ -1,0 +1,59 @@
+#include "fftx/reference.hpp"
+
+#include "fft/plan3d.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace fx::fftx {
+
+using fft::cplx;
+
+std::vector<cplx> reference_band_input(const Descriptor& desc, int band) {
+  const auto ordered = desc.world_sticks().stick_ordered_g();
+  std::vector<cplx> c(ordered.size());
+  for (std::size_t k = 0; k < ordered.size(); ++k) {
+    c[k] = pw::wf_coefficient(band, ordered[k]);
+  }
+  return c;
+}
+
+std::vector<cplx> reference_band_output(const Descriptor& desc, int band,
+                                        bool apply_potential) {
+  const auto& dims = desc.dims();
+  const auto ordered = desc.world_sticks().stick_ordered_g();
+  const auto input = reference_band_input(desc, band);
+
+  std::vector<cplx> grid(dims.volume(), cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < ordered.size(); ++k) {
+    grid[dims.index_of(ordered[k].mx, ordered[k].my, ordered[k].mz)] =
+        input[k];
+  }
+
+  fft::Workspace ws;
+  fft::Fft3d to_real(dims.nx, dims.ny, dims.nz, fft::Direction::Backward);
+  to_real.execute(grid.data(), grid.data(), ws);
+
+  if (apply_potential) {
+    std::size_t pos = 0;
+    for (std::size_t iz = 0; iz < dims.nz; ++iz) {
+      for (std::size_t iy = 0; iy < dims.ny; ++iy) {
+        for (std::size_t ix = 0; ix < dims.nx; ++ix) {
+          grid[pos++] *= pw::potential_value(ix, iy, iz, dims);
+        }
+      }
+    }
+  }
+
+  fft::Fft3d to_recip(dims.nx, dims.ny, dims.nz, fft::Direction::Forward);
+  to_recip.execute(grid.data(), grid.data(), ws);
+
+  const double inv_vol = 1.0 / static_cast<double>(dims.volume());
+  std::vector<cplx> out(ordered.size());
+  for (std::size_t k = 0; k < ordered.size(); ++k) {
+    out[k] =
+        grid[dims.index_of(ordered[k].mx, ordered[k].my, ordered[k].mz)] *
+        inv_vol;
+  }
+  return out;
+}
+
+}  // namespace fx::fftx

@@ -1,0 +1,27 @@
+// Serial oracle for the distributed band transform.
+//
+// Computes, with the serial 3D plan, exactly what the pipeline computes for
+// one band:
+//
+//   c_out(G) = (1/N) * FFT_fwd[ V(r) .* FFT_bwd[ embed(c_in) ] ](G)
+//
+// where embed() places the packed sphere coefficients at their folded grid
+// positions.  Tests compare every pipeline mode/layout against this.
+#pragma once
+
+#include <vector>
+
+#include "fft/types.hpp"
+#include "fftx/descriptor.hpp"
+
+namespace fx::fftx {
+
+/// Expected output coefficients of `band`, in the global stick-ordered
+/// sphere order (apply the descriptor's index maps to slice per rank).
+std::vector<fft::cplx> reference_band_output(const Descriptor& desc, int band,
+                                             bool apply_potential);
+
+/// Initial coefficients of `band` in global stick-ordered sphere order.
+std::vector<fft::cplx> reference_band_input(const Descriptor& desc, int band);
+
+}  // namespace fx::fftx

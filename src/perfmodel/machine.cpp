@@ -1,0 +1,53 @@
+#include "perfmodel/machine.hpp"
+
+namespace fx::model {
+
+MachineConfig MachineConfig::knl() {
+  MachineConfig m;
+  m.cores = 68;
+  m.smt = 4;
+  m.freq_ghz = 1.4;
+  m.mem_bw_gbps = 190.0;
+  m.alpha_us = 2.0;
+  m.net_bw_gbps = 180.0;
+  m.link_bw_gbps = 8.0;
+  m.per_member_us = 15.0;
+  m.mesh_contention = 0.012;
+  m.same_phase_contention = 0.0015;
+  m.noise_amp = 0.03;
+  m.noise_band_frac = 0.1;
+
+  auto set = [&m](trace::PhaseKind kind, double ipc) {
+    m.base_ipc[static_cast<std::size_t>(kind)] = ipc;
+  };
+  // Calibration targets (paper Sec. III / Fig. 3): psi preparation ~0.06
+  // IPC even uncontended (gather/scatter bound); FFT along Z ~0.5-0.7;
+  // the central FFT-XY block ~0.8-1.3; marshalling phases in between.
+  set(trace::PhaseKind::PsiPrep, 0.30);
+  set(trace::PhaseKind::Pack, 0.70);
+  set(trace::PhaseKind::FftZ, 0.90);
+  set(trace::PhaseKind::Scatter, 0.70);
+  set(trace::PhaseKind::FftXy, 1.40);
+  set(trace::PhaseKind::Vofr, 0.90);
+  set(trace::PhaseKind::Unpack, 0.70);
+  set(trace::PhaseKind::Other, 1.0);
+  return m;
+}
+
+MachineConfig MachineConfig::xeon() {
+  MachineConfig m = knl();
+  m.cores = 36;
+  m.smt = 2;
+  m.freq_ghz = 2.3;
+  m.mem_bw_gbps = 150.0;      // two sockets of DDR4
+  m.net_bw_gbps = 160.0;
+  m.link_bw_gbps = 10.0;
+  m.per_member_us = 4.0;      // faster cores drive the MPI stack faster
+  m.mesh_contention = 0.006;  // ring interconnect, fewer agents
+  m.smt_eff = 1.05;           // 2-way SMT on a wide OoO core gains a little
+  // Wide out-of-order cores roughly double the per-phase IPC.
+  for (auto& ipc : m.base_ipc) ipc *= 2.0;
+  return m;
+}
+
+}  // namespace fx::model

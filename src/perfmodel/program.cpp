@@ -1,0 +1,121 @@
+#include "perfmodel/program.hpp"
+
+#include "core/error.hpp"
+
+namespace fx::model {
+
+using trace::PhaseKind;
+
+ProgramBundle build_program(const fftx::Descriptor& desc,
+                            const ProgramConfig& cfg) {
+  FX_CHECK(cfg.num_bands >= 1 && cfg.num_bands % desc.ntg() == 0,
+           "num_bands must be a positive multiple of ntg");
+  const int P = desc.nproc();
+  const int T = desc.ntg();
+  const int R = desc.group_size();
+  const std::size_t nz = desc.dims().nz;
+  const std::size_t nxny = desc.dims().plane();
+  const bool fanout = cfg.mode == fftx::PipelineMode::TaskPerStep ||
+                      cfg.mode == fftx::PipelineMode::Combined;
+
+  ProgramBundle bundle;
+  bundle.num_bands = cfg.num_bands;
+  bundle.ntg = T;
+
+  // Communicator groups: pack comms first (one per group rank b), then
+  // scatter comms (one per task group g).
+  bundle.comm_members.resize(static_cast<std::size_t>(R + T));
+  for (int b = 0; b < R; ++b) {
+    for (int m = 0; m < T; ++m) {
+      bundle.comm_members[static_cast<std::size_t>(b)].push_back(
+          desc.world_rank(b, m));
+    }
+  }
+  for (int g = 0; g < T; ++g) {
+    for (int b = 0; b < R; ++b) {
+      bundle.comm_members[static_cast<std::size_t>(R + g)].push_back(
+          desc.world_rank(b, g));
+    }
+  }
+
+  const int iters = cfg.num_bands / T;
+  bundle.programs.resize(static_cast<std::size_t>(P));
+
+  for (int w = 0; w < P; ++w) {
+    const int g = desc.group_of(w);
+    const int b = desc.group_rank_of(w);
+    const std::size_t ng_w = desc.ng_world(w);
+    const std::size_t ng_grp = desc.ng_group(b);
+    const std::size_t nst = desc.nsticks_group(b);
+    const std::size_t npz = desc.npz(b);
+    const std::size_t stot = desc.total_sticks();
+    const int pack_comm = b;
+    const int scat_comm = R + g;
+
+    auto& prog = bundle.programs[static_cast<std::size_t>(w)];
+    prog.resize(static_cast<std::size_t>(iters));
+    for (int it = 0; it < iters; ++it) {
+      auto& chain = prog[static_cast<std::size_t>(it)];
+
+      auto compute = [&](PhaseKind phase, trace::PhaseCost cost,
+                         bool parallel = false, std::size_t chunks = 1) {
+        Step s;
+        s.kind = Step::Kind::Compute;
+        s.phase = phase;
+        s.instructions = cost.instructions;
+        s.bytes = cost.bytes;
+        s.parallelizable = parallel && fanout;
+        s.chunks = chunks;
+        chain.push_back(s);
+      };
+      auto collective = [&](int group, std::size_t elems) {
+        Step s;
+        s.kind = Step::Kind::Collective;
+        s.op = mpi::CommOpKind::Alltoallv;
+        s.comm_group = group;
+        s.comm_bytes = elems * sizeof(fft::cplx);
+        chain.push_back(s);
+      };
+      auto ceil_div = [](std::size_t a, std::size_t d) {
+        return d == 0 ? std::size_t{1} : (a + d - 1) / d;
+      };
+
+      // Mirrors BandFftPipeline::do_iteration step for step (including the
+      // ntg == 1 shortcut that elides the band-grouping layer).
+      if (T == 1) {
+        compute(PhaseKind::Pack, trace::copy_cost(ng_w));
+      } else {
+        compute(PhaseKind::Pack,
+                trace::copy_cost(static_cast<std::size_t>(T) * ng_w));
+        collective(pack_comm, static_cast<std::size_t>(T) * ng_w);
+      }
+      compute(PhaseKind::PsiPrep, trace::copy_cost(nst * nz + ng_grp));
+      compute(PhaseKind::FftZ, trace::fft_cost(nst * nz, nz), true,
+              ceil_div(nst, cfg.grain_z));
+      compute(PhaseKind::Scatter, trace::copy_cost(nst * nz));
+      collective(scat_comm, nst * nz);
+      compute(PhaseKind::Scatter, trace::copy_cost(npz * nxny + stot * npz));
+      compute(PhaseKind::FftXy, trace::fft_cost(npz * nxny, nxny), true,
+              ceil_div(npz, cfg.grain_xy));
+      if (cfg.apply_potential) {
+        compute(PhaseKind::Vofr, trace::vofr_cost(npz * nxny));
+      }
+      compute(PhaseKind::FftXy, trace::fft_cost(npz * nxny, nxny), true,
+              ceil_div(npz, cfg.grain_xy));
+      compute(PhaseKind::Scatter, trace::copy_cost(stot * npz));
+      collective(scat_comm, stot * npz);
+      compute(PhaseKind::Scatter, trace::copy_cost(nst * nz));
+      compute(PhaseKind::FftZ, trace::fft_cost(nst * nz, nz), true,
+              ceil_div(nst, cfg.grain_z));
+      compute(PhaseKind::Unpack, trace::copy_cost(ng_grp));
+      if (T > 1) {
+        collective(pack_comm, ng_grp);
+        compute(PhaseKind::Unpack,
+                trace::copy_cost(static_cast<std::size_t>(T) * ng_w));
+      }
+    }
+  }
+  return bundle;
+}
+
+}  // namespace fx::model

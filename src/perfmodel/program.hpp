@@ -1,0 +1,62 @@
+// Virtual program construction: the pipeline's logical work, expressed as
+// per-rank, per-iteration step chains for the discrete-event simulator.
+//
+// The builder walks the same Descriptor the real pipeline uses and emits
+// one Step per pipeline phase with the *same* element counts and the same
+// communication pattern (communicator membership, payload bytes, tags).
+// Both backends therefore execute the identical logical program; only the
+// notion of time differs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fftx/descriptor.hpp"
+#include "fftx/pipeline.hpp"
+#include "simmpi/comm.hpp"
+#include "trace/phases.hpp"
+
+namespace fx::model {
+
+/// One unit of a rank's iteration chain.
+struct Step {
+  enum class Kind { Compute, Collective };
+  Kind kind = Kind::Compute;
+
+  // Compute:
+  trace::PhaseKind phase = trace::PhaseKind::Other;
+  double instructions = 0.0;
+  double bytes = 0.0;          ///< memory traffic (feeds contention)
+  bool parallelizable = false; ///< can fan out over idle workers (taskloop)
+  std::size_t chunks = 1;      ///< taskloop chunk count at the paper grains
+
+  // Collective:
+  mpi::CommOpKind op = mpi::CommOpKind::Alltoallv;
+  int comm_group = -1;         ///< index into ProgramBundle::comm_members
+  std::size_t comm_bytes = 0;  ///< payload this rank contributes
+};
+
+/// The whole virtual program: programs[w].iterations[i] is world rank w's
+/// step chain for iteration i (processing bands i*ntg .. i*ntg+ntg-1).
+struct ProgramBundle {
+  std::vector<std::vector<std::vector<Step>>> programs;  // [rank][iter][step]
+  std::vector<std::vector<int>> comm_members;            // per comm group
+  int num_bands = 0;
+  int ntg = 1;
+};
+
+struct ProgramConfig {
+  int num_bands = 128;
+  fftx::PipelineMode mode = fftx::PipelineMode::Original;
+  bool apply_potential = true;
+  std::size_t grain_z = 200;
+  std::size_t grain_xy = 10;
+};
+
+/// Builds the bundle.  Iterations step by desc.ntg() exactly like the
+/// pipeline; communicator groups 0..R-1 are the pack comms, R..R+T-1 the
+/// scatter comms.
+ProgramBundle build_program(const fftx::Descriptor& desc,
+                            const ProgramConfig& cfg);
+
+}  // namespace fx::model

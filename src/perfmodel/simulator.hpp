@@ -1,0 +1,53 @@
+// Discrete-event simulator of the virtual program on the machine model.
+//
+// Time advances between *events* (a compute step finishing, a collective's
+// latency or payload stage completing).  Between events every running
+// activity progresses at a piecewise-constant rate:
+//
+//   rate_i = weight_i * base_ipc(phase_i) * issue_share * bw_factor_i * freq
+//
+// where issue_share = min(1, cores / active_threads) models hyper-thread
+// issue sharing, and bw_factor_i comes from max-min fair (water-filling)
+// allocation of the node memory bandwidth across the activities' byte
+// demands -- the resource-contention mechanism at the heart of the paper.
+//
+// Scheduling mirrors the real runtimes: each rank has `threads_per_rank`
+// virtual workers; iteration chains dispatch FIFO; collectives block the
+// issuing worker until all participants arrive and the shared-bandwidth
+// transfer completes; parallelizable steps (taskloop'd FFTs) fan out over
+// currently idle workers when the rank's ready queue is empty, exactly
+// like the help-first taskloop of the tasking runtime.
+//
+// The simulator emits the same trace event streams as the real backend
+// (with virtual timestamps), so the efficiency analyzer and the timeline
+// renderers run unchanged on model output -- that is how every table and
+// figure of the paper is regenerated deterministically.
+#pragma once
+
+#include "fftx/pipeline.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/program.hpp"
+#include "trace/tracer.hpp"
+
+namespace fx::model {
+
+struct SimConfig {
+  int threads_per_rank = 1;  ///< 1 for the Original mode
+  /// TaskPerStep re-queues a chain after every step (steps are separate
+  /// tasks); the other modes keep a chain on its worker start to finish.
+  fftx::PipelineMode mode = fftx::PipelineMode::Original;
+};
+
+struct SimResult {
+  double makespan = 0.0;        ///< virtual seconds for the full band loop
+  double total_compute = 0.0;   ///< sum of all compute activity durations
+  double total_transfer = 0.0;  ///< sum of all collective transfer stages
+  std::size_t events = 0;       ///< DES events processed
+};
+
+/// Runs the bundle to completion.  If `tracer` is non-null it receives
+/// compute and communication events with virtual timestamps.
+SimResult simulate(const ProgramBundle& bundle, const MachineConfig& machine,
+                   const SimConfig& cfg, trace::Tracer* tracer);
+
+}  // namespace fx::model

@@ -1,0 +1,30 @@
+#include "pw/grid.hpp"
+
+#include <cmath>
+
+#include "fft/good_size.hpp"
+
+namespace fx::pw {
+
+std::size_t GridDims::fold(int m, std::size_t n) {
+  const int ni = static_cast<int>(n);
+  int f = m % ni;
+  if (f < 0) f += ni;
+  return static_cast<std::size_t>(f);
+}
+
+GridDims wave_grid(const Cell& cell, double ecutwfc_ry) {
+  auto dim = [&](double radius) {
+    const auto mmax = static_cast<std::size_t>(std::floor(radius));
+    return fft::good_fft_size(2 * mmax + 1);
+  };
+  return GridDims{dim(cell.miller_radius_x(ecutwfc_ry)),
+                  dim(cell.miller_radius_y(ecutwfc_ry)),
+                  dim(cell.miller_radius_z(ecutwfc_ry))};
+}
+
+GridDims dense_grid(const Cell& cell, double ecutwfc_ry) {
+  return wave_grid(cell, 4.0 * ecutwfc_ry);
+}
+
+}  // namespace fx::pw

@@ -1,0 +1,38 @@
+// FFT grid dimensions derived from the cell and the energy cutoff.
+#pragma once
+
+#include <cstddef>
+
+#include "pw/lattice.hpp"
+
+namespace fx::pw {
+
+/// Dimensions of the (cubic-cell) FFT grid.  Row-major storage with x
+/// fastest: index = ix + nx*(iy + ny*iz).
+struct GridDims {
+  std::size_t nx;
+  std::size_t ny;
+  std::size_t nz;
+
+  [[nodiscard]] std::size_t volume() const { return nx * ny * nz; }
+  [[nodiscard]] std::size_t plane() const { return nx * ny; }
+
+  /// Folds a (possibly negative) Miller index into [0, n).
+  [[nodiscard]] static std::size_t fold(int m, std::size_t n);
+
+  /// Linear grid index of a Miller triplet.
+  [[nodiscard]] std::size_t index_of(int mx, int my, int mz) const {
+    return fold(mx, nx) + nx * (fold(my, ny) + ny * fold(mz, nz));
+  }
+};
+
+/// Smallest good-FFT-size grid that holds the wave-function sphere for the
+/// given cutoff: each dimension >= 2*floor(miller_radius) + 1.
+GridDims wave_grid(const Cell& cell, double ecutwfc_ry);
+
+/// The dense (charge-density) grid: products of wave functions carry
+/// G-vectors up to twice the wave cutoff radius, i.e. ecutrho = 4*ecutwfc
+/// -- QE's default dual.  Each dimension is roughly twice the wave grid's.
+GridDims dense_grid(const Cell& cell, double ecutwfc_ry);
+
+}  // namespace fx::pw

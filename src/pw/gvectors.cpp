@@ -1,0 +1,46 @@
+#include "pw/gvectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "core/error.hpp"
+
+namespace fx::pw {
+
+GSphere::GSphere(const Cell& cell, double ecutwfc_ry)
+    : radius_(cell.miller_radius_x(ecutwfc_ry)),
+      radius_y_(cell.miller_radius_y(ecutwfc_ry)),
+      radius_z_(cell.miller_radius_z(ecutwfc_ry)) {
+  const int bx = static_cast<int>(std::floor(radius_));
+  const int by = static_cast<int>(std::floor(radius_y_));
+  const int bz = static_cast<int>(std::floor(radius_z_));
+  g_.reserve(static_cast<std::size_t>(analytic_count() * 1.1) + 16);
+  for (int mx = -bx; mx <= bx; ++mx) {
+    for (int my = -by; my <= by; ++my) {
+      for (int mz = -bz; mz <= bz; ++mz) {
+        // Physical cutoff: E[Ry] = |G|^2 <= ecut (ellipsoid in Miller
+        // space for orthorhombic cells).
+        if (cell.g2(mx, my, mz) > ecutwfc_ry * (1.0 + 1e-12)) continue;
+        const long m2 = static_cast<long>(mx) * mx +
+                        static_cast<long>(my) * my +
+                        static_cast<long>(mz) * mz;
+        g_.push_back(GVector{mx, my, mz, m2});
+        mmax_ = std::max({mmax_, std::abs(mx), std::abs(my), std::abs(mz)});
+      }
+    }
+  }
+  FX_ASSERT(!g_.empty(), "cutoff sphere contains at least G = 0");
+  std::ranges::sort(g_, [](const GVector& a, const GVector& b) {
+    return std::tuple(a.m2, a.mx, a.my, a.mz) <
+           std::tuple(b.m2, b.mx, b.my, b.mz);
+  });
+}
+
+double GSphere::analytic_count() const {
+  // Lattice points inside the cutoff ellipsoid ~ its volume.
+  return 4.0 / 3.0 * std::numbers::pi * radius_ * radius_y_ * radius_z_;
+}
+
+}  // namespace fx::pw

@@ -1,0 +1,51 @@
+// The G-vector sphere: every reciprocal-lattice vector whose plane wave
+// fits under the kinetic-energy cutoff.
+//
+// Because the cutoff bounds |G| (not the Miller indices separately), the
+// FFT domain is a *sphere* embedded in the cubic grid -- the reason the
+// distributed transform works on Z "sticks" instead of full planes, and
+// ultimately the reason FFTXlib's communication structure exists.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pw/grid.hpp"
+#include "pw/lattice.hpp"
+
+namespace fx::pw {
+
+/// One reciprocal-lattice vector (Miller indices + |m|^2).
+struct GVector {
+  int mx;
+  int my;
+  int mz;
+  long m2;  ///< mx^2 + my^2 + mz^2 (|G|^2 in tpiba^2 units)
+};
+
+/// The sorted G-vector sphere for a cutoff.  Deterministic ordering
+/// (by shell |m|^2, then mx, my, mz) so every rank enumerates identically.
+class GSphere {
+ public:
+  GSphere(const Cell& cell, double ecutwfc_ry);
+
+  [[nodiscard]] std::span<const GVector> gvectors() const { return g_; }
+  [[nodiscard]] std::size_t size() const { return g_.size(); }
+
+  /// Maximum Miller-index magnitude appearing in the sphere.
+  [[nodiscard]] int mmax() const { return mmax_; }
+
+  /// Analytic estimate of the sphere cardinality: the volume of the
+  /// cutoff ellipsoid in Miller space.  Tests check the count against it.
+  [[nodiscard]] double analytic_count() const;
+
+ private:
+  double radius_;
+  double radius_y_;
+  double radius_z_;
+  int mmax_ = 0;
+  std::vector<GVector> g_;
+};
+
+}  // namespace fx::pw

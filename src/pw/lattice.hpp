@@ -1,0 +1,72 @@
+// Simulation cell and reciprocal-lattice conventions.
+//
+// The paper's workload is Quantum ESPRESSO's FFTXlib test case: a cubic
+// cell with lattice parameter `alat` (bohr) and a plane-wave kinetic-energy
+// cutoff in Rydberg.  In Rydberg atomic units the kinetic energy of a plane
+// wave is E[Ry] = |G|^2 with G in bohr^-1.  The cell may be orthorhombic:
+// G = 2*pi*(mx/ax, my/ay, mz/az) for integer Miller triplets.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace fx::pw {
+
+/// Orthorhombic simulation cell (cubic when all edges are equal).
+struct Cell {
+  double ax;  ///< lattice parameter along x, in bohr
+  double ay;
+  double az;
+
+  /// Cubic cell of edge `alat` -- the common (and the paper's) case.
+  explicit constexpr Cell(double alat) : ax(alat), ay(alat), az(alat) {}
+  constexpr Cell(double x, double y, double z) : ax(x), ay(y), az(z) {}
+
+  [[nodiscard]] bool is_cubic() const { return ax == ay && ay == az; }
+
+  /// 2*pi/a along each axis: the reciprocal-lattice units in bohr^-1.
+  [[nodiscard]] double bx() const { return 2.0 * std::numbers::pi / ax; }
+  [[nodiscard]] double by() const { return 2.0 * std::numbers::pi / ay; }
+  [[nodiscard]] double bz() const { return 2.0 * std::numbers::pi / az; }
+
+  /// 2*pi/ax (the "tpiba" unit of the cubic case).
+  [[nodiscard]] double tpiba() const { return bx(); }
+
+  /// |G|^2 in bohr^-2 of Miller triplet (mx, my, mz).
+  [[nodiscard]] double g2(int mx, int my, int mz) const {
+    const double gx = bx() * mx;
+    const double gy = by() * my;
+    const double gz = bz() * mz;
+    return gx * gx + gy * gy + gz * gz;
+  }
+
+  void validate() const {
+    FX_CHECK(ax > 0.0 && ay > 0.0 && az > 0.0,
+             "lattice parameters must be positive");
+  }
+
+  /// Maximum Miller index along x admitted by the cutoff: |G| <= sqrt(ecut)
+  /// (used for grid sizing; per-axis variants below).
+  [[nodiscard]] double miller_radius(double ecut_ry) const {
+    return miller_radius_x(ecut_ry);
+  }
+  [[nodiscard]] double miller_radius_x(double ecut_ry) const {
+    validate();
+    FX_CHECK(ecut_ry > 0.0, "cutoff must be positive");
+    return std::sqrt(ecut_ry) / bx();
+  }
+  [[nodiscard]] double miller_radius_y(double ecut_ry) const {
+    validate();
+    FX_CHECK(ecut_ry > 0.0, "cutoff must be positive");
+    return std::sqrt(ecut_ry) / by();
+  }
+  [[nodiscard]] double miller_radius_z(double ecut_ry) const {
+    validate();
+    FX_CHECK(ecut_ry > 0.0, "cutoff must be positive");
+    return std::sqrt(ecut_ry) / bz();
+  }
+};
+
+}  // namespace fx::pw

@@ -1,0 +1,77 @@
+#include "pw/sticks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <tuple>
+
+#include "core/error.hpp"
+
+namespace fx::pw {
+
+StickMap::StickMap(const GSphere& sphere, int nproc) : nproc_(nproc) {
+  FX_CHECK(nproc >= 1, "stick map needs at least one rank");
+
+  // Group the sphere by (mx, my); map iteration gives a deterministic
+  // stick order.
+  std::map<std::pair<int, int>, std::vector<GVector>> columns;
+  for (const GVector& g : sphere.gvectors()) {
+    columns[{g.mx, g.my}].push_back(g);
+  }
+
+  sticks_.reserve(columns.size());
+  ordered_.reserve(sphere.size());
+  for (auto& [xy, gs] : columns) {
+    std::ranges::sort(gs, [](const GVector& a, const GVector& b) {
+      return a.mz < b.mz;
+    });
+    sticks_.push_back(
+        Stick{xy.first, xy.second, gs.size(), ordered_.size()});
+    ordered_.insert(ordered_.end(), gs.begin(), gs.end());
+  }
+
+  // Greedy balance: heaviest stick to the least-loaded rank (ties by rank).
+  owner_.assign(sticks_.size(), 0);
+  sticks_of_.assign(static_cast<std::size_t>(nproc), {});
+  ng_of_.assign(static_cast<std::size_t>(nproc), 0);
+
+  std::vector<std::size_t> order(sticks_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+    return std::tuple(sticks_[b].ng, b) < std::tuple(sticks_[a].ng, a);
+  });
+  for (std::size_t s : order) {
+    int best = 0;
+    for (int r = 1; r < nproc; ++r) {
+      if (ng_of_[static_cast<std::size_t>(r)] <
+          ng_of_[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    owner_[s] = best;
+    ng_of_[static_cast<std::size_t>(best)] += sticks_[s].ng;
+  }
+  for (std::size_t s = 0; s < sticks_.size(); ++s) {
+    sticks_of_[static_cast<std::size_t>(owner_[s])].push_back(s);
+  }
+}
+
+PlaneDist::PlaneDist(std::size_t nz, int nproc) : nz_(nz), nproc_(nproc) {
+  FX_CHECK(nproc >= 1, "plane distribution needs at least one rank");
+  first_.resize(static_cast<std::size_t>(nproc) + 1, 0);
+  const std::size_t base = nz / static_cast<std::size_t>(nproc);
+  const std::size_t extra = nz % static_cast<std::size_t>(nproc);
+  for (int r = 0; r < nproc; ++r) {
+    const auto ru = static_cast<std::size_t>(r);
+    first_[ru + 1] = first_[ru] + base + (ru < extra ? 1 : 0);
+  }
+  FX_ASSERT(first_.back() == nz);
+}
+
+int PlaneDist::owner(std::size_t iz) const {
+  FX_CHECK(iz < nz_);
+  const auto it = std::upper_bound(first_.begin(), first_.end(), iz);
+  return static_cast<int>(it - first_.begin()) - 1;
+}
+
+}  // namespace fx::pw

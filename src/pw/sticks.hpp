@@ -1,0 +1,87 @@
+// Stick decomposition and plane distribution.
+//
+// A "stick" is the set of sphere G-vectors sharing one (mx, my) column: a
+// 1D pencil along Z on the FFT grid.  The distributed transform assigns
+// whole sticks to ranks (balanced by G count, QE's heuristic), performs the
+// Z FFTs locally, then scatters stick sections to the ranks owning the
+// corresponding Z planes for the XY transforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pw/gvectors.hpp"
+
+namespace fx::pw {
+
+/// One Z column of the sphere.
+struct Stick {
+  int mx;
+  int my;
+  std::size_t ng;        ///< G-vectors in this stick
+  std::size_t g_offset;  ///< offset of this stick's run in stick_ordered_g()
+};
+
+/// Groups the sphere into sticks and distributes them over `nproc` ranks.
+class StickMap {
+ public:
+  StickMap(const GSphere& sphere, int nproc);
+
+  [[nodiscard]] std::span<const Stick> sticks() const { return sticks_; }
+  [[nodiscard]] std::size_t num_sticks() const { return sticks_.size(); }
+  [[nodiscard]] int nproc() const { return nproc_; }
+
+  /// Owning rank of stick s.
+  [[nodiscard]] int owner(std::size_t s) const {
+    return owner_[s];
+  }
+  /// Stick indices owned by `rank`, in ascending stick order.
+  [[nodiscard]] std::span<const std::size_t> sticks_of(int rank) const {
+    return sticks_of_[static_cast<std::size_t>(rank)];
+  }
+  /// Total sphere G-vectors owned by `rank`.
+  [[nodiscard]] std::size_t ng_of(int rank) const {
+    return ng_of_[static_cast<std::size_t>(rank)];
+  }
+
+  /// The sphere re-ordered stick by stick (each stick's G-vectors
+  /// contiguous, ascending mz inside a stick).  The canonical coefficient
+  /// order used by the pipeline's packed wave-function storage.
+  [[nodiscard]] std::span<const GVector> stick_ordered_g() const {
+    return ordered_;
+  }
+
+ private:
+  int nproc_;
+  std::vector<Stick> sticks_;
+  std::vector<int> owner_;
+  std::vector<std::vector<std::size_t>> sticks_of_;
+  std::vector<std::size_t> ng_of_;
+  std::vector<GVector> ordered_;
+};
+
+/// Block distribution of the nz grid planes over ranks (first nz%nproc
+/// ranks hold one extra plane).
+class PlaneDist {
+ public:
+  PlaneDist(std::size_t nz, int nproc);
+
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] int nproc() const { return nproc_; }
+  [[nodiscard]] std::size_t first(int rank) const {
+    return first_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::size_t count(int rank) const {
+    return first_[static_cast<std::size_t>(rank) + 1] -
+           first_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] int owner(std::size_t iz) const;
+
+ private:
+  std::size_t nz_;
+  int nproc_;
+  std::vector<std::size_t> first_;  // nproc+1 prefix offsets
+};
+
+}  // namespace fx::pw

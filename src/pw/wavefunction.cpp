@@ -1,0 +1,41 @@
+#include "pw/wavefunction.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.hpp"
+
+namespace fx::pw {
+
+fft::cplx wf_coefficient(int band, const GVector& g) {
+  // Two splitmix64 draws keyed by (band, mx, my, mz); stateless and
+  // independent of enumeration order.
+  std::uint64_t key = 0x9e3779b97f4a7c15ULL;
+  key ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(band) + 4096);
+  key = core::splitmix64(key);
+  key ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(g.mx) + 4096);
+  key = core::splitmix64(key);
+  key ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(g.my) + 4096);
+  key = core::splitmix64(key);
+  key ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(g.mz) + 4096);
+  const std::uint64_t h1 = core::splitmix64(key);
+  const std::uint64_t h2 = core::splitmix64(key);
+
+  auto unit = [](std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  };
+  const double decay = 1.0 / (1.0 + static_cast<double>(g.m2));
+  return fft::cplx{unit(h1) * decay, unit(h2) * decay};
+}
+
+double potential_value(std::size_t ix, std::size_t iy, std::size_t iz,
+                       const GridDims& dims) {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const double x = static_cast<double>(ix) / static_cast<double>(dims.nx);
+  const double y = static_cast<double>(iy) / static_cast<double>(dims.ny);
+  const double z = static_cast<double>(iz) / static_cast<double>(dims.nz);
+  return 1.0 + 0.25 * std::sin(kTwoPi * x) * std::cos(kTwoPi * y) +
+         0.15 * std::cos(kTwoPi * (x + z)) + 0.1 * std::sin(kTwoPi * 2.0 * y) * std::sin(kTwoPi * z);
+}
+
+}  // namespace fx::pw

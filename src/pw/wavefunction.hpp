@@ -1,0 +1,33 @@
+// Deterministic, layout-independent workload generation.
+//
+// The paper's FFTXlib run transforms 128 wave-function bands.  We have no
+// DFT ground state to draw coefficients from, so bands are synthesized from
+// a hash of (band, Miller indices): every rank layout, task-group count and
+// pipeline mode sees the *same* logical wave function, which lets tests
+// compare any distributed result bit-for-bit against the serial oracle.
+// Coefficients decay as 1/(1+|m|^2), qualitatively matching the decay of
+// smooth Kohn-Sham states.
+//
+// The real-space potential V(r) is likewise a fixed smooth function of the
+// grid coordinates (the paper's VOFR applies an operator diagonal in real
+// space; its values are irrelevant to performance, only its application
+// pattern matters).
+#pragma once
+
+#include <complex>
+
+#include "fft/types.hpp"
+#include "pw/grid.hpp"
+#include "pw/gvectors.hpp"
+
+namespace fx::pw {
+
+/// Coefficient of band `band` at G-vector `g`; deterministic pure function.
+fft::cplx wf_coefficient(int band, const GVector& g);
+
+/// Real-space potential at grid node (ix, iy, iz); smooth, O(1) magnitude,
+/// deterministic pure function.
+double potential_value(std::size_t ix, std::size_t iy, std::size_t iz,
+                       const GridDims& dims);
+
+}  // namespace fx::pw

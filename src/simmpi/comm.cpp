@@ -1,0 +1,675 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "core/timer.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace fx::mpi {
+
+const char* to_string(CommOpKind kind) {
+  switch (kind) {
+    case CommOpKind::Barrier:
+      return "Barrier";
+    case CommOpKind::Bcast:
+      return "Bcast";
+    case CommOpKind::Allreduce:
+      return "Allreduce";
+    case CommOpKind::Allgather:
+      return "Allgather";
+    case CommOpKind::Alltoall:
+      return "Alltoall";
+    case CommOpKind::Alltoallv:
+      return "Alltoallv";
+    case CommOpKind::Split:
+      return "Split";
+    case CommOpKind::Send:
+      return "Send";
+    case CommOpKind::Recv:
+      return "Recv";
+    case CommOpKind::Gather:
+      return "Gather";
+    case CommOpKind::Scatter:
+      return "Scatter";
+    case CommOpKind::Reduce:
+      return "Reduce";
+  }
+  return "?";
+}
+
+namespace detail {
+
+namespace {
+constexpr const char* kAbortMessage =
+    "communicator aborted: a peer rank failed";
+}  // namespace
+
+/// Identity of one collective instance: kind + tag disambiguate concurrent
+/// operations; seq orders repeated calls with the same (kind, tag).
+struct OpKey {
+  int kind;
+  int tag;
+  std::uint64_t seq;
+  auto operator<=>(const OpKey&) const = default;
+};
+
+/// Shared state of one in-flight collective.  Lifetime: created by the
+/// first arriver, erased from the map by the last finisher; participants
+/// hold shared_ptr references across the copy phase.
+struct OpState {
+  explicit OpState(int size)
+      : send(static_cast<std::size_t>(size), nullptr),
+        recv(static_cast<std::size_t>(size), nullptr),
+        pcounts(static_cast<std::size_t>(size), nullptr),
+        pdispls(static_cast<std::size_t>(size), nullptr),
+        scalar(static_cast<std::size_t>(size), 0),
+        scalar2(static_cast<std::size_t>(size), 0),
+        child_ctx(static_cast<std::size_t>(size)),
+        child_rank(static_cast<std::size_t>(size), -1) {}
+
+  int arrived = 0;
+  int done = 0;
+  bool ready = false;
+
+  std::vector<const void*> send;
+  std::vector<void*> recv;
+  std::vector<const std::size_t*> pcounts;  // alltoallv send counts
+  std::vector<const std::size_t*> pdispls;  // alltoallv send displs
+  std::vector<std::size_t> scalar;          // per-rank scalar (bytes/color)
+  std::vector<std::size_t> scalar2;         // second scalar (key)
+
+  // Reduction:
+  std::vector<char> acc;
+  void (*combine)(void*, const void*, std::size_t) = nullptr;
+  std::size_t count = 0;
+  std::size_t elem_size = 0;
+
+  // Split results:
+  std::vector<std::shared_ptr<CommContext>> child_ctx;
+  std::vector<int> child_rank;
+};
+
+struct P2pKey {
+  int src;
+  int dst;
+  int tag;
+  auto operator<=>(const P2pKey&) const = default;
+};
+
+/// Completion flag of a nonblocking operation, synchronized through the
+/// owning communicator's mutex/condvar.
+struct RequestState {
+  std::shared_ptr<CommContext> ctx;
+  bool done = false;
+};
+
+/// A posted (not yet matched) nonblocking receive.
+struct PendingRecv {
+  void* data;
+  std::size_t bytes;
+  std::shared_ptr<RequestState> state;
+};
+
+class CommContext {
+ public:
+  explicit CommContext(int sz) : size(sz), id(next_id().fetch_add(1)) {}
+
+  static std::atomic<int>& next_id() {
+    static std::atomic<int> counter{0};
+    return counter;
+  }
+
+  void abort() {
+    std::vector<std::shared_ptr<CommContext>> kids;
+    {
+      std::lock_guard lock(mu);
+      aborted = true;
+      for (auto& w : children) {
+        if (auto c = w.lock()) kids.push_back(std::move(c));
+      }
+      cv.notify_all();
+    }
+    for (auto& k : kids) k->abort();
+  }
+
+  const int size;
+  const int id;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool aborted = false;
+
+  // Barrier (untagged fast path).
+  int bar_count = 0;
+  std::uint64_t bar_gen = 0;
+
+  std::map<OpKey, std::shared_ptr<OpState>> ops;
+  std::map<P2pKey, std::deque<std::vector<char>>> mail;
+  std::map<P2pKey, std::deque<PendingRecv>> posted;
+  std::vector<std::weak_ptr<CommContext>> children;
+};
+
+/// Per-rank, per-communicator matching state, shared by Comm copies.
+struct RankState {
+  std::mutex mu;
+  std::map<std::pair<int, int>, std::uint64_t> seq;
+  CommObserver observer;
+  std::atomic<std::size_t> bytes_sent{0};
+
+  std::uint64_t next_seq(int kind, int tag) {
+    std::lock_guard lock(mu);
+    return seq[{kind, tag}]++;
+  }
+  CommObserver get_observer() {
+    std::lock_guard lock(mu);
+    return observer;
+  }
+};
+
+namespace {
+
+/// Enters a collective: registers this rank's contribution via `setup`,
+/// blocks until all ranks arrived (the last arriver runs `finalize` under
+/// the lock before releasing everyone).  Returns the op for the copy phase.
+template <typename Setup, typename Finalize>
+std::shared_ptr<OpState> enter_collective(CommContext& ctx, const OpKey& key,
+                                          Setup&& setup, Finalize&& finalize) {
+  std::unique_lock lock(ctx.mu);
+  FX_CHECK(!ctx.aborted, kAbortMessage);
+  auto& slot = ctx.ops[key];
+  if (!slot) slot = std::make_shared<OpState>(ctx.size);
+  std::shared_ptr<OpState> op = slot;
+
+  setup(*op);
+  ++op->arrived;
+  FX_ASSERT(op->arrived <= ctx.size, "collective over-subscribed");
+  if (op->arrived == ctx.size) {
+    finalize(*op);
+    op->ready = true;
+    ctx.cv.notify_all();
+  } else {
+    ctx.cv.wait(lock, [&] { return op->ready || ctx.aborted; });
+    FX_CHECK(!ctx.aborted, kAbortMessage);
+  }
+  return op;
+}
+
+/// Leaves a collective after the copy phase: waits until every rank is done
+/// so send buffers stay valid throughout; the last finisher retires the op.
+void leave_collective(CommContext& ctx, const OpKey& key, OpState& op) {
+  std::unique_lock lock(ctx.mu);
+  ++op.done;
+  if (op.done == ctx.size) {
+    ctx.ops.erase(key);
+    ctx.cv.notify_all();
+  } else {
+    ctx.cv.wait(lock, [&] { return op.done == ctx.size || ctx.aborted; });
+    FX_CHECK(!ctx.aborted, kAbortMessage);
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::CommContext;
+using detail::OpKey;
+using detail::OpState;
+
+Comm::Comm(std::shared_ptr<detail::CommContext> ctx, int rank)
+    : ctx_(std::move(ctx)),
+      rank_state_(std::make_shared<detail::RankState>()),
+      rank_(rank) {}
+
+int Comm::size() const { return ctx_->size; }
+int Comm::id() const { return ctx_->id; }
+
+void Comm::set_observer(CommObserver observer) {
+  std::lock_guard lock(rank_state_->mu);
+  rank_state_->observer = std::move(observer);
+}
+
+std::size_t Comm::bytes_sent() const { return rank_state_->bytes_sent.load(); }
+
+namespace {
+struct EventScope {
+  // Emits the CommEvent on destruction (after the operation completed).
+  EventScope(detail::RankState& rs, CommOpKind kind, int comm_id,
+             int comm_size, int tag, std::size_t bytes)
+      : rs_(rs),
+        event_{kind, comm_id, comm_size, tag, bytes, fx::core::WallTimer::now(),
+               0.0} {
+    rs_.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  ~EventScope() {
+    if (auto obs = rs_.get_observer()) {
+      event_.t_end = fx::core::WallTimer::now();
+      obs(event_);
+    }
+  }
+  EventScope(const EventScope&) = delete;
+  EventScope& operator=(const EventScope&) = delete;
+  EventScope(EventScope&&) = delete;
+  EventScope& operator=(EventScope&&) = delete;
+
+  detail::RankState& rs_;
+  CommEvent event_;
+};
+}  // namespace
+
+void Comm::barrier() {
+  EventScope ev(*rank_state_, CommOpKind::Barrier, id(), size(), 0, 0);
+  std::unique_lock lock(ctx_->mu);
+  FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
+  const std::uint64_t gen = ctx_->bar_gen;
+  if (++ctx_->bar_count == ctx_->size) {
+    ctx_->bar_count = 0;
+    ++ctx_->bar_gen;
+    ctx_->cv.notify_all();
+  } else {
+    ctx_->cv.wait(lock,
+                  [&] { return ctx_->bar_gen != gen || ctx_->aborted; });
+    FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root, int tag) {
+  FX_CHECK(root >= 0 && root < size());
+  EventScope ev(*rank_state_, CommOpKind::Bcast, id(), size(), tag,
+                rank_ == root ? bytes * static_cast<std::size_t>(size() - 1)
+                              : 0);
+  const OpKey key{static_cast<int>(CommOpKind::Bcast), tag,
+                  rank_state_->next_seq(static_cast<int>(CommOpKind::Bcast),
+                                        tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = data;
+        o.scalar[r] = bytes;
+      },
+      [&](OpState&) {});
+  // Copy phase: everyone but the root pulls the root's buffer.
+  FX_CHECK(op->scalar[static_cast<std::size_t>(root)] == bytes,
+           "bcast size mismatch across ranks");
+  if (rank_ != root) {
+    std::memcpy(data, op->send[static_cast<std::size_t>(root)], bytes);
+  }
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::allreduce_bytes(const void* send, void* recv, std::size_t count,
+                           std::size_t elem_size,
+                           void (*combine)(void*, const void*, std::size_t),
+                           int tag) {
+  const std::size_t bytes = count * elem_size;
+  EventScope ev(*rank_state_, CommOpKind::Allreduce, id(), size(), tag, bytes);
+  const OpKey key{static_cast<int>(CommOpKind::Allreduce), tag,
+                  rank_state_->next_seq(
+                      static_cast<int>(CommOpKind::Allreduce), tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;
+        o.scalar[r] = bytes;
+        o.combine = combine;
+        o.count = count;
+        o.elem_size = elem_size;
+      },
+      [&](OpState& o) {
+        // Last arriver reduces while every peer is still blocked, so all
+        // send buffers are stable.
+        o.acc.resize(bytes);
+        std::memcpy(o.acc.data(), o.send[0], bytes);
+        for (int p = 1; p < ctx_->size; ++p) {
+          FX_CHECK(o.scalar[static_cast<std::size_t>(p)] == bytes,
+                   "allreduce size mismatch across ranks");
+          o.combine(o.acc.data(), o.send[static_cast<std::size_t>(p)],
+                    o.count);
+        }
+      });
+  std::memcpy(recv, op->acc.data(), bytes);
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv,
+                           int tag) {
+  EventScope ev(*rank_state_, CommOpKind::Allgather, id(), size(), tag,
+                bytes * static_cast<std::size_t>(size() - 1));
+  const OpKey key{static_cast<int>(CommOpKind::Allgather), tag,
+                  rank_state_->next_seq(
+                      static_cast<int>(CommOpKind::Allgather), tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;
+        o.scalar[r] = bytes;
+      },
+      [&](OpState&) {});
+  auto* out = static_cast<char*>(recv);
+  for (int p = 0; p < size(); ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    FX_CHECK(op->scalar[pu] == bytes, "allgather size mismatch across ranks");
+    std::memcpy(out + pu * bytes, op->send[pu], bytes);
+  }
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
+                        int root, int tag) {
+  FX_CHECK(root >= 0 && root < size());
+  EventScope ev(*rank_state_, CommOpKind::Gather, id(), size(), tag,
+                rank_ == root ? 0 : bytes);
+  const OpKey key{static_cast<int>(CommOpKind::Gather), tag,
+                  rank_state_->next_seq(static_cast<int>(CommOpKind::Gather),
+                                        tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;
+        o.scalar[r] = bytes;
+      },
+      [&](OpState&) {});
+  if (rank_ == root) {
+    auto* out = static_cast<char*>(recv);
+    for (int p = 0; p < size(); ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      FX_CHECK(op->scalar[pu] == bytes, "gather size mismatch across ranks");
+      std::memcpy(out + pu * bytes, op->send[pu], bytes);
+    }
+  }
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
+                         int root, int tag) {
+  FX_CHECK(root >= 0 && root < size());
+  EventScope ev(*rank_state_, CommOpKind::Scatter, id(), size(), tag,
+                rank_ == root ? bytes * static_cast<std::size_t>(size() - 1)
+                              : 0);
+  const OpKey key{static_cast<int>(CommOpKind::Scatter), tag,
+                  rank_state_->next_seq(static_cast<int>(CommOpKind::Scatter),
+                                        tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;  // only the root's pointer is read
+        o.scalar[r] = bytes;
+      },
+      [&](OpState&) {});
+  FX_CHECK(op->scalar[static_cast<std::size_t>(root)] == bytes,
+           "scatter size mismatch across ranks");
+  const auto* in =
+      static_cast<const char*>(op->send[static_cast<std::size_t>(root)]);
+  std::memcpy(recv, in + r * bytes, bytes);
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::reduce_bytes(const void* send, void* recv, std::size_t count,
+                        std::size_t elem_size,
+                        void (*combine)(void*, const void*, std::size_t),
+                        int root, int tag) {
+  FX_CHECK(root >= 0 && root < size());
+  const std::size_t bytes = count * elem_size;
+  EventScope ev(*rank_state_, CommOpKind::Reduce, id(), size(), tag,
+                rank_ == root ? 0 : bytes);
+  const OpKey key{static_cast<int>(CommOpKind::Reduce), tag,
+                  rank_state_->next_seq(static_cast<int>(CommOpKind::Reduce),
+                                        tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;
+        o.scalar[r] = bytes;
+        o.combine = combine;
+        o.count = count;
+      },
+      [&](OpState& o) {
+        o.acc.resize(bytes);
+        std::memcpy(o.acc.data(), o.send[0], bytes);
+        for (int p = 1; p < ctx_->size; ++p) {
+          FX_CHECK(o.scalar[static_cast<std::size_t>(p)] == bytes,
+                   "reduce size mismatch across ranks");
+          o.combine(o.acc.data(), o.send[static_cast<std::size_t>(p)],
+                    o.count);
+        }
+      });
+  if (rank_ == root) {
+    std::memcpy(recv, op->acc.data(), bytes);
+  }
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::alltoall_bytes(const void* send, void* recv,
+                          std::size_t bytes_per_rank, int tag) {
+  FX_CHECK(send != recv, "alltoall buffers must not alias");
+  EventScope ev(*rank_state_, CommOpKind::Alltoall, id(), size(), tag,
+                bytes_per_rank * static_cast<std::size_t>(size()));
+  const OpKey key{static_cast<int>(CommOpKind::Alltoall), tag,
+                  rank_state_->next_seq(static_cast<int>(CommOpKind::Alltoall),
+                                        tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;
+        o.scalar[r] = bytes_per_rank;
+      },
+      [&](OpState&) {});
+  auto* out = static_cast<char*>(recv);
+  for (int p = 0; p < size(); ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    FX_CHECK(op->scalar[pu] == bytes_per_rank,
+             "alltoall size mismatch across ranks");
+    const auto* in = static_cast<const char*>(op->send[pu]);
+    std::memcpy(out + pu * bytes_per_rank, in + r * bytes_per_rank,
+                bytes_per_rank);
+  }
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
+                           const std::size_t* sdispls, void* recv,
+                           const std::size_t* rcounts,
+                           const std::size_t* rdispls, std::size_t elem_size,
+                           int tag) {
+  std::size_t sent_elems = 0;
+  for (int p = 0; p < size(); ++p) {
+    sent_elems += scounts[static_cast<std::size_t>(p)];
+  }
+  EventScope ev(*rank_state_, CommOpKind::Alltoallv, id(), size(), tag,
+                sent_elems * elem_size);
+  const OpKey key{static_cast<int>(CommOpKind::Alltoallv), tag,
+                  rank_state_->next_seq(
+                      static_cast<int>(CommOpKind::Alltoallv), tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, key,
+      [&](OpState& o) {
+        o.send[r] = send;
+        o.pcounts[r] = scounts;
+        o.pdispls[r] = sdispls;
+        o.scalar[r] = elem_size;
+      },
+      [&](OpState&) {});
+  auto* out = static_cast<char*>(recv);
+  for (int p = 0; p < size(); ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    FX_CHECK(op->scalar[pu] == elem_size,
+             "alltoallv element size mismatch across ranks");
+    FX_CHECK(op->pcounts[pu][r] == rcounts[pu],
+             "alltoallv count mismatch: peer's sendcount != my recvcount");
+    const auto* in = static_cast<const char*>(op->send[pu]);
+    std::memcpy(out + rdispls[pu] * elem_size,
+                in + op->pdispls[pu][r] * elem_size,
+                rcounts[pu] * elem_size);
+  }
+  detail::leave_collective(*ctx_, key, *op);
+}
+
+Comm Comm::split(int color, int key, int tag) const {
+  EventScope ev(*rank_state_, CommOpKind::Split, id(), size(), tag, 0);
+  const OpKey opkey{static_cast<int>(CommOpKind::Split), tag,
+                    rank_state_->next_seq(static_cast<int>(CommOpKind::Split),
+                                          tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  auto op = detail::enter_collective(
+      *ctx_, opkey,
+      [&](OpState& o) {
+        o.scalar[r] = static_cast<std::size_t>(color);
+        o.scalar2[r] = static_cast<std::size_t>(key);
+      },
+      [&](OpState& o) {
+        // Group ranks by color; order members by (key, world rank).
+        std::map<std::size_t, std::vector<int>> groups;
+        for (int p = 0; p < ctx_->size; ++p) {
+          groups[o.scalar[static_cast<std::size_t>(p)]].push_back(p);
+        }
+        for (auto& [c, members] : groups) {
+          // Keys were stored via size_t; recover the signed value so
+          // negative keys order correctly.
+          auto key_of = [&](int p) {
+            return static_cast<long long>(
+                static_cast<std::int64_t>(o.scalar2[static_cast<std::size_t>(p)]));
+          };
+          std::ranges::sort(members, [&](int a, int b) {
+            return std::tuple(key_of(a), a) < std::tuple(key_of(b), b);
+          });
+          auto child =
+              std::make_shared<CommContext>(static_cast<int>(members.size()));
+          ctx_->children.push_back(child);
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            const auto m = static_cast<std::size_t>(members[i]);
+            o.child_ctx[m] = child;
+            o.child_rank[m] = static_cast<int>(i);
+          }
+        }
+      });
+  Comm child(op->child_ctx[r], op->child_rank[r]);
+  child.set_observer(rank_state_->get_observer());
+  detail::leave_collective(*ctx_, opkey, *op);
+  return child;
+}
+
+void Comm::send_bytes(int dst, const void* data, std::size_t bytes, int tag) {
+  FX_CHECK(dst >= 0 && dst < size());
+  EventScope ev(*rank_state_, CommOpKind::Send, id(), size(), tag, bytes);
+  const detail::P2pKey key{rank_, dst, tag};
+  std::lock_guard lock(ctx_->mu);
+  FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
+  // Posted receives match first (there is never both a posted receive and
+  // a queued message for one key); otherwise buffer the payload.
+  auto posted_it = ctx_->posted.find(key);
+  if (posted_it != ctx_->posted.end() && !posted_it->second.empty()) {
+    detail::PendingRecv pending = std::move(posted_it->second.front());
+    posted_it->second.pop_front();
+    FX_CHECK(pending.bytes == bytes,
+             "recv size does not match matching send");
+    std::memcpy(pending.data, data, bytes);
+    pending.state->done = true;
+  } else {
+    const auto* bytes_ptr = static_cast<const char*>(data);
+    ctx_->mail[key].emplace_back(bytes_ptr, bytes_ptr + bytes);
+  }
+  ctx_->cv.notify_all();
+}
+
+Request Comm::isend_bytes(int dst, const void* data, std::size_t bytes,
+                          int tag) {
+  // Buffered semantics: the payload is captured here, so the operation is
+  // already complete from the sender's point of view.
+  send_bytes(dst, data, bytes, tag);
+  return Request{};
+}
+
+Request Comm::post_recv(int src, void* data, std::size_t bytes, int tag) {
+  FX_CHECK(src >= 0 && src < size());
+  const detail::P2pKey key{src, rank_, tag};
+  auto state = std::make_shared<detail::RequestState>();
+  state->ctx = ctx_;
+  std::lock_guard lock(ctx_->mu);
+  FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
+  auto& queue = ctx_->mail[key];
+  if (!queue.empty()) {
+    FX_CHECK(queue.front().size() == bytes,
+             "recv size does not match matching send");
+    std::memcpy(data, queue.front().data(), bytes);
+    queue.pop_front();
+    state->done = true;
+  } else {
+    ctx_->posted[key].push_back(detail::PendingRecv{data, bytes, state});
+  }
+  return Request{state};
+}
+
+Request Comm::irecv_bytes(int src, void* data, std::size_t bytes, int tag) {
+  EventScope ev(*rank_state_, CommOpKind::Recv, id(), size(), tag, bytes);
+  return post_recv(src, data, bytes, tag);
+}
+
+void Comm::recv_bytes(int src, void* data, std::size_t bytes, int tag) {
+  EventScope ev(*rank_state_, CommOpKind::Recv, id(), size(), tag, bytes);
+  // A blocking receive is a posted receive awaited immediately; routing it
+  // through the same path keeps one matching order for both flavors.
+  post_recv(src, data, bytes, tag).wait();
+}
+
+void Request::wait() {
+  if (!state_ || state_->done) return;
+  auto& ctx = *state_->ctx;
+  std::unique_lock lock(ctx.mu);
+  ctx.cv.wait(lock, [&] { return state_->done || ctx.aborted; });
+  FX_CHECK(!ctx.aborted, detail::kAbortMessage);
+}
+
+bool Request::test() const {
+  if (!state_) return true;
+  std::lock_guard lock(state_->ctx->mu);
+  return state_->done;
+}
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& body) {
+  FX_CHECK(nranks >= 1, "need at least one rank");
+  auto ctx = std::make_shared<CommContext>(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  // The first rank to fail is the root cause; peers that die afterwards
+  // only report the induced "communicator aborted" error.
+  std::atomic<int> first_failed{-1};
+
+  {
+    std::vector<std::jthread> ranks;
+    ranks.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      ranks.emplace_back([&, r] {
+        try {
+          Comm comm(ctx, r);
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          int expected = -1;
+          first_failed.compare_exchange_strong(expected, r);
+          ctx->abort();
+        }
+      });
+    }
+  }
+
+  const int culprit = first_failed.load();
+  if (culprit >= 0) {
+    std::rethrow_exception(errors[static_cast<std::size_t>(culprit)]);
+  }
+}
+
+}  // namespace fx::mpi

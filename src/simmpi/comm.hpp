@@ -1,0 +1,279 @@
+// In-process message-passing runtime ("simulated MPI").
+//
+// The paper runs FFTXlib as N MPI ranks on one KNL node; intra-node MPI is
+// shared-memory message passing, which this module reproduces directly:
+// every rank is a std::thread, a communicator is a shared synchronization
+// context, and collectives move bytes between the ranks' buffers.  What the
+// analysis (and the KNL model) consume is the *communication pattern* --
+// who talks to whom, how many bytes, on which sub-communicator -- and that
+// is preserved exactly.
+//
+// One deliberate extension over MPI: collectives take a `tag`.  Two
+// collectives with different tags on the same communicator match
+// independently, so dynamically-scheduled tasks may issue them in any order
+// (the OmpSs pipeline tags collectives by band index).  Within one tag,
+// per-rank call order defines matching, exactly like MPI.  Concurrent
+// same-tag collectives from several threads of one rank are a contract
+// violation.
+//
+// All waiting is condition-variable based (never spinning): ranks routinely
+// outnumber host cores.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace fx::mpi {
+
+/// Reduction operators for allreduce.
+enum class ReduceOp { Sum, Max, Min };
+
+/// Collective/point-to-point kinds, reported to observers and recorded in
+/// traces (the Fig 3 "MPI call" timeline colors by this).
+enum class CommOpKind {
+  Barrier,
+  Bcast,
+  Allreduce,
+  Allgather,
+  Alltoall,
+  Alltoallv,
+  Split,
+  Send,
+  Recv,
+  Gather,
+  Scatter,
+  Reduce,
+};
+
+/// Human-readable name, e.g. "Alltoallv".
+const char* to_string(CommOpKind kind);
+
+/// One completed communication operation, as seen by one rank.
+struct CommEvent {
+  CommOpKind kind;
+  int comm_id;       ///< unique id of the communicator (trace timeline)
+  int comm_size;
+  int tag;
+  std::size_t bytes; ///< payload bytes this rank sent (or received for Recv)
+  double t_begin;    ///< wall-clock seconds (core::WallTimer::now())
+  double t_end;
+};
+
+/// Callback invoked synchronously by the rank that executed the operation.
+using CommObserver = std::function<void(const CommEvent&)>;
+
+namespace detail {
+class CommContext;
+struct RankState;
+struct RequestState;
+}  // namespace detail
+
+/// Handle to a nonblocking operation.  Default-constructed requests are
+/// complete.  Copyable; all copies refer to the same operation.
+class Request {
+ public:
+  Request() = default;
+
+  /// Blocks until the operation completed (no-op if already done).
+  void wait();
+  /// Non-blocking completion poll.
+  [[nodiscard]] bool test() const;
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Handle to a communicator, specific to one rank.  Cheap to copy; copies
+/// share the per-rank matching state.  Thread-safe for concurrent
+/// collectives with distinct tags (see file comment).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  /// Globally unique communicator id (stable across ranks).
+  [[nodiscard]] int id() const;
+
+  // --- Collectives (every rank of the communicator must call) ---
+
+  void barrier();
+
+  /// Broadcasts `bytes` bytes from `root`'s buffer into every other rank's.
+  void bcast_bytes(void* data, std::size_t bytes, int root, int tag = 0);
+
+  /// Element-wise reduction of `count` elements of type T over all ranks;
+  /// every rank receives the result.  send and recv may alias.
+  template <typename T>
+  void allreduce(const T* send, T* recv, std::size_t count, ReduceOp op,
+                 int tag = 0);
+
+  /// Gathers each rank's `bytes`-byte block; rank r's block lands at offset
+  /// r*bytes of every rank's recv buffer.
+  void allgather_bytes(const void* send, std::size_t bytes, void* recv,
+                       int tag = 0);
+
+  /// Rooted gather: blocks land at the root only (recv ignored elsewhere).
+  void gather_bytes(const void* send, std::size_t bytes, void* recv, int root,
+                    int tag = 0);
+
+  /// Rooted scatter: the root's buffer holds size() blocks of `bytes`;
+  /// rank r receives block r.
+  void scatter_bytes(const void* send, std::size_t bytes, void* recv,
+                     int root, int tag = 0);
+
+  /// Rooted element-wise reduction; only the root's recv is written.
+  template <typename T>
+  void reduce(const T* send, T* recv, std::size_t count, ReduceOp op,
+              int root, int tag = 0);
+
+  /// Personalized exchange: rank r sends bytes_per_rank bytes starting at
+  /// send + p*bytes_per_rank to each peer p, receiving likewise.
+  void alltoall_bytes(const void* send, void* recv, std::size_t bytes_per_rank,
+                      int tag = 0);
+
+  /// Variable-size personalized exchange (element-typed offsets/counts).
+  /// scounts[p]/sdispls[p]: elements sent to p from send + sdispls[p]*elem.
+  /// rcounts[p]/rdispls[p]: elements received from p.  Each pair's counts
+  /// must agree (checked).
+  void alltoallv_bytes(const void* send, const std::size_t* scounts,
+                       const std::size_t* sdispls, void* recv,
+                       const std::size_t* rcounts, const std::size_t* rdispls,
+                       std::size_t elem_size, int tag = 0);
+
+  /// Partitions the communicator: ranks passing the same color form a new
+  /// communicator, ordered by (key, old rank).  Collective over all ranks.
+  [[nodiscard]] Comm split(int color, int key, int tag = 0) const;
+
+  // --- Point-to-point (buffered send; matching by (src, dst, tag)) ---
+
+  void send_bytes(int dst, const void* data, std::size_t bytes, int tag = 0);
+  void recv_bytes(int src, void* data, std::size_t bytes, int tag = 0);
+
+  /// Nonblocking buffered send: the payload is captured at the call, so
+  /// the request is complete immediately (returned for symmetry).
+  Request isend_bytes(int dst, const void* data, std::size_t bytes,
+                      int tag = 0);
+  /// Nonblocking receive: posts the destination buffer; the request
+  /// completes when a matching message is (or becomes) available.  The
+  /// buffer must stay valid until wait()/test() reports completion.
+  Request irecv_bytes(int src, void* data, std::size_t bytes, int tag = 0);
+
+  // --- Typed convenience wrappers ---
+
+  template <typename T>
+  void alltoall(std::span<const T> send, std::span<T> recv, int tag = 0) {
+    FX_CHECK(send.size() == recv.size());
+    FX_CHECK(send.size() % static_cast<std::size_t>(size()) == 0);
+    alltoall_bytes(send.data(), recv.data(),
+                   send.size() / static_cast<std::size_t>(size()) * sizeof(T),
+                   tag);
+  }
+
+  template <typename T>
+  void alltoallv(const T* send, const std::size_t* scounts,
+                 const std::size_t* sdispls, T* recv,
+                 const std::size_t* rcounts, const std::size_t* rdispls,
+                 int tag = 0) {
+    alltoallv_bytes(send, scounts, sdispls, recv, rcounts, rdispls, sizeof(T),
+                    tag);
+  }
+
+  template <typename T>
+  void send(int dst, std::span<const T> data, int tag = 0) {
+    send_bytes(dst, data.data(), data.size_bytes(), tag);
+  }
+  template <typename T>
+  void recv(int src, std::span<T> data, int tag = 0) {
+    recv_bytes(src, data.data(), data.size_bytes(), tag);
+  }
+
+  // --- Instrumentation ---
+
+  /// Installs an observer receiving a CommEvent after every operation this
+  /// rank executes on this communicator (and on communicators split from
+  /// it).  Pass nullptr to remove.
+  void set_observer(CommObserver observer);
+
+  /// Total payload bytes this rank has sent through this communicator.
+  [[nodiscard]] std::size_t bytes_sent() const;
+
+ private:
+  friend class Runtime;
+  friend class CommTestPeer;
+  Comm(std::shared_ptr<detail::CommContext> ctx, int rank);
+
+  void allreduce_bytes(const void* send, void* recv, std::size_t count,
+                       std::size_t elem_size,
+                       void (*combine)(void*, const void*, std::size_t),
+                       int tag);
+  void reduce_bytes(const void* send, void* recv, std::size_t count,
+                    std::size_t elem_size,
+                    void (*combine)(void*, const void*, std::size_t), int root,
+                    int tag);
+  Request post_recv(int src, void* data, std::size_t bytes, int tag);
+
+  std::shared_ptr<detail::CommContext> ctx_;
+  std::shared_ptr<detail::RankState> rank_state_;
+  int rank_ = 0;
+};
+
+// --- template implementation ---
+
+namespace detail {
+template <typename T, ReduceOp OP>
+void combine_fn(void* acc, const void* in, std::size_t count) {
+  auto* a = static_cast<T*>(acc);
+  const auto* b = static_cast<const T*>(in);
+  for (std::size_t i = 0; i < count; ++i) {
+    if constexpr (OP == ReduceOp::Sum) {
+      a[i] += b[i];
+    } else if constexpr (OP == ReduceOp::Max) {
+      if (b[i] > a[i]) a[i] = b[i];
+    } else {
+      if (b[i] < a[i]) a[i] = b[i];
+    }
+  }
+}
+}  // namespace detail
+
+namespace detail {
+template <typename T>
+auto combine_for(ReduceOp op) {
+  void (*fn)(void*, const void*, std::size_t) = nullptr;
+  switch (op) {
+    case ReduceOp::Sum:
+      fn = combine_fn<T, ReduceOp::Sum>;
+      break;
+    case ReduceOp::Max:
+      fn = combine_fn<T, ReduceOp::Max>;
+      break;
+    case ReduceOp::Min:
+      fn = combine_fn<T, ReduceOp::Min>;
+      break;
+  }
+  return fn;
+}
+}  // namespace detail
+
+template <typename T>
+void Comm::allreduce(const T* send, T* recv, std::size_t count, ReduceOp op,
+                     int tag) {
+  allreduce_bytes(send, recv, count, sizeof(T), detail::combine_for<T>(op),
+                  tag);
+}
+
+template <typename T>
+void Comm::reduce(const T* send, T* recv, std::size_t count, ReduceOp op,
+                  int root, int tag) {
+  reduce_bytes(send, recv, count, sizeof(T), detail::combine_for<T>(op), root,
+               tag);
+}
+
+}  // namespace fx::mpi

@@ -1,0 +1,19 @@
+// Entry point of the simulated-MPI world.
+#pragma once
+
+#include <functional>
+
+#include "simmpi/comm.hpp"
+
+namespace fx::mpi {
+
+/// Spawns `nranks` rank threads, hands each its world communicator, and
+/// joins them.  If any rank throws, all pending communicator waits abort
+/// (so no rank deadlocks on a dead peer) and the first failing rank's
+/// exception is rethrown here.
+class Runtime {
+ public:
+  static void run(int nranks, const std::function<void(Comm&)>& body);
+};
+
+}  // namespace fx::mpi

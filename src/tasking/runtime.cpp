@@ -1,0 +1,311 @@
+#include "tasking/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+#include "core/timer.hpp"
+
+namespace fx::task {
+
+namespace detail {
+
+/// Completion counter of one taskloop invocation (lives on the waiter's
+/// stack; all children finish before the waiter returns).
+struct LoopSync {
+  std::size_t pending = 0;
+};
+
+struct TaskNode {
+  std::string label;
+  std::function<void()> fn;
+  int pending = 0;      ///< unfinished predecessor count
+  int priority = 0;     ///< scheduling hint (Priority policy only)
+  bool finished = false;
+  std::vector<std::shared_ptr<TaskNode>> successors;
+  std::shared_ptr<TaskNode> parent;  ///< submitting task (keeps it alive)
+  LoopSync* sync = nullptr;          ///< taskloop group, if a loop child
+};
+
+namespace {
+// The task currently executing on this thread (nullptr on the orchestrator
+// and on idle workers); used to parent nested submissions and to restrict
+// taskloop helping to own children.
+thread_local std::shared_ptr<TaskNode> tl_current;
+thread_local int tl_worker_id = -1;
+}  // namespace
+
+}  // namespace detail
+
+int current_worker_id() { return detail::tl_worker_id; }
+
+using detail::TaskNode;
+
+TaskRuntime::TaskRuntime(int nthreads, SchedulerPolicy policy)
+    : nthreads_(nthreads), policy_(policy) {
+  FX_CHECK(nthreads >= 1, "task runtime needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+TaskRuntime::~TaskRuntime() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    cv_ready_.notify_all();
+  }
+  workers_.clear();  // joins
+}
+
+void TaskRuntime::set_observer(TaskObserver observer) {
+  std::lock_guard lock(mu_);
+  observer_ = std::move(observer);
+}
+
+std::size_t TaskRuntime::tasks_executed() const {
+  std::lock_guard lock(mu_);
+  return executed_;
+}
+
+std::size_t TaskRuntime::edges_created() const {
+  std::lock_guard lock(mu_);
+  return edges_;
+}
+
+void TaskRuntime::link_dependencies_locked(const NodePtr& node,
+                                           const std::vector<Dep>& deps) {
+  auto add_edge = [&](const NodePtr& pred) {
+    if (!pred || pred.get() == node.get() || pred->finished) return;
+    pred->successors.push_back(node);
+    ++node->pending;
+    ++edges_;
+  };
+
+  for (const Dep& dep : deps) {
+    if (dep.len == 0) continue;
+    const char* b = static_cast<const char*>(dep.addr);
+    const char* e = b + dep.len;
+    const bool writes = dep.mode != DepMode::In;
+    bool exact_found = false;
+
+    for (Range& range : ranges_) {
+      const bool overlap = b < range.end && range.begin < e;
+      if (!overlap) continue;
+      // Reader-after-writer always; writers additionally order after the
+      // existing readers (WAR) and writer (WAW).
+      add_edge(range.last_writer);
+      if (writes) {
+        for (const NodePtr& r : range.readers) add_edge(r);
+      }
+      const bool exact = range.begin == b && range.end == e;
+      if (writes) {
+        // Conservative: the new writer supersedes ordering state of every
+        // overlapping range (may over-serialize partial overlaps; never
+        // under-serializes).
+        range.last_writer = node;
+        range.readers.clear();
+      } else if (exact) {
+        range.readers.push_back(node);
+      } else {
+        range.readers.push_back(node);  // conservative reader registration
+      }
+      exact_found = exact_found || exact;
+    }
+    if (!exact_found) {
+      Range fresh{b, e, nullptr, {}};
+      if (writes) {
+        fresh.last_writer = node;
+      } else {
+        fresh.readers.push_back(node);
+      }
+      ranges_.push_back(std::move(fresh));
+    }
+  }
+}
+
+void TaskRuntime::submit(std::string label, std::vector<Dep> deps,
+                         std::function<void()> fn, int priority) {
+  auto node = std::make_shared<TaskNode>();
+  node->label = std::move(label);
+  node->fn = std::move(fn);
+  node->priority = priority;
+  node->parent = detail::tl_current;
+
+  std::lock_guard lock(mu_);
+  FX_CHECK(!stop_, "submit after TaskRuntime shutdown");
+  ++outstanding_;
+  link_dependencies_locked(node, deps);
+  if (node->pending == 0) {
+    ready_.push_back(node);
+    cv_ready_.notify_one();
+  }
+}
+
+TaskRuntime::NodePtr TaskRuntime::pop_ready_locked() {
+  if (ready_.empty()) return nullptr;
+  NodePtr node;
+  switch (policy_) {
+    case SchedulerPolicy::Fifo: {
+      node = ready_.front();
+      ready_.pop_front();
+      break;
+    }
+    case SchedulerPolicy::Lifo: {
+      node = ready_.back();
+      ready_.pop_back();
+      break;
+    }
+    case SchedulerPolicy::Priority: {
+      // Highest priority wins; FIFO among equals.
+      auto best = ready_.begin();
+      for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
+        if ((*it)->priority > (*best)->priority) best = it;
+      }
+      node = *best;
+      ready_.erase(best);
+      break;
+    }
+  }
+  return node;
+}
+
+TaskRuntime::NodePtr TaskRuntime::pop_child_of_locked(
+    const detail::TaskNode* parent) {
+  // Scan for a ready task spawned by `parent`'s active taskloop.  The scan
+  // is linear but the ready queue is short in practice.
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if ((*it)->parent.get() == parent && (*it)->sync != nullptr) {
+      NodePtr node = *it;
+      ready_.erase(it);
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void TaskRuntime::run_task(const NodePtr& node, int worker_id) {
+  TaskObserver observer;
+  {
+    std::lock_guard lock(mu_);
+    observer = observer_;
+  }
+  // A helping worker suspends its current task; restore it afterwards.
+  NodePtr previous = std::exchange(detail::tl_current, node);
+  if (observer.on_start) {
+    observer.on_start(worker_id, node->label, core::WallTimer::now());
+  }
+  try {
+    node->fn();
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (observer.on_end) {
+    observer.on_end(worker_id, node->label, core::WallTimer::now());
+  }
+  detail::tl_current = std::move(previous);
+  finish_task(node);
+}
+
+void TaskRuntime::finish_task(const NodePtr& node) {
+  std::lock_guard lock(mu_);
+  node->finished = true;
+  node->fn = nullptr;
+  for (const NodePtr& succ : node->successors) {
+    if (--succ->pending == 0) {
+      ready_.push_back(succ);
+      cv_ready_.notify_one();
+    }
+  }
+  node->successors.clear();
+  ++executed_;
+  --outstanding_;
+  if (node->sync != nullptr) {
+    --node->sync->pending;
+  }
+  if (outstanding_ == 0) {
+    // Graph drained: dependency history can never order anything again.
+    ranges_.clear();
+  }
+  cv_done_.notify_all();
+}
+
+void TaskRuntime::worker_loop(int worker_id) {
+  detail::tl_worker_id = worker_id;
+  for (;;) {
+    NodePtr node;
+    {
+      std::unique_lock lock(mu_);
+      cv_ready_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop_ and drained
+      node = pop_ready_locked();
+    }
+    run_task(node, worker_id);
+  }
+}
+
+void TaskRuntime::taskwait() {
+  FX_CHECK(detail::tl_current == nullptr,
+           "taskwait must be called from the orchestrator thread; "
+           "inside a task use taskloop for nested joins");
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return outstanding_ == 0; });
+  ranges_.clear();
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskRuntime::taskloop(const std::string& label, std::size_t begin,
+                           std::size_t end, std::size_t grain,
+                           const std::function<void(std::size_t, std::size_t)>&
+                               body) {
+  FX_CHECK(grain >= 1, "taskloop grain must be positive");
+  if (begin >= end) return;
+
+  detail::LoopSync sync;
+  const NodePtr caller = detail::tl_current;
+
+  {
+    std::lock_guard lock(mu_);
+    FX_CHECK(!stop_, "taskloop after TaskRuntime shutdown");
+    std::size_t index = 0;
+    for (std::size_t lo = begin; lo < end; lo += grain, ++index) {
+      const std::size_t hi = std::min(end, lo + grain);
+      auto node = std::make_shared<TaskNode>();
+      node->label = core::cat(label, "#", index);
+      node->fn = [&body, lo, hi] { body(lo, hi); };
+      node->parent = caller;
+      node->sync = &sync;
+      ++sync.pending;
+      ++outstanding_;
+      ready_.push_back(node);
+    }
+    cv_ready_.notify_all();
+  }
+
+  // Help execute our own chunks; idle workers pick them up from the global
+  // ready queue concurrently.  We never run foreign tasks here (they might
+  // block on a collective that transitively needs the task we suspended).
+  const int worker_id = detail::tl_worker_id;
+  for (;;) {
+    NodePtr chunk;
+    {
+      std::unique_lock lock(mu_);
+      for (;;) {
+        if (sync.pending == 0) return;
+        chunk = pop_child_of_locked(caller.get());
+        if (chunk) break;
+        cv_done_.wait(lock);
+      }
+    }
+    run_task(chunk, worker_id);
+  }
+}
+
+}  // namespace fx::task

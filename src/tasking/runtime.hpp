@@ -1,0 +1,186 @@
+// OmpSs-style task runtime with data dependencies.
+//
+// This substrate plays the role of OmpSs/Nanos++ in the paper: tasks are
+// submitted with in/out/inout address-range clauses; the runtime builds the
+// dependency graph dynamically and a pool of worker threads executes tasks
+// as their predecessors retire.  Figures 4 and 5 of the paper map onto
+// submit() calls with the corresponding dep lists.
+//
+// Scheduling policy and deadlock freedom
+// --------------------------------------
+// Ready tasks are dispatched FIFO (creation order) by default.  This is not
+// a style choice: pipeline tasks block inside simmpi collectives, and FIFO
+// dispatch guarantees that the globally-oldest unfinished band is started
+// on every rank, so some collective always has all participants and the
+// system cannot deadlock (see tests/tasking and DESIGN.md).  The LIFO
+// policy exists for the scheduler ablation bench and must only be used for
+// non-communicating task graphs.
+//
+// taskloop() submits child tasks of the calling task and blocks until they
+// finish; while blocked, the calling worker executes only its *own*
+// children (never arbitrary ready tasks, which might block on a collective
+// the waiting task itself is upstream of).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fx::task {
+
+/// Access mode of a dependency clause.
+enum class DepMode { In, Out, InOut };
+
+/// One dependency clause: a byte range and how the task accesses it.
+/// Overlapping ranges are serialized conservatively (reader-after-writer,
+/// writer-after-writer, writer-after-reader).
+struct Dep {
+  const void* addr;
+  std::size_t len;
+  DepMode mode;
+};
+
+/// Clause helpers mirroring the paper's pragma spelling:
+///   submit(label, {in(aux), out(psis)}, fn);
+template <typename T>
+Dep in(const T& x) {
+  return {&x, sizeof(T), DepMode::In};
+}
+template <typename T>
+Dep out(T& x) {
+  return {&x, sizeof(T), DepMode::Out};
+}
+template <typename T>
+Dep inout(T& x) {
+  return {&x, sizeof(T), DepMode::InOut};
+}
+template <typename T>
+Dep in(std::span<const T> s) {
+  return {s.data(), s.size_bytes(), DepMode::In};
+}
+template <typename T>
+Dep out(std::span<T> s) {
+  return {s.data(), s.size_bytes(), DepMode::Out};
+}
+template <typename T>
+Dep inout(std::span<T> s) {
+  return {s.data(), s.size_bytes(), DepMode::InOut};
+}
+
+/// Dispatch order of the ready queue (see file comment).  Priority picks
+/// the highest-priority ready task (FIFO among equals, so priority 0
+/// everywhere degenerates to FIFO and keeps the deadlock-freedom argument);
+/// Lifo is for non-communicating graphs only.
+enum class SchedulerPolicy { Fifo, Lifo, Priority };
+
+/// Worker id of the calling thread (0-based), or -1 when called outside a
+/// task worker (e.g. on the orchestrator thread).  Tracing uses this to
+/// attribute compute phases to timeline rows.
+int current_worker_id();
+
+/// Task lifecycle callbacks (consumed by the tracer).  Invoked on the
+/// executing worker thread.
+struct TaskObserver {
+  std::function<void(int worker, const std::string& label, double t)> on_start;
+  std::function<void(int worker, const std::string& label, double t)> on_end;
+};
+
+namespace detail {
+struct TaskNode;
+}
+
+class TaskRuntime {
+ public:
+  /// Spawns `nthreads` workers (>= 1).  The constructing thread is the
+  /// orchestrator; it submits tasks and calls taskwait() but does not
+  /// execute tasks itself.
+  explicit TaskRuntime(int nthreads,
+                       SchedulerPolicy policy = SchedulerPolicy::Fifo);
+  ~TaskRuntime();
+
+  TaskRuntime(const TaskRuntime&) = delete;
+  TaskRuntime& operator=(const TaskRuntime&) = delete;
+  TaskRuntime(TaskRuntime&&) = delete;
+  TaskRuntime& operator=(TaskRuntime&&) = delete;
+
+  /// Submits a task.  Dependencies are evaluated against all previously
+  /// submitted tasks' clauses, exactly like OmpSs's dynamic dependency
+  /// graph.  Thread-safe (tasks may submit tasks).  `priority` matters
+  /// only under SchedulerPolicy::Priority (higher runs earlier).
+  void submit(std::string label, std::vector<Dep> deps,
+              std::function<void()> fn, int priority = 0);
+
+  /// Convenience for dependency-free tasks.
+  void submit(std::string label, std::function<void()> fn,
+              int priority = 0) {
+    submit(std::move(label), {}, std::move(fn), priority);
+  }
+
+  /// Blocks until every task submitted so far (including transitively
+  /// spawned ones) has finished.  Rethrows the first task exception.
+  /// Must be called from the orchestrator thread.
+  void taskwait();
+
+  /// OmpSs/OpenMP `taskloop`: splits [begin, end) into chunks of `grain`
+  /// iterations, runs each chunk as a child task of the calling task, and
+  /// returns when all chunks are done.  Callable from inside a task (the
+  /// paper's nested cft_2z / cft_2xy loops) or from the orchestrator.
+  void taskloop(const std::string& label, std::size_t begin, std::size_t end,
+                std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)>& body);
+
+  void set_observer(TaskObserver observer);
+
+  [[nodiscard]] int num_threads() const { return nthreads_; }
+  [[nodiscard]] SchedulerPolicy policy() const { return policy_; }
+
+  /// Total tasks executed and dependency edges created (for tests/benches).
+  [[nodiscard]] std::size_t tasks_executed() const;
+  [[nodiscard]] std::size_t edges_created() const;
+
+ private:
+  using NodePtr = std::shared_ptr<detail::TaskNode>;
+
+  void worker_loop(int worker_id);
+  void run_task(const NodePtr& node, int worker_id);
+  void finish_task(const NodePtr& node);
+  NodePtr pop_ready_locked();
+  NodePtr pop_child_of_locked(const detail::TaskNode* parent);
+  void link_dependencies_locked(const NodePtr& node,
+                                const std::vector<Dep>& deps);
+
+  const int nthreads_;
+  const SchedulerPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_ready_;  // workers wait for ready tasks
+  std::condition_variable cv_done_;   // taskwait / taskloop completion
+  bool stop_ = false;
+
+  std::deque<NodePtr> ready_;
+  std::size_t outstanding_ = 0;  // submitted but not yet finished
+  std::size_t executed_ = 0;
+  std::size_t edges_ = 0;
+  std::exception_ptr first_error_;
+
+  // Live address ranges with their last writer / readers (dependency state).
+  struct Range {
+    const char* begin;
+    const char* end;
+    NodePtr last_writer;
+    std::vector<NodePtr> readers;
+  };
+  std::vector<Range> ranges_;
+
+  TaskObserver observer_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace fx::task

@@ -1,0 +1,73 @@
+#include "trace/report.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+#include "core/table.hpp"
+
+namespace fx::trace {
+
+std::string render_efficiency_report(const std::string& title,
+                                     const std::vector<ReportEntry>& entries) {
+  FX_CHECK(!entries.empty(), "report needs at least one entry");
+  std::vector<ScalabilityFactors> scal;
+  scal.reserve(entries.size());
+  for (const auto& e : entries) {
+    scal.push_back(scale_against(entries.front().summary, e.summary));
+  }
+
+  core::TablePrinter t(title);
+  std::vector<std::string> head{"metric"};
+  for (const auto& e : entries) head.push_back(e.label);
+  t.header(head);
+
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      cells.push_back(core::pct(getter(i)));
+    }
+    t.row(cells);
+  };
+  row("Parallel efficiency",
+      [&](std::size_t i) { return entries[i].summary.parallel_efficiency; });
+  row("  Load Balance",
+      [&](std::size_t i) { return entries[i].summary.load_balance; });
+  row("  Communication Efficiency",
+      [&](std::size_t i) { return entries[i].summary.comm_efficiency; });
+  row("    Synchronization",
+      [&](std::size_t i) { return entries[i].summary.sync_efficiency; });
+  row("    Transfer",
+      [&](std::size_t i) { return entries[i].summary.transfer_efficiency; });
+  row("Computation Scalability",
+      [&](std::size_t i) { return scal[i].computation_scalability; });
+  row("  IPC Scalability",
+      [&](std::size_t i) { return scal[i].ipc_scalability; });
+  row("  Instructions Scalability",
+      [&](std::size_t i) { return scal[i].instruction_scalability; });
+  row("Global Efficiency",
+      [&](std::size_t i) { return scal[i].global_efficiency; });
+
+  std::vector<std::string> ipc{"avg IPC"};
+  for (const auto& e : entries) {
+    ipc.push_back(core::fixed(e.summary.avg_ipc, 3));
+  }
+  t.row(ipc);
+  return t.str();
+}
+
+std::string render_efficiency_report(const std::string& title,
+                                     const std::vector<std::string>& labels,
+                                     const std::vector<const Tracer*>& tracers,
+                                     double freq_ghz) {
+  FX_CHECK(labels.size() == tracers.size(), "labels/tracers size mismatch");
+  std::vector<ReportEntry> entries;
+  entries.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    entries.push_back(
+        ReportEntry{labels[i], analyze_efficiency(*tracers[i], freq_ghz)});
+  }
+  return render_efficiency_report(title, entries);
+}
+
+}  // namespace fx::trace

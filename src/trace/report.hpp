@@ -1,0 +1,33 @@
+// Multi-run POP efficiency reports (the analyst-facing summary table the
+// paper's Tables I/II are instances of).
+//
+// Feed it one (label, EfficiencySummary) pair per configuration of a
+// scaling sweep; it derives the cross-run scalability factors against the
+// first entry and renders the full multiplicative hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/analysis.hpp"
+
+namespace fx::trace {
+
+struct ReportEntry {
+  std::string label;  ///< e.g. "1 x 8"
+  EfficiencySummary summary;
+};
+
+/// One row per factor, one column per entry; scalabilities are relative to
+/// entries.front().  Returns the rendered table.
+std::string render_efficiency_report(const std::string& title,
+                                     const std::vector<ReportEntry>& entries);
+
+/// Convenience: analyze several tracers (all with the same frequency) and
+/// render.  Labels and tracers must have equal sizes.
+std::string render_efficiency_report(const std::string& title,
+                                     const std::vector<std::string>& labels,
+                                     const std::vector<const Tracer*>& tracers,
+                                     double freq_ghz);
+
+}  // namespace fx::trace

@@ -1,0 +1,231 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/format.hpp"
+
+namespace fx::trace {
+
+namespace {
+
+char phase_letter(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::PsiPrep:
+      return 'p';
+    case PhaseKind::Pack:
+      return 'K';
+    case PhaseKind::FftZ:
+      return 'Z';
+    case PhaseKind::Scatter:
+      return 'S';
+    case PhaseKind::FftXy:
+      return 'X';
+    case PhaseKind::Vofr:
+      return 'V';
+    case PhaseKind::Unpack:
+      return 'U';
+    case PhaseKind::Other:
+      return 'o';
+  }
+  return '?';
+}
+
+char mpi_letter(mpi::CommOpKind kind) {
+  switch (kind) {
+    case mpi::CommOpKind::Alltoall:
+      return 'A';
+    case mpi::CommOpKind::Alltoallv:
+      return 'a';
+    case mpi::CommOpKind::Barrier:
+      return 'B';
+    case mpi::CommOpKind::Bcast:
+      return 'b';
+    case mpi::CommOpKind::Allreduce:
+      return 'r';
+    case mpi::CommOpKind::Allgather:
+      return 'g';
+    case mpi::CommOpKind::Split:
+      return 's';
+    case mpi::CommOpKind::Send:
+      return '>';
+    case mpi::CommOpKind::Recv:
+      return '<';
+    case mpi::CommOpKind::Gather:
+      return 'G';
+    case mpi::CommOpKind::Scatter:
+      return 'C';
+    case mpi::CommOpKind::Reduce:
+      return 'R';
+  }
+  return '?';
+}
+
+struct RowKey {
+  int rank;
+  int thread;
+  auto operator<=>(const RowKey&) const = default;
+};
+
+}  // namespace
+
+std::string render_timeline(const Tracer& tracer, const TimelineOptions& opt) {
+  FX_CHECK(opt.width >= 10, "timeline width too small");
+  const double t0 = opt.t_begin;
+  const double t1 = opt.t_end > opt.t_begin ? opt.t_end : tracer.t_max();
+  const double span = std::max(t1 - t0, 1e-12);
+  const double dt = span / opt.width;
+
+  // Collect rows.
+  std::map<RowKey, std::vector<std::pair<char, double>>> cells;
+  auto row_cells = [&](int rank, int thread)
+      -> std::vector<std::pair<char, double>>& {
+    auto& c = cells[RowKey{rank, thread}];
+    if (c.empty()) {
+      c.assign(static_cast<std::size_t>(opt.width), {' ', 0.0});
+    }
+    return c;
+  };
+
+  auto paint = [&](int rank, int thread, double b, double e, char ch) {
+    if (e <= t0 || b >= t1) return;
+    auto& row = row_cells(rank, thread);
+    const int c0 = std::clamp(static_cast<int>((b - t0) / dt), 0,
+                              opt.width - 1);
+    const int c1 = std::clamp(static_cast<int>((e - t0) / dt), 0,
+                              opt.width - 1);
+    for (int c = c0; c <= c1; ++c) {
+      const double cell_b = t0 + c * dt;
+      const double cell_e = cell_b + dt;
+      const double overlap =
+          std::min(e, cell_e) - std::max(b, cell_b);
+      auto& cell = row[static_cast<std::size_t>(c)];
+      if (overlap > cell.second) cell = {ch, overlap};
+    }
+  };
+
+  const bool want_compute = opt.view == TimelineView::Phase ||
+                            opt.view == TimelineView::Ipc;
+  if (want_compute) {
+    for (const auto& e : tracer.compute_events()) {
+      char ch = ' ';
+      if (opt.view == TimelineView::Phase) {
+        ch = phase_letter(e.phase);
+      } else {
+        const double secs = e.t_end - e.t_begin;
+        const double ipc =
+            secs > 0.0 ? e.instructions / (secs * opt.freq_ghz * 1e9) : 0.0;
+        const int digit = std::clamp(static_cast<int>(ipc * 5.0), 0, 9);
+        ch = static_cast<char>('0' + digit);
+      }
+      paint(e.rank, e.thread, e.t_begin, e.t_end, ch);
+    }
+  } else {
+    for (const auto& e : tracer.comm_events()) {
+      char ch = opt.view == TimelineView::MpiCall
+                    ? mpi_letter(e.kind)
+                    : static_cast<char>('0' + e.comm_id % 10);
+      paint(e.rank, e.thread, e.t_begin, e.t_end, ch);
+    }
+    // Ensure every stream appears even if it has no comm in the window.
+    for (const auto& e : tracer.compute_events()) {
+      row_cells(e.rank, e.thread);
+    }
+  }
+
+  std::ostringstream os;
+  os << "time window [" << core::fixed(t0 * 1e3, 3) << " ms, "
+     << core::fixed(t1 * 1e3, 3) << " ms], " << opt.width << " columns\n";
+  for (const auto& [key, row] : cells) {
+    os << 'r' << key.rank;
+    if (key.thread > 0 || cells.count(RowKey{key.rank, 1}) > 0) {
+      os << '.' << key.thread;
+    }
+    os << '\t' << '|';
+    for (const auto& [ch, w] : row) os << ch;
+    os << "|\n";
+  }
+  switch (opt.view) {
+    case TimelineView::Phase:
+      os << "legend: p=psi_prep K=pack Z=fft_z S=scatter X=fft_xy V=vofr "
+            "U=unpack\n";
+      break;
+    case TimelineView::Ipc:
+      os << "legend: digit = IPC*5 (0 => <0.2 IPC, 9 => >=1.8 IPC)\n";
+      break;
+    case TimelineView::MpiCall:
+      os << "legend: A=Alltoall a=Alltoallv B=Barrier r=Allreduce "
+            "g=Allgather b=Bcast\n";
+      break;
+    case TimelineView::Communicator:
+      os << "legend: digit = communicator id mod 10\n";
+      break;
+  }
+  return os.str();
+}
+
+std::string render_ipc_histogram(const Tracer& tracer, int bins,
+                                 double freq_ghz) {
+  FX_CHECK(bins >= 2, "need at least two IPC bins");
+  constexpr double kMaxIpc = 2.0;  // fixed scale, comparable across runs
+  static const char kShades[] = " .:-=+*#@";
+  constexpr int kNumShades = 9;
+
+  std::map<RowKey, std::vector<double>> hist;
+  double max_cell = 0.0;
+  for (const auto& e : tracer.compute_events()) {
+    const double secs = e.t_end - e.t_begin;
+    if (secs <= 0.0) continue;
+    const double ipc = e.instructions / (secs * freq_ghz * 1e9);
+    const int bin = std::clamp(static_cast<int>(ipc / kMaxIpc * bins), 0,
+                               bins - 1);
+    auto& row = hist[RowKey{e.rank, e.thread}];
+    if (row.empty()) row.assign(static_cast<std::size_t>(bins), 0.0);
+    row[static_cast<std::size_t>(bin)] += secs;
+    max_cell = std::max(max_cell, row[static_cast<std::size_t>(bin)]);
+  }
+
+  std::ostringstream os;
+  os << "IPC histogram: columns span [0, " << core::fixed(kMaxIpc, 1)
+     << ") IPC in " << bins << " bins; shade = accumulated time\n";
+  for (const auto& [key, row] : hist) {
+    os << 'r' << key.rank << '.' << key.thread << '\t' << '|';
+    for (double v : row) {
+      const int shade =
+          max_cell > 0.0
+              ? std::clamp(static_cast<int>(v / max_cell * kNumShades), 0,
+                           kNumShades - 1)
+              : 0;
+      os << kShades[shade];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+void write_events_csv(const Tracer& tracer, const std::string& path) {
+  core::CsvWriter csv(path);
+  csv.row({"stream", "rank", "thread", "t_begin", "t_end", "what", "detail1",
+           "detail2"});
+  for (const auto& e : tracer.compute_events()) {
+    csv.row({"compute", core::cat(e.rank), core::cat(e.thread),
+             core::cat(e.t_begin), core::cat(e.t_end), to_string(e.phase),
+             core::cat(e.band), core::cat(e.instructions)});
+  }
+  for (const auto& e : tracer.comm_events()) {
+    csv.row({"comm", core::cat(e.rank), core::cat(e.thread),
+             core::cat(e.t_begin), core::cat(e.t_end), mpi::to_string(e.kind),
+             core::cat(e.comm_id), core::cat(e.bytes)});
+  }
+  for (const auto& e : tracer.task_events()) {
+    csv.row({"task", core::cat(e.rank), core::cat(e.worker),
+             core::cat(e.t_begin), core::cat(e.t_end), e.label, "", ""});
+  }
+}
+
+}  // namespace fx::trace

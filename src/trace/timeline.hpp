@@ -1,0 +1,47 @@
+// Paraver-style trace views rendered as text and CSV.
+//
+// The paper's Figs. 3 and 7 are Paraver timelines (rows = execution
+// streams, x = time, color = metric) and an IPC histogram (rows = streams,
+// x = IPC, color = accumulated duration).  These renderers produce the
+// same views as fixed-width character art -- enough to see the
+// synchronized phase blocks of the original version versus the scattered,
+// de-synchronized phases of the task version -- plus CSV dumps of the raw
+// events for external plotting.
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace fx::trace {
+
+/// What the timeline colors by.
+enum class TimelineView {
+  Phase,         ///< compute phase kind (one letter per PhaseKind)
+  Ipc,           ///< instantaneous IPC as a digit 0..9 (scaled to max)
+  MpiCall,       ///< communication operation kind
+  Communicator,  ///< communicator id of the active operation
+};
+
+struct TimelineOptions {
+  TimelineView view = TimelineView::Phase;
+  int width = 100;        ///< character columns
+  double t_begin = 0.0;   ///< window start (normalized trace time)
+  double t_end = 0.0;     ///< window end; 0 = full trace
+  double freq_ghz = 1.4;  ///< for the IPC view
+};
+
+/// Renders one row per (rank, thread) stream; within each character cell
+/// the longest-lasting state wins.  Includes a legend.
+std::string render_timeline(const Tracer& tracer, const TimelineOptions& opt);
+
+/// Renders the Fig. 7 histogram: rows = streams, columns = IPC bins,
+/// cell brightness (" .:-=+*#@") = accumulated phase duration in the bin.
+std::string render_ipc_histogram(const Tracer& tracer, int bins,
+                                 double freq_ghz);
+
+/// Dumps all three event streams to CSV (kind, rank, thread, begin, end,
+/// detail columns) for external plotting.
+void write_events_csv(const Tracer& tracer, const std::string& path);
+
+}  // namespace fx::trace

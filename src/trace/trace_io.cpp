@@ -1,0 +1,127 @@
+#include "trace/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace fx::trace {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+/// Hex-float formatting keeps doubles bit-exact through the round trip.
+std::string hexd(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& tok) {
+  return std::strtod(tok.c_str(), nullptr);
+}
+
+}  // namespace
+
+void save_trace(const Tracer& tracer, std::ostream& os) {
+  os << "fxtrace " << kVersion << ' ' << tracer.nranks() << '\n';
+  for (const auto& e : tracer.compute_events()) {
+    os << "C " << e.rank << ' ' << e.thread << ' '
+       << static_cast<int>(e.phase) << ' ' << e.band << ' '
+       << hexd(e.t_begin) << ' ' << hexd(e.t_end) << ' '
+       << hexd(e.instructions) << '\n';
+  }
+  for (const auto& e : tracer.comm_events()) {
+    os << "M " << e.rank << ' ' << e.thread << ' '
+       << static_cast<int>(e.kind) << ' ' << e.comm_id << ' ' << e.comm_size
+       << ' ' << e.tag << ' ' << e.bytes << ' ' << hexd(e.t_begin) << ' '
+       << hexd(e.t_end) << '\n';
+  }
+  for (const auto& e : tracer.task_events()) {
+    os << "T " << e.rank << ' ' << e.worker << ' ' << hexd(e.t_begin) << ' '
+       << hexd(e.t_end) << ' ' << e.label << '\n';
+  }
+  FX_CHECK(os.good(), "trace write failed");
+}
+
+void save_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  FX_CHECK(os.is_open(), "cannot open trace file for writing: " + path);
+  save_trace(tracer, os);
+}
+
+std::unique_ptr<Tracer> load_trace(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  int nranks = 0;
+  is >> magic >> version >> nranks;
+  FX_CHECK(magic == "fxtrace", "not an fxtrace file");
+  FX_CHECK(version == kVersion, "unsupported fxtrace version");
+  FX_CHECK(nranks >= 1, "corrupt fxtrace header");
+  auto tracer = std::make_unique<Tracer>(nranks);
+
+  std::string line;
+  std::getline(is, line);  // rest of header line
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "C") {
+      int rank = 0;
+      int thread = 0;
+      int phase = 0;
+      int band = 0;
+      std::string t0;
+      std::string t1;
+      std::string instr;
+      ls >> rank >> thread >> phase >> band >> t0 >> t1 >> instr;
+      FX_CHECK(!ls.fail(), "corrupt compute event: " + line);
+      tracer->record_compute(ComputeEvent{
+          rank, thread, static_cast<PhaseKind>(phase), band,
+          parse_double(t0), parse_double(t1), parse_double(instr)});
+    } else if (kind == "M") {
+      int rank = 0;
+      int thread = 0;
+      int op = 0;
+      int comm_id = 0;
+      int comm_size = 0;
+      int tag = 0;
+      std::size_t bytes = 0;
+      std::string t0;
+      std::string t1;
+      ls >> rank >> thread >> op >> comm_id >> comm_size >> tag >> bytes >>
+          t0 >> t1;
+      FX_CHECK(!ls.fail(), "corrupt comm event: " + line);
+      tracer->record_comm(CommOpEvent{
+          rank, thread, static_cast<mpi::CommOpKind>(op), comm_id, comm_size,
+          tag, bytes, parse_double(t0), parse_double(t1)});
+    } else if (kind == "T") {
+      int rank = 0;
+      int worker = 0;
+      std::string t0;
+      std::string t1;
+      ls >> rank >> worker >> t0 >> t1;
+      FX_CHECK(!ls.fail(), "corrupt task event: " + line);
+      std::string label;
+      std::getline(ls, label);
+      if (!label.empty() && label.front() == ' ') label.erase(0, 1);
+      tracer->record_task(TaskEvent{rank, worker, label, parse_double(t0),
+                                    parse_double(t1)});
+    } else {
+      FX_CHECK(false, "unknown fxtrace record: " + line);
+    }
+  }
+  return tracer;
+}
+
+std::unique_ptr<Tracer> load_trace(const std::string& path) {
+  std::ifstream is(path);
+  FX_CHECK(is.is_open(), "cannot open trace file: " + path);
+  return load_trace(is);
+}
+
+}  // namespace fx::trace

@@ -1,0 +1,34 @@
+// Trace persistence (the Extrae .prv role, in a simple line format).
+//
+// Traces can be written after a run and re-loaded later for offline
+// analysis -- every analyzer and renderer works identically on a loaded
+// trace.  Format: one event per line,
+//
+//   fxtrace 1 <nranks>
+//   C <rank> <thread> <phase> <band> <t_begin> <t_end> <instructions>
+//   M <rank> <thread> <op> <comm_id> <comm_size> <tag> <bytes> <t0> <t1>
+//   T <rank> <worker> <t_begin> <t_end> <label...>
+//
+// Timestamps keep full double precision (hex floats), so a save/load round
+// trip is exact.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace fx::trace {
+
+/// Writes the trace to a stream / file.  Throws fx::core::Error on I/O
+/// failure.
+void save_trace(const Tracer& tracer, std::ostream& os);
+void save_trace(const Tracer& tracer, const std::string& path);
+
+/// Reads a trace written by save_trace.  Throws fx::core::Error on parse
+/// errors or unsupported versions.
+std::unique_ptr<Tracer> load_trace(std::istream& is);
+std::unique_ptr<Tracer> load_trace(const std::string& path);
+
+}  // namespace fx::trace

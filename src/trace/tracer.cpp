@@ -1,0 +1,65 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fx::trace {
+
+void Tracer::record_compute(const ComputeEvent& e) {
+  std::lock_guard lock(mu_);
+  compute_.push_back(e);
+}
+
+void Tracer::record_comm(const CommOpEvent& e) {
+  std::lock_guard lock(mu_);
+  comm_.push_back(e);
+}
+
+void Tracer::record_task(const TaskEvent& e) {
+  std::lock_guard lock(mu_);
+  tasks_.push_back(e);
+}
+
+double Tracer::t_min() const {
+  std::lock_guard lock(mu_);
+  double t = std::numeric_limits<double>::max();
+  for (const auto& e : compute_) t = std::min(t, e.t_begin);
+  for (const auto& e : comm_) t = std::min(t, e.t_begin);
+  for (const auto& e : tasks_) t = std::min(t, e.t_begin);
+  return t == std::numeric_limits<double>::max() ? 0.0 : t;
+}
+
+double Tracer::t_max() const {
+  std::lock_guard lock(mu_);
+  double t = 0.0;
+  for (const auto& e : compute_) t = std::max(t, e.t_end);
+  for (const auto& e : comm_) t = std::max(t, e.t_end);
+  for (const auto& e : tasks_) t = std::max(t, e.t_end);
+  return t;
+}
+
+void Tracer::normalize_time() {
+  const double origin = t_min();
+  std::lock_guard lock(mu_);
+  for (auto& e : compute_) {
+    e.t_begin -= origin;
+    e.t_end -= origin;
+  }
+  for (auto& e : comm_) {
+    e.t_begin -= origin;
+    e.t_end -= origin;
+  }
+  for (auto& e : tasks_) {
+    e.t_begin -= origin;
+    e.t_end -= origin;
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  compute_.clear();
+  comm_.clear();
+  tasks_.clear();
+}
+
+}  // namespace fx::trace

@@ -1,0 +1,35 @@
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(FX_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FX_ASSERT(true, "never shown"));
+}
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(FX_CHECK(false), fx::core::Error);
+  EXPECT_THROW(FX_ASSERT(2 > 3), fx::core::Error);
+}
+
+TEST(Error, MessageContainsConditionAndContext) {
+  try {
+    FX_CHECK(1 == 2, "custom context");
+    FAIL() << "expected throw";
+  } catch (const fx::core::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  EXPECT_THROW(FX_CHECK(false), std::runtime_error);
+}
+
+}  // namespace

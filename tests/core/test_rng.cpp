@@ -1,0 +1,68 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+
+namespace {
+
+using fx::core::Rng;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-3.5, 2.25);
+    ASSERT_GE(x, -3.5);
+    ASSERT_LT(x, 2.25);
+  }
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.next_below(7);
+    ASSERT_LT(v, 7U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, RoughlyUniformDoubleMean) {
+  Rng r(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using fx::core::Welford;
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(fx::core::mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(fx::core::stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(fx::core::median({}), 0.0);
+}
+
+TEST(Stats, MeanAndStddevMatchHandComputed) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(fx::core::mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(fx::core::stddev(xs), 2.0);  // classic population example
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(fx::core::median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(fx::core::median(even), 2.5);
+}
+
+TEST(Stats, WelfordMatchesDirectFormulas) {
+  const std::vector<double> xs{1.5, -2.0, 3.25, 0.0, 10.0, -7.5};
+  Welford w;
+  for (double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), fx::core::mean(xs), 1e-12);
+  EXPECT_NEAR(w.stddev(), fx::core::stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), -7.5);
+  EXPECT_DOUBLE_EQ(w.max(), 10.0);
+}
+
+TEST(Stats, WelfordSingleSample) {
+  Welford w;
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 3.0);
+  EXPECT_DOUBLE_EQ(w.max(), 3.0);
+}
+
+}  // namespace

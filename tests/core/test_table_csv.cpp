@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/format.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+TEST(Format, CatConcatenatesStreamables) {
+  EXPECT_EQ(fx::core::cat("a", 1, '-', 2.5), "a1-2.5");
+}
+
+TEST(Format, FixedAndPct) {
+  EXPECT_EQ(fx::core::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fx::core::pct(0.9575), "95.75 %");
+  EXPECT_EQ(fx::core::pct(1.0, 1), "100.0 %");
+}
+
+TEST(Table, AlignsColumnsAndKeepsRows) {
+  fx::core::TablePrinter t("Demo");
+  t.header({"metric", "1 x 8", "16 x 8"});
+  t.row({"Parallel efficiency", "95.75 %", "86.15 %"});
+  t.row({"Load Balance", "97.31 %", "96.91 %"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("Parallel efficiency"), std::string::npos);
+  // Columns aligned: "1 x 8" starts at the same offset in both data rows.
+  std::istringstream is(s);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  const auto pos1 = lines[4].find("95.75");
+  const auto pos2 = lines[5].find("97.31");
+  EXPECT_EQ(pos1, pos2);
+  EXPECT_EQ(t.rows().size(), 2U);
+}
+
+TEST(Csv, WritesAndQuotes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fx_test_csv.csv").string();
+  {
+    fx::core::CsvWriter w(path);
+    w.row({"a", "b,c", "d\"e"});
+    w.row({"1", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::string l1;
+  std::string l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(l2, "1,2,3");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "fx_csv_sub";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "deep" / "out.csv").string();
+  {
+    fx::core::CsvWriter w(path);
+    w.row({"x"});
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

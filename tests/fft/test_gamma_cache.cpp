@@ -1,0 +1,162 @@
+// Gamma-point two-real-signals-per-FFT packing and the plan cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "fft/dft_ref.hpp"
+#include "fft/gamma.hpp"
+#include "fft/plan_cache.hpp"
+
+namespace {
+
+using fx::core::Rng;
+using fx::fft::cplx;
+using fx::fft::Direction;
+using fx::fft::Fft1d;
+using fx::fft::Workspace;
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+class GammaSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GammaSweep, SpectraMatchIndividualTransforms) {
+  const std::size_t n = GetParam();
+  const auto a = random_real(n, 2 * n + 1);
+  const auto b = random_real(n, 2 * n + 2);
+
+  Fft1d fwd(n, Direction::Forward);
+  Workspace ws;
+  std::vector<cplx> spectrum_a(n);
+  std::vector<cplx> spectrum_b(n);
+  fx::fft::fft_two_real(fwd, a, b, spectrum_a, spectrum_b, ws);
+
+  // Reference: transform each signal individually.
+  std::vector<cplx> ca(n);
+  std::vector<cplx> cb(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ca[j] = cplx{a[j], 0.0};
+    cb[j] = cplx{b[j], 0.0};
+  }
+  std::vector<cplx> want_a(n);
+  std::vector<cplx> want_b(n);
+  fx::fft::dft_reference(ca, want_a, Direction::Forward);
+  fx::fft::dft_reference(cb, want_b, Direction::Forward);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(std::abs(spectrum_a[k] - want_a[k]), 0.0, 1e-10)
+        << "n=" << n << " k=" << k;
+    ASSERT_NEAR(std::abs(spectrum_b[k] - want_b[k]), 0.0, 1e-10)
+        << "n=" << n << " k=" << k;
+  }
+  EXPECT_TRUE(fx::fft::is_hermitian(spectrum_a, 1e-10));
+  EXPECT_TRUE(fx::fft::is_hermitian(spectrum_b, 1e-10));
+}
+
+TEST_P(GammaSweep, RoundTripRestoresBothSignals) {
+  const std::size_t n = GetParam();
+  const auto a = random_real(n, 3 * n + 1);
+  const auto b = random_real(n, 3 * n + 2);
+
+  Fft1d fwd(n, Direction::Forward);
+  Fft1d bwd(n, Direction::Backward);
+  Workspace ws;
+  std::vector<cplx> sa(n);
+  std::vector<cplx> sb(n);
+  fx::fft::fft_two_real(fwd, a, b, sa, sb, ws);
+
+  std::vector<double> a2(n);
+  std::vector<double> b2(n);
+  fx::fft::ifft_two_real(bwd, sa, sb, a2, b2, ws);
+  for (std::size_t j = 0; j < n; ++j) {
+    ASSERT_NEAR(a2[j], a[j], 1e-11) << "j=" << j;
+    ASSERT_NEAR(b2[j], b[j], 1e-11) << "j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GammaSweep,
+                         ::testing::Values(2, 3, 8, 12, 17, 60, 128));
+
+TEST(Gamma, HermitianCheckRejectsGenericSpectrum) {
+  std::vector<cplx> s{{1.0, 0.0}, {2.0, 3.0}, {4.0, 5.0}, {6.0, 7.0}};
+  EXPECT_FALSE(fx::fft::is_hermitian(s, 1e-12));
+  // A genuinely Hermitian one: X0 real, X1 = conj(X3), X2 real.
+  std::vector<cplx> h{{1.0, 0.0}, {2.0, 3.0}, {4.0, 0.0}, {2.0, -3.0}};
+  EXPECT_TRUE(fx::fft::is_hermitian(h, 1e-12));
+}
+
+TEST(Gamma, RejectsWrongDirectionPlans) {
+  Fft1d bwd(8, Direction::Backward);
+  Workspace ws;
+  std::vector<double> a(8, 0.0);
+  std::vector<double> b(8, 0.0);
+  std::vector<cplx> sa(8);
+  std::vector<cplx> sb(8);
+  EXPECT_THROW(fx::fft::fft_two_real(bwd, a, b, sa, sb, ws),
+               fx::core::Error);
+}
+
+TEST(PlanCache, ReturnsSharedInstances) {
+  fx::fft::PlanCache cache;
+  const auto p1 = cache.plan1d(64, Direction::Forward);
+  const auto p2 = cache.plan1d(64, Direction::Forward);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_NE(p1.get(), cache.plan1d(64, Direction::Backward).get());
+  EXPECT_NE(p1.get(), cache.plan1d(128, Direction::Forward).get());
+  EXPECT_EQ(cache.size(), 3U);
+}
+
+TEST(PlanCache, CachedPlansWork) {
+  fx::fft::PlanCache cache;
+  const auto plan = cache.plan1d(12, Direction::Forward);
+  std::vector<cplx> x(12, cplx{1.0, 0.0});
+  std::vector<cplx> y(12);
+  plan->execute(x.data(), y.data());
+  EXPECT_NEAR(y[0].real(), 12.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[5]), 0.0, 1e-12);
+
+  const auto p2 = cache.plan2d(4, 6, Direction::Backward);
+  EXPECT_EQ(p2->nx(), 4U);
+  EXPECT_EQ(cache.size(), 2U);
+}
+
+TEST(PlanCache, ClearKeepsOutstandingPlansAlive) {
+  fx::fft::PlanCache cache;
+  const auto plan = cache.plan1d(30, Direction::Forward);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  std::vector<cplx> x(30, cplx{0.5, 0.0});
+  std::vector<cplx> y(30);
+  plan->execute(x.data(), y.data());  // must not crash
+  EXPECT_NEAR(y[0].real(), 15.0, 1e-12);
+}
+
+TEST(PlanCache, ConcurrentAccessIsSafe) {
+  fx::fft::PlanCache cache;
+  std::vector<std::shared_ptr<const Fft1d>> got(8);
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < 8; ++t) {
+      pool.emplace_back([&cache, &got, t] {
+        got[static_cast<std::size_t>(t)] =
+            cache.plan1d(96, Direction::Forward);
+      });
+    }
+  }
+  for (const auto& p : got) EXPECT_EQ(p.get(), got[0].get());
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(PlanCache, GlobalInstanceIsSingleton) {
+  EXPECT_EQ(&fx::fft::PlanCache::global(), &fx::fft::PlanCache::global());
+}
+
+}  // namespace

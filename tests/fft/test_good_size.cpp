@@ -1,0 +1,48 @@
+#include "fft/good_size.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fx::fft::good_fft_size;
+using fx::fft::is_good_fft_size;
+
+TEST(GoodSize, KnownGoodSizes) {
+  for (std::size_t n : {1UL, 2UL, 3UL, 4UL, 5UL, 6UL, 7UL, 8UL, 10UL, 12UL,
+                        15UL, 60UL, 120UL, 243UL, 1024UL, 2 * 3 * 5 * 7UL}) {
+    EXPECT_TRUE(is_good_fft_size(n)) << n;
+  }
+}
+
+TEST(GoodSize, RejectsLargePrimesAndDoubleSevens) {
+  for (std::size_t n : {11UL, 13UL, 17UL, 49UL, 98UL, 121UL, 77UL, 0UL}) {
+    EXPECT_FALSE(is_good_fft_size(n)) << n;
+  }
+}
+
+TEST(GoodSize, KnownRoundUps) {
+  EXPECT_EQ(good_fft_size(57), 60U);   // wave grid for ecut=80, a=20
+  EXPECT_EQ(good_fft_size(113), 120U); // corresponding dense grid
+  EXPECT_EQ(good_fft_size(11), 12U);
+  EXPECT_EQ(good_fft_size(0), 1U);
+  EXPECT_EQ(good_fft_size(1), 1U);
+}
+
+TEST(GoodSize, ResultIsMinimalGoodSize) {
+  for (std::size_t n = 1; n <= 600; ++n) {
+    const std::size_t g = good_fft_size(n);
+    ASSERT_GE(g, n);
+    ASSERT_TRUE(is_good_fft_size(g)) << "n=" << n << " g=" << g;
+    for (std::size_t m = n; m < g; ++m) {
+      ASSERT_FALSE(is_good_fft_size(m)) << "n=" << n << " skipped good " << m;
+    }
+  }
+}
+
+TEST(GoodSize, FixedPointOnGoodInput) {
+  for (std::size_t n : {60UL, 120UL, 128UL, 210UL}) {
+    EXPECT_EQ(good_fft_size(n), n);
+  }
+}
+
+}  // namespace

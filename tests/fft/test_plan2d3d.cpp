@@ -1,0 +1,123 @@
+// 2D and 3D plans against the reference transforms.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fft/dft_ref.hpp"
+#include "fft/plan2d.hpp"
+#include "fft/plan3d.hpp"
+
+namespace {
+
+using fx::core::Rng;
+using fx::fft::cplx;
+using fx::fft::Direction;
+using fx::fft::Fft2d;
+using fx::fft::Fft3d;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+class Plan2dSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(Plan2dSweep, MatchesReference) {
+  const auto [nx, ny] = GetParam();
+  const std::size_t n = nx * ny;
+  const auto x = random_signal(n, nx * 131 + ny);
+
+  // Reference via dft3d with nz == 1.
+  std::vector<cplx> want(n);
+  fx::fft::dft3d_reference(x, want, nx, ny, 1, Direction::Forward);
+
+  std::vector<cplx> got(n);
+  Fft2d plan(nx, ny, Direction::Forward);
+  plan.execute(x.data(), got.data());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST_P(Plan2dSweep, InPlaceMatchesOutOfPlace) {
+  const auto [nx, ny] = GetParam();
+  const std::size_t n = nx * ny;
+  auto x = random_signal(n, nx * 17 + ny + 3);
+  std::vector<cplx> want(n);
+  Fft2d plan(nx, ny, Direction::Backward);
+  plan.execute(x.data(), want.data());
+  plan.execute(x.data(), x.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(std::abs(x[i] - want[i]), 0.0, 1e-11) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Plan2dSweep,
+    ::testing::Values(std::tuple{1UL, 1UL}, std::tuple{4UL, 4UL},
+                      std::tuple{8UL, 6UL}, std::tuple{5UL, 12UL},
+                      std::tuple{16UL, 16UL}, std::tuple{12UL, 10UL},
+                      std::tuple{17UL, 9UL},  // Bluestein along x
+                      std::tuple{20UL, 18UL}));
+
+class Plan3dSweep : public ::testing::TestWithParam<
+                        std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(Plan3dSweep, MatchesReference) {
+  const auto [nx, ny, nz] = GetParam();
+  const std::size_t n = nx * ny * nz;
+  const auto x = random_signal(n, nx * 7 + ny * 3 + nz);
+
+  std::vector<cplx> want(n);
+  fx::fft::dft3d_reference(x, want, nx, ny, nz, Direction::Forward);
+
+  std::vector<cplx> got(n);
+  Fft3d plan(nx, ny, nz, Direction::Forward);
+  plan.execute(x.data(), got.data());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST_P(Plan3dSweep, RoundTripIsScaledIdentity) {
+  const auto [nx, ny, nz] = GetParam();
+  const std::size_t n = nx * ny * nz;
+  const auto x = random_signal(n, nx + ny + nz + 1000);
+
+  std::vector<cplx> mid(n);
+  std::vector<cplx> back(n);
+  Fft3d fwd(nx, ny, nz, Direction::Forward);
+  Fft3d bwd(nx, ny, nz, Direction::Backward);
+  fwd.execute(x.data(), mid.data());
+  bwd.execute(mid.data(), back.data());
+  const double scale = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(std::abs(back[i] / scale - x[i]), 0.0, 1e-10) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Plan3dSweep,
+    ::testing::Values(std::tuple{1UL, 1UL, 1UL}, std::tuple{4UL, 4UL, 4UL},
+                      std::tuple{6UL, 5UL, 4UL}, std::tuple{8UL, 8UL, 8UL},
+                      std::tuple{12UL, 10UL, 6UL}, std::tuple{3UL, 16UL, 5UL},
+                      std::tuple{10UL, 7UL, 11UL}));
+
+TEST(Plan3d, VolumeAndAccessors) {
+  Fft3d plan(4, 6, 8, Direction::Forward);
+  EXPECT_EQ(plan.nx(), 4U);
+  EXPECT_EQ(plan.ny(), 6U);
+  EXPECT_EQ(plan.nz(), 8U);
+  EXPECT_EQ(plan.volume(), 192U);
+  EXPECT_EQ(plan.direction(), Direction::Forward);
+}
+
+}  // namespace

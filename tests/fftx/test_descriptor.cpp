@@ -1,0 +1,166 @@
+// Descriptor invariants: the two-layer layout must tile the sphere and the
+// grid exactly, for every (nproc, ntg) combination.
+#include "fftx/descriptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/error.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace {
+
+using fx::fftx::Descriptor;
+using fx::pw::Cell;
+
+class LayoutSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {  // (P, T)
+ protected:
+  LayoutSweep()
+      : desc_(Cell{8.0}, 8.0, std::get<0>(GetParam()), std::get<1>(GetParam())) {}
+  Descriptor desc_;
+};
+
+TEST_P(LayoutSweep, BasicShape) {
+  const auto [P, T] = GetParam();
+  EXPECT_EQ(desc_.nproc(), P);
+  EXPECT_EQ(desc_.ntg(), T);
+  EXPECT_EQ(desc_.group_size(), P / T);
+  for (int w = 0; w < P; ++w) {
+    EXPECT_EQ(desc_.world_rank(desc_.group_rank_of(w), desc_.group_of(w)), w);
+    EXPECT_LT(desc_.group_of(w), T);
+    EXPECT_LT(desc_.group_rank_of(w), P / T);
+  }
+}
+
+TEST_P(LayoutSweep, WorldIndicesPartitionTheSphere) {
+  const auto [P, T] = GetParam();
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (int w = 0; w < P; ++w) {
+    const auto idx = desc_.world_g_index(w);
+    EXPECT_EQ(idx.size(), desc_.ng_world(w));
+    for (std::size_t i : idx) {
+      ASSERT_TRUE(seen.insert(i).second) << "duplicate G index " << i;
+    }
+    total += idx.size();
+  }
+  EXPECT_EQ(total, desc_.sphere().size());
+}
+
+TEST_P(LayoutSweep, GroupSticksAreTheUnionOfPackComm) {
+  const auto [P, T] = GetParam();
+  const int R = P / T;
+  std::size_t total_sticks = 0;
+  std::size_t total_ng = 0;
+  for (int b = 0; b < R; ++b) {
+    std::size_t ng = 0;
+    std::set<std::size_t> mine;
+    for (std::size_t s : desc_.group_sticks(b)) {
+      ASSERT_TRUE(mine.insert(s).second);
+      // The world owner of s must be a member of pack comm b.
+      const int owner = desc_.world_sticks().owner(s);
+      ASSERT_EQ(owner / T, b);
+      ng += desc_.world_sticks().sticks()[s].ng;
+    }
+    EXPECT_EQ(ng, desc_.ng_group(b));
+    EXPECT_EQ(mine.size(), desc_.nsticks_group(b));
+    total_sticks += mine.size();
+    total_ng += ng;
+  }
+  EXPECT_EQ(total_sticks, desc_.total_sticks());
+  EXPECT_EQ(total_ng, desc_.sphere().size());
+}
+
+TEST_P(LayoutSweep, PencilIndexIsInjectivePerGroupRank) {
+  const auto [P, T] = GetParam();
+  const int R = P / T;
+  for (int b = 0; b < R; ++b) {
+    const auto pidx = desc_.pencil_index(b);
+    EXPECT_EQ(pidx.size(), desc_.ng_group(b));
+    std::set<std::size_t> seen;
+    for (std::size_t off : pidx) {
+      ASSERT_LT(off, desc_.pencil_size(b));
+      ASSERT_TRUE(seen.insert(off).second) << "pencil aliasing";
+    }
+  }
+}
+
+TEST_P(LayoutSweep, PackCountsMatchWorldCounts) {
+  const auto [P, T] = GetParam();
+  const int R = P / T;
+  for (int b = 0; b < R; ++b) {
+    std::size_t sum = 0;
+    for (int m = 0; m < T; ++m) {
+      EXPECT_EQ(desc_.pack_count(b, m),
+                desc_.ng_world(desc_.world_rank(b, m)));
+      sum += desc_.pack_count(b, m);
+    }
+    EXPECT_EQ(sum, desc_.ng_group(b));
+  }
+}
+
+TEST_P(LayoutSweep, PlanesPartitionTheGrid) {
+  const auto [P, T] = GetParam();
+  const int R = P / T;
+  std::size_t planes = 0;
+  for (int b = 0; b < R; ++b) planes += desc_.npz(b);
+  EXPECT_EQ(planes, desc_.dims().nz);
+}
+
+TEST_P(LayoutSweep, StickXyOffsetsAreDistinctAndInPlane) {
+  std::set<std::size_t> seen;
+  for (std::size_t s = 0; s < desc_.total_sticks(); ++s) {
+    const std::size_t xy = desc_.stick_xy(s);
+    ASSERT_LT(xy, desc_.dims().plane());
+    ASSERT_TRUE(seen.insert(xy).second) << "two sticks on one column";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, LayoutSweep,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{2, 2},
+                      std::tuple{4, 1}, std::tuple{4, 2}, std::tuple{4, 4},
+                      std::tuple{8, 2}, std::tuple{8, 4}, std::tuple{8, 8},
+                      std::tuple{6, 3}, std::tuple{12, 4}));
+
+TEST(Descriptor, PotentialSlabsTileTheGridConsistently) {
+  const Descriptor desc(Cell{8.0}, 8.0, 4, 2);  // R = 2
+  const auto& dims = desc.dims();
+  std::vector<double> full;
+  for (int b = 0; b < desc.group_size(); ++b) {
+    std::vector<double> slab(desc.npz(b) * dims.plane());
+    desc.fill_potential(b, slab);
+    full.insert(full.end(), slab.begin(), slab.end());
+  }
+  ASSERT_EQ(full.size(), dims.volume());
+  std::size_t pos = 0;
+  for (std::size_t iz = 0; iz < dims.nz; ++iz) {
+    for (std::size_t iy = 0; iy < dims.ny; ++iy) {
+      for (std::size_t ix = 0; ix < dims.nx; ++ix) {
+        ASSERT_DOUBLE_EQ(full[pos++],
+                         fx::pw::potential_value(ix, iy, iz, dims));
+      }
+    }
+  }
+}
+
+TEST(Descriptor, RejectsBadConfigs) {
+  EXPECT_THROW(Descriptor(Cell{8.0}, 8.0, 4, 3), fx::core::Error);  // 3 !| 4
+  EXPECT_THROW(Descriptor(Cell{8.0}, 8.0, 0, 1), fx::core::Error);
+}
+
+TEST(Descriptor, LayoutIsIndependentOfNtgAtWorldLevel) {
+  // World stick distribution depends only on P; ntg only regroups.
+  const Descriptor a(Cell{8.0}, 8.0, 8, 1);
+  const Descriptor d(Cell{8.0}, 8.0, 8, 4);
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_EQ(a.ng_world(w), d.ng_world(w));
+  }
+  EXPECT_EQ(a.dims().nx, d.dims().nx);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Dense-grid distributed 3D FFT against the serial oracle, across rank
+// counts and grid shapes, plus layout invariants.
+#include "fftx/grid_fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fft/dft_ref.hpp"
+#include "fft/plan3d.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using fx::core::Rng;
+using fx::fft::cplx;
+using fx::fftx::GridFft;
+using fx::pw::GridDims;
+
+std::vector<cplx> random_grid(const GridDims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> g(dims.volume());
+  for (auto& v : g) v = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return g;
+}
+
+class GridFftSweep : public ::testing::TestWithParam<
+                         std::tuple<int, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GridFftSweep, MatchesSerial3dTransform) {
+  const auto [P, nx, ny, nz] = GetParam();
+  const GridDims dims{nx, ny, nz};
+  const auto input = random_grid(dims, nx * 100 + ny * 10 + nz);
+
+  // Serial oracle: unnormalized backward 3D transform.
+  std::vector<cplx> want(input);
+  fx::fft::Fft3d serial(nx, ny, nz, fx::fft::Direction::Backward);
+  serial.execute(want.data(), want.data());
+
+  std::vector<cplx> got(dims.volume(), cplx{0.0, 0.0});
+  fx::mpi::Runtime::run(P, [&](fx::mpi::Comm& comm) {
+    GridFft grid(comm, dims);
+    fx::fft::Workspace ws;
+    const int me = comm.rank();
+
+    // Scatter the reciprocal data into my pencils [col][iz];
+    // column c = ix + nx*iy at grid index ix + nx*(iy + ny*iz).
+    std::vector<cplx> pencils(grid.pencil_elems());
+    for (std::size_t c = 0; c < grid.ncols(me); ++c) {
+      const std::size_t col = grid.col_first(me) + c;
+      for (std::size_t iz = 0; iz < nz; ++iz) {
+        pencils[c * nz + iz] = input[col + dims.plane() * iz];
+      }
+    }
+    std::vector<cplx> planes(grid.plane_elems());
+    grid.to_real(pencils, planes, ws);
+
+    // Collect my planes into the shared result (disjoint writes).
+    for (std::size_t iz = 0; iz < grid.nplanes(me); ++iz) {
+      const std::size_t gz = grid.plane_first(me) + iz;
+      for (std::size_t xy = 0; xy < dims.plane(); ++xy) {
+        got[gz * dims.plane() + xy] = planes[iz * dims.plane() + xy];
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST_P(GridFftSweep, RoundTripIsIdentity) {
+  const auto [P, nx, ny, nz] = GetParam();
+  const GridDims dims{nx, ny, nz};
+  const auto input = random_grid(dims, nx + ny + nz + 5000);
+
+  double max_err = -1.0;
+  fx::mpi::Runtime::run(P, [&](fx::mpi::Comm& comm) {
+    GridFft grid(comm, dims);
+    fx::fft::Workspace ws;
+    const int me = comm.rank();
+
+    std::vector<cplx> pencils(grid.pencil_elems());
+    for (std::size_t c = 0; c < grid.ncols(me); ++c) {
+      const std::size_t col = grid.col_first(me) + c;
+      for (std::size_t iz = 0; iz < nz; ++iz) {
+        pencils[c * nz + iz] = input[col + dims.plane() * iz];
+      }
+    }
+    std::vector<cplx> planes(grid.plane_elems());
+    grid.to_real(pencils, planes, ws, /*tag=*/1);
+    std::vector<cplx> back(grid.pencil_elems());
+    grid.to_recip(planes, back, ws, /*tag=*/2);
+
+    double err = 0.0;
+    for (std::size_t k = 0; k < back.size(); ++k) {
+      err = std::max(err, std::abs(back[k] - pencils[k]));
+    }
+    double global = 0.0;
+    comm.allreduce(&err, &global, 1, fx::mpi::ReduceOp::Max);
+    if (me == 0) max_err = global;
+  });
+  EXPECT_GE(max_err, 0.0);
+  EXPECT_LT(max_err, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridFftSweep,
+    ::testing::Values(std::tuple{1, 6UL, 6UL, 6UL},
+                      std::tuple{2, 8UL, 8UL, 8UL},
+                      std::tuple{3, 6UL, 5UL, 4UL},   // anisotropic, odd P
+                      std::tuple{4, 8UL, 6UL, 10UL},
+                      std::tuple{7, 12UL, 12UL, 12UL},  // P !| nz
+                      std::tuple{8, 4UL, 4UL, 4UL}));   // P == nz
+
+TEST(GridFft, LayoutPartitionsColumnsAndPlanes) {
+  const GridDims dims{10, 6, 8};
+  fx::mpi::Runtime::run(3, [&](fx::mpi::Comm& comm) {
+    GridFft grid(comm, dims);
+    std::size_t cols = 0;
+    std::size_t planes = 0;
+    for (int r = 0; r < 3; ++r) {
+      cols += grid.ncols(r);
+      planes += grid.nplanes(r);
+    }
+    EXPECT_EQ(cols, dims.plane());
+    EXPECT_EQ(planes, dims.nz);
+    EXPECT_EQ(grid.pencil_elems(), grid.ncols(comm.rank()) * dims.nz);
+  });
+}
+
+TEST(GridFft, BufferSizeMismatchThrows) {
+  fx::mpi::Runtime::run(1, [&](fx::mpi::Comm& comm) {
+    GridFft grid(comm, GridDims{4, 4, 4});
+    fx::fft::Workspace ws;
+    std::vector<cplx> small(3);
+    std::vector<cplx> planes(grid.plane_elems());
+    EXPECT_THROW(grid.to_real(small, planes, ws), fx::core::Error);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Property sweep: randomized pipeline configurations (cell, cutoff, ranks,
+// task groups, mode, workers, bands) must always match the serial oracle.
+// Complements the hand-picked matrix in test_pipeline.cpp with breadth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "fftx/pipeline.hpp"
+#include "fftx/reference.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using fx::core::Rng;
+using fx::fftx::BandFftPipeline;
+using fx::fftx::Descriptor;
+using fx::fftx::PipelineConfig;
+using fx::fftx::PipelineMode;
+using fx::pw::Cell;
+
+struct RandomConfig {
+  Cell cell{8.0};
+  double ecut = 8.0;
+  int nproc = 1;
+  int ntg = 1;
+  int bands = 4;
+  PipelineMode mode = PipelineMode::Original;
+  int threads = 1;
+};
+
+RandomConfig draw(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomConfig c;
+  c.cell = Cell{rng.uniform(5.0, 9.0), rng.uniform(5.0, 9.0),
+                rng.uniform(5.0, 9.0)};
+  c.ecut = rng.uniform(4.0, 9.0);
+  c.nproc = 1 + static_cast<int>(rng.next_below(6));  // 1..6
+  // ntg: random divisor of nproc.
+  std::vector<int> divisors;
+  for (int d = 1; d <= c.nproc; ++d) {
+    if (c.nproc % d == 0) divisors.push_back(d);
+  }
+  c.ntg = divisors[rng.next_below(divisors.size())];
+  const int iterations = 1 + static_cast<int>(rng.next_below(4));
+  c.bands = c.ntg * iterations;
+  c.mode = static_cast<PipelineMode>(rng.next_below(4));
+  if (c.mode != PipelineMode::Original) {
+    c.ntg = 1;  // task modes replace the groups with threads (paper setup)
+    c.bands = iterations;
+    c.threads = 1 + static_cast<int>(rng.next_below(4));
+  }
+  return c;
+}
+
+class RandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSweep, MatchesOracle) {
+  const RandomConfig c = draw(GetParam());
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << GetParam() << " cell=(" << c.cell.ax << ","
+               << c.cell.ay << "," << c.cell.az << ") ecut=" << c.ecut
+               << " P=" << c.nproc << " ntg=" << c.ntg
+               << " bands=" << c.bands << " mode=" << to_string(c.mode)
+               << " threads=" << c.threads);
+
+  auto desc =
+      std::make_shared<const Descriptor>(c.cell, c.ecut, c.nproc, c.ntg);
+  double worst = -1.0;
+  fx::mpi::Runtime::run(c.nproc, [&](fx::mpi::Comm& world) {
+    PipelineConfig cfg;
+    cfg.num_bands = c.bands;
+    cfg.mode = c.mode;
+    cfg.nthreads = c.threads;
+    BandFftPipeline pipe(world, desc, cfg);
+    pipe.initialize_bands();
+    pipe.run();
+
+    const auto index = desc->world_g_index(world.rank());
+    double err = 0.0;
+    for (int n = 0; n < c.bands; ++n) {
+      const auto want = fx::fftx::reference_band_output(*desc, n, true);
+      const auto mine = pipe.band(n);
+      for (std::size_t k = 0; k < index.size(); ++k) {
+        err = std::max(err, std::abs(mine[k] - want[index[k]]));
+      }
+    }
+    double global = 0.0;
+    world.allreduce(&err, &global, 1, fx::mpi::ReduceOp::Max);
+    if (world.rank() == 0) worst = global;
+  });
+  EXPECT_GE(worst, 0.0);
+  EXPECT_LT(worst, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace

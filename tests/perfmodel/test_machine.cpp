@@ -1,0 +1,106 @@
+// Machine presets and the contention ingredients' qualitative effects.
+#include <gtest/gtest.h>
+
+#include "perfmodel/simulator.hpp"
+#include "trace/analysis.hpp"
+
+namespace {
+
+using fx::fftx::Descriptor;
+using fx::fftx::PipelineMode;
+using fx::model::build_program;
+using fx::model::MachineConfig;
+using fx::model::ProgramConfig;
+using fx::model::SimConfig;
+using fx::model::simulate;
+using fx::pw::Cell;
+
+TEST(Machine, KnlPresetMatchesPaperTestbed) {
+  const auto m = MachineConfig::knl();
+  EXPECT_EQ(m.cores, 68);
+  EXPECT_EQ(m.smt, 4);
+  EXPECT_DOUBLE_EQ(m.freq_ghz, 1.4);
+  // Fig. 3 phase ordering: psi prep lowest, FFT-XY highest.
+  EXPECT_LT(m.base_ipc_of(fx::trace::PhaseKind::PsiPrep),
+            m.base_ipc_of(fx::trace::PhaseKind::FftZ));
+  EXPECT_LT(m.base_ipc_of(fx::trace::PhaseKind::FftZ),
+            m.base_ipc_of(fx::trace::PhaseKind::FftXy));
+}
+
+TEST(Machine, XeonPresetIsFasterPerCore) {
+  const auto knl = MachineConfig::knl();
+  const auto xeon = MachineConfig::xeon();
+  EXPECT_LT(xeon.cores, knl.cores);
+  EXPECT_GT(xeon.freq_ghz, knl.freq_ghz);
+  EXPECT_GT(xeon.base_ipc_of(fx::trace::PhaseKind::FftXy),
+            knl.base_ipc_of(fx::trace::PhaseKind::FftXy));
+}
+
+double runtime_on(const MachineConfig& m, int nranks, PipelineMode mode,
+                  int threads, int ntg) {
+  const Descriptor desc(Cell{10.0}, 12.0, nranks, ntg);
+  ProgramConfig pcfg;
+  pcfg.mode = mode;
+  pcfg.num_bands = 16;
+  const auto bundle = build_program(desc, pcfg);
+  SimConfig scfg;
+  scfg.mode = mode;
+  scfg.threads_per_rank = threads;
+  return simulate(bundle, m, scfg, nullptr).makespan;
+}
+
+TEST(Machine, FewXeonCoresBeatFewKnlCores) {
+  // Same layout, wide cores win when contention is irrelevant.
+  const double knl = runtime_on(MachineConfig::knl(), 4, PipelineMode::Original,
+                                1, 1);
+  const double xeon = runtime_on(MachineConfig::xeon(), 4,
+                                 PipelineMode::Original, 1, 1);
+  EXPECT_LT(xeon, knl);
+}
+
+TEST(Machine, SamePhaseContentionPenalizesSynchronizedRuns) {
+  // With the same-phase term switched off, the original's full-node run
+  // speeds up more than the de-synchronized task run does.
+  auto with = MachineConfig::knl();
+  auto without = MachineConfig::knl();
+  without.same_phase_contention = 0.0;
+
+  const double orig_with = runtime_on(with, 32, PipelineMode::Original, 1, 8);
+  const double orig_without =
+      runtime_on(without, 32, PipelineMode::Original, 1, 8);
+  const double task_with = runtime_on(with, 4, PipelineMode::TaskPerFft, 8, 1);
+  const double task_without =
+      runtime_on(without, 4, PipelineMode::TaskPerFft, 8, 1);
+
+  const double orig_gain = orig_with / orig_without;
+  const double task_gain = task_with / task_without;
+  EXPECT_GT(orig_gain, 1.0);  // removing contention helps the original...
+  EXPECT_GT(orig_gain, task_gain - 0.02);  // ...at least as much as the task run
+}
+
+TEST(Machine, NoiseLowersLoadBalance) {
+  // The stick/plane distribution is not perfectly even, so load balance is
+  // below 1 even without noise; adding speed noise must lower it further.
+  auto quiet = MachineConfig::knl();
+  quiet.noise_amp = 0.0;
+  auto noisy = MachineConfig::knl();
+  noisy.noise_amp = 0.08;
+
+  auto lb = [&](const MachineConfig& m) {
+    const Descriptor desc(Cell{10.0}, 12.0, 8, 1);
+    ProgramConfig pcfg;
+    pcfg.num_bands = 16;
+    const auto bundle = build_program(desc, pcfg);
+    SimConfig scfg;
+    fx::trace::Tracer tracer(8);
+    simulate(bundle, m, scfg, &tracer);
+    return fx::trace::analyze_efficiency(tracer, m.freq_ghz).load_balance;
+  };
+  const double q = lb(quiet);
+  const double n = lb(noisy);
+  EXPECT_GT(q, 0.5);
+  EXPECT_LE(q, 1.0);
+  EXPECT_LT(n, q);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Virtual program construction invariants.
+#include "perfmodel/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/error.hpp"
+
+namespace {
+
+using fx::fftx::Descriptor;
+using fx::fftx::PipelineMode;
+using fx::model::build_program;
+using fx::model::ProgramConfig;
+using fx::model::Step;
+using fx::pw::Cell;
+
+ProgramConfig config(PipelineMode mode, int bands = 8) {
+  ProgramConfig cfg;
+  cfg.mode = mode;
+  cfg.num_bands = bands;
+  return cfg;
+}
+
+TEST(Program, ShapeMatchesDescriptor) {
+  const Descriptor desc(Cell{8.0}, 8.0, 4, 2);
+  const auto bundle = build_program(desc, config(PipelineMode::Original));
+  EXPECT_EQ(bundle.programs.size(), 4U);
+  EXPECT_EQ(bundle.ntg, 2);
+  // R + T communicator groups.
+  EXPECT_EQ(bundle.comm_members.size(), 2U + 2U);
+  for (const auto& prog : bundle.programs) {
+    EXPECT_EQ(prog.size(), 4U);  // 8 bands / ntg 2
+  }
+}
+
+TEST(Program, CommGroupsMatchTwoLayerScheme) {
+  const Descriptor desc(Cell{8.0}, 8.0, 8, 4);  // R=2, T=4
+  const auto bundle = build_program(desc, config(PipelineMode::Original));
+  // Pack comm b: neighboring ranks {b*T .. b*T+T-1}.
+  EXPECT_EQ(bundle.comm_members[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(bundle.comm_members[1], (std::vector<int>{4, 5, 6, 7}));
+  // Scatter comm g: alternating ranks {g, g+T, ...}.
+  EXPECT_EQ(bundle.comm_members[2], (std::vector<int>{0, 4}));
+  EXPECT_EQ(bundle.comm_members[3], (std::vector<int>{1, 5}));
+  EXPECT_EQ(bundle.comm_members[5], (std::vector<int>{3, 7}));
+}
+
+TEST(Program, EveryMemberCallsEachCollectiveInstance) {
+  const Descriptor desc(Cell{8.0}, 8.0, 4, 2);
+  const auto bundle = build_program(desc, config(PipelineMode::Original));
+  // Count collective calls per (group, rank).
+  std::map<std::pair<int, int>, int> calls;
+  for (std::size_t w = 0; w < bundle.programs.size(); ++w) {
+    for (const auto& chain : bundle.programs[w]) {
+      for (const auto& s : chain) {
+        if (s.kind == Step::Kind::Collective) {
+          ++calls[{s.comm_group, static_cast<int>(w)}];
+        }
+      }
+    }
+  }
+  for (std::size_t grp = 0; grp < bundle.comm_members.size(); ++grp) {
+    int expected = -1;
+    for (int member : bundle.comm_members[grp]) {
+      const auto it = calls.find({static_cast<int>(grp), member});
+      ASSERT_NE(it, calls.end()) << "group " << grp << " member " << member;
+      if (expected < 0) expected = it->second;
+      EXPECT_EQ(it->second, expected) << "unbalanced collective calls";
+    }
+  }
+}
+
+TEST(Program, ComputeWorkMatchesPhaseCostModel) {
+  const Descriptor desc(Cell{8.0}, 8.0, 2, 1);
+  const auto bundle = build_program(desc, config(PipelineMode::Original));
+  // FftZ steps carry the cost of nst*nz points of length-nz transforms.
+  const int w = 0;
+  const std::size_t nst = desc.nsticks_group(0);
+  const std::size_t nz = desc.dims().nz;
+  const auto want = fx::trace::fft_cost(nst * nz, nz);
+  int found = 0;
+  for (const auto& s : bundle.programs[w][0]) {
+    if (s.kind == Step::Kind::Compute && s.phase == fx::trace::PhaseKind::FftZ) {
+      EXPECT_DOUBLE_EQ(s.instructions, want.instructions);
+      EXPECT_DOUBLE_EQ(s.bytes, want.bytes);
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, 2);  // forward and backward
+}
+
+TEST(Program, ParallelizableOnlyInFanoutModes) {
+  const Descriptor desc(Cell{8.0}, 8.0, 2, 1);
+  for (const auto mode : {PipelineMode::Original, PipelineMode::TaskPerFft}) {
+    const auto bundle = build_program(desc, config(mode));
+    for (const auto& s : bundle.programs[0][0]) {
+      EXPECT_FALSE(s.parallelizable) << to_string(mode);
+    }
+  }
+  for (const auto mode :
+       {PipelineMode::TaskPerStep, PipelineMode::Combined}) {
+    const auto bundle = build_program(desc, config(mode));
+    bool any = false;
+    for (const auto& s : bundle.programs[0][0]) any = any || s.parallelizable;
+    EXPECT_TRUE(any) << to_string(mode);
+  }
+}
+
+TEST(Program, VofrPresenceFollowsConfig) {
+  const Descriptor desc(Cell{8.0}, 8.0, 1, 1);
+  auto cfg = config(PipelineMode::Original);
+  cfg.apply_potential = false;
+  const auto without = build_program(desc, cfg);
+  cfg.apply_potential = true;
+  const auto with = build_program(desc, cfg);
+  EXPECT_EQ(with.programs[0][0].size(), without.programs[0][0].size() + 1);
+}
+
+TEST(Program, RejectsBadBandCount) {
+  const Descriptor desc(Cell{8.0}, 8.0, 4, 2);
+  EXPECT_THROW(build_program(desc, config(PipelineMode::Original, 7)),
+               fx::core::Error);
+}
+
+}  // namespace

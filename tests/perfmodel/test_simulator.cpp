@@ -1,0 +1,169 @@
+// Discrete-event simulator: completion, determinism, work conservation,
+// and the qualitative machine-model effects the paper depends on.
+#include "perfmodel/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/analysis.hpp"
+
+namespace {
+
+using fx::fftx::Descriptor;
+using fx::fftx::PipelineMode;
+using fx::model::build_program;
+using fx::model::MachineConfig;
+using fx::model::ProgramConfig;
+using fx::model::SimConfig;
+using fx::model::simulate;
+using fx::pw::Cell;
+
+ProgramConfig pcfg(PipelineMode mode, int bands) {
+  ProgramConfig c;
+  c.mode = mode;
+  c.num_bands = bands;
+  return c;
+}
+
+SimConfig scfg(PipelineMode mode, int threads) {
+  SimConfig c;
+  c.mode = mode;
+  c.threads_per_rank = threads;
+  return c;
+}
+
+TEST(Simulator, CompletesAndEmitsConsistentTrace) {
+  const Descriptor desc(Cell{8.0}, 8.0, 4, 2);
+  const auto bundle = build_program(desc, pcfg(PipelineMode::Original, 8));
+  fx::trace::Tracer tracer(4);
+  const auto machine = MachineConfig::knl();
+  const auto res =
+      simulate(bundle, machine, scfg(PipelineMode::Original, 1), &tracer);
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_GT(res.events, 0U);
+
+  // Instruction conservation: trace total == program total.
+  double program_instr = 0.0;
+  for (const auto& prog : bundle.programs) {
+    for (const auto& chain : prog) {
+      for (const auto& s : chain) program_instr += s.instructions;
+    }
+  }
+  double trace_instr = 0.0;
+  for (const auto& e : tracer.compute_events()) trace_instr += e.instructions;
+  EXPECT_NEAR(trace_instr, program_instr, 1e-6 * program_instr);
+
+  // All compute events inside the makespan and non-negative.
+  for (const auto& e : tracer.compute_events()) {
+    EXPECT_GE(e.t_begin, 0.0);
+    EXPECT_LE(e.t_end, res.makespan + 1e-9);
+    EXPECT_LE(e.t_begin, e.t_end);
+  }
+  // Each comm instance finishes no earlier than every participant arrived.
+  for (const auto& e : tracer.comm_events()) {
+    EXPECT_LE(e.t_begin, e.t_end);
+  }
+}
+
+TEST(Simulator, Deterministic) {
+  const Descriptor desc(Cell{8.0}, 8.0, 4, 1);
+  const auto bundle = build_program(desc, pcfg(PipelineMode::TaskPerFft, 8));
+  const auto machine = MachineConfig::knl();
+  const auto a =
+      simulate(bundle, machine, scfg(PipelineMode::TaskPerFft, 4), nullptr);
+  const auto b =
+      simulate(bundle, machine, scfg(PipelineMode::TaskPerFft, 4), nullptr);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Simulator, MoreBandwidthNeverSlower) {
+  const Descriptor desc(Cell{10.0}, 12.0, 8, 1);
+  const auto bundle = build_program(desc, pcfg(PipelineMode::Original, 8));
+  auto fast = MachineConfig::knl();
+  auto slow = MachineConfig::knl();
+  slow.mem_bw_gbps = 20.0;
+  const auto t_fast =
+      simulate(bundle, fast, scfg(PipelineMode::Original, 1), nullptr);
+  const auto t_slow =
+      simulate(bundle, slow, scfg(PipelineMode::Original, 1), nullptr);
+  EXPECT_LE(t_fast.makespan, t_slow.makespan * (1.0 + 1e-9));
+}
+
+TEST(Simulator, HigherLatencyIsSlower) {
+  const Descriptor desc(Cell{10.0}, 12.0, 8, 2);
+  const auto bundle = build_program(desc, pcfg(PipelineMode::Original, 8));
+  auto base = MachineConfig::knl();
+  auto lag = MachineConfig::knl();
+  lag.alpha_us = 500.0;
+  const auto t0 =
+      simulate(bundle, base, scfg(PipelineMode::Original, 1), nullptr);
+  const auto t1 =
+      simulate(bundle, lag, scfg(PipelineMode::Original, 1), nullptr);
+  EXPECT_LT(t0.makespan, t1.makespan);
+}
+
+TEST(Simulator, OversubscriptionLowersIpc) {
+  // Same per-rank work run with threads <= cores and threads >> cores.
+  const Descriptor desc(Cell{10.0}, 12.0, 4, 1);
+  const auto bundle = build_program(desc, pcfg(PipelineMode::TaskPerFft, 8));
+  auto tiny = MachineConfig::knl();
+  tiny.cores = 2;  // 4 ranks x 4 workers = 16 threads on 2 cores
+  tiny.smt = 8;
+  fx::trace::Tracer crowded(4);
+  simulate(bundle, tiny, scfg(PipelineMode::TaskPerFft, 4), &crowded);
+  auto roomy = MachineConfig::knl();  // 68 cores: no sharing
+  fx::trace::Tracer free_run(4);
+  simulate(bundle, roomy, scfg(PipelineMode::TaskPerFft, 4), &free_run);
+
+  const auto s_crowded =
+      fx::trace::analyze_efficiency(crowded, tiny.freq_ghz);
+  const auto s_free =
+      fx::trace::analyze_efficiency(free_run, roomy.freq_ghz);
+  EXPECT_LT(s_crowded.avg_ipc, 0.6 * s_free.avg_ipc);
+}
+
+TEST(Simulator, ContentionEmergesWithManyRanks) {
+  // Average IPC decreases as the node fills -- the Table I effect.
+  const auto machine = MachineConfig::knl();
+  auto ipc_at = [&](int nranks) {
+    const Descriptor desc(Cell{14.0}, 20.0, nranks, 1);
+    const auto bundle =
+        build_program(desc, pcfg(PipelineMode::Original, 8));
+    fx::trace::Tracer tracer(nranks);
+    simulate(bundle, machine, scfg(PipelineMode::Original, 1), &tracer);
+    return fx::trace::analyze_efficiency(tracer, machine.freq_ghz).avg_ipc;
+  };
+  const double ipc4 = ipc_at(4);
+  const double ipc64 = ipc_at(64);
+  EXPECT_LT(ipc64, ipc4);
+}
+
+TEST(Simulator, TracerRowsMatchThreads) {
+  const Descriptor desc(Cell{8.0}, 8.0, 2, 1);
+  const auto bundle = build_program(desc, pcfg(PipelineMode::TaskPerFft, 8));
+  fx::trace::Tracer tracer(2);
+  simulate(bundle, MachineConfig::knl(), scfg(PipelineMode::TaskPerFft, 4),
+           &tracer);
+  const auto s = fx::trace::analyze_efficiency(tracer, 1.4);
+  EXPECT_GT(s.rows, 2);      // multiple workers show up as rows
+  EXPECT_LE(s.rows, 2 * 4);  // bounded by ranks x workers
+}
+
+TEST(Simulator, AllModesCompleteOnOneConfig) {
+  const Descriptor desc1(Cell{8.0}, 8.0, 4, 1);
+  const Descriptor desc2(Cell{8.0}, 8.0, 4, 2);
+  const auto machine = MachineConfig::knl();
+  for (const auto mode :
+       {PipelineMode::Original, PipelineMode::TaskPerStep,
+        PipelineMode::TaskPerFft, PipelineMode::Combined}) {
+    const Descriptor& desc = mode == PipelineMode::Original ? desc2 : desc1;
+    const auto bundle = build_program(desc, pcfg(mode, 8));
+    const int workers = mode == PipelineMode::Original ? 1 : 3;
+    const auto res = simulate(bundle, machine, scfg(mode, workers), nullptr);
+    EXPECT_GT(res.makespan, 0.0) << to_string(mode);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// G-vector sphere and grid derivation: counts vs analytic volume, cutoff
+// invariants, symmetry, grid sizing against the paper's workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "pw/gvectors.hpp"
+#include "pw/grid.hpp"
+#include "pw/lattice.hpp"
+#include "pw/wavefunction.hpp"
+
+namespace {
+
+using fx::pw::Cell;
+using fx::pw::GridDims;
+using fx::pw::GSphere;
+using fx::pw::GVector;
+
+TEST(Cell, TpibaAndMillerRadius) {
+  const Cell cell{20.0};
+  EXPECT_NEAR(cell.tpiba(), 0.3141592653589793, 1e-15);
+  // ecut = 80 Ry -> kmax = sqrt(80) bohr^-1 -> mmax = kmax/tpiba ~ 28.47.
+  EXPECT_NEAR(cell.miller_radius(80.0), 28.4704, 1e-3);
+}
+
+TEST(Cell, InvalidInputsRejected) {
+  EXPECT_THROW((void)Cell{0.0}.miller_radius(10.0), fx::core::Error);
+  EXPECT_THROW((void)Cell{10.0}.miller_radius(-1.0), fx::core::Error);
+}
+
+class SphereSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SphereSweep, CountTracksAnalyticVolume) {
+  const Cell cell{10.0};
+  const GSphere sphere(cell, GetParam());
+  const double expect = sphere.analytic_count();
+  // Lattice-point counts approach the ball volume with O(r^2) surface error.
+  const double r = cell.miller_radius(GetParam());
+  EXPECT_NEAR(static_cast<double>(sphere.size()), expect,
+              20.0 * r * r + 30.0);
+}
+
+TEST_P(SphereSweep, EveryVectorIsInsideCutoffSphere) {
+  const Cell cell{10.0};
+  const double ecut = GetParam();
+  const GSphere sphere(cell, ecut);
+  const double r2 = std::pow(cell.miller_radius(ecut), 2);
+  for (const GVector& g : sphere.gvectors()) {
+    ASSERT_LE(static_cast<double>(g.m2), r2 + 1e-9);
+    ASSERT_EQ(g.m2, static_cast<long>(g.mx) * g.mx +
+                        static_cast<long>(g.my) * g.my +
+                        static_cast<long>(g.mz) * g.mz);
+  }
+}
+
+TEST_P(SphereSweep, NoDuplicatesAndInversionSymmetric) {
+  const Cell cell{10.0};
+  const GSphere sphere(cell, GetParam());
+  std::set<std::tuple<int, int, int>> seen;
+  for (const GVector& g : sphere.gvectors()) {
+    ASSERT_TRUE(seen.insert({g.mx, g.my, g.mz}).second);
+  }
+  for (const GVector& g : sphere.gvectors()) {
+    ASSERT_TRUE(seen.contains({-g.mx, -g.my, -g.mz}))
+        << g.mx << "," << g.my << "," << g.mz;
+  }
+}
+
+TEST_P(SphereSweep, SortedByShell) {
+  const Cell cell{10.0};
+  const GSphere sphere(cell, GetParam());
+  long prev = -1;
+  for (const GVector& g : sphere.gvectors()) {
+    ASSERT_GE(g.m2, prev);
+    prev = g.m2;
+  }
+  EXPECT_EQ(sphere.gvectors()[0].m2, 0);  // Gamma first
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, SphereSweep,
+                         ::testing::Values(2.0, 5.0, 10.0, 20.0, 40.0));
+
+TEST(Grid, PaperWorkloadDimensions) {
+  // ecut 80 Ry, alat 20 bohr: mmax = 28 -> 2*28+1 = 57 -> good size 60.
+  const GridDims dims = fx::pw::wave_grid(Cell{20.0}, 80.0);
+  EXPECT_EQ(dims.nx, 60U);
+  EXPECT_EQ(dims.ny, 60U);
+  EXPECT_EQ(dims.nz, 60U);
+  EXPECT_EQ(dims.volume(), 216000U);
+}
+
+TEST(Grid, HoldsTheWholeSphereUniquely) {
+  const Cell cell{10.0};
+  const double ecut = 15.0;
+  const GSphere sphere(cell, ecut);
+  const GridDims dims = fx::pw::wave_grid(cell, ecut);
+  std::set<std::size_t> used;
+  for (const GVector& g : sphere.gvectors()) {
+    const std::size_t idx = dims.index_of(g.mx, g.my, g.mz);
+    ASSERT_LT(idx, dims.volume());
+    ASSERT_TRUE(used.insert(idx).second) << "grid aliasing";
+  }
+}
+
+TEST(Grid, FoldWrapsNegatives) {
+  EXPECT_EQ(GridDims::fold(0, 10), 0U);
+  EXPECT_EQ(GridDims::fold(3, 10), 3U);
+  EXPECT_EQ(GridDims::fold(-1, 10), 9U);
+  EXPECT_EQ(GridDims::fold(-10, 10), 0U);
+  EXPECT_EQ(GridDims::fold(12, 10), 2U);
+}
+
+TEST(Wavefunction, DeterministicAndBandDependent) {
+  const GVector g{1, -2, 3, 14};
+  const auto c1 = fx::pw::wf_coefficient(5, g);
+  const auto c2 = fx::pw::wf_coefficient(5, g);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(fx::pw::wf_coefficient(6, g), c1);
+  const GVector h{1, -2, 4, 21};
+  EXPECT_NE(fx::pw::wf_coefficient(5, h), c1);
+}
+
+TEST(Wavefunction, DecaysWithShell) {
+  const GVector g0{0, 0, 0, 0};
+  const GVector gfar{20, 20, 20, 1200};
+  EXPECT_LT(std::abs(fx::pw::wf_coefficient(0, gfar)),
+            1.0 / (1.0 + 1200.0) + 1e-12);
+  EXPECT_LE(std::abs(fx::pw::wf_coefficient(0, g0)), std::sqrt(2.0));
+}
+
+TEST(Potential, DeterministicSmoothBounded) {
+  const GridDims dims{12, 12, 12};
+  for (std::size_t ix = 0; ix < dims.nx; ++ix) {
+    for (std::size_t iy = 0; iy < dims.ny; ++iy) {
+      for (std::size_t iz = 0; iz < dims.nz; ++iz) {
+        const double v = fx::pw::potential_value(ix, iy, iz, dims);
+        ASSERT_EQ(v, fx::pw::potential_value(ix, iy, iz, dims));
+        ASSERT_GT(v, 0.0);  // strictly positive (1 - 0.25 - 0.15 - 0.1 = 0.5)
+        ASSERT_LT(v, 2.0);
+      }
+    }
+  }
+}
+
+TEST(Grid, DenseGridIsRoughlyTwiceTheWaveGrid) {
+  const Cell cell{20.0};
+  const GridDims wave = fx::pw::wave_grid(cell, 80.0);
+  const GridDims dense = fx::pw::dense_grid(cell, 80.0);
+  EXPECT_EQ(wave.nx, 60U);
+  EXPECT_GE(dense.nx, 2 * 56U);  // 2*floor(2*28.47)+1 = 113 -> good size
+  EXPECT_EQ(dense.nx, 120U);
+  // The dense grid holds every product G1 +/- G2 of wave-sphere vectors.
+  const GSphere sphere(cell, 80.0);
+  EXPECT_GE(dense.nx, static_cast<std::size_t>(4 * sphere.mmax()) + 1U);
+}
+
+TEST(Grid, OrthorhombicCellsGetAnisotropicGrids) {
+  const Cell cell{16.0, 8.0, 12.0};
+  const GridDims dims = fx::pw::wave_grid(cell, 20.0);
+  EXPECT_GT(dims.nx, dims.ny);  // longer edge -> more Miller indices
+  EXPECT_GT(dims.nx, dims.nz);
+  EXPECT_GT(dims.nz, dims.ny);
+}
+
+TEST(Sphere, OrthorhombicSphereIsEllipsoidal) {
+  const Cell cell{16.0, 8.0, 12.0};
+  const GSphere sphere(cell, 20.0);
+  int max_x = 0;
+  int max_y = 0;
+  for (const GVector& g : sphere.gvectors()) {
+    max_x = std::max(max_x, std::abs(g.mx));
+    max_y = std::max(max_y, std::abs(g.my));
+  }
+  EXPECT_GT(max_x, max_y);  // more reachable indices along the long edge
+  // Every vector respects the physical cutoff.
+  for (const GVector& g : sphere.gvectors()) {
+    ASSERT_LE(cell.g2(g.mx, g.my, g.mz), 20.0 * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Stick decomposition: completeness, balance, determinism; plane
+// distribution invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "pw/gvectors.hpp"
+#include "pw/lattice.hpp"
+#include "pw/sticks.hpp"
+
+namespace {
+
+using fx::pw::Cell;
+using fx::pw::GSphere;
+using fx::pw::GVector;
+using fx::pw::PlaneDist;
+using fx::pw::Stick;
+using fx::pw::StickMap;
+
+class StickSweep : public ::testing::TestWithParam<int> {
+ protected:
+  StickSweep() : sphere_(Cell{10.0}, 20.0), map_(sphere_, GetParam()) {}
+  GSphere sphere_;
+  StickMap map_;
+};
+
+TEST_P(StickSweep, SticksPartitionTheSphere) {
+  std::size_t total = 0;
+  std::set<std::pair<int, int>> columns;
+  for (const Stick& s : map_.sticks()) {
+    ASSERT_GT(s.ng, 0U);
+    ASSERT_TRUE(columns.insert({s.mx, s.my}).second) << "duplicate stick";
+    total += s.ng;
+  }
+  EXPECT_EQ(total, sphere_.size());
+  EXPECT_EQ(map_.stick_ordered_g().size(), sphere_.size());
+}
+
+TEST_P(StickSweep, StickRunsAreContiguousAndSortedByMz) {
+  for (const Stick& s : map_.sticks()) {
+    int prev_mz = -1000000;
+    for (std::size_t i = 0; i < s.ng; ++i) {
+      const GVector& g = map_.stick_ordered_g()[s.g_offset + i];
+      ASSERT_EQ(g.mx, s.mx);
+      ASSERT_EQ(g.my, s.my);
+      ASSERT_GT(g.mz, prev_mz);
+      prev_mz = g.mz;
+    }
+  }
+}
+
+TEST_P(StickSweep, OwnershipIsConsistentAndComplete) {
+  const int nproc = GetParam();
+  std::size_t assigned = 0;
+  for (int r = 0; r < nproc; ++r) {
+    for (std::size_t s : map_.sticks_of(r)) {
+      ASSERT_EQ(map_.owner(s), r);
+    }
+    assigned += map_.sticks_of(r).size();
+  }
+  EXPECT_EQ(assigned, map_.num_sticks());
+}
+
+TEST_P(StickSweep, GreedyBalanceIsTight) {
+  const int nproc = GetParam();
+  std::size_t total = 0;
+  std::size_t mx = 0;
+  std::size_t mn = sphere_.size();
+  for (int r = 0; r < nproc; ++r) {
+    std::size_t ng = 0;
+    for (std::size_t s : map_.sticks_of(r)) ng += map_.sticks()[s].ng;
+    ASSERT_EQ(ng, map_.ng_of(r));
+    total += ng;
+    mx = std::max(mx, ng);
+    mn = std::min(mn, ng);
+  }
+  EXPECT_EQ(total, sphere_.size());
+  if (map_.num_sticks() >= static_cast<std::size_t>(nproc)) {
+    // Greedy longest-first: imbalance bounded by the largest stick.
+    std::size_t longest = 0;
+    for (const Stick& s : map_.sticks()) longest = std::max(longest, s.ng);
+    EXPECT_LE(mx - mn, longest);
+  }
+}
+
+TEST_P(StickSweep, DeterministicAcrossConstructions) {
+  const StickMap again(sphere_, GetParam());
+  ASSERT_EQ(again.num_sticks(), map_.num_sticks());
+  for (std::size_t s = 0; s < map_.num_sticks(); ++s) {
+    ASSERT_EQ(again.owner(s), map_.owner(s));
+    ASSERT_EQ(again.sticks()[s].g_offset, map_.sticks()[s].g_offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, StickSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(StickMap, SingleRankOwnsEverything) {
+  const GSphere sphere(Cell{8.0}, 10.0);
+  const StickMap map(sphere, 1);
+  EXPECT_EQ(map.ng_of(0), sphere.size());
+  EXPECT_EQ(map.sticks_of(0).size(), map.num_sticks());
+}
+
+TEST(StickMap, MoreRanksThanSticks) {
+  const GSphere sphere(Cell{4.0}, 1.5);  // tiny sphere, few sticks
+  const StickMap map(sphere, 32);
+  std::size_t total = 0;
+  for (int r = 0; r < 32; ++r) total += map.ng_of(r);
+  EXPECT_EQ(total, sphere.size());
+}
+
+class PlaneSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(PlaneSweep, BlocksPartitionPlanes) {
+  const auto [nz, nproc] = GetParam();
+  const PlaneDist dist(nz, nproc);
+  std::size_t total = 0;
+  for (int r = 0; r < nproc; ++r) {
+    total += dist.count(r);
+    if (r > 0) {
+      EXPECT_EQ(dist.first(r), dist.first(r - 1) + dist.count(r - 1));
+    }
+    // Balance: counts differ by at most one.
+    EXPECT_LE(dist.count(r), nz / static_cast<std::size_t>(nproc) + 1);
+  }
+  EXPECT_EQ(total, nz);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    const int r = dist.owner(iz);
+    EXPECT_GE(iz, dist.first(r));
+    EXPECT_LT(iz, dist.first(r) + dist.count(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlaneSweep,
+    ::testing::Values(std::tuple{60UL, 1}, std::tuple{60UL, 4},
+                      std::tuple{60UL, 7}, std::tuple{60UL, 8},
+                      std::tuple{5UL, 8},  // more ranks than planes
+                      std::tuple{1UL, 1}, std::tuple{17UL, 3}));
+
+TEST(PlaneDist, MoreRanksThanPlanesLeavesIdleRanks) {
+  const PlaneDist dist(3, 8);
+  int nonempty = 0;
+  for (int r = 0; r < 8; ++r) {
+    if (dist.count(r) > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 3);
+}
+
+}  // namespace

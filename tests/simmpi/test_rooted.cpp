@@ -1,0 +1,99 @@
+// Rooted collectives: gather, scatter, reduce.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using fx::mpi::Comm;
+using fx::mpi::ReduceOp;
+using fx::mpi::Runtime;
+
+class RootedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootedSweep, GatherCollectsAtEveryRoot) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& comm) {
+    for (int root = 0; root < n; ++root) {
+      const long mine = 100 + comm.rank();
+      std::vector<long> all(static_cast<std::size_t>(n), -1);
+      comm.gather_bytes(&mine, sizeof(long), all.data(), root);
+      if (comm.rank() == root) {
+        for (int p = 0; p < n; ++p) {
+          ASSERT_EQ(all[static_cast<std::size_t>(p)], 100 + p);
+        }
+      } else {
+        ASSERT_EQ(all[0], -1);  // untouched on non-roots
+      }
+    }
+  });
+}
+
+TEST_P(RootedSweep, ScatterDistributesRootBlocks) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& comm) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<int> blocks;
+      if (comm.rank() == root) {
+        blocks.resize(static_cast<std::size_t>(n));
+        std::iota(blocks.begin(), blocks.end(), root * 1000);
+      }
+      int mine = -1;
+      comm.scatter_bytes(blocks.data(), sizeof(int), &mine, root);
+      ASSERT_EQ(mine, root * 1000 + comm.rank());
+    }
+  });
+}
+
+TEST_P(RootedSweep, ReduceDeliversToRootOnly) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& comm) {
+    const double mine[2] = {static_cast<double>(comm.rank() + 1),
+                            static_cast<double>(-comm.rank())};
+    double out[2] = {-7.0, -7.0};
+    comm.reduce(mine, out, 2, ReduceOp::Sum, /*root=*/n - 1);
+    if (comm.rank() == n - 1) {
+      EXPECT_DOUBLE_EQ(out[0], n * (n + 1) / 2.0);
+      EXPECT_DOUBLE_EQ(out[1], -n * (n - 1) / 2.0);
+    } else {
+      EXPECT_DOUBLE_EQ(out[0], -7.0);  // untouched
+    }
+
+    comm.reduce(mine, out, 2, ReduceOp::Max, 0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(out[0], static_cast<double>(n));
+      EXPECT_DOUBLE_EQ(out[1], 0.0);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RootedSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Rooted, GatherScatterRoundTrip) {
+  Runtime::run(4, [&](Comm& comm) {
+    // Root gathers everyone's value, doubles them, scatters them back.
+    const int mine = 10 * comm.rank() + 1;
+    std::vector<int> all(4);
+    comm.gather_bytes(&mine, sizeof(int), all.data(), 0);
+    if (comm.rank() == 0) {
+      for (int& v : all) v *= 2;
+    }
+    int back = 0;
+    comm.scatter_bytes(all.data(), sizeof(int), &back, 0);
+    EXPECT_EQ(back, 2 * mine);
+  });
+}
+
+TEST(Rooted, InvalidRootThrows) {
+  Runtime::run(2, [&](Comm& comm) {
+    int v = 0;
+    EXPECT_THROW(comm.gather_bytes(&v, sizeof(int), &v, 5),
+                 fx::core::Error);
+  });
+}
+
+}  // namespace

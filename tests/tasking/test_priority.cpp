@@ -1,0 +1,89 @@
+// Priority scheduling policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tasking/runtime.hpp"
+
+namespace {
+
+using fx::task::SchedulerPolicy;
+using fx::task::TaskRuntime;
+
+TEST(Priority, HigherPriorityRunsFirst) {
+  TaskRuntime rt(1, SchedulerPolicy::Priority);
+  std::vector<int> order;
+  // Block the single worker so the queue fills up before dispatch.
+  std::atomic<bool> release{false};
+  rt.submit("gate", [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  rt.submit("low", [&] { order.push_back(1); }, /*priority=*/1);
+  rt.submit("mid", [&] { order.push_back(5); }, /*priority=*/5);
+  rt.submit("high", [&] { order.push_back(9); }, /*priority=*/9);
+  rt.submit("low2", [&] { order.push_back(0); }, /*priority=*/0);
+  release.store(true);
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{9, 5, 1, 0}));
+}
+
+TEST(Priority, FifoAmongEqualPriorities) {
+  TaskRuntime rt(1, SchedulerPolicy::Priority);
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  rt.submit("gate", [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 6; ++i) {
+    rt.submit("same", [&order, i] { order.push_back(i); }, /*priority=*/3);
+  }
+  release.store(true);
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Priority, DependenciesStillDominate) {
+  // A high-priority task must still wait for its low-priority predecessor.
+  TaskRuntime rt(2, SchedulerPolicy::Priority);
+  int value = 0;
+  rt.submit("producer", {fx::task::out(value)}, [&] { value = 7; },
+            /*priority=*/0);
+  int seen = -1;
+  rt.submit("consumer", {fx::task::in(value)}, [&] { seen = value; },
+            /*priority=*/100);
+  rt.taskwait();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(Priority, DefaultZeroBehavesLikeFifo) {
+  TaskRuntime rt(1, SchedulerPolicy::Priority);
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  rt.submit("gate", [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 5; ++i) {
+    rt.submit("t", [&order, i] { order.push_back(i); });
+  }
+  release.store(true);
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Priority, NegativePrioritiesRunLast) {
+  TaskRuntime rt(1, SchedulerPolicy::Priority);
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  rt.submit("gate", [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  rt.submit("deferred", [&] { order.push_back(-5); }, /*priority=*/-5);
+  rt.submit("normal", [&] { order.push_back(0); });
+  release.store(true);
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{0, -5}));
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// POP efficiency model on synthetic traces with closed-form factors.
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace {
+
+using fx::mpi::CommOpKind;
+using fx::trace::analyze_efficiency;
+using fx::trace::ComputeEvent;
+using fx::trace::CommOpEvent;
+using fx::trace::PhaseKind;
+using fx::trace::Tracer;
+
+constexpr double kFreq = 1.0;  // 1 GHz: 1e9 cycles per second
+
+ComputeEvent compute(int rank, double t0, double t1, double instr,
+                     PhaseKind phase = PhaseKind::FftXy) {
+  return ComputeEvent{rank, 0, phase, 0, t0, t1, instr};
+}
+
+TEST(Analysis, SingleRowPerfectRun) {
+  Tracer tr(1);
+  tr.record_compute(compute(0, 0.0, 2.0, 2.0e9));
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_EQ(s.rows, 1);
+  EXPECT_DOUBLE_EQ(s.runtime, 2.0);
+  EXPECT_DOUBLE_EQ(s.total_compute, 2.0);
+  EXPECT_DOUBLE_EQ(s.load_balance, 1.0);
+  EXPECT_DOUBLE_EQ(s.comm_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(s.parallel_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_ipc, 1.0);  // 2e9 instructions / 2 s / 1 GHz
+}
+
+TEST(Analysis, LoadBalanceAndCommEfficiencyClosedForm) {
+  // Two rows: compute 2 s and 1 s inside a 4 s run.
+  Tracer tr(2);
+  tr.record_compute(compute(0, 0.0, 2.0, 1.0e9));
+  tr.record_compute(compute(1, 0.0, 1.0, 0.5e9));
+  tr.record_comm(CommOpEvent{0, 0, CommOpKind::Alltoall, 7, 2, 0, 100, 2.0,
+                             4.0});
+  tr.record_comm(CommOpEvent{1, 0, CommOpKind::Alltoall, 7, 2, 0, 100, 1.0,
+                             4.0});
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_EQ(s.rows, 2);
+  EXPECT_DOUBLE_EQ(s.runtime, 4.0);
+  EXPECT_DOUBLE_EQ(s.avg_compute, 1.5);
+  EXPECT_DOUBLE_EQ(s.max_compute, 2.0);
+  EXPECT_DOUBLE_EQ(s.load_balance, 0.75);
+  EXPECT_DOUBLE_EQ(s.comm_efficiency, 0.5);
+  EXPECT_DOUBLE_EQ(s.parallel_efficiency, 0.375);
+  // The collective instance: last arrival at t=2 -> rank0 transfer = 2 s,
+  // rank1 sync = 1 s + transfer 2 s.  avg transfer = 2 -> T_ideal = 2.
+  EXPECT_DOUBLE_EQ(s.transfer_efficiency, 0.5);
+  EXPECT_DOUBLE_EQ(s.sync_efficiency, 1.0);
+}
+
+TEST(Analysis, SyncDominatedCollective) {
+  // Rank 1 arrives late; transfer itself is instantaneous.
+  Tracer tr(2);
+  tr.record_compute(compute(0, 0.0, 1.0, 1e9));
+  tr.record_compute(compute(1, 0.0, 3.0, 3e9));
+  tr.record_comm(CommOpEvent{0, 0, CommOpKind::Allreduce, 3, 2, 0, 8, 1.0,
+                             3.0});
+  tr.record_comm(CommOpEvent{1, 0, CommOpKind::Allreduce, 3, 2, 0, 8, 3.0,
+                             3.0});
+  const auto s = analyze_efficiency(tr, kFreq);
+  // Transfer part (after last arrival at t=3) is zero.
+  EXPECT_DOUBLE_EQ(s.transfer_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(s.comm_efficiency, 1.0);  // max compute 3 == runtime 3
+  EXPECT_DOUBLE_EQ(s.load_balance, 2.0 / 3.0);
+}
+
+TEST(Analysis, RowsIncludeThreads) {
+  Tracer tr(1);
+  tr.record_compute(ComputeEvent{0, 0, PhaseKind::FftZ, 0, 0.0, 1.0, 1e9});
+  tr.record_compute(ComputeEvent{0, 1, PhaseKind::FftZ, 0, 0.0, 1.0, 1e9});
+  tr.record_compute(ComputeEvent{0, 2, PhaseKind::FftZ, 0, 0.0, 0.5, 5e8});
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_EQ(s.rows, 3);
+  EXPECT_DOUBLE_EQ(s.load_balance, (2.5 / 3.0) / 1.0);
+}
+
+TEST(Analysis, ScalabilityFactors) {
+  fx::trace::EfficiencySummary ref;
+  ref.total_instructions = 100.0;
+  ref.total_compute = 10.0;
+  ref.avg_ipc = 1.0;
+  ref.parallel_efficiency = 1.0;
+
+  fx::trace::EfficiencySummary run;
+  run.total_instructions = 110.0;  // 10% replication
+  run.total_compute = 20.0;
+  run.avg_ipc = 0.55;
+  run.parallel_efficiency = 0.9;
+
+  const auto f = fx::trace::scale_against(ref, run);
+  EXPECT_NEAR(f.instruction_scalability, 100.0 / 110.0, 1e-12);
+  EXPECT_NEAR(f.ipc_scalability, 0.55, 1e-12);
+  EXPECT_NEAR(f.computation_scalability, 0.5, 1e-12);
+  EXPECT_NEAR(f.global_efficiency, 0.45, 1e-12);
+  // Consistency: comp scal == ipc scal * ins scal (same frequency).
+  EXPECT_NEAR(f.computation_scalability,
+              f.ipc_scalability * f.instruction_scalability, 1e-12);
+}
+
+TEST(Analysis, MeanPhaseIpc) {
+  Tracer tr(1);
+  tr.record_compute(compute(0, 0.0, 1.0, 0.8e9, PhaseKind::FftXy));
+  tr.record_compute(compute(0, 1.0, 3.0, 1.2e9, PhaseKind::FftXy));
+  tr.record_compute(compute(0, 3.0, 4.0, 9.0e9, PhaseKind::FftZ));
+  EXPECT_NEAR(fx::trace::mean_phase_ipc(tr, PhaseKind::FftXy, kFreq),
+              2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fx::trace::mean_phase_ipc(tr, PhaseKind::FftZ, kFreq), 9.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(fx::trace::mean_phase_ipc(tr, PhaseKind::Vofr, kFreq), 0.0);
+}
+
+TEST(Analysis, EmptyTraceIsHarmless) {
+  Tracer tr(4);
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_EQ(s.rows, 0);
+  EXPECT_DOUBLE_EQ(s.runtime, 0.0);
+}
+
+TEST(Analysis, NormalizeTimeShiftsToZero) {
+  Tracer tr(1);
+  tr.record_compute(compute(0, 5.0, 6.0, 1.0));
+  tr.record_comm(CommOpEvent{0, 0, CommOpKind::Barrier, 0, 1, 0, 0, 6.0, 7.0});
+  tr.normalize_time();
+  EXPECT_DOUBLE_EQ(tr.t_min(), 0.0);
+  EXPECT_DOUBLE_EQ(tr.compute_events()[0].t_begin, 0.0);
+  EXPECT_DOUBLE_EQ(tr.comm_events()[0].t_end, 2.0);
+}
+
+TEST(Analysis, RejectsNonPositiveFrequency) {
+  Tracer tr(1);
+  EXPECT_THROW(analyze_efficiency(tr, 0.0), fx::core::Error);
+}
+
+TEST(PhaseCost, ScalingProperties) {
+  using fx::trace::copy_cost;
+  using fx::trace::fft_cost;
+  // FFT cost is superlinear in points through the log factor.
+  const auto a = fft_cost(1024, 1024);
+  const auto b = fft_cost(2048, 2048);
+  EXPECT_GT(b.instructions, 2.0 * a.instructions);
+  EXPECT_DOUBLE_EQ(fft_cost(0, 64).instructions, 0.0);
+  EXPECT_DOUBLE_EQ(fft_cost(10, 1).instructions, 0.0);
+  // Copy phases are bandwidth heavy: bytes/instruction ratio ~8.
+  const auto c = copy_cost(1000);
+  EXPECT_NEAR(c.bytes / c.instructions, 8.0, 1e-12);
+  // FFT phases are compute heavy: much lower bytes/instruction.
+  EXPECT_LT(a.bytes / a.instructions, 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Multi-run efficiency report rendering.
+#include "trace/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace {
+
+using fx::trace::ComputeEvent;
+using fx::trace::PhaseKind;
+using fx::trace::ReportEntry;
+using fx::trace::Tracer;
+
+TEST(Report, RendersHierarchyAndScalesAgainstFirst) {
+  fx::trace::EfficiencySummary ref;
+  ref.parallel_efficiency = 0.95;
+  ref.load_balance = 0.97;
+  ref.comm_efficiency = 0.98;
+  ref.sync_efficiency = 0.99;
+  ref.transfer_efficiency = 0.99;
+  ref.total_instructions = 100.0;
+  ref.total_compute = 10.0;
+  ref.avg_ipc = 1.0;
+
+  fx::trace::EfficiencySummary big = ref;
+  big.parallel_efficiency = 0.90;
+  big.total_compute = 20.0;
+  big.avg_ipc = 0.5;
+
+  const std::string out = fx::trace::render_efficiency_report(
+      "Sweep", {ReportEntry{"1 x 8", ref}, ReportEntry{"8 x 8", big}});
+
+  EXPECT_NE(out.find("Sweep"), std::string::npos);
+  EXPECT_NE(out.find("1 x 8"), std::string::npos);
+  EXPECT_NE(out.find("8 x 8"), std::string::npos);
+  EXPECT_NE(out.find("95.00 %"), std::string::npos);  // parallel eff ref
+  EXPECT_NE(out.find("50.00 %"), std::string::npos);  // comp scal of big
+  EXPECT_NE(out.find("45.00 %"), std::string::npos);  // global eff 0.9*0.5
+  EXPECT_NE(out.find("avg IPC"), std::string::npos);
+}
+
+TEST(Report, TracerConvenienceOverload) {
+  Tracer a(1);
+  a.record_compute(ComputeEvent{0, 0, PhaseKind::FftXy, 0, 0.0, 1.0, 1e9});
+  Tracer b(2);
+  b.record_compute(ComputeEvent{0, 0, PhaseKind::FftXy, 0, 0.0, 1.0, 1e9});
+  b.record_compute(ComputeEvent{1, 0, PhaseKind::FftXy, 0, 0.0, 2.0, 1e9});
+
+  const std::string out = fx::trace::render_efficiency_report(
+      "Two runs", {"small", "large"}, {&a, &b}, 1.0);
+  EXPECT_NE(out.find("small"), std::string::npos);
+  EXPECT_NE(out.find("large"), std::string::npos);
+  // Large run: LB = 1.5/2 = 75 %.
+  EXPECT_NE(out.find("75.00 %"), std::string::npos);
+}
+
+TEST(Report, RejectsEmptyAndMismatched) {
+  EXPECT_THROW((void)fx::trace::render_efficiency_report("t", {}),
+               fx::core::Error);
+  Tracer a(1);
+  EXPECT_THROW((void)fx::trace::render_efficiency_report("t", {"x", "y"},
+                                                         {&a}, 1.0),
+               fx::core::Error);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Timeline and histogram renderers: structural golden checks.
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace {
+
+using fx::mpi::CommOpKind;
+using fx::trace::CommOpEvent;
+using fx::trace::ComputeEvent;
+using fx::trace::PhaseKind;
+using fx::trace::TimelineOptions;
+using fx::trace::TimelineView;
+using fx::trace::Tracer;
+
+void fill_trace(Tracer& tr) {
+  // Rank 0: fft_xy for [0, 0.5), scatter for [0.5, 1.0).
+  tr.record_compute({0, 0, PhaseKind::FftXy, 0, 0.0, 0.5, 0.7e9});
+  tr.record_compute({0, 0, PhaseKind::Scatter, 0, 0.5, 1.0, 0.1e9});
+  // Rank 1: pack whole second.
+  tr.record_compute({1, 0, PhaseKind::Pack, 0, 0.0, 1.0, 0.2e9});
+  tr.record_comm({0, 0, CommOpKind::Alltoallv, 3, 2, 0, 64, 1.0, 1.25});
+  tr.record_comm({1, 0, CommOpKind::Alltoall, 3, 2, 0, 64, 1.0, 1.25});
+}
+
+struct TraceFixture {
+  TraceFixture() : tr(2) { fill_trace(tr); }
+  Tracer tr;
+};
+
+TEST(Timeline, PhaseViewShowsPhaseLetters) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  TimelineOptions opt;
+  opt.view = TimelineView::Phase;
+  opt.width = 40;
+  const std::string out = fx::trace::render_timeline(tr, opt);
+  EXPECT_NE(out.find('X'), std::string::npos);  // fft_xy
+  EXPECT_NE(out.find('S'), std::string::npos);  // scatter
+  EXPECT_NE(out.find('K'), std::string::npos);  // pack
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  // Two rank rows.
+  EXPECT_NE(out.find("r0"), std::string::npos);
+  EXPECT_NE(out.find("r1"), std::string::npos);
+}
+
+TEST(Timeline, MpiViewShowsOperations) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  TimelineOptions opt;
+  opt.view = TimelineView::MpiCall;
+  opt.width = 40;
+  const std::string out = fx::trace::render_timeline(tr, opt);
+  EXPECT_NE(out.find('a'), std::string::npos);  // Alltoallv on rank 0
+  EXPECT_NE(out.find('A'), std::string::npos);  // Alltoall on rank 1
+}
+
+TEST(Timeline, CommunicatorViewShowsCommIds) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  TimelineOptions opt;
+  opt.view = TimelineView::Communicator;
+  opt.width = 20;
+  const std::string out = fx::trace::render_timeline(tr, opt);
+  EXPECT_NE(out.find('3'), std::string::npos);  // comm id 3
+}
+
+TEST(Timeline, WindowRestrictsContent) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  TimelineOptions opt;
+  opt.view = TimelineView::Phase;
+  opt.width = 20;
+  opt.t_begin = 0.0;
+  opt.t_end = 0.4;  // fft_xy only
+  const std::string out = fx::trace::render_timeline(tr, opt);
+  const std::string rows = out.substr(0, out.find("legend"));
+  EXPECT_NE(rows.find('X'), std::string::npos);
+  EXPECT_EQ(rows.find('S'), std::string::npos);
+}
+
+TEST(Timeline, IpcViewEncodesDigits) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  TimelineOptions opt;
+  opt.view = TimelineView::Ipc;
+  opt.width = 30;
+  opt.freq_ghz = 1.0;
+  const std::string out = fx::trace::render_timeline(tr, opt);
+  // fft_xy: 0.7e9 instr / 0.5 s / 1 GHz = 1.4 IPC -> digit 7.
+  EXPECT_NE(out.find('7'), std::string::npos);
+}
+
+TEST(Timeline, RejectsTinyWidth) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  TimelineOptions opt;
+  opt.width = 3;
+  EXPECT_THROW((void)fx::trace::render_timeline(tr, opt), fx::core::Error);
+}
+
+TEST(Histogram, ShadesAccumulatedDurations) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  const std::string out = fx::trace::render_ipc_histogram(tr, 20, 1.0);
+  EXPECT_NE(out.find("IPC histogram"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // densest cell
+  EXPECT_NE(out.find("r0.0"), std::string::npos);
+  EXPECT_NE(out.find("r1.0"), std::string::npos);
+}
+
+TEST(Histogram, RejectsSingleBin) {
+  const TraceFixture fx_; const Tracer& tr = fx_.tr;
+  EXPECT_THROW((void)fx::trace::render_ipc_histogram(tr, 1, 1.0),
+               fx::core::Error);
+}
+
+TEST(Csv, DumpContainsAllStreams) {
+  TraceFixture fx_;
+  Tracer& tr = fx_.tr;
+  tr.record_task({0, 1, "band_fft#0", 0.0, 1.0});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fx_trace_dump.csv").string();
+  fx::trace::write_events_csv(tr, path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("compute"), std::string::npos);
+  EXPECT_NE(content.find("comm"), std::string::npos);
+  EXPECT_NE(content.find("task"), std::string::npos);
+  EXPECT_NE(content.find("fft_xy"), std::string::npos);
+  EXPECT_NE(content.find("band_fft#0"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

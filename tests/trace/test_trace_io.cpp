@@ -1,0 +1,113 @@
+// Trace save/load round trip and error handling.
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "trace/analysis.hpp"
+
+namespace {
+
+using fx::mpi::CommOpKind;
+using fx::trace::PhaseKind;
+using fx::trace::Tracer;
+
+void fill(Tracer& tr) {
+  tr.record_compute({0, 0, PhaseKind::FftXy, 4, 0.125, 0.375, 1.5e9});
+  tr.record_compute({1, 2, PhaseKind::Pack, 0, 1.0 / 3.0, 0.7071, 2.25e7});
+  tr.record_comm({0, 0, CommOpKind::Alltoallv, 7, 4, 12, 65536, 0.375, 0.5});
+  tr.record_task({1, 3, "band_fft#12 with spaces", 0.0, 2.0});
+}
+
+TEST(TraceIo, RoundTripIsExact) {
+  Tracer tr(4);
+  fill(tr);
+  std::stringstream ss;
+  fx::trace::save_trace(tr, ss);
+  const auto loaded = fx::trace::load_trace(ss);
+
+  ASSERT_EQ(loaded->nranks(), 4);
+  ASSERT_EQ(loaded->compute_events().size(), 2U);
+  ASSERT_EQ(loaded->comm_events().size(), 1U);
+  ASSERT_EQ(loaded->task_events().size(), 1U);
+
+  const auto& c = loaded->compute_events()[1];
+  EXPECT_EQ(c.rank, 1);
+  EXPECT_EQ(c.thread, 2);
+  EXPECT_EQ(c.phase, PhaseKind::Pack);
+  EXPECT_EQ(c.band, 0);
+  EXPECT_EQ(c.t_begin, 1.0 / 3.0);  // bit-exact via hex floats
+  EXPECT_EQ(c.instructions, 2.25e7);
+
+  const auto& m = loaded->comm_events()[0];
+  EXPECT_EQ(m.kind, CommOpKind::Alltoallv);
+  EXPECT_EQ(m.comm_id, 7);
+  EXPECT_EQ(m.comm_size, 4);
+  EXPECT_EQ(m.tag, 12);
+  EXPECT_EQ(m.bytes, 65536U);
+
+  const auto& t = loaded->task_events()[0];
+  EXPECT_EQ(t.label, "band_fft#12 with spaces");
+  EXPECT_EQ(t.worker, 3);
+}
+
+TEST(TraceIo, AnalysisIdenticalAfterRoundTrip) {
+  Tracer tr(4);
+  fill(tr);
+  std::stringstream ss;
+  fx::trace::save_trace(tr, ss);
+  const auto loaded = fx::trace::load_trace(ss);
+
+  const auto a = fx::trace::analyze_efficiency(tr, 1.4);
+  const auto b = fx::trace::analyze_efficiency(*loaded, 1.4);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.total_compute, b.total_compute);
+  EXPECT_EQ(a.load_balance, b.load_balance);
+  EXPECT_EQ(a.avg_ipc, b.avg_ipc);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fx_trace_io.fxt").string();
+  Tracer tr(2);
+  fill(tr);
+  fx::trace::save_trace(tr, path);
+  const auto loaded = fx::trace::load_trace(path);
+  EXPECT_EQ(loaded->compute_events().size(), 2U);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream ss("not a trace at all");
+  EXPECT_THROW((void)fx::trace::load_trace(ss), fx::core::Error);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream ss("fxtrace 99 2\n");
+  EXPECT_THROW((void)fx::trace::load_trace(ss), fx::core::Error);
+}
+
+TEST(TraceIo, RejectsCorruptRecord) {
+  std::stringstream ss("fxtrace 1 2\nC 0 0 broken\n");
+  EXPECT_THROW((void)fx::trace::load_trace(ss), fx::core::Error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)fx::trace::load_trace("/nonexistent/path.fxt"),
+               fx::core::Error);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Tracer tr(1);
+  std::stringstream ss;
+  fx::trace::save_trace(tr, ss);
+  const auto loaded = fx::trace::load_trace(ss);
+  EXPECT_EQ(loaded->nranks(), 1);
+  EXPECT_TRUE(loaded->compute_events().empty());
+}
+
+}  // namespace
