@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_desync.dir/bench_fig7_desync.cpp.o"
+  "CMakeFiles/bench_fig7_desync.dir/bench_fig7_desync.cpp.o.d"
+  "bench_fig7_desync"
+  "bench_fig7_desync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_desync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

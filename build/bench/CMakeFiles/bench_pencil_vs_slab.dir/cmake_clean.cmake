@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pencil_vs_slab.dir/bench_pencil_vs_slab.cpp.o"
+  "CMakeFiles/bench_pencil_vs_slab.dir/bench_pencil_vs_slab.cpp.o.d"
+  "bench_pencil_vs_slab"
+  "bench_pencil_vs_slab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pencil_vs_slab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pencil_vs_slab.
+# This may be replaced when dependencies are built.

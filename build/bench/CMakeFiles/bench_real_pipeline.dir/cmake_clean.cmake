@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_pipeline.dir/bench_real_pipeline.cpp.o"
+  "CMakeFiles/bench_real_pipeline.dir/bench_real_pipeline.cpp.o.d"
+  "bench_real_pipeline"
+  "bench_real_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

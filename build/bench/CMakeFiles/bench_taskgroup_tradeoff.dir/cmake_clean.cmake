@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskgroup_tradeoff.dir/bench_taskgroup_tradeoff.cpp.o"
+  "CMakeFiles/bench_taskgroup_tradeoff.dir/bench_taskgroup_tradeoff.cpp.o.d"
+  "bench_taskgroup_tradeoff"
+  "bench_taskgroup_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskgroup_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

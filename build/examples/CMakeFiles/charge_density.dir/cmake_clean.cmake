@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charge_density.dir/charge_density.cpp.o"
+  "CMakeFiles/charge_density.dir/charge_density.cpp.o.d"
+  "charge_density"
+  "charge_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charge_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

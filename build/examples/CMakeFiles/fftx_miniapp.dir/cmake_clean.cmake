@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftx_miniapp.dir/fftx_miniapp.cpp.o"
+  "CMakeFiles/fftx_miniapp.dir/fftx_miniapp.cpp.o.d"
+  "fftx_miniapp"
+  "fftx_miniapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftx_miniapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

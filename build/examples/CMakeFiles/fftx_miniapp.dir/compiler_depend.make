@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fftx_miniapp.
+# This may be replaced when dependencies are built.

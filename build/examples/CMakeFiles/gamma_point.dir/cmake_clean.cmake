@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_point.dir/gamma_point.cpp.o"
+  "CMakeFiles/gamma_point.dir/gamma_point.cpp.o.d"
+  "gamma_point"
+  "gamma_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

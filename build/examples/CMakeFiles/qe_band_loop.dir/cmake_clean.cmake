@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qe_band_loop.dir/qe_band_loop.cpp.o"
+  "CMakeFiles/qe_band_loop.dir/qe_band_loop.cpp.o.d"
+  "qe_band_loop"
+  "qe_band_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qe_band_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_qe_band_loop]=] "/root/repo/build/examples/qe_band_loop" "2" "8")
+set_tests_properties([=[example_qe_band_loop]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_gamma_point]=] "/root/repo/build/examples/gamma_point")
+set_tests_properties([=[example_gamma_point]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_charge_density]=] "/root/repo/build/examples/charge_density" "2" "3")
+set_tests_properties([=[example_charge_density]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_miniapp_real]=] "/root/repo/build/examples/fftx_miniapp" "-backend" "real" "-nranks" "2" "-ecutwfc" "8" "-alat" "8" "-nbnd" "4" "-verify")
+set_tests_properties([=[example_miniapp_real]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_miniapp_model]=] "/root/repo/build/examples/fftx_miniapp" "-backend" "model" "-nranks" "8" "-ntg" "4" "-nbnd" "16" "-ecutwfc" "20" "-alat" "12" "-table")
+set_tests_properties([=[example_miniapp_model]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

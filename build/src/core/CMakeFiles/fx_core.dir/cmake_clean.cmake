@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_core.dir/csv.cpp.o"
+  "CMakeFiles/fx_core.dir/csv.cpp.o.d"
+  "CMakeFiles/fx_core.dir/stats.cpp.o"
+  "CMakeFiles/fx_core.dir/stats.cpp.o.d"
+  "CMakeFiles/fx_core.dir/table.cpp.o"
+  "CMakeFiles/fx_core.dir/table.cpp.o.d"
+  "libfx_core.a"
+  "libfx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfx_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/bluestein.cpp" "src/fft/CMakeFiles/fx_fft.dir/bluestein.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/bluestein.cpp.o.d"
+  "/root/repo/src/fft/dft_ref.cpp" "src/fft/CMakeFiles/fx_fft.dir/dft_ref.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/dft_ref.cpp.o.d"
+  "/root/repo/src/fft/gamma.cpp" "src/fft/CMakeFiles/fx_fft.dir/gamma.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/gamma.cpp.o.d"
+  "/root/repo/src/fft/good_size.cpp" "src/fft/CMakeFiles/fx_fft.dir/good_size.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/good_size.cpp.o.d"
+  "/root/repo/src/fft/plan1d.cpp" "src/fft/CMakeFiles/fx_fft.dir/plan1d.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/plan1d.cpp.o.d"
+  "/root/repo/src/fft/plan2d.cpp" "src/fft/CMakeFiles/fx_fft.dir/plan2d.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/plan2d.cpp.o.d"
+  "/root/repo/src/fft/plan3d.cpp" "src/fft/CMakeFiles/fx_fft.dir/plan3d.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/plan3d.cpp.o.d"
+  "/root/repo/src/fft/plan_cache.cpp" "src/fft/CMakeFiles/fx_fft.dir/plan_cache.cpp.o" "gcc" "src/fft/CMakeFiles/fx_fft.dir/plan_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_fft.dir/bluestein.cpp.o"
+  "CMakeFiles/fx_fft.dir/bluestein.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/dft_ref.cpp.o"
+  "CMakeFiles/fx_fft.dir/dft_ref.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/gamma.cpp.o"
+  "CMakeFiles/fx_fft.dir/gamma.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/good_size.cpp.o"
+  "CMakeFiles/fx_fft.dir/good_size.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/plan1d.cpp.o"
+  "CMakeFiles/fx_fft.dir/plan1d.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/plan2d.cpp.o"
+  "CMakeFiles/fx_fft.dir/plan2d.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/plan3d.cpp.o"
+  "CMakeFiles/fx_fft.dir/plan3d.cpp.o.d"
+  "CMakeFiles/fx_fft.dir/plan_cache.cpp.o"
+  "CMakeFiles/fx_fft.dir/plan_cache.cpp.o.d"
+  "libfx_fft.a"
+  "libfx_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fftx/descriptor.cpp" "src/fftx/CMakeFiles/fx_fftx.dir/descriptor.cpp.o" "gcc" "src/fftx/CMakeFiles/fx_fftx.dir/descriptor.cpp.o.d"
+  "/root/repo/src/fftx/grid_fft.cpp" "src/fftx/CMakeFiles/fx_fftx.dir/grid_fft.cpp.o" "gcc" "src/fftx/CMakeFiles/fx_fftx.dir/grid_fft.cpp.o.d"
+  "/root/repo/src/fftx/pencil_fft.cpp" "src/fftx/CMakeFiles/fx_fftx.dir/pencil_fft.cpp.o" "gcc" "src/fftx/CMakeFiles/fx_fftx.dir/pencil_fft.cpp.o.d"
+  "/root/repo/src/fftx/pipeline.cpp" "src/fftx/CMakeFiles/fx_fftx.dir/pipeline.cpp.o" "gcc" "src/fftx/CMakeFiles/fx_fftx.dir/pipeline.cpp.o.d"
+  "/root/repo/src/fftx/reference.cpp" "src/fftx/CMakeFiles/fx_fftx.dir/reference.cpp.o" "gcc" "src/fftx/CMakeFiles/fx_fftx.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fx_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/fx_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/fx_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

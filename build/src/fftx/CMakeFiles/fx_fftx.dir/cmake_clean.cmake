@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_fftx.dir/descriptor.cpp.o"
+  "CMakeFiles/fx_fftx.dir/descriptor.cpp.o.d"
+  "CMakeFiles/fx_fftx.dir/grid_fft.cpp.o"
+  "CMakeFiles/fx_fftx.dir/grid_fft.cpp.o.d"
+  "CMakeFiles/fx_fftx.dir/pencil_fft.cpp.o"
+  "CMakeFiles/fx_fftx.dir/pencil_fft.cpp.o.d"
+  "CMakeFiles/fx_fftx.dir/pipeline.cpp.o"
+  "CMakeFiles/fx_fftx.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fx_fftx.dir/reference.cpp.o"
+  "CMakeFiles/fx_fftx.dir/reference.cpp.o.d"
+  "libfx_fftx.a"
+  "libfx_fftx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_fftx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

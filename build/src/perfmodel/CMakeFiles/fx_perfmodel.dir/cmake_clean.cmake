@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/fx_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/fx_perfmodel.dir/program.cpp.o"
+  "CMakeFiles/fx_perfmodel.dir/program.cpp.o.d"
+  "CMakeFiles/fx_perfmodel.dir/simulator.cpp.o"
+  "CMakeFiles/fx_perfmodel.dir/simulator.cpp.o.d"
+  "libfx_perfmodel.a"
+  "libfx_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

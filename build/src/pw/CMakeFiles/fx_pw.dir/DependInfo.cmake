@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pw/grid.cpp" "src/pw/CMakeFiles/fx_pw.dir/grid.cpp.o" "gcc" "src/pw/CMakeFiles/fx_pw.dir/grid.cpp.o.d"
+  "/root/repo/src/pw/gvectors.cpp" "src/pw/CMakeFiles/fx_pw.dir/gvectors.cpp.o" "gcc" "src/pw/CMakeFiles/fx_pw.dir/gvectors.cpp.o.d"
+  "/root/repo/src/pw/sticks.cpp" "src/pw/CMakeFiles/fx_pw.dir/sticks.cpp.o" "gcc" "src/pw/CMakeFiles/fx_pw.dir/sticks.cpp.o.d"
+  "/root/repo/src/pw/wavefunction.cpp" "src/pw/CMakeFiles/fx_pw.dir/wavefunction.cpp.o" "gcc" "src/pw/CMakeFiles/fx_pw.dir/wavefunction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fx_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_pw.dir/grid.cpp.o"
+  "CMakeFiles/fx_pw.dir/grid.cpp.o.d"
+  "CMakeFiles/fx_pw.dir/gvectors.cpp.o"
+  "CMakeFiles/fx_pw.dir/gvectors.cpp.o.d"
+  "CMakeFiles/fx_pw.dir/sticks.cpp.o"
+  "CMakeFiles/fx_pw.dir/sticks.cpp.o.d"
+  "CMakeFiles/fx_pw.dir/wavefunction.cpp.o"
+  "CMakeFiles/fx_pw.dir/wavefunction.cpp.o.d"
+  "libfx_pw.a"
+  "libfx_pw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_pw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

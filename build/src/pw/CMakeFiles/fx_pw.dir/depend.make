@@ -1,0 +1,2 @@
+# Empty dependencies file for fx_pw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/fx_simmpi.dir/comm.cpp.o.d"
+  "libfx_simmpi.a"
+  "libfx_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_tasking.dir/runtime.cpp.o"
+  "CMakeFiles/fx_tasking.dir/runtime.cpp.o.d"
+  "libfx_tasking.a"
+  "libfx_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fx_tasking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/fx_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/fx_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/phases.cpp" "src/trace/CMakeFiles/fx_trace.dir/phases.cpp.o" "gcc" "src/trace/CMakeFiles/fx_trace.dir/phases.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/fx_trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/fx_trace.dir/report.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/trace/CMakeFiles/fx_trace.dir/timeline.cpp.o" "gcc" "src/trace/CMakeFiles/fx_trace.dir/timeline.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/fx_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/fx_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/fx_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/fx_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

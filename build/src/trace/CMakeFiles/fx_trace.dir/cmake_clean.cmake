@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_trace.dir/analysis.cpp.o"
+  "CMakeFiles/fx_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/fx_trace.dir/phases.cpp.o"
+  "CMakeFiles/fx_trace.dir/phases.cpp.o.d"
+  "CMakeFiles/fx_trace.dir/report.cpp.o"
+  "CMakeFiles/fx_trace.dir/report.cpp.o.d"
+  "CMakeFiles/fx_trace.dir/timeline.cpp.o"
+  "CMakeFiles/fx_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/fx_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/fx_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/fx_trace.dir/tracer.cpp.o"
+  "CMakeFiles/fx_trace.dir/tracer.cpp.o.d"
+  "libfx_trace.a"
+  "libfx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

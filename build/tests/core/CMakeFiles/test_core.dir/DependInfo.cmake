@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_error.cpp" "tests/core/CMakeFiles/test_core.dir/test_error.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_error.cpp.o.d"
+  "/root/repo/tests/core/test_rng.cpp" "tests/core/CMakeFiles/test_core.dir/test_rng.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_stats.cpp" "tests/core/CMakeFiles/test_core.dir/test_stats.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/core/test_table_csv.cpp" "tests/core/CMakeFiles/test_core.dir/test_table_csv.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_table_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

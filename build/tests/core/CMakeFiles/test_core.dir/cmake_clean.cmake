@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_error.cpp.o"
+  "CMakeFiles/test_core.dir/test_error.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_stats.cpp.o"
+  "CMakeFiles/test_core.dir/test_stats.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_table_csv.cpp.o"
+  "CMakeFiles/test_core.dir/test_table_csv.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fft/test_gamma_cache.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_gamma_cache.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_gamma_cache.cpp.o.d"
+  "/root/repo/tests/fft/test_good_size.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_good_size.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_good_size.cpp.o.d"
+  "/root/repo/tests/fft/test_plan1d.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_plan1d.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_plan1d.cpp.o.d"
+  "/root/repo/tests/fft/test_plan1d_layouts.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_plan1d_layouts.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_plan1d_layouts.cpp.o.d"
+  "/root/repo/tests/fft/test_plan2d3d.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_plan2d3d.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_plan2d3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/fx_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

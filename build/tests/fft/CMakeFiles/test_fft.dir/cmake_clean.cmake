@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft.dir/test_gamma_cache.cpp.o"
+  "CMakeFiles/test_fft.dir/test_gamma_cache.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_good_size.cpp.o"
+  "CMakeFiles/test_fft.dir/test_good_size.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_plan1d.cpp.o"
+  "CMakeFiles/test_fft.dir/test_plan1d.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_plan1d_layouts.cpp.o"
+  "CMakeFiles/test_fft.dir/test_plan1d_layouts.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_plan2d3d.cpp.o"
+  "CMakeFiles/test_fft.dir/test_plan2d3d.cpp.o.d"
+  "test_fft"
+  "test_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fft
+# Build directory: /root/repo/build/tests/fft
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_fft]=] "/root/repo/build/tests/fft/test_fft")
+set_tests_properties([=[test_fft]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/fft/CMakeLists.txt;1;fx_add_test;/root/repo/tests/fft/CMakeLists.txt;0;")

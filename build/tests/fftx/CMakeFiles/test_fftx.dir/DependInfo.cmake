@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fftx/test_descriptor.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_descriptor.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_descriptor.cpp.o.d"
+  "/root/repo/tests/fftx/test_grid_fft.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_grid_fft.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_grid_fft.cpp.o.d"
+  "/root/repo/tests/fftx/test_pencil_fft.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_pencil_fft.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_pencil_fft.cpp.o.d"
+  "/root/repo/tests/fftx/test_pipeline.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_pipeline.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/fftx/test_pipeline_extras.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_pipeline_extras.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_pipeline_extras.cpp.o.d"
+  "/root/repo/tests/fftx/test_random_configs.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_random_configs.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_random_configs.cpp.o.d"
+  "/root/repo/tests/fftx/test_window_stress.cpp" "tests/fftx/CMakeFiles/test_fftx.dir/test_window_stress.cpp.o" "gcc" "tests/fftx/CMakeFiles/test_fftx.dir/test_window_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fftx/CMakeFiles/fx_fftx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/fx_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fx_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/fx_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

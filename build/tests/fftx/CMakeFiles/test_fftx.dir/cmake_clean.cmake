@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fftx.dir/test_descriptor.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_descriptor.cpp.o.d"
+  "CMakeFiles/test_fftx.dir/test_grid_fft.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_grid_fft.cpp.o.d"
+  "CMakeFiles/test_fftx.dir/test_pencil_fft.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_pencil_fft.cpp.o.d"
+  "CMakeFiles/test_fftx.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_fftx.dir/test_pipeline_extras.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_pipeline_extras.cpp.o.d"
+  "CMakeFiles/test_fftx.dir/test_random_configs.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_random_configs.cpp.o.d"
+  "CMakeFiles/test_fftx.dir/test_window_stress.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_window_stress.cpp.o.d"
+  "test_fftx"
+  "test_fftx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fftx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fftx
+# Build directory: /root/repo/build/tests/fftx
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_fftx]=] "/root/repo/build/tests/fftx/test_fftx")
+set_tests_properties([=[test_fftx]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/fftx/CMakeLists.txt;1;fx_add_test;/root/repo/tests/fftx/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perfmodel/test_backend_consistency.cpp" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_backend_consistency.cpp.o" "gcc" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_backend_consistency.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_machine.cpp" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_machine.cpp.o" "gcc" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_program.cpp" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_program.cpp.o" "gcc" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_program.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_simulator.cpp" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_simulator.cpp.o" "gcc" "tests/perfmodel/CMakeFiles/test_perfmodel.dir/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/fx_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fftx/CMakeFiles/fx_fftx.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/fx_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fx_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/fx_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

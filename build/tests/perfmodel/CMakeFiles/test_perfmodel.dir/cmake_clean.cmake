@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/test_backend_consistency.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/test_backend_consistency.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/test_machine.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/test_machine.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/test_program.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/test_program.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/test_simulator.cpp.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/perfmodel
+# Build directory: /root/repo/build/tests/perfmodel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_perfmodel]=] "/root/repo/build/tests/perfmodel/test_perfmodel")
+set_tests_properties([=[test_perfmodel]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/perfmodel/CMakeLists.txt;1;fx_add_test;/root/repo/tests/perfmodel/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pw/test_gvectors_grid.cpp" "tests/pw/CMakeFiles/test_pw.dir/test_gvectors_grid.cpp.o" "gcc" "tests/pw/CMakeFiles/test_pw.dir/test_gvectors_grid.cpp.o.d"
+  "/root/repo/tests/pw/test_sticks.cpp" "tests/pw/CMakeFiles/test_pw.dir/test_sticks.cpp.o" "gcc" "tests/pw/CMakeFiles/test_pw.dir/test_sticks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pw/CMakeFiles/fx_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fx_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

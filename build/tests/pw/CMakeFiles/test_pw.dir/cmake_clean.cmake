@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pw.dir/test_gvectors_grid.cpp.o"
+  "CMakeFiles/test_pw.dir/test_gvectors_grid.cpp.o.d"
+  "CMakeFiles/test_pw.dir/test_sticks.cpp.o"
+  "CMakeFiles/test_pw.dir/test_sticks.cpp.o.d"
+  "test_pw"
+  "test_pw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

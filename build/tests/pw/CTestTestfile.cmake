@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pw
+# Build directory: /root/repo/build/tests/pw
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_pw]=] "/root/repo/build/tests/pw/test_pw")
+set_tests_properties([=[test_pw]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/pw/CMakeLists.txt;1;fx_add_test;/root/repo/tests/pw/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi/test_collectives.cpp" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_collectives.cpp.o" "gcc" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/simmpi/test_nonblocking.cpp" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_nonblocking.cpp.o" "gcc" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_nonblocking.cpp.o.d"
+  "/root/repo/tests/simmpi/test_rooted.cpp" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_rooted.cpp.o" "gcc" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_rooted.cpp.o.d"
+  "/root/repo/tests/simmpi/test_tags_split_p2p.cpp" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_tags_split_p2p.cpp.o" "gcc" "tests/simmpi/CMakeFiles/test_simmpi.dir/test_tags_split_p2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

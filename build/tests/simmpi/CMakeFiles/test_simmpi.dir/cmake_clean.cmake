@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_simmpi.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/test_nonblocking.cpp.o"
+  "CMakeFiles/test_simmpi.dir/test_nonblocking.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/test_rooted.cpp.o"
+  "CMakeFiles/test_simmpi.dir/test_rooted.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/test_tags_split_p2p.cpp.o"
+  "CMakeFiles/test_simmpi.dir/test_tags_split_p2p.cpp.o.d"
+  "test_simmpi"
+  "test_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

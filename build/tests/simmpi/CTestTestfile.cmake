@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simmpi
+# Build directory: /root/repo/build/tests/simmpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_simmpi]=] "/root/repo/build/tests/simmpi/test_simmpi")
+set_tests_properties([=[test_simmpi]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/simmpi/CMakeLists.txt;1;fx_add_test;/root/repo/tests/simmpi/CMakeLists.txt;0;")

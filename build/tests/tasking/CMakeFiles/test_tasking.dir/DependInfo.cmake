@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tasking/test_dependencies.cpp" "tests/tasking/CMakeFiles/test_tasking.dir/test_dependencies.cpp.o" "gcc" "tests/tasking/CMakeFiles/test_tasking.dir/test_dependencies.cpp.o.d"
+  "/root/repo/tests/tasking/test_priority.cpp" "tests/tasking/CMakeFiles/test_tasking.dir/test_priority.cpp.o" "gcc" "tests/tasking/CMakeFiles/test_tasking.dir/test_priority.cpp.o.d"
+  "/root/repo/tests/tasking/test_taskloop_stress.cpp" "tests/tasking/CMakeFiles/test_tasking.dir/test_taskloop_stress.cpp.o" "gcc" "tests/tasking/CMakeFiles/test_tasking.dir/test_taskloop_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasking/CMakeFiles/fx_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

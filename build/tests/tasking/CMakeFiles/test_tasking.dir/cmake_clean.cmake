@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasking.dir/test_dependencies.cpp.o"
+  "CMakeFiles/test_tasking.dir/test_dependencies.cpp.o.d"
+  "CMakeFiles/test_tasking.dir/test_priority.cpp.o"
+  "CMakeFiles/test_tasking.dir/test_priority.cpp.o.d"
+  "CMakeFiles/test_tasking.dir/test_taskloop_stress.cpp.o"
+  "CMakeFiles/test_tasking.dir/test_taskloop_stress.cpp.o.d"
+  "test_tasking"
+  "test_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

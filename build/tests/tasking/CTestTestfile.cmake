@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tasking
+# Build directory: /root/repo/build/tests/tasking
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_tasking]=] "/root/repo/build/tests/tasking/test_tasking")
+set_tests_properties([=[test_tasking]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/tasking/CMakeLists.txt;1;fx_add_test;/root/repo/tests/tasking/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_analysis.cpp" "tests/trace/CMakeFiles/test_trace.dir/test_analysis.cpp.o" "gcc" "tests/trace/CMakeFiles/test_trace.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/trace/test_report.cpp" "tests/trace/CMakeFiles/test_trace.dir/test_report.cpp.o" "gcc" "tests/trace/CMakeFiles/test_trace.dir/test_report.cpp.o.d"
+  "/root/repo/tests/trace/test_timeline.cpp" "tests/trace/CMakeFiles/test_trace.dir/test_timeline.cpp.o" "gcc" "tests/trace/CMakeFiles/test_trace.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/trace/test_trace_io.cpp" "tests/trace/CMakeFiles/test_trace.dir/test_trace_io.cpp.o" "gcc" "tests/trace/CMakeFiles/test_trace.dir/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/test_analysis.cpp.o"
+  "CMakeFiles/test_trace.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/test_trace.dir/test_report.cpp.o"
+  "CMakeFiles/test_trace.dir/test_report.cpp.o.d"
+  "CMakeFiles/test_trace.dir/test_timeline.cpp.o"
+  "CMakeFiles/test_trace.dir/test_timeline.cpp.o.d"
+  "CMakeFiles/test_trace.dir/test_trace_io.cpp.o"
+  "CMakeFiles/test_trace.dir/test_trace_io.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/trace
+# Build directory: /root/repo/build/tests/trace
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_trace]=] "/root/repo/build/tests/trace/test_trace")
+set_tests_properties([=[test_trace]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/trace/CMakeLists.txt;1;fx_add_test;/root/repo/tests/trace/CMakeLists.txt;0;")
