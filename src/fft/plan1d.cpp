@@ -1,6 +1,7 @@
 #include "fft/plan1d.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <initializer_list>
 #include <numbers>
@@ -32,6 +33,30 @@ std::vector<std::size_t> factorize(std::size_t n) {
 }
 
 }  // namespace
+
+namespace detail {
+
+void check_batch_aliasing(std::size_t n, std::size_t howmany, const cplx* in,
+                          std::size_t istride, std::size_t idist,
+                          const cplx* out, std::size_t ostride,
+                          std::size_t odist) {
+  if (n == 0 || howmany == 0) return;
+  if (in == out && istride == ostride && idist == odist) return;
+  // Compare as integers: ordering pointers into distinct arrays is
+  // unspecified, and these spans are allowed to be unrelated.
+  const auto ibeg = reinterpret_cast<std::uintptr_t>(in);
+  const auto obeg = reinterpret_cast<std::uintptr_t>(out);
+  const auto iend = reinterpret_cast<std::uintptr_t>(
+      in + (howmany - 1) * idist + (n - 1) * istride + 1);
+  const auto oend = reinterpret_cast<std::uintptr_t>(
+      out + (howmany - 1) * odist + (n - 1) * ostride + 1);
+  FX_ASSERT(oend <= ibeg || iend <= obeg,
+            "execute_many in/out batches overlap incompatibly: only fully "
+            "in-place (same pointer and strides) or disjoint spans are "
+            "supported");
+}
+
+}  // namespace detail
 
 Workspace& thread_workspace() {
   thread_local Workspace ws;
@@ -206,6 +231,8 @@ void Fft1d::execute_many(std::size_t howmany, const cplx* in,
                          std::size_t istride, std::size_t idist, cplx* out,
                          std::size_t ostride, std::size_t odist,
                          Workspace& ws) const {
+  detail::check_batch_aliasing(n_, howmany, in, istride, idist, out, ostride,
+                               odist);
   for (std::size_t b = 0; b < howmany; ++b) {
     execute_strided(in + b * idist, istride, out + b * odist, ostride, ws);
   }

@@ -22,6 +22,17 @@ namespace fx::fft {
 
 class Bluestein;  // defined in bluestein.hpp
 
+namespace detail {
+/// Guard for the execute_many aliasing contract shared by the scalar and
+/// batched engines: accepts a fully in-place batch (in == out with
+/// identical strides) or disjoint in/out spans, and throws via FX_ASSERT
+/// on any other overlap.
+void check_batch_aliasing(std::size_t n, std::size_t howmany, const cplx* in,
+                          std::size_t istride, std::size_t idist,
+                          const cplx* out, std::size_t ostride,
+                          std::size_t odist);
+}  // namespace detail
+
 class Fft1d {
  public:
   /// Builds a plan for length n (n >= 1) in the given direction.
@@ -48,6 +59,14 @@ class Fft1d {
 
   /// Batched transform: `howmany` transforms; transform b reads
   /// in[b*idist + j*istride] and writes out[b*odist + k*ostride].
+  ///
+  /// Aliasing: transforms run sequentially, so outputs of earlier
+  /// transforms must not overlap inputs of later ones.  The only
+  /// supported aliased layout is the fully in-place batch (in == out,
+  /// istride == ostride, idist == odist); otherwise the input and output
+  /// spans must be disjoint.  Anything in between -- shifted batches,
+  /// in-place with mismatched strides -- silently corrupted results
+  /// before and is now rejected by an FX_ASSERT.
   void execute_many(std::size_t howmany, const cplx* in, std::size_t istride,
                     std::size_t idist, cplx* out, std::size_t ostride,
                     std::size_t odist, Workspace& ws) const;
@@ -56,6 +75,8 @@ class Fft1d {
   [[nodiscard]] bool uses_bluestein() const { return bluestein_ != nullptr; }
 
  private:
+  friend class BatchPlan1d;  // shares factors_/twiddle_ for the SIMD tiles
+
   void execute_contiguous_from_strided(const cplx* in, std::size_t istride,
                                        cplx* out, Workspace& ws) const;
   void recurse(std::size_t n, std::size_t factor_index, const cplx* in,

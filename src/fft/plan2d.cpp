@@ -1,21 +1,17 @@
 #include "fft/plan2d.hpp"
 
-#include <cstring>
-
 namespace fx::fft {
 
-Fft2d::Fft2d(std::size_t nx, std::size_t ny, Direction dir)
-    : nx_(nx), ny_(ny), dir_(dir), along_x_(nx, dir), along_y_(ny, dir) {}
+Fft2d::Fft2d(std::size_t nx, std::size_t ny, Direction dir, BatchKernel kernel)
+    : nx_(nx), ny_(ny), dir_(dir),
+      along_x_(nx, dir, kernel),
+      along_y_(ny, dir, kernel) {}
 
 void Fft2d::execute(const cplx* in, cplx* out, Workspace& ws) const {
-  // Rows first (contiguous), writing into `out`; then columns in place.
-  if (in != out) {
-    along_x_.execute_many(ny_, in, 1, nx_, out, 1, nx_, ws);
-  } else {
-    for (std::size_t row = 0; row < ny_; ++row) {
-      along_x_.execute(in + row * nx_, out + row * nx_, ws);
-    }
-  }
+  // Rows first (a contiguous batch), then columns (a transposed batch,
+  // stride nx).  The batched engine gathers each SIMD tile before it
+  // scatters, so the in == out case needs no special-casing.
+  along_x_.execute_many(ny_, in, 1, nx_, out, 1, nx_, ws);
   along_y_.execute_many(nx_, out, nx_, 1, out, nx_, 1, ws);
 }
 

@@ -3,12 +3,14 @@
 // This is the engine behind the pipeline's cft_2xy equivalent: QE performs
 // the XY transform of every real-space plane a rank owns.  The transform is
 // computed as ny row FFTs of length nx followed by nx column FFTs of length
-// ny (stride nx).
+// ny (stride nx); both passes run through the SIMD-across-batch engine
+// (rows are a contiguous batch, columns a transposed one), with the scalar
+// oracle selectable per plan for A/B benching.
 #pragma once
 
 #include <cstddef>
 
-#include "fft/plan1d.hpp"
+#include "fft/batch1d.hpp"
 #include "fft/types.hpp"
 #include "fft/workspace.hpp"
 
@@ -16,11 +18,13 @@ namespace fx::fft {
 
 class Fft2d {
  public:
-  Fft2d(std::size_t nx, std::size_t ny, Direction dir);
+  Fft2d(std::size_t nx, std::size_t ny, Direction dir,
+        BatchKernel kernel = default_batch_kernel());
 
   [[nodiscard]] std::size_t nx() const { return nx_; }
   [[nodiscard]] std::size_t ny() const { return ny_; }
   [[nodiscard]] Direction direction() const { return dir_; }
+  [[nodiscard]] BatchKernel kernel() const { return along_x_.kernel(); }
 
   /// Transforms one plane of nx*ny contiguous elements, indexed
   /// data[ix + nx*iy].  In-place (the pipeline's usage) or out-of-place.
@@ -31,8 +35,8 @@ class Fft2d {
   std::size_t nx_;
   std::size_t ny_;
   Direction dir_;
-  Fft1d along_x_;
-  Fft1d along_y_;
+  BatchPlan1d along_x_;
+  BatchPlan1d along_y_;
 };
 
 }  // namespace fx::fft

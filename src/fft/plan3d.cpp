@@ -2,15 +2,17 @@
 
 namespace fx::fft {
 
-Fft3d::Fft3d(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir)
-    : nz_(nz), xy_(nx, ny, dir), along_z_(nz, dir) {}
+Fft3d::Fft3d(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir,
+             BatchKernel kernel)
+    : nz_(nz), xy_(nx, ny, dir, kernel), along_z_(nz, dir, kernel) {}
 
 void Fft3d::execute(const cplx* in, cplx* out, Workspace& ws) const {
   const std::size_t plane = nx() * ny();
   for (std::size_t iz = 0; iz < nz_; ++iz) {
     xy_.execute(in + iz * plane, out + iz * plane, ws);
   }
-  // Z lines: one per (ix, iy), stride = plane size.
+  // Z lines: one per (ix, iy), stride = plane size -- a transposed batch
+  // whose SIMD lanes are 8 adjacent (ix, iy) columns.
   along_z_.execute_many(plane, out, plane, 1, out, plane, 1, ws);
 }
 

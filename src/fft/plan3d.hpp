@@ -4,12 +4,13 @@
 // The distributed pipeline never calls this directly -- it decomposes the 3D
 // transform into Z pencils and XY planes across ranks -- but the serial 3D
 // plan is the oracle the tests and examples compare the pipeline against,
-// and the quickstart example's entry point.
+// and the quickstart example's entry point.  The Z lines run as one
+// transposed batch (stride = plane) through the SIMD-across-batch engine.
 #pragma once
 
 #include <cstddef>
 
-#include "fft/plan1d.hpp"
+#include "fft/batch1d.hpp"
 #include "fft/plan2d.hpp"
 #include "fft/types.hpp"
 
@@ -17,7 +18,8 @@ namespace fx::fft {
 
 class Fft3d {
  public:
-  Fft3d(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir);
+  Fft3d(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir,
+        BatchKernel kernel = default_batch_kernel());
 
   [[nodiscard]] std::size_t nx() const { return xy_.nx(); }
   [[nodiscard]] std::size_t ny() const { return xy_.ny(); }
@@ -32,7 +34,7 @@ class Fft3d {
  private:
   std::size_t nz_;
   Fft2d xy_;
-  Fft1d along_z_;
+  BatchPlan1d along_z_;
 };
 
 }  // namespace fx::fft

@@ -10,23 +10,37 @@ std::shared_ptr<const Fft1d> PlanCache::plan1d(std::size_t n, Direction dir) {
   return slot;
 }
 
+std::shared_ptr<const BatchPlan1d> PlanCache::batch1d(std::size_t n,
+                                                      Direction dir,
+                                                      BatchKernel kernel) {
+  const auto key =
+      std::make_tuple(n, static_cast<int>(dir), static_cast<int>(kernel));
+  std::lock_guard lock(mu_);
+  auto& slot = cb_[key];
+  if (!slot) slot = std::make_shared<const BatchPlan1d>(n, dir, kernel);
+  return slot;
+}
+
 std::shared_ptr<const Fft2d> PlanCache::plan2d(std::size_t nx, std::size_t ny,
-                                               Direction dir) {
-  const auto key = std::make_tuple(nx, ny, static_cast<int>(dir));
+                                               Direction dir,
+                                               BatchKernel kernel) {
+  const auto key = std::make_tuple(nx, ny, static_cast<int>(dir),
+                                   static_cast<int>(kernel));
   std::lock_guard lock(mu_);
   auto& slot = c2_[key];
-  if (!slot) slot = std::make_shared<const Fft2d>(nx, ny, dir);
+  if (!slot) slot = std::make_shared<const Fft2d>(nx, ny, dir, kernel);
   return slot;
 }
 
 std::size_t PlanCache::size() const {
   std::lock_guard lock(mu_);
-  return c1_.size() + c2_.size();
+  return c1_.size() + cb_.size() + c2_.size();
 }
 
 void PlanCache::clear() {
   std::lock_guard lock(mu_);
   c1_.clear();
+  cb_.clear();
   c2_.clear();
 }
 

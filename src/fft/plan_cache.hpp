@@ -5,13 +5,18 @@
 // which is worth amortizing when many pipeline instances or tasks need the
 // same sizes.  The cache hands out shared_ptrs; entries live as long as
 // the cache (plus any outstanding users).
+//
+// Cache keys include the batch kernel (SIMD tiles vs scalar oracle), so a
+// benchmark can hold both variants of the same size side by side.
 #pragma once
 
 #include <cstddef>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
+#include "fft/batch1d.hpp"
 #include "fft/plan1d.hpp"
 #include "fft/plan2d.hpp"
 
@@ -22,9 +27,16 @@ class PlanCache {
   /// Returns (building on first use) the 1D plan for (n, dir).
   std::shared_ptr<const Fft1d> plan1d(std::size_t n, Direction dir);
 
-  /// Returns (building on first use) the 2D plan for (nx, ny, dir).
+  /// Returns (building on first use) the batched 1D plan for
+  /// (n, dir, kernel).  This is what every execute_many call site in the
+  /// pipeline uses; pass BatchKernel::Scalar for the A/B oracle.
+  std::shared_ptr<const BatchPlan1d> batch1d(
+      std::size_t n, Direction dir, BatchKernel kernel = default_batch_kernel());
+
+  /// Returns (building on first use) the 2D plan for (nx, ny, dir, kernel).
   std::shared_ptr<const Fft2d> plan2d(std::size_t nx, std::size_t ny,
-                                      Direction dir);
+                                      Direction dir,
+                                      BatchKernel kernel = default_batch_kernel());
 
   /// Number of distinct plans currently cached.
   [[nodiscard]] std::size_t size() const;
@@ -38,7 +50,10 @@ class PlanCache {
  private:
   mutable std::mutex mu_;
   std::map<std::pair<std::size_t, int>, std::shared_ptr<const Fft1d>> c1_;
-  std::map<std::tuple<std::size_t, std::size_t, int>,
+  std::map<std::tuple<std::size_t, int, int>,
+           std::shared_ptr<const BatchPlan1d>>
+      cb_;
+  std::map<std::tuple<std::size_t, std::size_t, int, int>,
            std::shared_ptr<const Fft2d>>
       c2_;
 };

@@ -15,8 +15,8 @@ GridFft::GridFft(mpi::Comm comm, const pw::GridDims& dims)
       me_(comm.rank()),
       cols_(dims.plane(), comm.size()),
       planes_(dims.nz, comm.size()),
-      z_bwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Backward)),
-      z_fwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Forward)),
+      z_bwd_(fft::PlanCache::global().batch1d(dims.nz, Direction::Backward)),
+      z_fwd_(fft::PlanCache::global().batch1d(dims.nz, Direction::Forward)),
       xy_bwd_(
           fft::PlanCache::global().plan2d(dims.nx, dims.ny, Direction::Backward)),
       xy_fwd_(

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "core/aligned.hpp"
-#include "fft/plan1d.hpp"
+#include "fft/batch1d.hpp"
 #include "fft/plan2d.hpp"
 #include "fft/plan_cache.hpp"
 #include "pw/grid.hpp"
@@ -84,8 +84,8 @@ class GridFft {
   pw::PlaneDist cols_;    ///< distribution of the nx*ny Z-columns
   pw::PlaneDist planes_;  ///< distribution of the nz planes
 
-  std::shared_ptr<const fft::Fft1d> z_bwd_;
-  std::shared_ptr<const fft::Fft1d> z_fwd_;
+  std::shared_ptr<const fft::BatchPlan1d> z_bwd_;
+  std::shared_ptr<const fft::BatchPlan1d> z_fwd_;
   std::shared_ptr<const fft::Fft2d> xy_bwd_;
   std::shared_ptr<const fft::Fft2d> xy_fwd_;
 

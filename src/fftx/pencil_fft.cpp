@@ -23,12 +23,12 @@ PencilFft::PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows,
       ydist_(dims.ny, pcols),
       zdist_(dims.nz, pcols),
       y2dist_(dims.ny, prows),
-      fz_bwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Backward)),
-      fz_fwd_(fft::PlanCache::global().plan1d(dims.nz, Direction::Forward)),
-      fy_bwd_(fft::PlanCache::global().plan1d(dims.ny, Direction::Backward)),
-      fy_fwd_(fft::PlanCache::global().plan1d(dims.ny, Direction::Forward)),
-      fx_bwd_(fft::PlanCache::global().plan1d(dims.nx, Direction::Backward)),
-      fx_fwd_(fft::PlanCache::global().plan1d(dims.nx, Direction::Forward)) {
+      fz_bwd_(fft::PlanCache::global().batch1d(dims.nz, Direction::Backward)),
+      fz_fwd_(fft::PlanCache::global().batch1d(dims.nz, Direction::Forward)),
+      fy_bwd_(fft::PlanCache::global().batch1d(dims.ny, Direction::Backward)),
+      fy_fwd_(fft::PlanCache::global().batch1d(dims.ny, Direction::Forward)),
+      fx_bwd_(fft::PlanCache::global().batch1d(dims.nx, Direction::Backward)),
+      fx_fwd_(fft::PlanCache::global().batch1d(dims.nx, Direction::Forward)) {
   FX_CHECK(prows >= 1 && pcols >= 1 && world.size() == prows * pcols,
            "world size must equal prows * pcols");
   FX_ASSERT(row_comm_.size() == pcols_ && row_comm_.rank() == col_);

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "core/aligned.hpp"
-#include "fft/plan1d.hpp"
+#include "fft/batch1d.hpp"
 #include "fft/plan_cache.hpp"
 #include "pw/grid.hpp"
 #include "pw/sticks.hpp"
@@ -100,9 +100,9 @@ class PencilFft {
   pw::PlaneDist zdist_;   ///< z over process columns (Y/X-pencil stages)
   pw::PlaneDist y2dist_;  ///< y over process rows (X-pencil stage)
 
-  std::shared_ptr<const fft::Fft1d> fz_bwd_, fz_fwd_;
-  std::shared_ptr<const fft::Fft1d> fy_bwd_, fy_fwd_;
-  std::shared_ptr<const fft::Fft1d> fx_bwd_, fx_fwd_;
+  std::shared_ptr<const fft::BatchPlan1d> fz_bwd_, fz_fwd_;
+  std::shared_ptr<const fft::BatchPlan1d> fy_bwd_, fy_fwd_;
+  std::shared_ptr<const fft::BatchPlan1d> fx_bwd_, fx_fwd_;
 
   // Row-transpose counts (peer = column index), column-transpose counts
   // (peer = row index); symmetric pairs for the reverse direction.

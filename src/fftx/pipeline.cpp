@@ -53,10 +53,10 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
       b_(w_ / desc_->ntg()),
       pack_(world_.split(/*color=*/b_, /*key=*/g_)),
       scat_(world_.split(/*color=*/g_, /*key=*/b_)),
-      z_to_real_(fft::PlanCache::global().plan1d(desc_->dims().nz,
-                                                 Direction::Backward)),
-      z_to_recip_(fft::PlanCache::global().plan1d(desc_->dims().nz,
-                                                  Direction::Forward)),
+      z_to_real_(fft::PlanCache::global().batch1d(desc_->dims().nz,
+                                                  Direction::Backward)),
+      z_to_recip_(fft::PlanCache::global().batch1d(desc_->dims().nz,
+                                                   Direction::Forward)),
       xy_to_real_(fft::PlanCache::global().plan2d(
           desc_->dims().nx, desc_->dims().ny, Direction::Backward)),
       xy_to_recip_(fft::PlanCache::global().plan2d(
@@ -246,7 +246,7 @@ void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
                                bool use_taskloop) {
   const std::size_t nz = desc_->dims().nz;
   const std::size_t nst = desc_->nsticks_group(b_);
-  const fft::Fft1d& plan =
+  const fft::BatchPlan1d& plan =
       dir == Direction::Backward ? *z_to_real_ : *z_to_recip_;
   auto chunk = [&](std::size_t lo, std::size_t hi) {
     const double t0 = WallTimer::now();

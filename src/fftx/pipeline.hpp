@@ -45,7 +45,7 @@
 #include <vector>
 
 #include "core/aligned.hpp"
-#include "fft/plan1d.hpp"
+#include "fft/batch1d.hpp"
 #include "fft/plan2d.hpp"
 #include "fft/plan_cache.hpp"
 #include "fftx/descriptor.hpp"
@@ -143,8 +143,8 @@ class BandFftPipeline {
 
   // Immutable plans (thread-safe execution, shared across the ranks of
   // this process via the global plan cache) and the potential slab.
-  std::shared_ptr<const fft::Fft1d> z_to_real_;   ///< "FW-FFT along Z"
-  std::shared_ptr<const fft::Fft1d> z_to_recip_;  ///< "BW-FFT along Z"
+  std::shared_ptr<const fft::BatchPlan1d> z_to_real_;   ///< "FW-FFT along Z"
+  std::shared_ptr<const fft::BatchPlan1d> z_to_recip_;  ///< "BW-FFT along Z"
   std::shared_ptr<const fft::Fft2d> xy_to_real_;
   std::shared_ptr<const fft::Fft2d> xy_to_recip_;
   std::vector<double> vslab_;
