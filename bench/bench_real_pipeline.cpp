@@ -13,22 +13,70 @@
 
 namespace {
 
-double run_real(int nranks, int ntg, fx::fftx::PipelineMode mode,
-                int threads) {
+double run_real(int nranks, int ntg, fx::fftx::PipelineMode mode, int threads,
+                const fx::mpi::RunOptions& opts = fx::mpi::RunOptions{}) {
   auto desc = std::make_shared<const fx::fftx::Descriptor>(fx::pw::Cell{10.0},
                                                            16.0, nranks, ntg);
   double runtime = 0.0;
-  fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& world) {
+  fx::mpi::Runtime::run(nranks, opts, [&](fx::mpi::Comm& world) {
     fx::fftx::PipelineConfig cfg;
     cfg.num_bands = 16;
     cfg.mode = mode;
     cfg.nthreads = threads;
+    cfg.guard_exchanges = false;  // the A/B below measures validator+watchdog
     fx::fftx::BandFftPipeline pipe(world, desc, cfg);
     pipe.initialize_bands();
     const double t = pipe.run();
     if (world.rank() == 0) runtime = t;
   });
   return runtime;
+}
+
+/// Hardening A/B: the runtime safety net (collective validator + watchdog +
+/// progress board) on vs off, on the same workload.
+void bench_hardening_overhead() {
+  using fx::fftx::PipelineMode;
+
+  fx::mpi::RunOptions off;
+  off.watchdog.enabled = false;
+  off.validate_collectives = false;
+  fx::mpi::RunOptions on;  // defaults: validator on, watchdog on (60 s)
+
+  fx::core::TablePrinter t(
+      "Hardening overhead (validator + watchdog on vs off, median of 5)");
+  t.header({"version", "off [s]", "on [s]", "overhead"});
+  fx::core::CsvWriter csv("bench/out/hardening_overhead.csv");
+  csv.row({"mode", "variant", "seconds", "overhead_pct"});
+
+  struct Row {
+    const char* name;
+    int nranks;
+    int ntg;
+    PipelineMode mode;
+    int threads;
+  };
+  const Row rows[] = {
+      {"original 4 x 2", 8, 2, PipelineMode::Original, 1},
+      {"task-per-FFT 4 ranks x 2 thr", 4, 1, PipelineMode::TaskPerFft, 2},
+  };
+  for (const Row& row : rows) {
+    std::vector<double> t_off;
+    std::vector<double> t_on;
+    for (int rep = 0; rep < 5; ++rep) {
+      t_off.push_back(
+          run_real(row.nranks, row.ntg, row.mode, row.threads, off));
+      t_on.push_back(run_real(row.nranks, row.ntg, row.mode, row.threads, on));
+    }
+    const double med_off = fx::core::median(t_off);
+    const double med_on = fx::core::median(t_on);
+    const double overhead = (med_on - med_off) / med_off * 100.0;
+    t.row({row.name, fx::core::fixed(med_off, 4), fx::core::fixed(med_on, 4),
+           fx::core::cat(fx::core::fixed(overhead, 2), " %")});
+    csv.row({to_string(row.mode), "off", fx::core::cat(med_off), "0"});
+    csv.row({to_string(row.mode), "on", fx::core::cat(med_on),
+             fx::core::cat(fx::core::fixed(overhead, 2))});
+  }
+  t.print(std::cout);
 }
 
 }  // namespace
@@ -71,5 +119,7 @@ int main() {
     csv.row({to_string(row.mode), fx::core::cat(row.nranks), fx::core::cat(med)});
   }
   t.print(std::cout);
+
+  bench_hardening_overhead();
   return 0;
 }

@@ -20,6 +20,43 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Communication-layer failure: collective mismatch, poisoned communicator
+/// (a peer rank died), or a recv/send contract violation.  The message names
+/// the offending ranks and operations.
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the hang watchdog when no communicator made progress for the
+/// configured window; the message is the per-rank dump of blocked
+/// operations and missing participants.
+class DeadlockError : public CommError {
+ public:
+  explicit DeadlockError(const std::string& what) : CommError(what) {}
+};
+
+/// Raised by the fault injector when a rank is scheduled to be killed
+/// (distinct from CommError so tests can tell an injected death from the
+/// induced peer unwinds).
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error(what) {}
+};
+
+/// A task body threw: carries the task label so join points (taskwait /
+/// taskloop) can report which task died, not just what it said.
+class TaskError : public Error {
+ public:
+  TaskError(std::string label, const std::string& what)
+      : Error("task '" + label + "' failed: " + what),
+        label_(std::move(label)) {}
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+ private:
+  std::string label_;
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* kind, const char* cond,
                               const char* file, int line,

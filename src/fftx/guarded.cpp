@@ -1,0 +1,83 @@
+#include "fftx/guarded.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+
+namespace fx::fftx {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool default_guard_exchanges() {
+  const char* v = std::getenv("FFTX_GUARD_EXCHANGES");
+  return v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
+}
+
+void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
+                       const std::size_t* scounts, const std::size_t* sdispls,
+                       fft::cplx* recv, const std::size_t* rcounts,
+                       const std::size_t* rdispls, int tag, int max_retries,
+                       GuardStats* stats) {
+  const auto n = static_cast<std::size_t>(comm.size());
+  std::vector<std::uint64_t> sent_sums(n);
+  std::vector<std::uint64_t> want_sums(n);
+
+  for (int attempt = 0;; ++attempt) {
+    for (std::size_t p = 0; p < n; ++p) {
+      sent_sums[p] =
+          fnv1a(send + sdispls[p], scounts[p] * sizeof(fft::cplx));
+    }
+    // The digest exchange is an Alltoall: a distinct collective kind, so it
+    // matches independently of the same-tag payload Alltoallv below.
+    comm.alltoall_bytes(sent_sums.data(), want_sums.data(),
+                        sizeof(std::uint64_t), tag);
+    comm.alltoallv(send, scounts, sdispls, recv, rcounts, rdispls, tag);
+
+    int bad_peer = -1;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (fnv1a(recv + rdispls[p], rcounts[p] * sizeof(fft::cplx)) !=
+          want_sums[p]) {
+        bad_peer = static_cast<int>(p);
+        break;
+      }
+    }
+    // Agree globally so every rank retries (or accepts) in lockstep: send
+    // buffers stay valid and the per-(kind, tag) sequence counters advance
+    // identically on all ranks.
+    int ok = bad_peer < 0 ? 1 : 0;
+    int all_ok = 0;
+    comm.allreduce(&ok, &all_ok, 1, mpi::ReduceOp::Min, tag);
+    if (all_ok == 1) {
+      if (stats != nullptr) {
+        stats->exchanges.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (attempt >= max_retries) {
+      throw core::CommError(core::cat(
+          "guarded alltoallv: payload corruption persists after ",
+          max_retries, " retries on comm ", comm.id(), " (tag ", tag,
+          "): rank ", comm.rank(),
+          bad_peer >= 0
+              ? core::cat(" sees a checksum mismatch in the segment from "
+                          "rank ",
+                          bad_peer)
+              : std::string(" is retrying for a corrupted peer")));
+    }
+    if (stats != nullptr) {
+      stats->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace fx::fftx

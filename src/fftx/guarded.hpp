@@ -1,0 +1,51 @@
+// Checksum-guarded Alltoallv for the pipeline's transpose exchanges.
+//
+// The band redistribution and pencil<->plane scatters move every
+// coefficient of every band across ranks twice per direction; a single
+// flipped bit in transit silently corrupts the final wave function.  The
+// guarded exchange makes that failure mode detectable and recoverable:
+// each rank checksums every segment it sends, peers exchange the expected
+// checksums (an Alltoall -- a different collective kind, so it can never
+// be confused with the payload exchange under the same tag), and after the
+// payload Alltoallv every rank verifies what it received.  A global
+// agreement allreduce (Min) decides pass/fail, so either all ranks accept
+// or all ranks retry together -- send buffers are still live and the
+// per-(kind, tag) sequence counters stay aligned.  Bounded retries; on
+// exhaustion a structured core::CommError names the mismatching segment.
+//
+// Enabled per pipeline via PipelineConfig::guard_exchanges, defaulting to
+// the FFTX_GUARD_EXCHANGES environment variable (off when unset).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "fft/types.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx::fftx {
+
+/// Counters of one pipeline's guarded exchanges (shared by all its task
+/// workers, hence atomic).
+struct GuardStats {
+  std::atomic<std::uint64_t> exchanges{0};  ///< guarded exchanges completed
+  std::atomic<std::uint64_t> retries{0};    ///< corrupted rounds repeated
+};
+
+/// FNV-1a 64-bit checksum of a byte range (the guard's segment digest).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes);
+
+/// Alltoallv with end-to-end payload verification and bounded retry (see
+/// file comment).  Collective over `comm`; every rank must pass the same
+/// `tag` and `max_retries`.  Throws core::CommError when `max_retries`
+/// retries still leave a corrupted segment.
+void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
+                       const std::size_t* scounts, const std::size_t* sdispls,
+                       fft::cplx* recv, const std::size_t* rcounts,
+                       const std::size_t* rdispls, int tag, int max_retries,
+                       GuardStats* stats);
+
+/// Default of PipelineConfig::guard_exchanges: FFTX_GUARD_EXCHANGES != 0.
+[[nodiscard]] bool default_guard_exchanges();
+
+}  // namespace fx::fftx

@@ -199,6 +199,19 @@ void BandFftPipeline::record_phase(trace::PhaseKind kind, int iter, double t0,
       instructions});
 }
 
+void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
+                               const std::size_t* scounts,
+                               const std::size_t* sdispls, cplx* recv,
+                               const std::size_t* rcounts,
+                               const std::size_t* rdispls, int tag) {
+  if (cfg_.guard_exchanges) {
+    guarded_alltoallv(comm, send, scounts, sdispls, recv, rcounts, rdispls,
+                      tag, cfg_.guard_max_retries, &guard_stats_);
+  } else {
+    comm.alltoallv(send, scounts, sdispls, recv, rcounts, rdispls, tag);
+  }
+}
+
 void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
   const int ntg = desc_->ntg();
   const std::size_t ng_w = desc_->ng_world(w_);
@@ -226,9 +239,9 @@ void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
                  trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
                      .instructions);
   }
-  pack_.alltoallv(wb.pack_send.data(), pack_send_counts_.data(),
-                  pack_send_displs_.data(), wb.band_g.data(),
-                  pack_counts_.data(), pack_displs_.data(), /*tag=*/iter);
+  exchange(pack_, wb.pack_send.data(), pack_send_counts_.data(),
+           pack_send_displs_.data(), wb.band_g.data(), pack_counts_.data(),
+           pack_displs_.data(), /*tag=*/iter);
 }
 
 void BandFftPipeline::do_psi_prep(WorkBuffers& wb, int iter) {
@@ -286,10 +299,10 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
                  trace::copy_cost(pos).instructions);
   }
 
-  scat_.alltoallv(wb.stage.data(), scat_send_counts_.data(),
-                  scat_send_displs_.data(), wb.plane_stage.data(),
-                  scat_recv_counts_.data(), scat_recv_displs_.data(),
-                  /*tag=*/iter);
+  exchange(scat_, wb.stage.data(), scat_send_counts_.data(),
+           scat_send_displs_.data(), wb.plane_stage.data(),
+           scat_recv_counts_.data(), scat_recv_displs_.data(),
+           /*tag=*/iter);
 
   {  // Unmarshal into zero-filled planes at each stick's (x, y).
     const double t0 = WallTimer::now();
@@ -362,10 +375,10 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
   }
 
   // Counts swap relative to the forward scatter.
-  scat_.alltoallv(wb.plane_stage.data(), scat_recv_counts_.data(),
-                  scat_recv_displs_.data(), wb.stage.data(),
-                  scat_send_counts_.data(), scat_send_displs_.data(),
-                  /*tag=*/iter);
+  exchange(scat_, wb.plane_stage.data(), scat_recv_counts_.data(),
+           scat_recv_displs_.data(), wb.stage.data(),
+           scat_send_counts_.data(), scat_send_displs_.data(),
+           /*tag=*/iter);
 
   {  // Unmarshal pencil sections: reverse of the forward marshal.
     const double t0 = WallTimer::now();
@@ -410,9 +423,9 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
                  trace::copy_cost(pidx.size()).instructions);
   }
   // Reverse band redistribution: segment m of band_g returns to member m.
-  pack_.alltoallv(wb.band_g.data(), pack_counts_.data(), pack_displs_.data(),
-                  wb.pack_send.data(), pack_send_counts_.data(),
-                  pack_send_displs_.data(), /*tag=*/iter);
+  exchange(pack_, wb.band_g.data(), pack_counts_.data(), pack_displs_.data(),
+           wb.pack_send.data(), pack_send_counts_.data(),
+           pack_send_displs_.data(), /*tag=*/iter);
   {
     const double t0 = WallTimer::now();
     for (int m = 0; m < ntg; ++m) {

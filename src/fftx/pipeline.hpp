@@ -49,6 +49,7 @@
 #include "fft/plan2d.hpp"
 #include "fft/plan_cache.hpp"
 #include "fftx/descriptor.hpp"
+#include "fftx/guarded.hpp"
 #include "simmpi/comm.hpp"
 #include "tasking/runtime.hpp"
 #include "trace/tracer.hpp"
@@ -70,6 +71,11 @@ struct PipelineConfig {
   std::size_t grain_z = 200;
   std::size_t grain_xy = 10;
   task::SchedulerPolicy policy = task::SchedulerPolicy::Fifo;
+  /// Route the transpose exchanges through the checksum-guarded Alltoallv
+  /// (detects in-flight payload corruption and retries; see guarded.hpp).
+  bool guard_exchanges = default_guard_exchanges();
+  /// Retry budget per guarded exchange before a structured failure.
+  int guard_max_retries = 3;
 };
 
 class BandFftPipeline {
@@ -102,6 +108,14 @@ class BandFftPipeline {
   [[nodiscard]] const PipelineConfig& config() const { return cfg_; }
   [[nodiscard]] int rank() const { return w_; }
 
+  /// Guarded-exchange counters (zero when guard_exchanges is off).
+  [[nodiscard]] std::uint64_t guard_exchanges_done() const {
+    return guard_stats_.exchanges.load();
+  }
+  [[nodiscard]] std::uint64_t guard_retries() const {
+    return guard_stats_.retries.load();
+  }
+
  private:
   struct WorkBuffers;
 
@@ -120,6 +134,13 @@ class BandFftPipeline {
   void run_original();
   void run_task_per_fft(bool use_taskloop);
   void run_task_per_step();
+
+  /// All transpose traffic funnels through here: plain Alltoallv, or the
+  /// checksum-guarded variant when cfg_.guard_exchanges is set.
+  void exchange(mpi::Comm& comm, const fft::cplx* send,
+                const std::size_t* scounts, const std::size_t* sdispls,
+                fft::cplx* recv, const std::size_t* rcounts,
+                const std::size_t* rdispls, int tag);
 
   void record_phase(trace::PhaseKind kind, int iter, double t0, double t1,
                     double instructions) const;
@@ -160,6 +181,8 @@ class BandFftPipeline {
   std::vector<std::size_t> scat_recv_displs_;
 
   std::unique_ptr<task::TaskRuntime> rt_;  // task modes only
+
+  GuardStats guard_stats_;
 
   // Reusable per-task buffer sets (TaskPerFft/Combined: at most nthreads
   // iterations are in flight, so the pool never blocks).

@@ -2,16 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
-#include <deque>
-#include <map>
-#include <mutex>
-#include <thread>
+#include <sstream>
 #include <tuple>
 
+#include "core/format.hpp"
 #include "core/timer.hpp"
-#include "simmpi/runtime.hpp"
+#include "simmpi/context.hpp"
 
 namespace fx::mpi {
 
@@ -47,116 +44,6 @@ const char* to_string(CommOpKind kind) {
 
 namespace detail {
 
-namespace {
-constexpr const char* kAbortMessage =
-    "communicator aborted: a peer rank failed";
-}  // namespace
-
-/// Identity of one collective instance: kind + tag disambiguate concurrent
-/// operations; seq orders repeated calls with the same (kind, tag).
-struct OpKey {
-  int kind;
-  int tag;
-  std::uint64_t seq;
-  auto operator<=>(const OpKey&) const = default;
-};
-
-/// Shared state of one in-flight collective.  Lifetime: created by the
-/// first arriver, erased from the map by the last finisher; participants
-/// hold shared_ptr references across the copy phase.
-struct OpState {
-  explicit OpState(int size)
-      : send(static_cast<std::size_t>(size), nullptr),
-        recv(static_cast<std::size_t>(size), nullptr),
-        pcounts(static_cast<std::size_t>(size), nullptr),
-        pdispls(static_cast<std::size_t>(size), nullptr),
-        scalar(static_cast<std::size_t>(size), 0),
-        scalar2(static_cast<std::size_t>(size), 0),
-        child_ctx(static_cast<std::size_t>(size)),
-        child_rank(static_cast<std::size_t>(size), -1) {}
-
-  int arrived = 0;
-  int done = 0;
-  bool ready = false;
-
-  std::vector<const void*> send;
-  std::vector<void*> recv;
-  std::vector<const std::size_t*> pcounts;  // alltoallv send counts
-  std::vector<const std::size_t*> pdispls;  // alltoallv send displs
-  std::vector<std::size_t> scalar;          // per-rank scalar (bytes/color)
-  std::vector<std::size_t> scalar2;         // second scalar (key)
-
-  // Reduction:
-  std::vector<char> acc;
-  void (*combine)(void*, const void*, std::size_t) = nullptr;
-  std::size_t count = 0;
-  std::size_t elem_size = 0;
-
-  // Split results:
-  std::vector<std::shared_ptr<CommContext>> child_ctx;
-  std::vector<int> child_rank;
-};
-
-struct P2pKey {
-  int src;
-  int dst;
-  int tag;
-  auto operator<=>(const P2pKey&) const = default;
-};
-
-/// Completion flag of a nonblocking operation, synchronized through the
-/// owning communicator's mutex/condvar.
-struct RequestState {
-  std::shared_ptr<CommContext> ctx;
-  bool done = false;
-};
-
-/// A posted (not yet matched) nonblocking receive.
-struct PendingRecv {
-  void* data;
-  std::size_t bytes;
-  std::shared_ptr<RequestState> state;
-};
-
-class CommContext {
- public:
-  explicit CommContext(int sz) : size(sz), id(next_id().fetch_add(1)) {}
-
-  static std::atomic<int>& next_id() {
-    static std::atomic<int> counter{0};
-    return counter;
-  }
-
-  void abort() {
-    std::vector<std::shared_ptr<CommContext>> kids;
-    {
-      std::lock_guard lock(mu);
-      aborted = true;
-      for (auto& w : children) {
-        if (auto c = w.lock()) kids.push_back(std::move(c));
-      }
-      cv.notify_all();
-    }
-    for (auto& k : kids) k->abort();
-  }
-
-  const int size;
-  const int id;
-
-  std::mutex mu;
-  std::condition_variable cv;
-  bool aborted = false;
-
-  // Barrier (untagged fast path).
-  int bar_count = 0;
-  std::uint64_t bar_gen = 0;
-
-  std::map<OpKey, std::shared_ptr<OpState>> ops;
-  std::map<P2pKey, std::deque<std::vector<char>>> mail;
-  std::map<P2pKey, std::deque<PendingRecv>> posted;
-  std::vector<std::weak_ptr<CommContext>> children;
-};
-
 /// Per-rank, per-communicator matching state, shared by Comm copies.
 struct RankState {
   std::mutex mu;
@@ -176,44 +63,127 @@ struct RankState {
 
 namespace {
 
+/// World rank of `rank` in `ctx` (local rank when unknown, i.e. the
+/// context was built outside Runtime::run).
+int wrank(const CommContext& ctx, int rank) {
+  return ctx.world_ranks.empty()
+             ? rank
+             : ctx.world_ranks[static_cast<std::size_t>(rank)];
+}
+
+/// Must hold ctx.mu.  Unwinds with the poisoning rank's error.
+void check_alive_locked(const CommContext& ctx) {
+  if (ctx.aborted) throw core::CommError(ctx.poison_reason);
+}
+
+/// Fault-injection entry hook: may sleep (delay/stall) or throw
+/// core::FaultError (kill).  Call before taking ctx.mu.
+void inject(CommContext& ctx, int rank, CommOpKind kind) {
+  if (ctx.faults) ctx.faults->on_op(wrank(ctx, rank), kind);
+}
+
+/// Fault-injection payload hook for received data.
+void inject_corrupt(CommContext& ctx, int rank, CommOpKind kind, void* data,
+                    std::size_t bytes) {
+  if (ctx.faults) {
+    ctx.faults->maybe_corrupt(wrank(ctx, rank), kind, data, bytes);
+  }
+}
+
+void note_progress(CommContext& ctx) {
+  if (ctx.board) ctx.board->op_completed();
+}
+
+ProgressBoard::Blocked blocked_info(const CommContext& ctx, int rank,
+                                    CommOpKind kind, int tag,
+                                    std::uint64_t seq) {
+  return ProgressBoard::Blocked{wrank(ctx, rank), ctx.id,   ctx.size,
+                                rank,             kind,     tag,
+                                seq,              fx::core::WallTimer::now()};
+}
+
+/// Collective-matching validator.  Must hold ctx.mu; called before this
+/// rank registers in its own op.  Two simultaneously-incomplete ops with
+/// the same tag on one communicator can only arise when the ranks disagree
+/// on the kind or the per-tag order of collectives (an incomplete op pins
+/// every earlier same-tag op incomplete on all its participants), so raise
+/// a structured error naming both sides instead of letting both sides hang.
+void validate_entry_locked(const CommContext& ctx, const OpKey& key,
+                           int rank) {
+  if (!ctx.validate) return;
+  for (const auto& [other_key, other] : ctx.ops) {
+    if (other_key.tag != key.tag || other_key == key) continue;
+    if (other->ready || other->arrived == 0) continue;
+    std::ostringstream os;
+    os << "collective mismatch on comm " << ctx.id << " (size " << ctx.size
+       << "): rank " << rank << " (world " << wrank(ctx, rank) << ") entered "
+       << to_string(static_cast<CommOpKind>(key.kind)) << "(tag " << key.tag
+       << ", seq " << key.seq << ") while "
+       << to_string(static_cast<CommOpKind>(other_key.kind)) << "(tag "
+       << other_key.tag << ", seq " << other_key.seq
+       << ") is still incomplete with arrived local ranks {";
+    for (std::size_t i = 0; i < other->arrived_ranks.size(); ++i) {
+      os << (i > 0 ? ", " : "") << other->arrived_ranks[i];
+    }
+    os << "} -- the ranks disagree on the kind or per-tag order of "
+          "collectives";
+    throw core::CommError(os.str());
+  }
+}
+
 /// Enters a collective: registers this rank's contribution via `setup`,
 /// blocks until all ranks arrived (the last arriver runs `finalize` under
 /// the lock before releasing everyone).  Returns the op for the copy phase.
 template <typename Setup, typename Finalize>
 std::shared_ptr<OpState> enter_collective(CommContext& ctx, const OpKey& key,
-                                          Setup&& setup, Finalize&& finalize) {
+                                          int rank, Setup&& setup,
+                                          Finalize&& finalize) {
   std::unique_lock lock(ctx.mu);
-  FX_CHECK(!ctx.aborted, kAbortMessage);
+  check_alive_locked(ctx);
+  validate_entry_locked(ctx, key, rank);
   auto& slot = ctx.ops[key];
   if (!slot) slot = std::make_shared<OpState>(ctx.size);
   std::shared_ptr<OpState> op = slot;
 
   setup(*op);
   ++op->arrived;
+  op->arrived_ranks.push_back(rank);
   FX_ASSERT(op->arrived <= ctx.size, "collective over-subscribed");
   if (op->arrived == ctx.size) {
     finalize(*op);
     op->ready = true;
     ctx.cv.notify_all();
   } else {
+    ProgressBoard::Scope blocked(
+        ctx.board.get(),
+        blocked_info(ctx, rank, static_cast<CommOpKind>(key.kind), key.tag,
+                     key.seq));
     ctx.cv.wait(lock, [&] { return op->ready || ctx.aborted; });
-    FX_CHECK(!ctx.aborted, kAbortMessage);
+    check_alive_locked(ctx);
   }
   return op;
 }
 
 /// Leaves a collective after the copy phase: waits until every rank is done
 /// so send buffers stay valid throughout; the last finisher retires the op.
-void leave_collective(CommContext& ctx, const OpKey& key, OpState& op) {
-  std::unique_lock lock(ctx.mu);
-  ++op.done;
-  if (op.done == ctx.size) {
-    ctx.ops.erase(key);
-    ctx.cv.notify_all();
-  } else {
-    ctx.cv.wait(lock, [&] { return op.done == ctx.size || ctx.aborted; });
-    FX_CHECK(!ctx.aborted, kAbortMessage);
+void leave_collective(CommContext& ctx, const OpKey& key, int rank,
+                      OpState& op) {
+  {
+    std::unique_lock lock(ctx.mu);
+    ++op.done;
+    if (op.done == ctx.size) {
+      ctx.ops.erase(key);
+      ctx.cv.notify_all();
+    } else {
+      ProgressBoard::Scope blocked(
+          ctx.board.get(),
+          blocked_info(ctx, rank, static_cast<CommOpKind>(key.kind), key.tag,
+                       key.seq));
+      ctx.cv.wait(lock, [&] { return op.done == ctx.size || ctx.aborted; });
+      check_alive_locked(ctx);
+    }
   }
+  note_progress(ctx);
 }
 
 }  // namespace
@@ -262,22 +232,42 @@ struct EventScope {
   detail::RankState& rs_;
   CommEvent event_;
 };
+
+/// Lazy-message cross-rank size check: `mine` is this rank's expectation,
+/// `theirs` what rank `peer` contributed.  Cold path builds the string.
+void check_peer_bytes(const char* what, const detail::CommContext& ctx,
+                      int rank, int peer, int tag, std::size_t mine,
+                      std::size_t theirs) {
+  if (mine == theirs) return;
+  throw fx::core::CommError(fx::core::cat(
+      what, " size mismatch on comm ", ctx.id, " (tag ", tag, "): rank ",
+      rank, " (world ", detail::wrank(ctx, rank), ") expects ", mine,
+      " B but rank ", peer, " (world ", detail::wrank(ctx, peer),
+      ") contributed ", theirs, " B"));
+}
 }  // namespace
 
 void Comm::barrier() {
   EventScope ev(*rank_state_, CommOpKind::Barrier, id(), size(), 0, 0);
-  std::unique_lock lock(ctx_->mu);
-  FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
-  const std::uint64_t gen = ctx_->bar_gen;
-  if (++ctx_->bar_count == ctx_->size) {
-    ctx_->bar_count = 0;
-    ++ctx_->bar_gen;
-    ctx_->cv.notify_all();
-  } else {
-    ctx_->cv.wait(lock,
-                  [&] { return ctx_->bar_gen != gen || ctx_->aborted; });
-    FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
+  detail::inject(*ctx_, rank_, CommOpKind::Barrier);
+  {
+    std::unique_lock lock(ctx_->mu);
+    detail::check_alive_locked(*ctx_);
+    const std::uint64_t gen = ctx_->bar_gen;
+    if (++ctx_->bar_count == ctx_->size) {
+      ctx_->bar_count = 0;
+      ++ctx_->bar_gen;
+      ctx_->cv.notify_all();
+    } else {
+      ProgressBoard::Scope blocked(
+          ctx_->board.get(),
+          detail::blocked_info(*ctx_, rank_, CommOpKind::Barrier, 0, gen));
+      ctx_->cv.wait(lock,
+                    [&] { return ctx_->bar_gen != gen || ctx_->aborted; });
+      detail::check_alive_locked(*ctx_);
+    }
   }
+  detail::note_progress(*ctx_);
 }
 
 void Comm::bcast_bytes(void* data, std::size_t bytes, int root, int tag) {
@@ -285,24 +275,26 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root, int tag) {
   EventScope ev(*rank_state_, CommOpKind::Bcast, id(), size(), tag,
                 rank_ == root ? bytes * static_cast<std::size_t>(size() - 1)
                               : 0);
+  detail::inject(*ctx_, rank_, CommOpKind::Bcast);
   const OpKey key{static_cast<int>(CommOpKind::Bcast), tag,
                   rank_state_->next_seq(static_cast<int>(CommOpKind::Bcast),
                                         tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = data;
         o.scalar[r] = bytes;
       },
       [&](OpState&) {});
   // Copy phase: everyone but the root pulls the root's buffer.
-  FX_CHECK(op->scalar[static_cast<std::size_t>(root)] == bytes,
-           "bcast size mismatch across ranks");
+  check_peer_bytes("bcast", *ctx_, rank_, root, tag, bytes,
+                   op->scalar[static_cast<std::size_t>(root)]);
   if (rank_ != root) {
     std::memcpy(data, op->send[static_cast<std::size_t>(root)], bytes);
+    detail::inject_corrupt(*ctx_, rank_, CommOpKind::Bcast, data, bytes);
   }
-  detail::leave_collective(*ctx_, key, *op);
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::allreduce_bytes(const void* send, void* recv, std::size_t count,
@@ -311,12 +303,13 @@ void Comm::allreduce_bytes(const void* send, void* recv, std::size_t count,
                            int tag) {
   const std::size_t bytes = count * elem_size;
   EventScope ev(*rank_state_, CommOpKind::Allreduce, id(), size(), tag, bytes);
+  detail::inject(*ctx_, rank_, CommOpKind::Allreduce);
   const OpKey key{static_cast<int>(CommOpKind::Allreduce), tag,
                   rank_state_->next_seq(
                       static_cast<int>(CommOpKind::Allreduce), tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;
         o.scalar[r] = bytes;
@@ -330,26 +323,28 @@ void Comm::allreduce_bytes(const void* send, void* recv, std::size_t count,
         o.acc.resize(bytes);
         std::memcpy(o.acc.data(), o.send[0], bytes);
         for (int p = 1; p < ctx_->size; ++p) {
-          FX_CHECK(o.scalar[static_cast<std::size_t>(p)] == bytes,
-                   "allreduce size mismatch across ranks");
+          check_peer_bytes("allreduce", *ctx_, rank_, p, tag, bytes,
+                           o.scalar[static_cast<std::size_t>(p)]);
           o.combine(o.acc.data(), o.send[static_cast<std::size_t>(p)],
                     o.count);
         }
       });
   std::memcpy(recv, op->acc.data(), bytes);
-  detail::leave_collective(*ctx_, key, *op);
+  detail::inject_corrupt(*ctx_, rank_, CommOpKind::Allreduce, recv, bytes);
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv,
                            int tag) {
   EventScope ev(*rank_state_, CommOpKind::Allgather, id(), size(), tag,
                 bytes * static_cast<std::size_t>(size() - 1));
+  detail::inject(*ctx_, rank_, CommOpKind::Allgather);
   const OpKey key{static_cast<int>(CommOpKind::Allgather), tag,
                   rank_state_->next_seq(
                       static_cast<int>(CommOpKind::Allgather), tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;
         o.scalar[r] = bytes;
@@ -358,10 +353,13 @@ void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv,
   auto* out = static_cast<char*>(recv);
   for (int p = 0; p < size(); ++p) {
     const auto pu = static_cast<std::size_t>(p);
-    FX_CHECK(op->scalar[pu] == bytes, "allgather size mismatch across ranks");
+    check_peer_bytes("allgather", *ctx_, rank_, p, tag, bytes,
+                     op->scalar[pu]);
     std::memcpy(out + pu * bytes, op->send[pu], bytes);
   }
-  detail::leave_collective(*ctx_, key, *op);
+  detail::inject_corrupt(*ctx_, rank_, CommOpKind::Allgather, recv,
+                         bytes * static_cast<std::size_t>(size()));
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
@@ -369,12 +367,13 @@ void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
   FX_CHECK(root >= 0 && root < size());
   EventScope ev(*rank_state_, CommOpKind::Gather, id(), size(), tag,
                 rank_ == root ? 0 : bytes);
+  detail::inject(*ctx_, rank_, CommOpKind::Gather);
   const OpKey key{static_cast<int>(CommOpKind::Gather), tag,
                   rank_state_->next_seq(static_cast<int>(CommOpKind::Gather),
                                         tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;
         o.scalar[r] = bytes;
@@ -384,11 +383,13 @@ void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
     auto* out = static_cast<char*>(recv);
     for (int p = 0; p < size(); ++p) {
       const auto pu = static_cast<std::size_t>(p);
-      FX_CHECK(op->scalar[pu] == bytes, "gather size mismatch across ranks");
+      check_peer_bytes("gather", *ctx_, rank_, p, tag, bytes, op->scalar[pu]);
       std::memcpy(out + pu * bytes, op->send[pu], bytes);
     }
+    detail::inject_corrupt(*ctx_, rank_, CommOpKind::Gather, recv,
+                           bytes * static_cast<std::size_t>(size()));
   }
-  detail::leave_collective(*ctx_, key, *op);
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
@@ -397,23 +398,25 @@ void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
   EventScope ev(*rank_state_, CommOpKind::Scatter, id(), size(), tag,
                 rank_ == root ? bytes * static_cast<std::size_t>(size() - 1)
                               : 0);
+  detail::inject(*ctx_, rank_, CommOpKind::Scatter);
   const OpKey key{static_cast<int>(CommOpKind::Scatter), tag,
                   rank_state_->next_seq(static_cast<int>(CommOpKind::Scatter),
                                         tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;  // only the root's pointer is read
         o.scalar[r] = bytes;
       },
       [&](OpState&) {});
-  FX_CHECK(op->scalar[static_cast<std::size_t>(root)] == bytes,
-           "scatter size mismatch across ranks");
+  check_peer_bytes("scatter", *ctx_, rank_, root, tag, bytes,
+                   op->scalar[static_cast<std::size_t>(root)]);
   const auto* in =
       static_cast<const char*>(op->send[static_cast<std::size_t>(root)]);
   std::memcpy(recv, in + r * bytes, bytes);
-  detail::leave_collective(*ctx_, key, *op);
+  detail::inject_corrupt(*ctx_, rank_, CommOpKind::Scatter, recv, bytes);
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::reduce_bytes(const void* send, void* recv, std::size_t count,
@@ -424,12 +427,13 @@ void Comm::reduce_bytes(const void* send, void* recv, std::size_t count,
   const std::size_t bytes = count * elem_size;
   EventScope ev(*rank_state_, CommOpKind::Reduce, id(), size(), tag,
                 rank_ == root ? 0 : bytes);
+  detail::inject(*ctx_, rank_, CommOpKind::Reduce);
   const OpKey key{static_cast<int>(CommOpKind::Reduce), tag,
                   rank_state_->next_seq(static_cast<int>(CommOpKind::Reduce),
                                         tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;
         o.scalar[r] = bytes;
@@ -440,16 +444,17 @@ void Comm::reduce_bytes(const void* send, void* recv, std::size_t count,
         o.acc.resize(bytes);
         std::memcpy(o.acc.data(), o.send[0], bytes);
         for (int p = 1; p < ctx_->size; ++p) {
-          FX_CHECK(o.scalar[static_cast<std::size_t>(p)] == bytes,
-                   "reduce size mismatch across ranks");
+          check_peer_bytes("reduce", *ctx_, rank_, p, tag, bytes,
+                           o.scalar[static_cast<std::size_t>(p)]);
           o.combine(o.acc.data(), o.send[static_cast<std::size_t>(p)],
                     o.count);
         }
       });
   if (rank_ == root) {
     std::memcpy(recv, op->acc.data(), bytes);
+    detail::inject_corrupt(*ctx_, rank_, CommOpKind::Reduce, recv, bytes);
   }
-  detail::leave_collective(*ctx_, key, *op);
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::alltoall_bytes(const void* send, void* recv,
@@ -457,12 +462,13 @@ void Comm::alltoall_bytes(const void* send, void* recv,
   FX_CHECK(send != recv, "alltoall buffers must not alias");
   EventScope ev(*rank_state_, CommOpKind::Alltoall, id(), size(), tag,
                 bytes_per_rank * static_cast<std::size_t>(size()));
+  detail::inject(*ctx_, rank_, CommOpKind::Alltoall);
   const OpKey key{static_cast<int>(CommOpKind::Alltoall), tag,
                   rank_state_->next_seq(static_cast<int>(CommOpKind::Alltoall),
                                         tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;
         o.scalar[r] = bytes_per_rank;
@@ -471,13 +477,15 @@ void Comm::alltoall_bytes(const void* send, void* recv,
   auto* out = static_cast<char*>(recv);
   for (int p = 0; p < size(); ++p) {
     const auto pu = static_cast<std::size_t>(p);
-    FX_CHECK(op->scalar[pu] == bytes_per_rank,
-             "alltoall size mismatch across ranks");
+    check_peer_bytes("alltoall", *ctx_, rank_, p, tag, bytes_per_rank,
+                     op->scalar[pu]);
     const auto* in = static_cast<const char*>(op->send[pu]);
     std::memcpy(out + pu * bytes_per_rank, in + r * bytes_per_rank,
                 bytes_per_rank);
   }
-  detail::leave_collective(*ctx_, key, *op);
+  detail::inject_corrupt(*ctx_, rank_, CommOpKind::Alltoall, recv,
+                         bytes_per_rank * static_cast<std::size_t>(size()));
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
@@ -491,12 +499,13 @@ void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
   }
   EventScope ev(*rank_state_, CommOpKind::Alltoallv, id(), size(), tag,
                 sent_elems * elem_size);
+  detail::inject(*ctx_, rank_, CommOpKind::Alltoallv);
   const OpKey key{static_cast<int>(CommOpKind::Alltoallv), tag,
                   rank_state_->next_seq(
                       static_cast<int>(CommOpKind::Alltoallv), tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, key,
+      *ctx_, key, rank_,
       [&](OpState& o) {
         o.send[r] = send;
         o.pcounts[r] = scounts;
@@ -505,28 +514,38 @@ void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
       },
       [&](OpState&) {});
   auto* out = static_cast<char*>(recv);
+  std::size_t recv_end = 0;
   for (int p = 0; p < size(); ++p) {
     const auto pu = static_cast<std::size_t>(p);
-    FX_CHECK(op->scalar[pu] == elem_size,
-             "alltoallv element size mismatch across ranks");
-    FX_CHECK(op->pcounts[pu][r] == rcounts[pu],
-             "alltoallv count mismatch: peer's sendcount != my recvcount");
+    check_peer_bytes("alltoallv element", *ctx_, rank_, p, tag, elem_size,
+                     op->scalar[pu]);
+    if (op->pcounts[pu][r] != rcounts[pu]) {
+      throw core::CommError(core::cat(
+          "alltoallv count mismatch on comm ", id(), " (tag ", tag,
+          "): rank ", p, " (world ", detail::wrank(*ctx_, p), ") sends ",
+          op->pcounts[pu][r], " element(s) of ", elem_size, " B to rank ",
+          rank_, " (world ", detail::wrank(*ctx_, rank_), "), which expects ",
+          rcounts[pu], " element(s)"));
+    }
     const auto* in = static_cast<const char*>(op->send[pu]);
     std::memcpy(out + rdispls[pu] * elem_size,
                 in + op->pdispls[pu][r] * elem_size,
                 rcounts[pu] * elem_size);
+    recv_end = std::max(recv_end, (rdispls[pu] + rcounts[pu]) * elem_size);
   }
-  detail::leave_collective(*ctx_, key, *op);
+  detail::inject_corrupt(*ctx_, rank_, CommOpKind::Alltoallv, recv, recv_end);
+  detail::leave_collective(*ctx_, key, rank_, *op);
 }
 
 Comm Comm::split(int color, int key, int tag) const {
   EventScope ev(*rank_state_, CommOpKind::Split, id(), size(), tag, 0);
+  detail::inject(*ctx_, rank_, CommOpKind::Split);
   const OpKey opkey{static_cast<int>(CommOpKind::Split), tag,
                     rank_state_->next_seq(static_cast<int>(CommOpKind::Split),
                                           tag)};
   const std::size_t r = static_cast<std::size_t>(rank_);
   auto op = detail::enter_collective(
-      *ctx_, opkey,
+      *ctx_, opkey, rank_,
       [&](OpState& o) {
         o.scalar[r] = static_cast<std::size_t>(color);
         o.scalar2[r] = static_cast<std::size_t>(key);
@@ -549,6 +568,18 @@ Comm Comm::split(int color, int key, int tag) const {
           });
           auto child =
               std::make_shared<CommContext>(static_cast<int>(members.size()));
+          // Children inherit the world's hardening state so faults,
+          // watchdog registration and poisoning span every communicator.
+          child->faults = ctx_->faults;
+          child->board = ctx_->board;
+          child->validate = ctx_->validate;
+          if (!ctx_->world_ranks.empty()) {
+            child->world_ranks.reserve(members.size());
+            for (int m : members) {
+              child->world_ranks.push_back(
+                  ctx_->world_ranks[static_cast<std::size_t>(m)]);
+            }
+          }
           ctx_->children.push_back(child);
           for (std::size_t i = 0; i < members.size(); ++i) {
             const auto m = static_cast<std::size_t>(members[i]);
@@ -559,31 +590,42 @@ Comm Comm::split(int color, int key, int tag) const {
       });
   Comm child(op->child_ctx[r], op->child_rank[r]);
   child.set_observer(rank_state_->get_observer());
-  detail::leave_collective(*ctx_, opkey, *op);
+  detail::leave_collective(*ctx_, opkey, rank_, *op);
   return child;
 }
 
 void Comm::send_bytes(int dst, const void* data, std::size_t bytes, int tag) {
   FX_CHECK(dst >= 0 && dst < size());
   EventScope ev(*rank_state_, CommOpKind::Send, id(), size(), tag, bytes);
+  detail::inject(*ctx_, rank_, CommOpKind::Send);
   const detail::P2pKey key{rank_, dst, tag};
-  std::lock_guard lock(ctx_->mu);
-  FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
-  // Posted receives match first (there is never both a posted receive and
-  // a queued message for one key); otherwise buffer the payload.
-  auto posted_it = ctx_->posted.find(key);
-  if (posted_it != ctx_->posted.end() && !posted_it->second.empty()) {
-    detail::PendingRecv pending = std::move(posted_it->second.front());
-    posted_it->second.pop_front();
-    FX_CHECK(pending.bytes == bytes,
-             "recv size does not match matching send");
-    std::memcpy(pending.data, data, bytes);
-    pending.state->done = true;
-  } else {
-    const auto* bytes_ptr = static_cast<const char*>(data);
-    ctx_->mail[key].emplace_back(bytes_ptr, bytes_ptr + bytes);
+  {
+    std::lock_guard lock(ctx_->mu);
+    detail::check_alive_locked(*ctx_);
+    // Posted receives match first (there is never both a posted receive and
+    // a queued message for one key); otherwise buffer the payload.
+    auto posted_it = ctx_->posted.find(key);
+    if (posted_it != ctx_->posted.end() && !posted_it->second.empty()) {
+      detail::PendingRecv pending = std::move(posted_it->second.front());
+      posted_it->second.pop_front();
+      if (pending.bytes != bytes) {
+        throw core::CommError(core::cat(
+            "recv size does not match matching send on comm ", id(), " (tag ",
+            tag, "): rank ", dst, " posted a ", pending.bytes,
+            " B receive but rank ", rank_, " sent ", bytes, " B"));
+      }
+      std::memcpy(pending.data, data, bytes);
+      detail::inject_corrupt(*ctx_, dst, CommOpKind::Recv, pending.data,
+                             bytes);
+      pending.state->done = true;
+      detail::note_progress(*ctx_);  // the receiver's operation completed
+    } else {
+      const auto* bytes_ptr = static_cast<const char*>(data);
+      ctx_->mail[key].emplace_back(bytes_ptr, bytes_ptr + bytes);
+    }
+    ctx_->cv.notify_all();
   }
-  ctx_->cv.notify_all();
+  detail::note_progress(*ctx_);
 }
 
 Request Comm::isend_bytes(int dst, const void* data, std::size_t bytes,
@@ -599,77 +641,67 @@ Request Comm::post_recv(int src, void* data, std::size_t bytes, int tag) {
   const detail::P2pKey key{src, rank_, tag};
   auto state = std::make_shared<detail::RequestState>();
   state->ctx = ctx_;
-  std::lock_guard lock(ctx_->mu);
-  FX_CHECK(!ctx_->aborted, detail::kAbortMessage);
-  auto& queue = ctx_->mail[key];
-  if (!queue.empty()) {
-    FX_CHECK(queue.front().size() == bytes,
-             "recv size does not match matching send");
-    std::memcpy(data, queue.front().data(), bytes);
-    queue.pop_front();
-    state->done = true;
-  } else {
-    ctx_->posted[key].push_back(detail::PendingRecv{data, bytes, state});
+  state->src = src;
+  state->comm_rank = rank_;
+  state->tag = tag;
+  bool matched = false;
+  {
+    std::lock_guard lock(ctx_->mu);
+    detail::check_alive_locked(*ctx_);
+    auto& queue = ctx_->mail[key];
+    if (!queue.empty()) {
+      if (queue.front().size() != bytes) {
+        throw core::CommError(core::cat(
+            "recv size does not match matching send on comm ", id(), " (tag ",
+            tag, "): rank ", rank_, " expects ", bytes, " B but rank ", src,
+            " sent ", queue.front().size(), " B"));
+      }
+      std::memcpy(data, queue.front().data(), bytes);
+      detail::inject_corrupt(*ctx_, rank_, CommOpKind::Recv, data, bytes);
+      queue.pop_front();
+      state->done = true;
+      matched = true;
+    } else {
+      ctx_->posted[key].push_back(detail::PendingRecv{data, bytes, state});
+    }
   }
+  if (matched) detail::note_progress(*ctx_);
   return Request{state};
 }
 
 Request Comm::irecv_bytes(int src, void* data, std::size_t bytes, int tag) {
   EventScope ev(*rank_state_, CommOpKind::Recv, id(), size(), tag, bytes);
+  detail::inject(*ctx_, rank_, CommOpKind::Recv);
   return post_recv(src, data, bytes, tag);
 }
 
 void Comm::recv_bytes(int src, void* data, std::size_t bytes, int tag) {
   EventScope ev(*rank_state_, CommOpKind::Recv, id(), size(), tag, bytes);
+  detail::inject(*ctx_, rank_, CommOpKind::Recv);
   // A blocking receive is a posted receive awaited immediately; routing it
   // through the same path keeps one matching order for both flavors.
   post_recv(src, data, bytes, tag).wait();
 }
 
 void Request::wait() {
-  if (!state_ || state_->done) return;
+  if (!state_) return;
   auto& ctx = *state_->ctx;
   std::unique_lock lock(ctx.mu);
+  if (state_->done) return;
+  detail::check_alive_locked(ctx);
+  ProgressBoard::Scope blocked(
+      ctx.board.get(),
+      detail::blocked_info(ctx, state_->comm_rank, CommOpKind::Recv,
+                           state_->tag, 0));
   ctx.cv.wait(lock, [&] { return state_->done || ctx.aborted; });
-  FX_CHECK(!ctx.aborted, detail::kAbortMessage);
+  if (!state_->done) detail::check_alive_locked(ctx);
 }
 
 bool Request::test() const {
   if (!state_) return true;
   std::lock_guard lock(state_->ctx->mu);
+  if (!state_->done) detail::check_alive_locked(*state_->ctx);
   return state_->done;
-}
-
-void Runtime::run(int nranks, const std::function<void(Comm&)>& body) {
-  FX_CHECK(nranks >= 1, "need at least one rank");
-  auto ctx = std::make_shared<CommContext>(nranks);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
-  // The first rank to fail is the root cause; peers that die afterwards
-  // only report the induced "communicator aborted" error.
-  std::atomic<int> first_failed{-1};
-
-  {
-    std::vector<std::jthread> ranks;
-    ranks.reserve(static_cast<std::size_t>(nranks));
-    for (int r = 0; r < nranks; ++r) {
-      ranks.emplace_back([&, r] {
-        try {
-          Comm comm(ctx, r);
-          body(comm);
-        } catch (...) {
-          errors[static_cast<std::size_t>(r)] = std::current_exception();
-          int expected = -1;
-          first_failed.compare_exchange_strong(expected, r);
-          ctx->abort();
-        }
-      });
-    }
-  }
-
-  const int culprit = first_failed.load();
-  if (culprit >= 0) {
-    std::rethrow_exception(errors[static_cast<std::size_t>(culprit)]);
-  }
 }
 
 }  // namespace fx::mpi

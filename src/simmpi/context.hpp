@@ -1,0 +1,156 @@
+// Internal shared state of the simulated-MPI runtime (not part of the
+// public API; include only from src/simmpi/*.cpp).
+//
+// A CommContext is the rank-shared half of a communicator: the collective
+// matching table, the point-to-point mailbox, and -- since the hardening
+// subsystem -- the world-shared failure machinery: a poison flag + reason
+// (set when any rank dies, so every blocked or future operation unwinds
+// with the originating rank's error instead of hanging), the fault
+// injector, the watchdog progress board, and the collective-matching
+// validator switch.  Children created by split() inherit all of it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/faults.hpp"
+#include "simmpi/watchdog.hpp"
+
+namespace fx::mpi::detail {
+
+/// Identity of one collective instance: kind + tag disambiguate concurrent
+/// operations; seq orders repeated calls with the same (kind, tag).
+struct OpKey {
+  int kind;
+  int tag;
+  std::uint64_t seq;
+  auto operator<=>(const OpKey&) const = default;
+};
+
+/// Shared state of one in-flight collective.  Lifetime: created by the
+/// first arriver, erased from the map by the last finisher; participants
+/// hold shared_ptr references across the copy phase.
+struct OpState {
+  explicit OpState(int size)
+      : send(static_cast<std::size_t>(size), nullptr),
+        recv(static_cast<std::size_t>(size), nullptr),
+        pcounts(static_cast<std::size_t>(size), nullptr),
+        pdispls(static_cast<std::size_t>(size), nullptr),
+        scalar(static_cast<std::size_t>(size), 0),
+        scalar2(static_cast<std::size_t>(size), 0),
+        child_ctx(static_cast<std::size_t>(size)),
+        child_rank(static_cast<std::size_t>(size), -1) {}
+
+  int arrived = 0;
+  int done = 0;
+  bool ready = false;
+  std::vector<int> arrived_ranks;  ///< local ranks, arrival order (diagnostics)
+
+  std::vector<const void*> send;
+  std::vector<void*> recv;
+  std::vector<const std::size_t*> pcounts;  // alltoallv send counts
+  std::vector<const std::size_t*> pdispls;  // alltoallv send displs
+  std::vector<std::size_t> scalar;          // per-rank scalar (bytes/color)
+  std::vector<std::size_t> scalar2;         // second scalar (key)
+
+  // Reduction:
+  std::vector<char> acc;
+  void (*combine)(void*, const void*, std::size_t) = nullptr;
+  std::size_t count = 0;
+  std::size_t elem_size = 0;
+
+  // Split results:
+  std::vector<std::shared_ptr<class CommContext>> child_ctx;
+  std::vector<int> child_rank;
+};
+
+struct P2pKey {
+  int src;
+  int dst;
+  int tag;
+  auto operator<=>(const P2pKey&) const = default;
+};
+
+/// Completion flag of a nonblocking operation, synchronized through the
+/// owning communicator's mutex/condvar.  src/tag/comm_rank identify the
+/// operation for watchdog diagnostics.
+struct RequestState {
+  std::shared_ptr<class CommContext> ctx;
+  bool done = false;
+  int src = -1;
+  int comm_rank = -1;  ///< the posting (receiving) rank
+  int tag = 0;
+};
+
+/// A posted (not yet matched) nonblocking receive.
+struct PendingRecv {
+  void* data;
+  std::size_t bytes;
+  std::shared_ptr<RequestState> state;
+};
+
+class CommContext {
+ public:
+  explicit CommContext(int sz) : size(sz), id(next_id().fetch_add(1)) {}
+
+  static std::atomic<int>& next_id() {
+    static std::atomic<int> counter{0};
+    return counter;
+  }
+
+  /// Marks the communicator (and, recursively, every communicator split
+  /// from it) dead with `reason`: all pending and future operations throw
+  /// core::CommError(reason).  The first reason wins; later poisons keep it.
+  void poison(const std::string& reason) {
+    std::vector<std::shared_ptr<CommContext>> kids;
+    {
+      std::lock_guard lock(mu);
+      if (!aborted) {
+        aborted = true;
+        poison_reason = reason;
+      }
+      for (auto& w : children) {
+        if (auto c = w.lock()) kids.push_back(std::move(c));
+      }
+      cv.notify_all();
+    }
+    for (auto& k : kids) k->poison(reason);
+  }
+
+  void abort() { poison("communicator aborted: a peer rank failed"); }
+
+  const int size;
+  const int id;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool aborted = false;
+  std::string poison_reason;
+
+  // Barrier (untagged fast path).
+  int bar_count = 0;
+  std::uint64_t bar_gen = 0;
+
+  std::map<OpKey, std::shared_ptr<OpState>> ops;
+  std::map<P2pKey, std::deque<std::vector<char>>> mail;
+  std::map<P2pKey, std::deque<PendingRecv>> posted;
+  std::vector<std::weak_ptr<CommContext>> children;
+
+  // --- Hardening state, shared by the whole world (null/default when the
+  // feature is off) and inherited by split() children. ---
+  std::shared_ptr<FaultInjector> faults;
+  std::shared_ptr<ProgressBoard> board;
+  bool validate = true;
+  /// local rank -> world rank; empty when the context was built outside
+  /// Runtime::run (diagnostics then report local ranks only).
+  std::vector<int> world_ranks;
+};
+
+}  // namespace fx::mpi::detail

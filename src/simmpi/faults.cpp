@@ -1,0 +1,131 @@
+#include "simmpi/faults.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+#include "core/rng.hpp"
+
+namespace fx::mpi {
+
+namespace {
+
+/// Stateless decision hash: uniform in [0, 1) from (seed, rank, index,
+/// salt).  Thread-interleaving independent by construction.
+double decide(std::uint64_t seed, int rank, std::uint64_t index,
+              std::uint64_t salt) {
+  std::uint64_t x = seed;
+  x ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1);
+  x ^= 0xbf58476d1ce4e5b9ULL * (index + 1);
+  x ^= 0x94d049bb133111ebULL * (salt + 1);
+  const std::uint64_t h = core::splitmix64(x);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t decide_u64(std::uint64_t seed, int rank, std::uint64_t index,
+                         std::uint64_t salt) {
+  std::uint64_t x = seed ^ (0xd1b54a32d192ed03ULL * (salt + 1));
+  x ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1);
+  x ^= 0xbf58476d1ce4e5b9ULL * (index + 1);
+  return core::splitmix64(x);
+}
+
+bool env_u64(const char* name, std::uint64_t& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = std::strtoull(v, nullptr, 10);
+  return true;
+}
+
+bool env_int(const char* name, int& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = static_cast<int>(std::strtol(v, nullptr, 10));
+  return true;
+}
+
+bool env_double(const char* name, double& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = std::strtod(v, nullptr);
+  return true;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_env() {
+  FaultPlan plan;
+  env_u64("FFTX_FAULT_SEED", plan.seed);
+  env_double("FFTX_FAULT_DELAY_PROB", plan.delay_prob);
+  env_double("FFTX_FAULT_DELAY_US", plan.delay_us);
+  env_double("FFTX_FAULT_CORRUPT_PROB", plan.corrupt_prob);
+  env_int("FFTX_FAULT_CORRUPT_RANK", plan.corrupt_rank);
+  env_u64("FFTX_FAULT_CORRUPT_OP", plan.corrupt_op);
+  env_int("FFTX_FAULT_STALL_RANK", plan.stall_rank);
+  env_u64("FFTX_FAULT_STALL_OP", plan.stall_op);
+  env_double("FFTX_FAULT_STALL_MS", plan.stall_ms);
+  env_int("FFTX_FAULT_KILL_RANK", plan.kill_rank);
+  env_u64("FFTX_FAULT_KILL_OP", plan.kill_op);
+  env_int("FFTX_FAULT_KIND", plan.only_kind);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int nranks)
+    : plan_(plan),
+      op_count_(static_cast<std::size_t>(nranks)),
+      corrupt_count_(static_cast<std::size_t>(nranks)) {}
+
+std::uint64_t FaultInjector::on_op(int world_rank, CommOpKind kind) {
+  const auto r = static_cast<std::size_t>(world_rank);
+  if (!kind_selected(kind)) {
+    return op_count_[r].load(std::memory_order_relaxed);
+  }
+  const std::uint64_t index =
+      op_count_[r].fetch_add(1, std::memory_order_relaxed);
+
+  if (world_rank == plan_.kill_rank && index == plan_.kill_op) {
+    throw core::FaultError(core::cat(
+        "fault injection: killed rank ", world_rank, " at operation #", index,
+        " (", to_string(kind), "), seed ", plan_.seed));
+  }
+  if (world_rank == plan_.stall_rank && index == plan_.stall_op &&
+      plan_.stall_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan_.stall_ms));
+  }
+  if (plan_.delay_prob > 0.0 &&
+      decide(plan_.seed, world_rank, index, /*salt=*/1) < plan_.delay_prob) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(plan_.delay_us));
+  }
+  return index;
+}
+
+bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
+                                  std::size_t bytes) {
+  if (bytes == 0 || !kind_selected(kind)) return false;
+  const auto r = static_cast<std::size_t>(world_rank);
+  const std::uint64_t index =
+      corrupt_count_[r].fetch_add(1, std::memory_order_relaxed);
+  const bool one_shot =
+      world_rank == plan_.corrupt_rank && index == plan_.corrupt_op;
+  const bool random =
+      plan_.corrupt_prob > 0.0 &&
+      decide(plan_.seed, world_rank, index, /*salt=*/2) < plan_.corrupt_prob;
+  if (!one_shot && !random) return false;
+  const std::uint64_t bit =
+      decide_u64(plan_.seed, world_rank, index, /*salt=*/3) % (bytes * 8);
+  static_cast<unsigned char*>(data)[bit / 8] ^=
+      static_cast<unsigned char>(1U << (bit % 8));
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::ops_seen(int world_rank) const {
+  return op_count_[static_cast<std::size_t>(world_rank)].load();
+}
+
+}  // namespace fx::mpi

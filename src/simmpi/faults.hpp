@@ -1,0 +1,117 @@
+// Deterministic fault injection for the simulated-MPI runtime.
+//
+// Production distributed-FFT stacks live or die by how they fail: a flipped
+// bit in an exchange, a rank that stalls in a collective, or a rank that
+// dies outright must turn into a diagnosable error, not a silent hang or a
+// wrong answer.  This module injects exactly those faults, deterministically
+// from a single seed, so the hardening machinery (watchdog, validator,
+// poisoning, guarded exchanges) can be exercised by ordinary unit tests and
+// by the CI seed-sweep stress job.
+//
+// Every decision is a pure hash of (seed, world rank, per-rank operation
+// index) -- no shared RNG state -- so outcomes do not depend on thread
+// interleaving: the same seed injects the same faults at the same per-rank
+// operation indices on every run.
+//
+// Configuration comes from the API (FaultPlan) or from FFTX_FAULT_* env
+// vars (see FaultPlan::from_env and the README table).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace fx::mpi {
+
+/// What to inject and where.  Ranks are world ranks.  Operation indices
+/// count communication operations of the selected kind (all kinds when no
+/// `only_kind` filter) executed by that rank; corruption indices likewise
+/// count only corruptible (payload-receiving) operations of the selected
+/// kind, so "corrupt_op = 0 with only_kind = Alltoallv" means "the first
+/// Alltoallv payload that rank receives".
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Probabilistic per-op latency: with `delay_prob`, sleep `delay_us`.
+  double delay_prob = 0.0;
+  double delay_us = 0.0;
+
+  // Probabilistic payload corruption: with `corrupt_prob`, flip one
+  // deterministically chosen bit of the received payload.
+  double corrupt_prob = 0.0;
+
+  // Deterministic one-shot corruption: flip a bit in the payload of the
+  // `corrupt_op`-th corruptible operation executed by `corrupt_rank`.
+  int corrupt_rank = -1;
+  std::uint64_t corrupt_op = 0;
+
+  // Rank stall: the `stall_op`-th operation of `stall_rank` sleeps
+  // `stall_ms` before proceeding (models a straggler / OS-jitter spike).
+  int stall_rank = -1;
+  std::uint64_t stall_op = 0;
+  double stall_ms = 0.0;
+
+  // Rank kill: the `kill_op`-th operation of `kill_rank` throws
+  // core::FaultError instead of executing.
+  int kill_rank = -1;
+  std::uint64_t kill_op = 0;
+
+  /// Restrict injection to one operation kind (e.g. only Alltoallv);
+  /// negative = all kinds.  Compared against static_cast<int>(CommOpKind).
+  int only_kind = -1;
+
+  /// True if the plan injects anything at all.
+  [[nodiscard]] bool any() const {
+    return delay_prob > 0.0 || corrupt_prob > 0.0 || corrupt_rank >= 0 ||
+           stall_rank >= 0 || kill_rank >= 0;
+  }
+
+  /// Reads FFTX_FAULT_SEED, FFTX_FAULT_DELAY_PROB, FFTX_FAULT_DELAY_US,
+  /// FFTX_FAULT_CORRUPT_PROB, FFTX_FAULT_CORRUPT_RANK, FFTX_FAULT_CORRUPT_OP,
+  /// FFTX_FAULT_STALL_RANK, FFTX_FAULT_STALL_OP, FFTX_FAULT_STALL_MS,
+  /// FFTX_FAULT_KILL_RANK, FFTX_FAULT_KILL_OP, FFTX_FAULT_KIND.
+  /// Unset vars keep the defaults above (an inactive plan).
+  static FaultPlan from_env();
+};
+
+/// Per-world fault state: one instance is shared by every communicator of a
+/// Runtime::run world and consulted from whatever thread executes the
+/// operation (rank threads or task workers).
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int nranks);
+
+  /// Called by `world_rank` when it begins a communication operation of
+  /// `kind`.  Applies delay/stall (sleeps) and kill (throws
+  /// core::FaultError).  Returns the operation's per-rank index.
+  std::uint64_t on_op(int world_rank, CommOpKind kind);
+
+  /// Called by `world_rank` after it assembled a received payload.  Flips
+  /// one deterministic bit and returns true when this corruptible op is
+  /// selected by the plan; `bytes` must be > 0 for a flip to land.
+  bool maybe_corrupt(int world_rank, CommOpKind kind, void* data,
+                     std::size_t bytes);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// Operations seen so far by `world_rank` (determinism tests).
+  [[nodiscard]] std::uint64_t ops_seen(int world_rank) const;
+  /// Total bit flips injected (guarded-exchange tests).
+  [[nodiscard]] std::uint64_t corruptions() const {
+    return corruptions_.load();
+  }
+
+ private:
+  [[nodiscard]] bool kind_selected(CommOpKind kind) const {
+    return plan_.only_kind < 0 || plan_.only_kind == static_cast<int>(kind);
+  }
+
+  const FaultPlan plan_;
+  std::vector<std::atomic<std::uint64_t>> op_count_;       // per world rank
+  std::vector<std::atomic<std::uint64_t>> corrupt_count_;  // per world rank
+  std::atomic<std::uint64_t> corruptions_{0};
+};
+
+}  // namespace fx::mpi

@@ -1,0 +1,96 @@
+#include "simmpi/runtime.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+#include "simmpi/context.hpp"
+
+namespace fx::mpi {
+
+RunOptions RunOptions::from_env() {
+  RunOptions opts;
+  opts.faults = FaultPlan::from_env();
+  opts.watchdog = WatchdogConfig::from_env();
+  if (const char* v = std::getenv("FFTX_VALIDATE"); v != nullptr && *v != '\0') {
+    opts.validate_collectives = std::strtol(v, nullptr, 10) != 0;
+  }
+  return opts;
+}
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& body) {
+  run(nranks, RunOptions::from_env(), body);
+}
+
+void Runtime::run(int nranks, const RunOptions& opts,
+                  const std::function<void(Comm&)>& body) {
+  FX_CHECK(nranks >= 1, "need at least one rank");
+  auto ctx = std::make_shared<detail::CommContext>(nranks);
+  ctx->validate = opts.validate_collectives;
+  ctx->world_ranks.resize(static_cast<std::size_t>(nranks));
+  std::iota(ctx->world_ranks.begin(), ctx->world_ranks.end(), 0);
+  if (opts.faults.any()) {
+    ctx->faults = std::make_shared<FaultInjector>(opts.faults, nranks);
+  }
+
+  // The watchdog outlives the rank threads (destroyed after the join) so a
+  // world that hangs gets diagnosed and unblocked rather than jamming the
+  // join forever.
+  std::mutex dog_mu;
+  std::exception_ptr dog_error;
+  std::unique_ptr<Watchdog> dog;
+  if (opts.watchdog.enabled && opts.watchdog.window_ms > 0.0) {
+    ctx->board = std::make_shared<ProgressBoard>();
+    dog = std::make_unique<Watchdog>(
+        opts.watchdog, ctx->board, [&](const std::string& diagnostic) {
+          {
+            std::lock_guard lock(dog_mu);
+            dog_error =
+                std::make_exception_ptr(core::DeadlockError(diagnostic));
+          }
+          ctx->poison(diagnostic);
+        });
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::atomic<int> first_failed{-1};
+  {
+    std::vector<std::jthread> ranks;
+    ranks.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      ranks.emplace_back([&, r] {
+        try {
+          Comm comm(ctx, r);
+          body(comm);
+        } catch (const std::exception& e) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          int expected = -1;
+          first_failed.compare_exchange_strong(expected, r);
+          ctx->poison(core::cat("rank ", r, " failed: ", e.what()));
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          int expected = -1;
+          first_failed.compare_exchange_strong(expected, r);
+          ctx->poison(core::cat("rank ", r,
+                                " failed with a non-standard exception"));
+        }
+      });
+    }
+  }
+
+  dog.reset();  // join the monitor before reading dog_error
+  if (dog_error) std::rethrow_exception(dog_error);
+  const int culprit = first_failed.load();
+  if (culprit >= 0) {
+    std::rethrow_exception(errors[static_cast<std::size_t>(culprit)]);
+  }
+}
+
+}  // namespace fx::mpi

@@ -4,16 +4,40 @@
 #include <functional>
 
 #include "simmpi/comm.hpp"
+#include "simmpi/faults.hpp"
+#include "simmpi/watchdog.hpp"
 
 namespace fx::mpi {
 
+/// Hardening knobs of one simulated world.
+struct RunOptions {
+  /// Fault injection plan; the default plan injects nothing.
+  FaultPlan faults{};
+  /// Hang watchdog; enabled with a 60 s window by default.
+  WatchdogConfig watchdog{};
+  /// Cross-rank collective-matching validator: detects ranks entering
+  /// different collectives (kind/seq) under one tag and raises a structured
+  /// error naming both sides instead of letting the world hang.
+  bool validate_collectives = true;
+
+  /// Environment-driven options: FFTX_FAULT_* (FaultPlan::from_env),
+  /// FFTX_WATCHDOG / FFTX_WATCHDOG_MS (WatchdogConfig::from_env) and
+  /// FFTX_VALIDATE (0 disables the matching validator).
+  static RunOptions from_env();
+};
+
 /// Spawns `nranks` rank threads, hands each its world communicator, and
-/// joins them.  If any rank throws, all pending communicator waits abort
-/// (so no rank deadlocks on a dead peer) and the first failing rank's
-/// exception is rethrown here.
+/// joins them.  If any rank throws, the world is poisoned -- every pending
+/// and future communicator wait on every rank unwinds with the originating
+/// rank's error -- and the first failing rank's exception is rethrown here
+/// (a watchdog-detected deadlock is rethrown as core::DeadlockError in
+/// preference to the unwind errors it induces).
 class Runtime {
  public:
+  /// Runs with RunOptions::from_env().
   static void run(int nranks, const std::function<void(Comm&)>& body);
+  static void run(int nranks, const RunOptions& opts,
+                  const std::function<void(Comm&)>& body);
 };
 
 }  // namespace fx::mpi

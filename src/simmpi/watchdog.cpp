@@ -1,0 +1,151 @@
+#include "simmpi/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "core/format.hpp"
+#include "core/timer.hpp"
+
+namespace fx::mpi {
+
+WatchdogConfig WatchdogConfig::from_env() {
+  WatchdogConfig cfg;
+  if (const char* v = std::getenv("FFTX_WATCHDOG"); v != nullptr) {
+    cfg.enabled = std::strtol(v, nullptr, 10) != 0;
+  }
+  if (const char* v = std::getenv("FFTX_WATCHDOG_MS");
+      v != nullptr && *v != '\0') {
+    cfg.window_ms = std::strtod(v, nullptr);
+  }
+  return cfg;
+}
+
+ProgressBoard::Scope::Scope(ProgressBoard* board, const Blocked& info)
+    : board_(board) {
+  if (board_ == nullptr) return;
+  std::lock_guard lock(board_->mu_);
+  token_ = board_->next_token_++;
+  board_->blocked_.emplace(token_, info);
+}
+
+ProgressBoard::Scope::~Scope() {
+  if (board_ == nullptr) return;
+  std::lock_guard lock(board_->mu_);
+  board_->blocked_.erase(token_);
+}
+
+std::vector<ProgressBoard::Blocked> ProgressBoard::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<Blocked> out;
+  out.reserve(blocked_.size());
+  for (const auto& [token, info] : blocked_) out.push_back(info);
+  return out;
+}
+
+std::string describe_deadlock(const std::vector<ProgressBoard::Blocked>& all,
+                              double window_ms) {
+  // Group blocked waits per collective instance (comm, kind, tag, seq):
+  // every rank that arrived at a hanging instance is blocked in it, so the
+  // group *is* the arrived set and its complement the missing set.
+  std::map<std::tuple<int, int, int, std::uint64_t>,
+           std::vector<ProgressBoard::Blocked>>
+      groups;
+  for (const auto& b : all) {
+    groups[{b.comm_id, static_cast<int>(b.kind), b.tag, b.seq}].push_back(b);
+  }
+
+  std::ostringstream os;
+  os << "deadlock detected: no communicator progress for "
+     << core::fixed(window_ms / 1000.0, 3) << " s; " << all.size()
+     << " blocked wait(s) across " << groups.size() << " operation(s):";
+  for (const auto& [key, members] : groups) {
+    const auto& head = members.front();
+    std::set<int> waiting_local;
+    std::set<int> waiting_world;
+    for (const auto& b : members) {
+      waiting_local.insert(b.comm_rank);
+      if (b.world_rank >= 0) waiting_world.insert(b.world_rank);
+    }
+    os << "\n  " << to_string(head.kind) << "(tag " << head.tag << ", seq "
+       << head.seq << ") on comm " << head.comm_id << " (size "
+       << head.comm_size << "): waiting local ranks {";
+    bool first = true;
+    for (int r : waiting_local) {
+      os << (first ? "" : ", ") << r;
+      first = false;
+    }
+    os << "}";
+    if (!waiting_world.empty()) {
+      os << " (world {";
+      first = true;
+      for (int r : waiting_world) {
+        os << (first ? "" : ", ") << r;
+        first = false;
+      }
+      os << "})";
+    }
+    os << ", missing local ranks {";
+    first = true;
+    for (int r = 0; r < head.comm_size; ++r) {
+      if (waiting_local.contains(r)) continue;
+      os << (first ? "" : ", ") << r;
+      first = false;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+Watchdog::Watchdog(WatchdogConfig cfg, std::shared_ptr<ProgressBoard> board,
+                   std::function<void(const std::string&)> on_deadlock)
+    : cfg_(cfg),
+      board_(std::move(board)),
+      on_deadlock_(std::move(on_deadlock)),
+      thread_([this](const std::stop_token& stop) { monitor(stop); }) {}
+
+Watchdog::~Watchdog() {
+  thread_.request_stop();
+  cv_.notify_all();  // wake the monitor's wait_for immediately
+}
+
+void Watchdog::monitor(const std::stop_token& stop) {
+  using namespace std::chrono;
+  const auto poll = duration<double, std::milli>(
+      std::max(1.0, cfg_.window_ms / 4.0));
+  std::uint64_t last_ops = board_->ops();
+  double last_progress = core::WallTimer::now();
+
+  std::unique_lock lock(mu_);
+  while (!stop.stop_requested()) {
+    cv_.wait_for(lock, stop, poll, [] { return false; });
+    if (stop.stop_requested()) return;
+
+    const std::uint64_t ops = board_->ops();
+    const double now = core::WallTimer::now();
+    const auto blocked = board_->snapshot();
+    if (ops != last_ops || blocked.empty()) {
+      last_ops = ops;
+      last_progress = now;
+      continue;
+    }
+    // No operation completed since the last poll and at least one wait is
+    // pending.  Fire only when the quiet period spans the window AND some
+    // wait has been blocked for the whole window (so a long compute phase
+    // with a briefly-parked peer does not trip it).
+    const double window_s = cfg_.window_ms / 1000.0;
+    const bool any_old =
+        std::ranges::any_of(blocked, [&](const ProgressBoard::Blocked& b) {
+          return now - b.since >= window_s;
+        });
+    if (now - last_progress >= window_s && any_old) {
+      on_deadlock_(describe_deadlock(blocked, cfg_.window_ms));
+      return;
+    }
+  }
+}
+
+}  // namespace fx::mpi

@@ -1,0 +1,117 @@
+// Hang watchdog and deadlock diagnoser for the simulated-MPI runtime.
+//
+// With 64+ rank threads interleaving tagged collectives and dynamically
+// scheduled tasks, one mismatched collective turns into a silent hang that
+// blocks ctest forever.  The watchdog converts that hang into a prompt,
+// structured failure: every blocking communicator wait registers itself on
+// a shared ProgressBoard; a monitor thread watches a global completed-ops
+// counter, and when nothing completed for the configured window while at
+// least one rank sat blocked the whole time, it composes a per-rank dump
+// -- which collective/tag/comm each rank is blocked in, and which local
+// ranks of that communicator are missing -- and fires a callback that
+// poisons the world so every blocked wait unwinds with a
+// core::DeadlockError instead of hanging.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace fx::mpi {
+
+struct WatchdogConfig {
+  bool enabled = true;
+  /// No-global-progress window before the watchdog fires, in milliseconds.
+  /// Generous by default: the window must exceed the longest legitimate
+  /// compute phase between two communication completions.
+  double window_ms = 60000.0;
+
+  /// Reads FFTX_WATCHDOG (0 disables) and FFTX_WATCHDOG_MS (window).
+  static WatchdogConfig from_env();
+};
+
+/// Shared blocked-operation registry plus the global progress counter.
+/// Ranks (or task workers acting for a rank) register a Blocked entry for
+/// the duration of every blocking communicator wait.
+class ProgressBoard {
+ public:
+  struct Blocked {
+    int world_rank;  ///< -1 if unknown (never for Runtime-spawned worlds)
+    int comm_id;
+    int comm_size;
+    int comm_rank;  ///< local rank within the communicator
+    CommOpKind kind;
+    int tag;
+    std::uint64_t seq;  ///< per-rank occurrence of (kind, tag)
+    double since;       ///< WallTimer::now() when the wait began
+  };
+
+  /// RAII registration of one blocking wait; no-op when `board` is null.
+  class Scope {
+   public:
+    Scope(ProgressBoard* board, const Blocked& info);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&&) = delete;
+    Scope& operator=(Scope&&) = delete;
+
+   private:
+    ProgressBoard* board_;
+    std::uint64_t token_ = 0;
+  };
+
+  /// Called once per completed communication operation per rank.
+  void op_completed() { ops_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t ops() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::vector<Blocked> snapshot() const;
+
+ private:
+  friend class Scope;
+  std::atomic<std::uint64_t> ops_{0};
+  mutable std::mutex mu_;
+  std::uint64_t next_token_ = 0;
+  std::map<std::uint64_t, Blocked> blocked_;
+};
+
+/// Renders the deadlock diagnostic: blocked entries grouped per collective
+/// instance, with waiting and missing local ranks named on both sides.
+std::string describe_deadlock(const std::vector<ProgressBoard::Blocked>& all,
+                              double window_ms);
+
+/// The monitor thread.  Fires `on_deadlock(diagnostic)` at most once, then
+/// exits.  Destruction stops the thread.
+class Watchdog {
+ public:
+  Watchdog(WatchdogConfig cfg, std::shared_ptr<ProgressBoard> board,
+           std::function<void(const std::string&)> on_deadlock);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+  Watchdog(Watchdog&&) = delete;
+  Watchdog& operator=(Watchdog&&) = delete;
+
+ private:
+  void monitor(const std::stop_token& stop);
+
+  WatchdogConfig cfg_;
+  std::shared_ptr<ProgressBoard> board_;
+  std::function<void(const std::string&)> on_deadlock_;
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::jthread thread_;
+};
+
+}  // namespace fx::mpi

@@ -12,9 +12,11 @@ namespace fx::task {
 namespace detail {
 
 /// Completion counter of one taskloop invocation (lives on the waiter's
-/// stack; all children finish before the waiter returns).
+/// stack; all children finish before the waiter returns).  `error` holds
+/// the first chunk failure, rethrown at the loop's join.
 struct LoopSync {
   std::size_t pending = 0;
+  std::exception_ptr error;
 };
 
 struct TaskNode {
@@ -200,8 +202,22 @@ void TaskRuntime::run_task(const NodePtr& node, int worker_id) {
   try {
     node->fn();
   } catch (...) {
+    // Wrap in TaskError so join points report which task died; exceptions
+    // that already carry a task label (nested taskloop joins) pass through.
+    std::exception_ptr err;
+    try {
+      throw;
+    } catch (const core::TaskError&) {
+      err = std::current_exception();
+    } catch (const std::exception& e) {
+      err = std::make_exception_ptr(core::TaskError(node->label, e.what()));
+    } catch (...) {
+      err = std::make_exception_ptr(
+          core::TaskError(node->label, "unknown exception"));
+    }
     std::lock_guard lock(mu_);
-    if (!first_error_) first_error_ = std::current_exception();
+    if (!first_error_) first_error_ = err;
+    if (node->sync != nullptr && !node->sync->error) node->sync->error = err;
   }
   if (observer.on_end) {
     observer.on_end(worker_id, node->label, core::WallTimer::now());
@@ -298,7 +314,17 @@ void TaskRuntime::taskloop(const std::string& label, std::size_t begin,
     {
       std::unique_lock lock(mu_);
       for (;;) {
-        if (sync.pending == 0) return;
+        if (sync.pending == 0) {
+          if (sync.error) {
+            std::exception_ptr e = sync.error;
+            // Delivered here; don't report the same failure again at
+            // taskwait (a caller task that lets it escape re-records it).
+            if (first_error_ == e) first_error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(e);  // first failing chunk, TaskError
+          }
+          return;
+        }
         chunk = pop_child_of_locked(caller.get());
         if (chunk) break;
         cv_done_.wait(lock);

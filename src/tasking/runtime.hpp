@@ -124,13 +124,15 @@ class TaskRuntime {
   }
 
   /// Blocks until every task submitted so far (including transitively
-  /// spawned ones) has finished.  Rethrows the first task exception.
+  /// spawned ones) has finished.  Rethrows the first task exception,
+  /// wrapped in core::TaskError carrying the failing task's label.
   /// Must be called from the orchestrator thread.
   void taskwait();
 
   /// OmpSs/OpenMP `taskloop`: splits [begin, end) into chunks of `grain`
   /// iterations, runs each chunk as a child task of the calling task, and
-  /// returns when all chunks are done.  Callable from inside a task (the
+  /// returns when all chunks are done, rethrowing the first chunk failure
+  /// (as core::TaskError) at the join.  Callable from inside a task (the
   /// paper's nested cft_2z / cft_2xy loops) or from the orchestrator.
   void taskloop(const std::string& label, std::size_t begin, std::size_t end,
                 std::size_t grain,

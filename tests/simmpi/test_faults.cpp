@@ -1,0 +1,331 @@
+// Hardening subsystem: fault-injector determinism, watchdog deadlock
+// detection, collective-matching validation, and cross-rank error
+// propagation (poisoning).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/faults.hpp"
+#include "simmpi/runtime.hpp"
+#include "simmpi/watchdog.hpp"
+
+namespace {
+
+using fx::core::CommError;
+using fx::core::DeadlockError;
+using fx::core::FaultError;
+using fx::mpi::Comm;
+using fx::mpi::CommOpKind;
+using fx::mpi::FaultInjector;
+using fx::mpi::FaultPlan;
+using fx::mpi::ReduceOp;
+using fx::mpi::RunOptions;
+using fx::mpi::Runtime;
+
+/// Quiet-watchdog options for tests that exercise other features.
+RunOptions quiet_options() {
+  RunOptions opts;
+  opts.watchdog.window_ms = 60000.0;
+  return opts;
+}
+
+/// Corruption decisions of `plan` over a fixed op grid, as one bitmap.
+std::vector<bool> corruption_bitmap(const FaultPlan& plan, int nranks,
+                                    int nops) {
+  FaultInjector injector(plan, nranks);
+  std::vector<bool> decisions;
+  std::vector<unsigned char> buf(64);
+  for (int r = 0; r < nranks; ++r) {
+    for (int i = 0; i < nops; ++i) {
+      std::memset(buf.data(), 0, buf.size());
+      const bool hit =
+          injector.maybe_corrupt(r, CommOpKind::Alltoallv, buf.data(),
+                                 buf.size());
+      decisions.push_back(hit);
+      // A hit must actually flip exactly one bit somewhere.
+      int flipped = 0;
+      for (unsigned char b : buf) flipped += std::popcount(unsigned{b});
+      EXPECT_EQ(flipped, hit ? 1 : 0);
+    }
+  }
+  return decisions;
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicPerSeed) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.corrupt_prob = 0.05;
+  const auto first = corruption_bitmap(plan, 4, 200);
+  const auto second = corruption_bitmap(plan, 4, 200);
+  EXPECT_EQ(first, second);
+
+  const int hits = static_cast<int>(std::count(first.begin(), first.end(),
+                                               true));
+  EXPECT_GT(hits, 0);     // 800 draws at 5%: ~40 expected
+  EXPECT_LT(hits, 400);   // and nowhere near "always"
+
+  FaultPlan other = plan;
+  other.seed = 8;
+  EXPECT_NE(first, corruption_bitmap(other, 4, 200));
+}
+
+TEST(FaultInjector, KindFilterRestrictsInjection) {
+  FaultPlan plan;
+  plan.corrupt_rank = 0;
+  plan.corrupt_op = 0;
+  plan.only_kind = static_cast<int>(CommOpKind::Alltoallv);
+  FaultInjector injector(plan, 1);
+  std::vector<unsigned char> buf(16, 0);
+  // Unselected kinds neither corrupt nor advance the corruptible-op index.
+  EXPECT_FALSE(
+      injector.maybe_corrupt(0, CommOpKind::Bcast, buf.data(), buf.size()));
+  EXPECT_TRUE(injector.maybe_corrupt(0, CommOpKind::Alltoallv, buf.data(),
+                                     buf.size()));
+}
+
+TEST(FaultInjector, KillUnwindsEveryRank) {
+  RunOptions opts = quiet_options();
+  opts.faults.kill_rank = 1;
+  opts.faults.kill_op = 2;
+  std::atomic<int> peer_unwinds{0};
+  try {
+    Runtime::run(4, opts, [&](Comm& comm) {
+      try {
+        for (int it = 0; it < 10; ++it) {
+          double x = comm.rank();
+          double sum = 0.0;
+          comm.allreduce(&x, &sum, 1, ReduceOp::Sum);
+        }
+      } catch (const CommError& e) {
+        EXPECT_NE(std::string(e.what()).find("rank 1 failed"),
+                  std::string::npos);
+        peer_unwinds.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("killed rank 1"), std::string::npos);
+  }
+  // The three surviving ranks unwound out of their blocked collectives.
+  EXPECT_EQ(peer_unwinds.load(), 3);
+}
+
+TEST(FaultInjector, StallDelaysTheRun) {
+  RunOptions opts = quiet_options();
+  opts.faults.stall_rank = 0;
+  opts.faults.stall_op = 0;
+  opts.faults.stall_ms = 50.0;
+  fx::core::WallTimer timer;
+  Runtime::run(2, opts, [&](Comm& comm) { comm.barrier(); });
+  EXPECT_GE(timer.seconds(), 0.045);
+}
+
+TEST(Watchdog, FiresOnMismatchedTagsAndNamesBothSides) {
+  RunOptions opts;
+  opts.watchdog.window_ms = 250.0;
+  fx::core::WallTimer timer;
+  try {
+    // Different tags match independently, so this is a genuine deadlock the
+    // validator cannot flag -- exactly the watchdog's job.
+    Runtime::run(2, opts, [&](Comm& comm) {
+      int x = 0;
+      comm.bcast_bytes(&x, sizeof(x), /*root=*/0,
+                       /*tag=*/comm.rank() == 0 ? 1 : 2);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock detected"), std::string::npos) << what;
+    EXPECT_NE(what.find("Bcast(tag 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("Bcast(tag 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing local ranks {1}"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("missing local ranks {0}"), std::string::npos)
+        << what;
+  }
+  // Detection within a few windows, not a hung test run.
+  EXPECT_LT(timer.seconds(), 10.0);
+}
+
+TEST(Validator, FlagsKindMismatchUnderOneTag) {
+  try {
+    Runtime::run(2, quiet_options(), [&](Comm& comm) {
+      double x = 1.0;
+      double y = 0.0;
+      if (comm.rank() == 0) {
+        comm.bcast_bytes(&x, sizeof(x), /*root=*/0, /*tag=*/3);
+      } else {
+        comm.allreduce(&x, &y, 1, ReduceOp::Sum, /*tag=*/3);
+      }
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("collective mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("Bcast(tag 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("Allreduce(tag 3"), std::string::npos) << what;
+  }
+}
+
+TEST(Validator, CanBeDisabled) {
+  RunOptions opts;
+  opts.validate_collectives = false;
+  opts.watchdog.window_ms = 200.0;  // the mismatch now hangs; watchdog saves
+  EXPECT_THROW(Runtime::run(2,
+                            opts,
+                            [&](Comm& comm) {
+                              double x = 1.0;
+                              double y = 0.0;
+                              if (comm.rank() == 0) {
+                                comm.bcast_bytes(&x, sizeof(x), 0, /*tag=*/3);
+                              } else {
+                                comm.allreduce(&x, &y, 1, ReduceOp::Sum,
+                                               /*tag=*/3);
+                              }
+                            }),
+               DeadlockError);
+}
+
+TEST(Poisoning, RankFailurePropagatesToBlockedPeers) {
+  std::atomic<int> unwound{0};
+  try {
+    Runtime::run(4, quiet_options(), [&](Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("boom");
+      try {
+        comm.barrier();
+      } catch (const CommError& e) {
+        EXPECT_NE(std::string(e.what()).find("rank 0 failed: boom"),
+                  std::string::npos);
+        unwound.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected the originating error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(unwound.load(), 3);
+}
+
+TEST(Poisoning, ReachesSplitCommunicators) {
+  try {
+    Runtime::run(4, quiet_options(), [&](Comm& world) {
+      Comm half = world.split(world.rank() % 2, world.rank());
+      if (world.rank() == 3) throw std::runtime_error("split casualty");
+      half.barrier();  // rank 1 shares this comm with the dead rank 3
+      world.barrier();
+    });
+    FAIL() << "expected the originating error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "split casualty");
+  }
+}
+
+TEST(Poisoning, IrecvWaitUnwindsWhenPeerDies) {
+  std::atomic<bool> receiver_unwound{false};
+  try {
+    Runtime::run(2, quiet_options(), [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        throw std::runtime_error("sender died");
+      }
+      double payload = 0.0;
+      try {
+        // The post itself may already see the poisoned context; either the
+        // post or the wait must unwind with CommError, never hang.
+        auto req = comm.irecv_bytes(0, &payload, sizeof(payload), /*tag=*/5);
+        req.wait();
+      } catch (const CommError&) {
+        receiver_unwound = true;
+        throw;
+      }
+    });
+    FAIL() << "expected the originating error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sender died");
+  }
+  EXPECT_TRUE(receiver_unwound.load());
+}
+
+TEST(Poisoning, IrecvTestThrowsWhenPeerDies) {
+  std::atomic<bool> receiver_unwound{false};
+  try {
+    Runtime::run(2, quiet_options(), [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        throw std::runtime_error("sender died");
+      }
+      double payload = 0.0;
+      try {
+        auto req = comm.irecv_bytes(0, &payload, sizeof(payload), /*tag=*/5);
+        for (;;) {
+          if (req.test()) break;  // must throw instead of spinning forever
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      } catch (const CommError&) {
+        receiver_unwound = true;
+        throw;
+      }
+    });
+    FAIL() << "expected the originating error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sender died");
+  }
+  EXPECT_TRUE(receiver_unwound.load());
+}
+
+TEST(Mismatch, AlltoallvCountMismatchNamesBothSides) {
+  try {
+    Runtime::run(2, quiet_options(), [&](Comm& comm) {
+      // Rank 1 under-declares what it receives from rank 0.
+      const std::size_t scounts[2] = {2, 2};
+      const std::size_t sdispls[2] = {0, 2};
+      const std::size_t rcounts[2] = {2, comm.rank() == 1 ? 1UL : 2UL};
+      const std::size_t rdispls[2] = {0, 2};
+      const double send[4] = {1, 2, 3, 4};
+      double recv[4] = {};
+      comm.alltoallv(send, scounts, sdispls, recv, rcounts, rdispls,
+                     /*tag=*/0);
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("alltoallv count mismatch"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("sends 2 element(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("expects 1 element(s)"), std::string::npos) << what;
+  }
+}
+
+TEST(RunOptions, FromEnvReadsFaultAndWatchdogVars) {
+  ::setenv("FFTX_FAULT_SEED", "42", 1);
+  ::setenv("FFTX_FAULT_CORRUPT_PROB", "0.25", 1);
+  ::setenv("FFTX_FAULT_KILL_RANK", "3", 1);
+  ::setenv("FFTX_WATCHDOG_MS", "1234", 1);
+  ::setenv("FFTX_VALIDATE", "0", 1);
+  const RunOptions opts = RunOptions::from_env();
+  EXPECT_EQ(opts.faults.seed, 42U);
+  EXPECT_DOUBLE_EQ(opts.faults.corrupt_prob, 0.25);
+  EXPECT_EQ(opts.faults.kill_rank, 3);
+  EXPECT_TRUE(opts.faults.any());
+  EXPECT_DOUBLE_EQ(opts.watchdog.window_ms, 1234.0);
+  EXPECT_FALSE(opts.validate_collectives);
+  ::unsetenv("FFTX_FAULT_SEED");
+  ::unsetenv("FFTX_FAULT_CORRUPT_PROB");
+  ::unsetenv("FFTX_FAULT_KILL_RANK");
+  ::unsetenv("FFTX_WATCHDOG_MS");
+  ::unsetenv("FFTX_VALIDATE");
+  EXPECT_FALSE(RunOptions::from_env().faults.any());
+}
+
+}  // namespace

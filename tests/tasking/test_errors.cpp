@@ -1,0 +1,84 @@
+// Task-failure propagation: exceptions thrown inside task bodies must
+// surface at the join points (taskwait, taskloop) wrapped in
+// core::TaskError carrying the failing task's label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "core/error.hpp"
+#include "tasking/runtime.hpp"
+
+namespace {
+
+using fx::core::TaskError;
+using fx::task::TaskRuntime;
+
+TEST(TaskErrors, TaskwaitRethrowsWithLabel) {
+  TaskRuntime rt(2);
+  rt.submit("healthy", [] {});
+  rt.submit("explode", [] { throw std::runtime_error("kaboom"); });
+  try {
+    rt.taskwait();
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    EXPECT_EQ(e.label(), "explode");
+    EXPECT_STREQ(e.what(), "task 'explode' failed: kaboom");
+  }
+}
+
+TEST(TaskErrors, FirstFailureWinsAndRuntimeStaysUsable) {
+  TaskRuntime rt(1);  // one worker serializes, so "first" is deterministic
+  rt.submit("first-bad", [] { throw std::runtime_error("one"); });
+  rt.submit("second-bad", [] { throw std::runtime_error("two"); });
+  try {
+    rt.taskwait();
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    EXPECT_EQ(e.label(), "first-bad");
+  }
+  // The error slot was consumed; the runtime accepts and runs new work.
+  std::atomic<int> ran{0};
+  rt.submit("after", [&] { ran.fetch_add(1); });
+  rt.taskwait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskErrors, TaskloopJoinRethrowsFailingChunk) {
+  TaskRuntime rt(2);
+  std::atomic<int> chunks_run{0};
+  try {
+    rt.taskloop("chunk", 0, 8, 1, [&](std::size_t lo, std::size_t) {
+      chunks_run.fetch_add(1);
+      if (lo == 3) throw std::runtime_error("chunk failure");
+    });
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    EXPECT_EQ(e.label(), "chunk#3");
+    EXPECT_NE(std::string(e.what()).find("chunk failure"),
+              std::string::npos);
+  }
+  EXPECT_EQ(chunks_run.load(), 8);  // failure does not cancel siblings
+  rt.taskwait();                    // drained; must not rethrow again
+}
+
+TEST(TaskErrors, NestedTaskloopFailureKeepsChunkLabel) {
+  TaskRuntime rt(2);
+  rt.submit("outer", [&] {
+    rt.taskloop("inner", 0, 4, 1, [](std::size_t lo, std::size_t) {
+      if (lo == 2) throw std::runtime_error("deep failure");
+    });
+  });
+  try {
+    rt.taskwait();
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    // The chunk's TaskError passes through the outer task unchanged, so
+    // the report names the actual failing task, not just its parent.
+    EXPECT_EQ(e.label(), "inner#2");
+    EXPECT_NE(std::string(e.what()).find("deep failure"), std::string::npos);
+  }
+}
+
+}  // namespace
