@@ -92,5 +92,6 @@ int main() {
                "restores IPC scalability (no Table-I collapse) and shrinks "
                "the task version's advantage -- the paper's contention "
                "diagnosis in model form.\n";
+  fx::trace::dump_metrics("bench_ablation_contention");
   return 0;
 }

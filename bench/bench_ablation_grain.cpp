@@ -4,6 +4,7 @@
 // modeled as lost fan-out beyond the chunk count, and in the real runtime
 // as queue pressure).
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 namespace {
 
@@ -46,5 +47,6 @@ int main() {
                "grains enable fan-out over idle workers when bands run "
                "low; grains larger than the loop collapse to a single "
                "chunk (no nested parallelism).\n";
+  fx::trace::dump_metrics("bench_ablation_grain");
   return 0;
 }

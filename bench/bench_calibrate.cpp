@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 int main(int argc, char** argv) {
   auto machine = fx::model::MachineConfig::knl();
@@ -80,5 +81,6 @@ int main(int argc, char** argv) {
                "100/93/79/56/28; ompss IPCscal 100/94/84/66/43;\n"
             << "orig 16x8 runtime slightly WORSE than 8x8; ompss 16x8 ~3% "
                "better than 8x8.\n";
+  fx::trace::dump_metrics("bench_calibrate");
   return 0;
 }

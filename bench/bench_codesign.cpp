@@ -4,6 +4,7 @@
 // contemporary Xeon model, across layouts and modes, and reports where the
 // task-based reformulation pays off on each architecture.
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 namespace {
 
@@ -76,5 +77,6 @@ int main() {
                "the wide Xeon cores leave less contention to recover, so "
                "the gap narrows -- the paper's motivation for choosing "
                "strategy 2 specifically on KNL.\n";
+  fx::trace::dump_metrics("bench_codesign");
   return 0;
 }

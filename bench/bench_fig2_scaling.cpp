@@ -3,6 +3,7 @@
 // hyper-threading.  Paper shape: poor scaling beyond 8x8 and *no benefit*
 // (a slight regression) from hyper-threading.
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fxbench::ModelConfig;
@@ -37,5 +38,6 @@ int main() {
   std::cout << "\nExpected paper shape: sub-linear scaling that flattens at "
                "the full node; the hyper-threaded points (16x8, 32x8) do not "
                "improve on 8x8.\n";
+  fx::trace::dump_metrics("bench_fig2_scaling");
   return 0;
 }

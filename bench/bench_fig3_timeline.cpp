@@ -56,5 +56,6 @@ int main() {
 
   fx::trace::write_events_csv(tracer, "bench/out/fig3_events.csv");
   std::cout << "raw events written to bench/out/fig3_events.csv\n";
+  fx::trace::dump_run_artifacts(tracer, "bench_fig3_timeline");
   return 0;
 }

@@ -5,6 +5,7 @@
 // (8x8); OmpSs gains a further ~3 % from 2x hyper-threading while the
 // original loses.
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fx::fftx::PipelineMode;
@@ -58,5 +59,6 @@ int main() {
             << " s -> best-vs-best gain "
             << fx::core::fixed((best_orig - best_ompss) / best_orig * 100.0, 1)
             << " % (paper: ~10 %)\n";
+  fx::trace::dump_metrics("bench_fig6_comparison");
   return 0;
 }

@@ -70,5 +70,7 @@ int main() {
   csv.row({"ompss", fx::core::cat(ipc_ompss), fx::core::cat(rt.runtime_s)});
   fx::trace::write_events_csv(torig, "bench/out/fig7_events_original.csv");
   fx::trace::write_events_csv(tompss, "bench/out/fig7_events_ompss.csv");
+  fx::trace::dump_run_artifacts(torig, "bench_fig7_desync_original");
+  fx::trace::dump_run_artifacts(tompss, "bench_fig7_desync_ompss");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "fftx/grid_fft.hpp"
 #include "fftx/pencil_fft.hpp"
 #include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
 
 namespace {
 
@@ -112,5 +113,6 @@ int main() {
                "and keep scaling -- the decomposition heFFTe-class "
                "libraries use, and the distributed-FFT context the paper's "
                "task-group scheme lives in.\n";
+  fx::trace::dump_metrics("bench_pencil_vs_slab");
   return 0;
 }

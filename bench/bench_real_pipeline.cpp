@@ -5,26 +5,31 @@
 // (simmpi + tasking + fftx) executes the paper's configurations end to end.
 // Results are host-dependent by nature; the KNL figures come from the
 // model benches.
+#include <algorithm>
 #include <memory>
 
 #include "common.hpp"
 #include "core/stats.hpp"
 #include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
 double run_real(int nranks, int ntg, fx::fftx::PipelineMode mode, int threads,
-                const fx::mpi::RunOptions& opts = fx::mpi::RunOptions{}) {
+                const fx::mpi::RunOptions& opts = fx::mpi::RunOptions{},
+                fx::trace::Tracer* tracer = nullptr, double ecut = 16.0,
+                int num_bands = 16) {
   auto desc = std::make_shared<const fx::fftx::Descriptor>(fx::pw::Cell{10.0},
-                                                           16.0, nranks, ntg);
+                                                           ecut, nranks, ntg);
   double runtime = 0.0;
   fx::mpi::Runtime::run(nranks, opts, [&](fx::mpi::Comm& world) {
     fx::fftx::PipelineConfig cfg;
-    cfg.num_bands = 16;
+    cfg.num_bands = num_bands;
     cfg.mode = mode;
     cfg.nthreads = threads;
     cfg.guard_exchanges = false;  // the A/B below measures validator+watchdog
-    fx::fftx::BandFftPipeline pipe(world, desc, cfg);
+    fx::fftx::BandFftPipeline pipe(world, desc, cfg, tracer);
     pipe.initialize_bands();
     const double t = pipe.run();
     if (world.rank() == 0) runtime = t;
@@ -79,6 +84,112 @@ void bench_hardening_overhead() {
   t.print(std::cout);
 }
 
+/// 20 %-trimmed mean: the scheduler on an oversubscribed host produces a
+/// few wild outliers per batch that a plain mean would chase and that even
+/// the median wobbles on; trimming both tails keeps the estimate stable
+/// run to run.
+double trimmed_mean(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t k = v.size() / 5;
+  double sum = 0.0;
+  for (std::size_t i = k; i < v.size() - k; ++i) sum += v[i];
+  return sum / static_cast<double>(v.size() - 2 * k);
+}
+
+/// Tracing A/B: the observability layer off vs the mutex collection path vs
+/// the sharded ring-buffer path, on the same workload.  The ring design
+/// only earns its complexity if "sharded" is at or below "mutex" and within
+/// a few percent of "off" (the paper's Extrae traces cost 0.6-2.2 %).
+void bench_trace_overhead() {
+  using fx::fftx::PipelineMode;
+  using fx::trace::TracerMode;
+
+  fx::mpi::RunOptions quiet;
+  quiet.watchdog.enabled = false;
+  quiet.validate_collectives = false;
+
+  // Much heavier workload than the mode table: on an oversubscribed (or
+  // single-core CI) host, runs under ~50 ms swing several percent from
+  // scheduler luck alone; at ~150 ms+ the paired ratios settle well under
+  // a percent run to run.
+  constexpr double kEcut = 64.0;
+  constexpr int kBands = 128;
+
+  fx::core::TablePrinter t(
+      "Tracing overhead (off vs mutex vs sharded rings, trimmed mean of 33 "
+      "order-rotated paired reps)");
+  t.header({"version", "off [s]", "mutex [s]", "sharded [s]", "mutex ovh",
+            "sharded ovh"});
+  fx::core::CsvWriter csv("bench/out/trace_overhead.csv");
+  csv.row({"mode", "variant", "seconds", "overhead_pct"});
+
+  struct Row {
+    const char* name;
+    int nranks;
+    int ntg;
+    PipelineMode mode;
+    int threads;
+  };
+  const Row rows[] = {
+      {"original 4 x 2", 8, 2, PipelineMode::Original, 1},
+      {"task-per-FFT 4 ranks x 2 thr", 4, 1, PipelineMode::TaskPerFft, 2},
+  };
+  constexpr int kReps = 33;
+  for (const Row& row : rows) {
+    std::vector<double> t_off;
+    std::vector<double> t_mutex;
+    std::vector<double> t_ring;
+    std::vector<double> ratio_mutex;
+    std::vector<double> ratio_ring;
+    // Overhead comes from paired per-rep ratios: the three runs of one rep
+    // are adjacent in time, so slow drift divides out of the ratio even
+    // when it swamps the absolute numbers.  The variant order rotates each
+    // rep -- with a fixed order a positional bias (first run of a rep
+    // landing on a cold scheduler quantum) masquerades as overhead.  One
+    // fresh tracer per rep: events must not accumulate.
+    for (int rep = 0; rep < kReps; ++rep) {
+      double t_o = 0.0;
+      double t_m = 0.0;
+      double t_r = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        const int variant = (rep + k) % 3;
+        if (variant == 0) {
+          t_o = run_real(row.nranks, row.ntg, row.mode, row.threads, quiet,
+                         nullptr, kEcut, kBands);
+        } else if (variant == 1) {
+          fx::trace::Tracer tracer(row.nranks, TracerMode::Mutex);
+          t_m = run_real(row.nranks, row.ntg, row.mode, row.threads, quiet,
+                         &tracer, kEcut, kBands);
+        } else {
+          fx::trace::Tracer tracer(row.nranks, TracerMode::Sharded);
+          t_r = run_real(row.nranks, row.ntg, row.mode, row.threads, quiet,
+                         &tracer, kEcut, kBands);
+        }
+      }
+      t_off.push_back(t_o);
+      t_mutex.push_back(t_m);
+      t_ring.push_back(t_r);
+      ratio_mutex.push_back(t_m / t_o);
+      ratio_ring.push_back(t_r / t_o);
+    }
+    const double med_off = trimmed_mean(t_off);
+    const double med_mutex = trimmed_mean(t_mutex);
+    const double med_ring = trimmed_mean(t_ring);
+    const double ovh_mutex = (trimmed_mean(ratio_mutex) - 1.0) * 100.0;
+    const double ovh_ring = (trimmed_mean(ratio_ring) - 1.0) * 100.0;
+    t.row({row.name, fx::core::fixed(med_off, 4), fx::core::fixed(med_mutex, 4),
+           fx::core::fixed(med_ring, 4),
+           fx::core::cat(fx::core::fixed(ovh_mutex, 2), " %"),
+           fx::core::cat(fx::core::fixed(ovh_ring, 2), " %")});
+    csv.row({to_string(row.mode), "off", fx::core::cat(med_off), "0"});
+    csv.row({to_string(row.mode), "mutex", fx::core::cat(med_mutex),
+             fx::core::cat(fx::core::fixed(ovh_mutex, 2))});
+    csv.row({to_string(row.mode), "sharded", fx::core::cat(med_ring),
+             fx::core::cat(fx::core::fixed(ovh_ring, 2))});
+  }
+  t.print(std::cout);
+}
+
 }  // namespace
 
 int main() {
@@ -121,5 +232,7 @@ int main() {
   t.print(std::cout);
 
   bench_hardening_overhead();
+  bench_trace_overhead();
+  fx::trace::dump_metrics("bench_real_pipeline");
   return 0;
 }

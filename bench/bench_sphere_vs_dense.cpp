@@ -15,6 +15,7 @@
 #include "core/timer.hpp"
 #include "fftx/grid_fft.hpp"
 #include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fx::fft::cplx;
@@ -92,5 +93,6 @@ int main() {
                "grid and its sticks ~60-80 % of the columns, so the wave "
                "pipeline transforms and exchanges correspondingly less "
                "data than a dense transform of the same bands.\n";
+  fx::trace::dump_metrics("bench_sphere_vs_dense");
   return 0;
 }

@@ -6,6 +6,7 @@
 //   * a communication-bound point (slow network; the regime the paper says
 //     strategy 1, task-per-step with comm/compute overlap, is meant for).
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 namespace {
 
@@ -88,5 +89,6 @@ int main() {
                "task-per-step; in the communication-bound regime the "
                "overlap of task-per-step/combined recovers a larger share "
                "of the lost time.\n";
+  fx::trace::dump_metrics("bench_strategies");
   return 0;
 }

@@ -2,6 +2,7 @@
 // 1x8 .. 16x8, computed by the POP model on model-backend traces, printed
 // side by side with the paper's measured values.
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fxbench::ModelConfig;
@@ -29,5 +30,6 @@ int main() {
     std::cout << ' ' << fx::core::fixed(runs[i].avg_ipc, 2);
   }
   std::cout << "  (paper: ~1.1 at 1x8 down to ~0.6 at 8x8, ~0.3 at 16x8)\n";
+  fx::trace::dump_metrics("bench_table1_efficiency");
   return 0;
 }

@@ -3,6 +3,7 @@
 // groups, one task per FFT (strategy 2).  Scalability is relative to the
 // version's own 1x8 run, exactly as in the paper.
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fxbench::ModelConfig;
@@ -30,5 +31,6 @@ int main() {
     std::cout << ' ' << fx::core::fixed(runs[i].avg_ipc, 2);
   }
   std::cout << "  (paper: ~0.8 IPC at 8 ranks x 8 tasks vs 0.6 original)\n";
+  fx::trace::dump_metrics("bench_table2_efficiency");
   return 0;
 }

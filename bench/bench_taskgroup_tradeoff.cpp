@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   constexpr int kRanks = 64;
@@ -57,5 +58,6 @@ int main() {
                "pressure at large ntg, which this first-order model does "
                "not charge, so the model flattens beyond ntg = 8 instead "
                "of rising again -- see EXPERIMENTS.md.)\n";
+  fx::trace::dump_metrics("bench_taskgroup_tradeoff");
   return 0;
 }

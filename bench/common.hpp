@@ -22,6 +22,7 @@
 #include "perfmodel/program.hpp"
 #include "perfmodel/simulator.hpp"
 #include "trace/analysis.hpp"
+#include "trace/artifacts.hpp"
 #include "trace/timeline.hpp"
 
 namespace fxbench {

@@ -22,6 +22,8 @@
 #include "pw/gvectors.hpp"
 #include "pw/wavefunction.hpp"
 #include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
+#include "trace/tracer.hpp"
 
 int main(int argc, char** argv) {
   using fx::fft::cplx;
@@ -38,8 +40,9 @@ int main(int argc, char** argv) {
 
   double rho_g0 = 0.0;
   double direct_charge = 0.0;
+  fx::trace::Tracer tracer(nranks);
   fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& comm) {
-    fx::fftx::GridFft grid(comm, dims);
+    fx::fftx::GridFft grid(comm, dims, &tracer);
     fx::fft::Workspace ws;
     const int me = comm.rank();
     const std::size_t nz = dims.nz;
@@ -101,5 +104,6 @@ int main(int argc, char** argv) {
             << "mean density (rho(G=0)):        "
             << fx::core::fixed(rho_g0, 9) << "\n"
             << "agreement: " << std::abs(direct_charge - rho_g0) << "\n";
+  fx::trace::dump_run_artifacts(tracer, "charge_density");
   return std::abs(direct_charge - rho_g0) < 1e-9 ? 0 : 1;
 }

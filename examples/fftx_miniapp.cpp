@@ -16,6 +16,11 @@
 //     -verify           check band 0 against the serial oracle (real only)
 //     -table            print the POP efficiency factors
 //     -save-trace <f>   write the run's trace to <f> (fxtrace format)
+//     -trace-json <f>   write the run's trace as Chrome/Perfetto JSON
+//
+// Setting FFTX_TRACE_DIR=<dir> additionally drops the full artifact set
+// (<dir>/fftx_miniapp.{fxtrace,json,metrics.csv,metrics.json}) without any
+// flags -- the uniform observability hook every example and bench honors.
 //
 // Examples:
 //   fftx_miniapp -backend model -nranks 64 -ntg 8            # paper 8x8
@@ -27,6 +32,7 @@
 #include <string>
 
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 #include "fftx/pipeline.hpp"
 #include "fftx/reference.hpp"
 #include "perfmodel/machine.hpp"
@@ -34,6 +40,8 @@
 #include "perfmodel/simulator.hpp"
 #include "simmpi/runtime.hpp"
 #include "trace/analysis.hpp"
+#include "trace/artifacts.hpp"
+#include "trace/chrome_export.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -50,6 +58,7 @@ struct Options {
   bool verify = false;
   bool table = false;
   std::string trace_path;
+  std::string trace_json_path;
 };
 
 Options parse(int argc, char** argv) {
@@ -92,6 +101,8 @@ Options parse(int argc, char** argv) {
       o.verify = true;
     } else if (a == "-save-trace") {
       o.trace_path = need(i);
+    } else if (a == "-trace-json") {
+      o.trace_json_path = need(i);
     } else if (a == "-table") {
       o.table = true;
     } else {
@@ -184,10 +195,17 @@ int main(int argc, char** argv) {
       print_factors(fx::trace::analyze_efficiency(tracer, 1.0));
     }
   }
-  if (!o.trace_path.empty()) {
+  if (!o.trace_path.empty() || !o.trace_json_path.empty()) {
     tracer.normalize_time();
-    fx::trace::save_trace(tracer, o.trace_path);
-    std::cout << "trace written to " << o.trace_path << '\n';
+    if (!o.trace_path.empty()) {
+      fx::trace::save_trace(tracer, o.trace_path);
+      std::cout << "trace written to " << o.trace_path << '\n';
+    }
+    if (!o.trace_json_path.empty()) {
+      fx::trace::save_chrome_trace(tracer, o.trace_json_path);
+      std::cout << "Chrome trace written to " << o.trace_json_path << '\n';
+    }
   }
+  fx::trace::dump_run_artifacts(tracer, "fftx_miniapp");
   return 0;
 }

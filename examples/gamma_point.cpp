@@ -11,6 +11,7 @@
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 #include "fft/gamma.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fx::fft::cplx;
@@ -77,5 +78,6 @@ int main() {
             << "  saving: "
             << fx::core::fixed((separate - packed) / separate * 100.0, 1)
             << " % (ideal: approaching 50 % minus pack/unpack overhead)\n";
+  fx::trace::dump_metrics("gamma_point");
   return 0;
 }

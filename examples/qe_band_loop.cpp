@@ -19,6 +19,7 @@
 #include "fftx/pipeline.hpp"
 #include "fftx/reference.hpp"
 #include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
 
 int main(int argc, char** argv) {
   using fx::fft::cplx;
@@ -90,5 +91,6 @@ int main(int argc, char** argv) {
             << (identical ? "yes" : "NO (bug!)") << '\n';
   std::cout << "note: wall times on this host are functional timings; the "
                "paper's KNL numbers come from the model benches.\n";
+  fx::trace::dump_metrics("qe_band_loop");
   return identical ? 0 : 1;
 }

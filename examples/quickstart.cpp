@@ -15,6 +15,7 @@
 #include "fftx/pipeline.hpp"
 #include "fftx/reference.hpp"
 #include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
 
 int main() {
   using fx::fft::cplx;
@@ -67,5 +68,6 @@ int main() {
   });
   std::cout << "distributed pipeline vs serial oracle (band 0): max error "
             << worst << "\n";
+  fx::trace::dump_metrics("quickstart");
   return 0;
 }

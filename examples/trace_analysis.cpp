@@ -12,6 +12,7 @@
 #include "fftx/pipeline.hpp"
 #include "simmpi/runtime.hpp"
 #include "trace/analysis.hpp"
+#include "trace/artifacts.hpp"
 #include "trace/timeline.hpp"
 
 int main(int argc, char** argv) {
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
             << fx::core::pct(s.transfer_efficiency) << '\n';
   fx::trace::write_events_csv(tracer, "trace_analysis_events.csv");
   std::cout << "\nraw events written to trace_analysis_events.csv\n";
+  fx::trace::dump_run_artifacts(tracer, "trace_analysis");
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "perfmodel/machine.hpp"
 #include "perfmodel/program.hpp"
 #include "perfmodel/simulator.hpp"
+#include "trace/artifacts.hpp"
 
 namespace {
 
@@ -99,5 +100,6 @@ int main(int argc, char** argv) {
                       "(the runtime schedules dynamically)"
                     : "original version with the layout above")
             << '\n';
+  fx::trace::dump_metrics("tuning_sweep");
   return 0;
 }

@@ -1,0 +1,256 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace fx::core {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  // frexp: v = frac * 2^exp with frac in [0.5, 1) -> log2(v) = exp + log2(frac)
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);
+  const double log2v = static_cast<double>(exp - 1) +
+                       std::log2(frac * 2.0);  // frac*2 in [1, 2)
+  const int idx = static_cast<int>(
+      std::floor((log2v - kMinExp) * kSubBuckets));
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_value(int index) {
+  // Geometric midpoint of [2^(lo), 2^(lo + 1/kSubBuckets)).
+  const double lo =
+      kMinExp + static_cast<double>(index) / kSubBuckets;
+  return std::exp2(lo + 0.5 / kSubBuckets);
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  // min/max are advisory under concurrency (first writer initializes), which
+  // is fine for end-of-run snapshots.
+  if (count_.load(std::memory_order_relaxed) == 1) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double m = min_.load(std::memory_order_relaxed);
+  while (v < m &&
+         !min_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+  m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= target && cum > 0) return bucket_value(i);
+  }
+  return bucket_value(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+namespace {
+
+template <typename Map>
+bool holds_name(const Map& m, std::string_view name) {
+  return m.find(name) != m.end();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FX_CHECK(!holds_name(gauges_, name) && !holds_name(histograms_, name),
+           "metric '" + std::string(name) +
+               "' already registered with a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FX_CHECK(!holds_name(counters_, name) && !holds_name(histograms_, name),
+           "metric '" + std::string(name) +
+               "' already registered with a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FX_CHECK(!holds_name(counters_, name) && !holds_name(gauges_, name),
+           "metric '" + std::string(name) +
+               "' already registered with a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
+  std::vector<Row> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Row r;
+    r.name = name;
+    r.kind = Row::Kind::Counter;
+    r.value = static_cast<double>(c->value());
+    out.push_back(std::move(r));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Row r;
+    r.name = name;
+    r.kind = Row::Kind::Gauge;
+    r.value = g->value();
+    out.push_back(std::move(r));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Row r;
+    r.name = name;
+    r.kind = Row::Kind::Histogram;
+    r.hist = h->snapshot();
+    r.value = static_cast<double>(r.hist.count);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+
+const char* kind_name(MetricsRegistry::Row::Kind k) {
+  switch (k) {
+    case MetricsRegistry::Row::Kind::Counter: return "counter";
+    case MetricsRegistry::Row::Kind::Gauge: return "gauge";
+    case MetricsRegistry::Row::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string num(double v) {
+  // Shortest faithful form: integers print without a fraction.
+  std::ostringstream os;
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(12);
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void MetricsRegistry::dump(std::ostream& os, DumpFormat fmt) const {
+  const auto all = rows();
+  if (fmt == DumpFormat::Csv) {
+    os << "kind,name,value,count,sum,min,max,p50,p95,p99\n";
+    for (const auto& r : all) {
+      os << kind_name(r.kind) << ',' << r.name << ',' << num(r.value);
+      if (r.kind == Row::Kind::Histogram) {
+        os << ',' << r.hist.count << ',' << num(r.hist.sum) << ','
+           << num(r.hist.min) << ',' << num(r.hist.max) << ','
+           << num(r.hist.p50) << ',' << num(r.hist.p95) << ','
+           << num(r.hist.p99);
+      } else {
+        os << ",,,,,,,";
+      }
+      os << '\n';
+    }
+    return;
+  }
+  os << "{\"metrics\": [";
+  bool first = true;
+  for (const auto& r : all) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"kind\": \"" << kind_name(r.kind) << "\", \"name\": \"" << r.name
+       << "\", \"value\": " << num(r.value);
+    if (r.kind == Row::Kind::Histogram) {
+      os << ", \"count\": " << r.hist.count << ", \"sum\": " << num(r.hist.sum)
+         << ", \"min\": " << num(r.hist.min)
+         << ", \"max\": " << num(r.hist.max)
+         << ", \"p50\": " << num(r.hist.p50)
+         << ", \"p95\": " << num(r.hist.p95)
+         << ", \"p99\": " << num(r.hist.p99);
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+void MetricsRegistry::dump(const std::string& path, DumpFormat fmt) const {
+  std::ofstream os(path);
+  FX_CHECK(os.good(), "cannot open metrics dump file '" + path + "'");
+  dump(os, fmt);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+}  // namespace fx::core

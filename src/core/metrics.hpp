@@ -1,0 +1,168 @@
+// Process-wide runtime metrics: named counters, gauges and log-bucketed
+// histograms.
+//
+// The tracer answers "what happened when" for one run; the metrics registry
+// answers "how often / how much / how long" for the whole process, cheaply
+// enough to stay on in production.  Recording is lock-free (relaxed atomics
+// throughout: a counter add is one fetch_add, a histogram record is two),
+// so hot paths -- collective waits, plan-cache lookups, task submission --
+// can be instrumented without perturbing what they measure.
+//
+// Usage pattern: resolve the metric once (registration takes a mutex) and
+// keep the reference; references stay valid for the registry's lifetime.
+//
+//   static core::Counter& hits =
+//       core::MetricsRegistry::global().counter("fft.plan_cache.hits");
+//   hits.add();
+//
+// Snapshots (including p50/p95/p99 of every histogram) export as CSV or
+// JSON via MetricsRegistry::dump(); examples and benches call it at end of
+// run when FFTX_TRACE_DIR is set (see trace/artifacts.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fx::core {
+
+/// Monotonic event count.  Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, bytes in flight).
+/// Thread-safe, lock-free; `max_of` keeps a running peak.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `v` if it exceeds the current value.
+  void max_of(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucketed histogram of positive values (latencies, sizes, depths).
+///
+/// Buckets are powers of 2^(1/4) (quarter-octaves, ~19 % relative width),
+/// spanning 2^-32 .. 2^32 around 1.0 -- microsecond latencies recorded in
+/// seconds and gigabyte sizes recorded in bytes both land comfortably
+/// inside.  Out-of-range and non-positive values clamp into the edge
+/// buckets, so `count` always equals the number of record() calls.
+/// Quantiles are read from the bucket boundaries (geometric midpoint), so
+/// they carry the bucket's ~19 % resolution and are monotone in q by
+/// construction.
+class Histogram {
+ public:
+  void record(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< exact (not bucketed); 0 when empty
+    double max = 0.0;
+    double p50 = 0.0;  ///< bucket-resolution quantiles; 0 when empty
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Quantile q in [0, 1] at bucket resolution (0 when empty).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+  /// 4 sub-buckets per octave over 2^-32 .. 2^32.
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 32;
+  static constexpr int kBuckets = (kMaxExp - kMinExp) * kSubBuckets;
+
+ private:
+  static int bucket_of(double v);
+  static double bucket_value(int index);
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Named metric registry.  Lookup registers on first use and returns a
+/// stable reference; a name permanently identifies one metric of one kind
+/// (asking for the same name with a different kind throws core::Error).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// One row per metric, sorted by name (histograms carry quantiles).
+  struct Row {
+    std::string name;
+    enum class Kind { Counter, Gauge, Histogram } kind;
+    double value = 0.0;  ///< counter / gauge value; histogram count
+    Histogram::Snapshot hist;  ///< histograms only
+  };
+  [[nodiscard]] std::vector<Row> rows() const;
+
+  enum class DumpFormat { Csv, Json };
+  /// Writes every metric's snapshot.  CSV columns:
+  ///   kind,name,value,count,sum,min,max,p50,p95,p99
+  /// JSON: {"metrics": [{"kind": ..., "name": ..., ...}]}.
+  void dump(std::ostream& os, DumpFormat fmt) const;
+  void dump(const std::string& path, DumpFormat fmt) const;
+
+  /// Zeroes every registered metric (tests and bench repetitions; the
+  /// metric objects and references stay valid).
+  void reset();
+
+  /// Process-wide shared instance.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fx::core

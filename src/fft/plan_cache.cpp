@@ -1,12 +1,38 @@
 #include "fft/plan_cache.hpp"
 
+#include "core/metrics.hpp"
+
 namespace fx::fft {
+
+namespace {
+
+// Plan construction is the expensive path (twiddle tables, Bluestein
+// setup); the hit/miss ratio in a run's metrics dump shows whether the
+// cache is actually absorbing it.
+struct CacheMetrics {
+  core::Counter& hits;
+  core::Counter& misses;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& reg = core::MetricsRegistry::global();
+  static CacheMetrics m{reg.counter("fft.plan_cache.hits"),
+                        reg.counter("fft.plan_cache.misses")};
+  return m;
+}
+
+}  // namespace
 
 std::shared_ptr<const Fft1d> PlanCache::plan1d(std::size_t n, Direction dir) {
   const auto key = std::make_pair(n, static_cast<int>(dir));
   std::lock_guard lock(mu_);
   auto& slot = c1_[key];
-  if (!slot) slot = std::make_shared<const Fft1d>(n, dir);
+  if (!slot) {
+    cache_metrics().misses.add();
+    slot = std::make_shared<const Fft1d>(n, dir);
+  } else {
+    cache_metrics().hits.add();
+  }
   return slot;
 }
 
@@ -17,7 +43,12 @@ std::shared_ptr<const BatchPlan1d> PlanCache::batch1d(std::size_t n,
       std::make_tuple(n, static_cast<int>(dir), static_cast<int>(kernel));
   std::lock_guard lock(mu_);
   auto& slot = cb_[key];
-  if (!slot) slot = std::make_shared<const BatchPlan1d>(n, dir, kernel);
+  if (!slot) {
+    cache_metrics().misses.add();
+    slot = std::make_shared<const BatchPlan1d>(n, dir, kernel);
+  } else {
+    cache_metrics().hits.add();
+  }
   return slot;
 }
 
@@ -28,7 +59,12 @@ std::shared_ptr<const Fft2d> PlanCache::plan2d(std::size_t nx, std::size_t ny,
                                    static_cast<int>(kernel));
   std::lock_guard lock(mu_);
   auto& slot = c2_[key];
-  if (!slot) slot = std::make_shared<const Fft2d>(nx, ny, dir, kernel);
+  if (!slot) {
+    cache_metrics().misses.add();
+    slot = std::make_shared<const Fft2d>(nx, ny, dir, kernel);
+  } else {
+    cache_metrics().hits.add();
+  }
   return slot;
 }
 

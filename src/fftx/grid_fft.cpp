@@ -3,15 +3,24 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "tasking/runtime.hpp"
+#include "trace/phases.hpp"
+#include "trace/span.hpp"
 
 namespace fx::fftx {
 
 using fft::cplx;
 using fft::Direction;
 
-GridFft::GridFft(mpi::Comm comm, const pw::GridDims& dims)
+namespace {
+int trace_tid() { return std::max(0, task::current_worker_id()); }
+}  // namespace
+
+GridFft::GridFft(mpi::Comm comm, const pw::GridDims& dims,
+                 trace::Tracer* tracer)
     : comm_(comm),
       dims_(dims),
+      tracer_(tracer),
       me_(comm.rank()),
       cols_(dims.plane(), comm.size()),
       planes_(dims.nz, comm.size()),
@@ -50,27 +59,37 @@ void GridFft::transpose_to_planes(std::span<const cplx> pencils,
 
   // Marshal per destination: [peer][local col][iz in peer's planes].
   std::size_t pos = 0;
-  for (int p = 0; p < P; ++p) {
-    const std::size_t first = plane_first(p);
-    const std::size_t count = nplanes(p);
-    for (std::size_t c = 0; c < ncols(me_); ++c) {
-      const cplx* src = pencils.data() + c * nz + first;
-      std::copy(src, src + count, stage_b_.data() + pos);
-      pos += count;
+  {
+    trace::ScopedSpan span(tracer_, me_, trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int p = 0; p < P; ++p) {
+      const std::size_t first = plane_first(p);
+      const std::size_t count = nplanes(p);
+      for (std::size_t c = 0; c < ncols(me_); ++c) {
+        const cplx* src = pencils.data() + c * nz + first;
+        std::copy(src, src + count, stage_b_.data() + pos);
+        pos += count;
+      }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
   comm_.alltoallv(stage_b_.data(), send_counts_.data(), send_displs_.data(),
                   stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
                   tag);
   // Unmarshal into plane-major layout.
   pos = 0;
-  for (int q = 0; q < P; ++q) {
-    const std::size_t base = col_first(q);
-    for (std::size_t c = 0; c < ncols(q); ++c) {
-      for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
-        planes[iz * nxny + base + c] = stage_a_[pos++];
+  {
+    trace::ScopedSpan span(tracer_, me_, trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int q = 0; q < P; ++q) {
+      const std::size_t base = col_first(q);
+      for (std::size_t c = 0; c < ncols(q); ++c) {
+        for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+          planes[iz * nxny + base + c] = stage_a_[pos++];
+        }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 }
 
@@ -82,27 +101,37 @@ void GridFft::transpose_to_pencils(std::span<const cplx> planes,
 
   // Marshal: exact reverse of transpose_to_planes' unmarshal.
   std::size_t pos = 0;
-  for (int q = 0; q < P; ++q) {
-    const std::size_t base = col_first(q);
-    for (std::size_t c = 0; c < ncols(q); ++c) {
-      for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
-        stage_a_[pos++] = planes[iz * nxny + base + c];
+  {
+    trace::ScopedSpan span(tracer_, me_, trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int q = 0; q < P; ++q) {
+      const std::size_t base = col_first(q);
+      for (std::size_t c = 0; c < ncols(q); ++c) {
+        for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+          stage_a_[pos++] = planes[iz * nxny + base + c];
+        }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
   // Counts swap roles relative to the forward transpose.
   comm_.alltoallv(stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
                   stage_b_.data(), send_counts_.data(), send_displs_.data(),
                   tag);
   pos = 0;
-  for (int p = 0; p < P; ++p) {
-    const std::size_t first = plane_first(p);
-    const std::size_t count = nplanes(p);
-    for (std::size_t c = 0; c < ncols(me_); ++c) {
-      cplx* dst = pencils.data() + c * nz + first;
-      std::copy(stage_b_.data() + pos, stage_b_.data() + pos + count, dst);
-      pos += count;
+  {
+    trace::ScopedSpan span(tracer_, me_, trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int p = 0; p < P; ++p) {
+      const std::size_t first = plane_first(p);
+      const std::size_t count = nplanes(p);
+      for (std::size_t c = 0; c < ncols(me_); ++c) {
+        cplx* dst = pencils.data() + c * nz + first;
+        std::copy(stage_b_.data() + pos, stage_b_.data() + pos + count, dst);
+        pos += count;
+      }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 }
 
@@ -115,12 +144,20 @@ void GridFft::to_real(std::span<const cplx> pencils, std::span<cplx> planes,
 
   // Z transforms into a scratch copy (input is const).
   core::aligned_vector<cplx> work(pencils.begin(), pencils.end());
-  z_bwd_->execute_many(ncols(me_), work.data(), 1, nz, work.data(), 1, nz,
-                       ws);
+  {
+    FX_TRACE_SCOPE(tracer_, me_, trace_tid(), trace::PhaseKind::FftZ, tag,
+                   trace::fft_cost(ncols(me_) * nz, nz).instructions);
+    z_bwd_->execute_many(ncols(me_), work.data(), 1, nz, work.data(), 1, nz,
+                         ws);
+  }
   transpose_to_planes({work.data(), work.size()}, planes, tag);
-  for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
-    xy_bwd_->execute(planes.data() + iz * nxny, planes.data() + iz * nxny,
-                     ws);
+  {
+    FX_TRACE_SCOPE(tracer_, me_, trace_tid(), trace::PhaseKind::FftXy, tag,
+                   trace::fft_cost(nplanes(me_) * nxny, nxny).instructions);
+    for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+      xy_bwd_->execute(planes.data() + iz * nxny, planes.data() + iz * nxny,
+                       ws);
+    }
   }
 }
 
@@ -132,12 +169,20 @@ void GridFft::to_recip(std::span<const cplx> planes, std::span<cplx> pencils,
   const std::size_t nxny = dims_.plane();
 
   core::aligned_vector<cplx> work(planes.begin(), planes.end());
-  for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
-    xy_fwd_->execute(work.data() + iz * nxny, work.data() + iz * nxny, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, me_, trace_tid(), trace::PhaseKind::FftXy, tag,
+                   trace::fft_cost(nplanes(me_) * nxny, nxny).instructions);
+    for (std::size_t iz = 0; iz < nplanes(me_); ++iz) {
+      xy_fwd_->execute(work.data() + iz * nxny, work.data() + iz * nxny, ws);
+    }
   }
   transpose_to_pencils({work.data(), work.size()}, pencils, tag);
-  z_fwd_->execute_many(ncols(me_), pencils.data(), 1, nz, pencils.data(), 1,
-                       nz, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, me_, trace_tid(), trace::PhaseKind::FftZ, tag,
+                   trace::fft_cost(ncols(me_) * nz, nz).instructions);
+    z_fwd_->execute_many(ncols(me_), pencils.data(), 1, nz, pencils.data(), 1,
+                         nz, ws);
+  }
   const double inv_vol = 1.0 / static_cast<double>(dims_.volume());
   for (auto& v : pencils) v *= inv_vol;
 }

@@ -29,12 +29,19 @@
 #include "pw/sticks.hpp"
 #include "simmpi/comm.hpp"
 
+namespace fx::trace {
+class Tracer;
+}  // namespace fx::trace
+
 namespace fx::fftx {
 
 class GridFft {
  public:
   /// One instance per rank of `comm`; all ranks must pass the same dims.
-  GridFft(mpi::Comm comm, const pw::GridDims& dims);
+  /// An optional tracer records FFT stages and transpose marshalling as
+  /// compute spans (rank = comm rank).
+  GridFft(mpi::Comm comm, const pw::GridDims& dims,
+          trace::Tracer* tracer = nullptr);
 
   [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
 
@@ -80,6 +87,7 @@ class GridFft {
 
   mpi::Comm comm_;
   pw::GridDims dims_;
+  trace::Tracer* tracer_;
   int me_;
   pw::PlaneDist cols_;    ///< distribution of the nx*ny Z-columns
   pw::PlaneDist planes_;  ///< distribution of the nz planes

@@ -5,8 +5,30 @@
 
 #include "core/error.hpp"
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 
 namespace fx::fftx {
+
+namespace {
+
+// Process-wide guard health, in addition to the per-pipeline GuardStats:
+// the metrics dump of a fault-injection run shows whether corruption was
+// seen and recovered from without access to the pipeline object.
+struct GuardMetrics {
+  core::Counter& exchanges;
+  core::Counter& retries;
+  core::Counter& checksum_failures;
+};
+
+GuardMetrics& guard_metrics() {
+  auto& reg = core::MetricsRegistry::global();
+  static GuardMetrics m{reg.counter("fftx.guard.exchanges"),
+                        reg.counter("fftx.guard.retries"),
+                        reg.counter("fftx.guard.checksum_failures")};
+  return m;
+}
+
+}  // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -51,6 +73,7 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
         break;
       }
     }
+    if (bad_peer >= 0) guard_metrics().checksum_failures.add();
     // Agree globally so every rank retries (or accepts) in lockstep: send
     // buffers stay valid and the per-(kind, tag) sequence counters advance
     // identically on all ranks.
@@ -58,6 +81,7 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
     int all_ok = 0;
     comm.allreduce(&ok, &all_ok, 1, mpi::ReduceOp::Min, tag);
     if (all_ok == 1) {
+      guard_metrics().exchanges.add();
       if (stats != nullptr) {
         stats->exchanges.fetch_add(1, std::memory_order_relaxed);
       }
@@ -74,6 +98,7 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
                           bad_peer)
               : std::string(" is retrying for a corrupted peer")));
     }
+    guard_metrics().retries.add();
     if (stats != nullptr) {
       stats->retries.fetch_add(1, std::memory_order_relaxed);
     }

@@ -3,16 +3,24 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "tasking/runtime.hpp"
+#include "trace/phases.hpp"
+#include "trace/span.hpp"
 
 namespace fx::fftx {
 
 using fft::cplx;
 using fft::Direction;
 
+namespace {
+int trace_tid() { return std::max(0, task::current_worker_id()); }
+}  // namespace
+
 PencilFft::PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows,
-                     int pcols)
+                     int pcols, trace::Tracer* tracer)
     : world_(world),
       dims_(dims),
+      tracer_(tracer),
       prows_(prows),
       pcols_(pcols),
       row_(world.rank() / pcols),
@@ -87,32 +95,42 @@ void PencilFft::transpose_z_to_y(const cplx* z, cplx* y, int tag) {
 
   // Marshal per destination column: [peer][ix][iy][iz_local].
   std::size_t pos = 0;
-  for (int c = 0; c < pcols_; ++c) {
-    const std::size_t z0 = z0_of(c);
-    const std::size_t zc = nz_of(c);
-    for (std::size_t ix = 0; ix < nxr; ++ix) {
-      for (std::size_t iy = 0; iy < nyc; ++iy) {
-        const cplx* src = z + (ix * nyc + iy) * nz + z0;
-        std::copy(src, src + zc, stage_b_.data() + pos);
-        pos += zc;
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int c = 0; c < pcols_; ++c) {
+      const std::size_t z0 = z0_of(c);
+      const std::size_t zc = nz_of(c);
+      for (std::size_t ix = 0; ix < nxr; ++ix) {
+        for (std::size_t iy = 0; iy < nyc; ++iy) {
+          const cplx* src = z + (ix * nyc + iy) * nz + z0;
+          std::copy(src, src + zc, stage_b_.data() + pos);
+          pos += zc;
+        }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
   row_comm_.alltoallv(stage_b_.data(), row_send_counts_.data(),
                       row_send_displs_.data(), stage_a_.data(),
                       row_recv_counts_.data(), row_recv_displs_.data(), tag);
   // Unmarshal [peer][ix][iy_local][iz_local] into [ix][iz][iy] storage.
   pos = 0;
-  for (int c = 0; c < pcols_; ++c) {
-    const std::size_t y0 = y0_of(c);
-    const std::size_t yc = ny_of(c);
-    for (std::size_t ix = 0; ix < nxr; ++ix) {
-      for (std::size_t iy = 0; iy < yc; ++iy) {
-        for (std::size_t iz = 0; iz < nzc; ++iz) {
-          y[(ix * nzc + iz) * ny + y0 + iy] = stage_a_[pos++];
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int c = 0; c < pcols_; ++c) {
+      const std::size_t y0 = y0_of(c);
+      const std::size_t yc = ny_of(c);
+      for (std::size_t ix = 0; ix < nxr; ++ix) {
+        for (std::size_t iy = 0; iy < yc; ++iy) {
+          for (std::size_t iz = 0; iz < nzc; ++iz) {
+            y[(ix * nzc + iz) * ny + y0 + iy] = stage_a_[pos++];
+          }
         }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 }
 
@@ -125,31 +143,41 @@ void PencilFft::transpose_y_to_z(const cplx* y, cplx* z, int tag) {
 
   // Marshal: reverse of transpose_z_to_y's unmarshal.
   std::size_t pos = 0;
-  for (int c = 0; c < pcols_; ++c) {
-    const std::size_t y0 = y0_of(c);
-    const std::size_t yc = ny_of(c);
-    for (std::size_t ix = 0; ix < nxr; ++ix) {
-      for (std::size_t iy = 0; iy < yc; ++iy) {
-        for (std::size_t iz = 0; iz < nzc; ++iz) {
-          stage_a_[pos++] = y[(ix * nzc + iz) * ny + y0 + iy];
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int c = 0; c < pcols_; ++c) {
+      const std::size_t y0 = y0_of(c);
+      const std::size_t yc = ny_of(c);
+      for (std::size_t ix = 0; ix < nxr; ++ix) {
+        for (std::size_t iy = 0; iy < yc; ++iy) {
+          for (std::size_t iz = 0; iz < nzc; ++iz) {
+            stage_a_[pos++] = y[(ix * nzc + iz) * ny + y0 + iy];
+          }
         }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
   row_comm_.alltoallv(stage_a_.data(), row_recv_counts_.data(),
                       row_recv_displs_.data(), stage_b_.data(),
                       row_send_counts_.data(), row_send_displs_.data(), tag);
   std::size_t rpos = 0;
-  for (int c = 0; c < pcols_; ++c) {
-    const std::size_t z0 = z0_of(c);
-    const std::size_t zc = nz_of(c);
-    for (std::size_t ix = 0; ix < nxr; ++ix) {
-      for (std::size_t iy = 0; iy < nyc; ++iy) {
-        cplx* dst = z + (ix * nyc + iy) * nz + z0;
-        std::copy(stage_b_.data() + rpos, stage_b_.data() + rpos + zc, dst);
-        rpos += zc;
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int c = 0; c < pcols_; ++c) {
+      const std::size_t z0 = z0_of(c);
+      const std::size_t zc = nz_of(c);
+      for (std::size_t ix = 0; ix < nxr; ++ix) {
+        for (std::size_t iy = 0; iy < nyc; ++iy) {
+          cplx* dst = z + (ix * nyc + iy) * nz + z0;
+          std::copy(stage_b_.data() + rpos, stage_b_.data() + rpos + zc, dst);
+          rpos += zc;
+        }
       }
     }
+    span.set_instructions(trace::copy_cost(rpos).instructions);
   }
 }
 
@@ -162,32 +190,42 @@ void PencilFft::transpose_y_to_x(const cplx* y, cplx* x, int tag) {
 
   // Marshal per destination row: [peer][ix][iy2_local][iz].
   std::size_t pos = 0;
-  for (int r = 0; r < prows_; ++r) {
-    const std::size_t y0 = y20_of(r);
-    const std::size_t yc = ny2_of(r);
-    for (std::size_t ix = 0; ix < nxr; ++ix) {
-      for (std::size_t iy = 0; iy < yc; ++iy) {
-        for (std::size_t iz = 0; iz < nzc; ++iz) {
-          stage_b_[pos++] = y[(ix * nzc + iz) * ny + y0 + iy];
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int r = 0; r < prows_; ++r) {
+      const std::size_t y0 = y20_of(r);
+      const std::size_t yc = ny2_of(r);
+      for (std::size_t ix = 0; ix < nxr; ++ix) {
+        for (std::size_t iy = 0; iy < yc; ++iy) {
+          for (std::size_t iz = 0; iz < nzc; ++iz) {
+            stage_b_[pos++] = y[(ix * nzc + iz) * ny + y0 + iy];
+          }
         }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
   col_comm_.alltoallv(stage_b_.data(), col_send_counts_.data(),
                       col_send_displs_.data(), stage_a_.data(),
                       col_recv_counts_.data(), col_recv_displs_.data(), tag);
   // Unmarshal [peer][ix_local][iy2][iz] into [iy][iz][ix] storage.
   pos = 0;
-  for (int r = 0; r < prows_; ++r) {
-    const std::size_t x0 = x0_of(r);
-    const std::size_t xc = nx_of(r);
-    for (std::size_t ix = 0; ix < xc; ++ix) {
-      for (std::size_t iy = 0; iy < ny2; ++iy) {
-        for (std::size_t iz = 0; iz < nzc; ++iz) {
-          x[(iy * nzc + iz) * nx + x0 + ix] = stage_a_[pos++];
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int r = 0; r < prows_; ++r) {
+      const std::size_t x0 = x0_of(r);
+      const std::size_t xc = nx_of(r);
+      for (std::size_t ix = 0; ix < xc; ++ix) {
+        for (std::size_t iy = 0; iy < ny2; ++iy) {
+          for (std::size_t iz = 0; iz < nzc; ++iz) {
+            x[(iy * nzc + iz) * nx + x0 + ix] = stage_a_[pos++];
+          }
         }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 }
 
@@ -199,31 +237,41 @@ void PencilFft::transpose_x_to_y(const cplx* x, cplx* y, int tag) {
   const std::size_t ny2 = ny2_of(row_);
 
   std::size_t pos = 0;
-  for (int r = 0; r < prows_; ++r) {
-    const std::size_t x0 = x0_of(r);
-    const std::size_t xc = nx_of(r);
-    for (std::size_t ix = 0; ix < xc; ++ix) {
-      for (std::size_t iy = 0; iy < ny2; ++iy) {
-        for (std::size_t iz = 0; iz < nzc; ++iz) {
-          stage_a_[pos++] = x[(iy * nzc + iz) * nx + x0 + ix];
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int r = 0; r < prows_; ++r) {
+      const std::size_t x0 = x0_of(r);
+      const std::size_t xc = nx_of(r);
+      for (std::size_t ix = 0; ix < xc; ++ix) {
+        for (std::size_t iy = 0; iy < ny2; ++iy) {
+          for (std::size_t iz = 0; iz < nzc; ++iz) {
+            stage_a_[pos++] = x[(iy * nzc + iz) * nx + x0 + ix];
+          }
         }
       }
     }
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
   col_comm_.alltoallv(stage_a_.data(), col_recv_counts_.data(),
                       col_recv_displs_.data(), stage_b_.data(),
                       col_send_counts_.data(), col_send_displs_.data(), tag);
   std::size_t rpos = 0;
-  for (int r = 0; r < prows_; ++r) {
-    const std::size_t y0 = y20_of(r);
-    const std::size_t yc = ny2_of(r);
-    for (std::size_t ix = 0; ix < nxr; ++ix) {
-      for (std::size_t iy = 0; iy < yc; ++iy) {
-        for (std::size_t iz = 0; iz < nzc; ++iz) {
-          y[(ix * nzc + iz) * ny + y0 + iy] = stage_b_[rpos++];
+  {
+    trace::ScopedSpan span(tracer_, world_.rank(), trace_tid(),
+                           trace::PhaseKind::Scatter, tag);
+    for (int r = 0; r < prows_; ++r) {
+      const std::size_t y0 = y20_of(r);
+      const std::size_t yc = ny2_of(r);
+      for (std::size_t ix = 0; ix < nxr; ++ix) {
+        for (std::size_t iy = 0; iy < yc; ++iy) {
+          for (std::size_t iz = 0; iz < nzc; ++iz) {
+            y[(ix * nzc + iz) * ny + y0 + iy] = stage_b_[rpos++];
+          }
         }
       }
     }
+    span.set_instructions(trace::copy_cost(rpos).instructions);
   }
 }
 
@@ -238,14 +286,29 @@ void PencilFft::to_real(std::span<const cplx> zpencils,
   const std::size_t nx = dims_.nx;
 
   core::aligned_vector<cplx> work(zpencils.begin(), zpencils.end());
-  fz_bwd_->execute_many(nx_of(row_) * ny_of(col_), work.data(), 1, nz,
-                        work.data(), 1, nz, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, world_.rank(), trace_tid(),
+                   trace::PhaseKind::FftZ, tag,
+                   trace::fft_cost(zpencil_elems(), nz).instructions);
+    fz_bwd_->execute_many(nx_of(row_) * ny_of(col_), work.data(), 1, nz,
+                          work.data(), 1, nz, ws);
+  }
   transpose_z_to_y(work.data(), ybuf_.data(), tag);
-  fy_bwd_->execute_many(nx_of(row_) * nz_of(col_), ybuf_.data(), 1, ny,
-                        ybuf_.data(), 1, ny, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, world_.rank(), trace_tid(),
+                   trace::PhaseKind::FftXy, tag,
+                   trace::fft_cost(ypencil_elems(), ny).instructions);
+    fy_bwd_->execute_many(nx_of(row_) * nz_of(col_), ybuf_.data(), 1, ny,
+                          ybuf_.data(), 1, ny, ws);
+  }
   transpose_y_to_x(ybuf_.data(), xpencils.data(), tag);
-  fx_bwd_->execute_many(ny2_of(row_) * nz_of(col_), xpencils.data(), 1, nx,
-                        xpencils.data(), 1, nx, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, world_.rank(), trace_tid(),
+                   trace::PhaseKind::FftXy, tag,
+                   trace::fft_cost(xpencil_elems(), nx).instructions);
+    fx_bwd_->execute_many(ny2_of(row_) * nz_of(col_), xpencils.data(), 1, nx,
+                          xpencils.data(), 1, nx, ws);
+  }
 }
 
 void PencilFft::to_recip(std::span<const cplx> xpencils,
@@ -259,14 +322,29 @@ void PencilFft::to_recip(std::span<const cplx> xpencils,
   const std::size_t nx = dims_.nx;
 
   core::aligned_vector<cplx> work(xpencils.begin(), xpencils.end());
-  fx_fwd_->execute_many(ny2_of(row_) * nz_of(col_), work.data(), 1, nx,
-                        work.data(), 1, nx, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, world_.rank(), trace_tid(),
+                   trace::PhaseKind::FftXy, tag,
+                   trace::fft_cost(xpencil_elems(), nx).instructions);
+    fx_fwd_->execute_many(ny2_of(row_) * nz_of(col_), work.data(), 1, nx,
+                          work.data(), 1, nx, ws);
+  }
   transpose_x_to_y(work.data(), ybuf_.data(), tag);
-  fy_fwd_->execute_many(nx_of(row_) * nz_of(col_), ybuf_.data(), 1, ny,
-                        ybuf_.data(), 1, ny, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, world_.rank(), trace_tid(),
+                   trace::PhaseKind::FftXy, tag,
+                   trace::fft_cost(ypencil_elems(), ny).instructions);
+    fy_fwd_->execute_many(nx_of(row_) * nz_of(col_), ybuf_.data(), 1, ny,
+                          ybuf_.data(), 1, ny, ws);
+  }
   transpose_y_to_z(ybuf_.data(), zpencils.data(), tag);
-  fz_fwd_->execute_many(nx_of(row_) * ny_of(col_), zpencils.data(), 1, nz,
-                        zpencils.data(), 1, nz, ws);
+  {
+    FX_TRACE_SCOPE(tracer_, world_.rank(), trace_tid(),
+                   trace::PhaseKind::FftZ, tag,
+                   trace::fft_cost(zpencil_elems(), nz).instructions);
+    fz_fwd_->execute_many(nx_of(row_) * ny_of(col_), zpencils.data(), 1, nz,
+                          zpencils.data(), 1, nz, ws);
+  }
   const double inv_vol = 1.0 / static_cast<double>(dims_.volume());
   for (auto& v : zpencils) v *= inv_vol;
 }

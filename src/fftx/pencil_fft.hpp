@@ -32,13 +32,20 @@
 #include "pw/sticks.hpp"
 #include "simmpi/comm.hpp"
 
+namespace fx::trace {
+class Tracer;
+}  // namespace fx::trace
+
 namespace fx::fftx {
 
 class PencilFft {
  public:
   /// Collective over `world` (splits the row/column communicators).
-  /// world.size() must equal prows * pcols.
-  PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows, int pcols);
+  /// world.size() must equal prows * pcols.  An optional tracer records
+  /// FFT stages and transpose marshalling as compute spans (rank = world
+  /// rank).
+  PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows, int pcols,
+            trace::Tracer* tracer = nullptr);
 
   [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
   [[nodiscard]] int prows() const { return prows_; }
@@ -88,6 +95,7 @@ class PencilFft {
 
   mpi::Comm world_;
   pw::GridDims dims_;
+  trace::Tracer* tracer_;
   int prows_;
   int pcols_;
   int row_;

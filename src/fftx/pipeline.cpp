@@ -9,12 +9,19 @@
 #include "core/format.hpp"
 #include "core/timer.hpp"
 #include "pw/wavefunction.hpp"
+#include "trace/span.hpp"
 
 namespace fx::fftx {
 
 using core::WallTimer;
 using fft::cplx;
 using fft::Direction;
+
+namespace {
+/// Timeline row for the current thread: worker id inside task modes, row 0
+/// for the orchestrator / Original mode.
+int trace_tid() { return std::max(0, task::current_worker_id()); }
+}  // namespace
 
 const char* to_string(PipelineMode mode) {
   switch (mode) {
@@ -126,21 +133,7 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
   if (cfg_.mode != PipelineMode::Original) {
     FX_CHECK(cfg_.nthreads >= 1, "task modes need at least one worker");
     rt_ = std::make_unique<task::TaskRuntime>(cfg_.nthreads, cfg_.policy);
-    if (tracer_ != nullptr) {
-      task::TaskObserver obs;
-      // Start times are captured per worker; end closes the record.
-      auto open = std::make_shared<std::vector<double>>(
-          static_cast<std::size_t>(cfg_.nthreads), 0.0);
-      obs.on_start = [open](int worker, const std::string&, double t) {
-        (*open)[static_cast<std::size_t>(worker)] = t;
-      };
-      obs.on_end = [this, open](int worker, const std::string& label,
-                                double t) {
-        tracer_->record_task(trace::TaskEvent{
-            w_, worker, label, (*open)[static_cast<std::size_t>(worker)], t});
-      };
-      rt_->set_observer(std::move(obs));
-    }
+    if (tracer_ != nullptr) rt_->set_tracer(tracer_, w_);
   }
 }
 
@@ -191,14 +184,6 @@ std::span<const cplx> BandFftPipeline::band(int n) const {
   return psi_[static_cast<std::size_t>(n)];
 }
 
-void BandFftPipeline::record_phase(trace::PhaseKind kind, int iter, double t0,
-                                   double t1, double instructions) const {
-  if (tracer_ == nullptr) return;
-  tracer_->record_compute(trace::ComputeEvent{
-      w_, std::max(0, task::current_worker_id()), kind, iter, t0, t1,
-      instructions});
-}
-
 void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
                                const std::size_t* scounts,
                                const std::size_t* sdispls, cplx* recv,
@@ -219,15 +204,16 @@ void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
     // No task groups: the group coefficient order equals the packed order,
     // so the band-grouping layer (marshal + Alltoallv) disappears -- the
     // same shortcut QE takes when task groups are off.
-    const double t0 = WallTimer::now();
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Pack, iter,
+                   trace::copy_cost(ng_w).instructions);
     const auto& src = psi_[static_cast<std::size_t>(iter)];
     std::copy(src.begin(), src.end(), wb.band_g.begin());
-    record_phase(trace::PhaseKind::Pack, iter, t0, WallTimer::now(),
-                 trace::copy_cost(ng_w).instructions);
     return;
   }
   {
-    const double t0 = WallTimer::now();
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Pack, iter,
+                   trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
+                       .instructions);
     for (int m = 0; m < ntg; ++m) {
       const auto& src = psi_[static_cast<std::size_t>(iter + m)];
       std::copy(src.begin(), src.end(),
@@ -235,9 +221,6 @@ void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
                     static_cast<std::ptrdiff_t>(
                         static_cast<std::size_t>(m) * ng_w));
     }
-    record_phase(trace::PhaseKind::Pack, iter, t0, WallTimer::now(),
-                 trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
-                     .instructions);
   }
   exchange(pack_, wb.pack_send.data(), pack_send_counts_.data(),
            pack_send_displs_.data(), wb.band_g.data(), pack_counts_.data(),
@@ -245,14 +228,14 @@ void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
 }
 
 void BandFftPipeline::do_psi_prep(WorkBuffers& wb, int iter) {
-  const double t0 = WallTimer::now();
-  std::fill(wb.pencil.begin(), wb.pencil.end(), cplx{0.0, 0.0});
   const auto pidx = desc_->pencil_index(b_);
+  FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::PsiPrep, iter,
+                 trace::copy_cost(wb.pencil.size() + pidx.size())
+                     .instructions);
+  std::fill(wb.pencil.begin(), wb.pencil.end(), cplx{0.0, 0.0});
   for (std::size_t k = 0; k < pidx.size(); ++k) {
     wb.pencil[pidx[k]] = wb.band_g[k];
   }
-  record_phase(trace::PhaseKind::PsiPrep, iter, t0, WallTimer::now(),
-               trace::copy_cost(wb.pencil.size() + pidx.size()).instructions);
 }
 
 void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
@@ -262,12 +245,11 @@ void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
   const fft::BatchPlan1d& plan =
       dir == Direction::Backward ? *z_to_real_ : *z_to_recip_;
   auto chunk = [&](std::size_t lo, std::size_t hi) {
-    const double t0 = WallTimer::now();
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::FftZ, iter,
+                   trace::fft_cost((hi - lo) * nz, nz).instructions);
     plan.execute_many(hi - lo, wb.pencil.data() + lo * nz, 1, nz,
                       wb.pencil.data() + lo * nz, 1, nz,
                       fft::thread_workspace());
-    record_phase(trace::PhaseKind::FftZ, iter, t0, WallTimer::now(),
-                 trace::fft_cost((hi - lo) * nz, nz).instructions);
   };
   if (use_taskloop && rt_ != nullptr && nst > 0) {
     rt_->taskloop("fft_z", 0, nst, cfg_.grain_z, chunk);
@@ -284,7 +266,8 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
   const int rgroup = desc_->group_size();
 
   {  // Marshal pencil sections per destination rank: [peer][stick][iz].
-    const double t0 = WallTimer::now();
+    trace::ScopedSpan span(tracer_, w_, trace_tid(),
+                           trace::PhaseKind::Scatter, iter);
     std::size_t pos = 0;
     for (int p = 0; p < rgroup; ++p) {
       const std::size_t first = desc_->first_plane(p);
@@ -295,8 +278,7 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
         pos += count;
       }
     }
-    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
-                 trace::copy_cost(pos).instructions);
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 
   exchange(scat_, wb.stage.data(), scat_send_counts_.data(),
@@ -305,7 +287,8 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
            /*tag=*/iter);
 
   {  // Unmarshal into zero-filled planes at each stick's (x, y).
-    const double t0 = WallTimer::now();
+    trace::ScopedSpan span(tracer_, w_, trace_tid(),
+                           trace::PhaseKind::Scatter, iter);
     std::fill(wb.planes.begin(), wb.planes.end(), cplx{0.0, 0.0});
     std::size_t pos = 0;
     for (int q = 0; q < rgroup; ++q) {
@@ -316,8 +299,8 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
         }
       }
     }
-    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
-                 trace::copy_cost(wb.planes.size() + pos).instructions);
+    span.set_instructions(
+        trace::copy_cost(wb.planes.size() + pos).instructions);
   }
 }
 
@@ -328,13 +311,12 @@ void BandFftPipeline::do_fft_xy(WorkBuffers& wb, int iter, Direction dir,
   const fft::Fft2d& plan =
       dir == Direction::Backward ? *xy_to_real_ : *xy_to_recip_;
   auto chunk = [&](std::size_t lo, std::size_t hi) {
-    const double t0 = WallTimer::now();
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::FftXy, iter,
+                   trace::fft_cost((hi - lo) * nxny, nxny).instructions);
     for (std::size_t iz = lo; iz < hi; ++iz) {
       plan.execute(wb.planes.data() + iz * nxny, wb.planes.data() + iz * nxny,
                    fft::thread_workspace());
     }
-    record_phase(trace::PhaseKind::FftXy, iter, t0, WallTimer::now(),
-                 trace::fft_cost((hi - lo) * nxny, nxny).instructions);
   };
   if (use_taskloop && rt_ != nullptr && npz_b > 0) {
     rt_->taskloop("fft_xy", 0, npz_b, cfg_.grain_xy, chunk);
@@ -344,12 +326,11 @@ void BandFftPipeline::do_fft_xy(WorkBuffers& wb, int iter, Direction dir,
 }
 
 void BandFftPipeline::do_vofr(WorkBuffers& wb, int iter) {
-  const double t0 = WallTimer::now();
+  FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Vofr, iter,
+                 trace::vofr_cost(wb.planes.size()).instructions);
   for (std::size_t i = 0; i < wb.planes.size(); ++i) {
     wb.planes[i] *= vslab_[i];
   }
-  record_phase(trace::PhaseKind::Vofr, iter, t0, WallTimer::now(),
-               trace::vofr_cost(wb.planes.size()).instructions);
 }
 
 void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
@@ -360,7 +341,8 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
   const int rgroup = desc_->group_size();
 
   {  // Marshal plane sticks back: exact reverse of the forward unmarshal.
-    const double t0 = WallTimer::now();
+    trace::ScopedSpan span(tracer_, w_, trace_tid(),
+                           trace::PhaseKind::Scatter, iter);
     std::size_t pos = 0;
     for (int q = 0; q < rgroup; ++q) {
       for (std::size_t s : desc_->group_sticks(q)) {
@@ -370,8 +352,7 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
         }
       }
     }
-    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
-                 trace::copy_cost(pos).instructions);
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 
   // Counts swap relative to the forward scatter.
@@ -381,7 +362,8 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
            /*tag=*/iter);
 
   {  // Unmarshal pencil sections: reverse of the forward marshal.
-    const double t0 = WallTimer::now();
+    trace::ScopedSpan span(tracer_, w_, trace_tid(),
+                           trace::PhaseKind::Scatter, iter);
     std::size_t pos = 0;
     for (int p = 0; p < rgroup; ++p) {
       const std::size_t first = desc_->first_plane(p);
@@ -392,8 +374,7 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
         pos += count;
       }
     }
-    record_phase(trace::PhaseKind::Scatter, iter, t0, WallTimer::now(),
-                 trace::copy_cost(pos).instructions);
+    span.set_instructions(trace::copy_cost(pos).instructions);
   }
 }
 
@@ -403,40 +384,37 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
   const double inv_vol = 1.0 / static_cast<double>(desc_->dims().volume());
   if (ntg == 1) {
     // Inverse of the ntg == 1 pack shortcut: rescale straight into psi.
-    const double t0 = WallTimer::now();
     const auto pidx = desc_->pencil_index(b_);
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Unpack, iter,
+                   trace::copy_cost(pidx.size()).instructions);
     auto& dst = psi_[static_cast<std::size_t>(iter)];
     for (std::size_t k = 0; k < pidx.size(); ++k) {
       dst[k] = wb.pencil[pidx[k]] * inv_vol;
     }
-    record_phase(trace::PhaseKind::Unpack, iter, t0, WallTimer::now(),
-                 trace::copy_cost(pidx.size()).instructions);
     return;
   }
   {
-    const double t0 = WallTimer::now();
     const auto pidx = desc_->pencil_index(b_);
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Unpack, iter,
+                   trace::copy_cost(pidx.size()).instructions);
     for (std::size_t k = 0; k < pidx.size(); ++k) {
       wb.band_g[k] = wb.pencil[pidx[k]] * inv_vol;
     }
-    record_phase(trace::PhaseKind::Unpack, iter, t0, WallTimer::now(),
-                 trace::copy_cost(pidx.size()).instructions);
   }
   // Reverse band redistribution: segment m of band_g returns to member m.
   exchange(pack_, wb.band_g.data(), pack_counts_.data(), pack_displs_.data(),
            wb.pack_send.data(), pack_send_counts_.data(),
            pack_send_displs_.data(), /*tag=*/iter);
   {
-    const double t0 = WallTimer::now();
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Unpack, iter,
+                   trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
+                       .instructions);
     for (int m = 0; m < ntg; ++m) {
       auto& dst = psi_[static_cast<std::size_t>(iter + m)];
       const cplx* src =
           wb.pack_send.data() + static_cast<std::size_t>(m) * ng_w;
       std::copy(src, src + ng_w, dst.begin());
     }
-    record_phase(trace::PhaseKind::Unpack, iter, t0, WallTimer::now(),
-                 trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
-                     .instructions);
   }
 }
 

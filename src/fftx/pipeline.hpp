@@ -142,9 +142,6 @@ class BandFftPipeline {
                 fft::cplx* recv, const std::size_t* rcounts,
                 const std::size_t* rdispls, int tag);
 
-  void record_phase(trace::PhaseKind kind, int iter, double t0, double t1,
-                    double instructions) const;
-
   std::unique_ptr<WorkBuffers> make_buffers() const;
 
   mpi::Comm world_;

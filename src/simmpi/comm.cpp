@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
 #include "simmpi/context.hpp"
 
@@ -209,6 +210,24 @@ void Comm::set_observer(CommObserver observer) {
 std::size_t Comm::bytes_sent() const { return rank_state_->bytes_sent.load(); }
 
 namespace {
+
+// The transpose collectives are the paper's scaling limiter, so their
+// volume and wait-time distributions are always-on metrics (lock-free
+// records; resolved once per process).
+struct AlltoallMetrics {
+  fx::core::Counter& bytes;
+  fx::core::Histogram& wait_us;
+};
+
+AlltoallMetrics& alltoall_metrics(CommOpKind kind) {
+  auto& reg = fx::core::MetricsRegistry::global();
+  static AlltoallMetrics a2a{reg.counter("simmpi.alltoall.bytes"),
+                             reg.histogram("simmpi.alltoall.wait_us")};
+  static AlltoallMetrics a2av{reg.counter("simmpi.alltoallv.bytes"),
+                              reg.histogram("simmpi.alltoallv.wait_us")};
+  return kind == CommOpKind::Alltoall ? a2a : a2av;
+}
+
 struct EventScope {
   // Emits the CommEvent on destruction (after the operation completed).
   EventScope(detail::RankState& rs, CommOpKind kind, int comm_id,
@@ -219,8 +238,14 @@ struct EventScope {
     rs_.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
   }
   ~EventScope() {
+    event_.t_end = fx::core::WallTimer::now();
+    if (event_.kind == CommOpKind::Alltoall ||
+        event_.kind == CommOpKind::Alltoallv) {
+      AlltoallMetrics& m = alltoall_metrics(event_.kind);
+      m.bytes.add(event_.bytes);
+      m.wait_us.record((event_.t_end - event_.t_begin) * 1e6);
+    }
     if (auto obs = rs_.get_observer()) {
-      event_.t_end = fx::core::WallTimer::now();
       obs(event_);
     }
   }

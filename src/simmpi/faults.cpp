@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 #include "core/rng.hpp"
 
 namespace fx::mpi {
@@ -86,18 +87,29 @@ std::uint64_t FaultInjector::on_op(int world_rank, CommOpKind kind) {
   const std::uint64_t index =
       op_count_[r].fetch_add(1, std::memory_order_relaxed);
 
+  // Activation counters: a fault-injection run's metrics dump records
+  // exactly what the injector did (cross-checkable against the seed).
   if (world_rank == plan_.kill_rank && index == plan_.kill_op) {
+    static core::Counter& kills =
+        core::MetricsRegistry::global().counter("simmpi.faults.kills");
+    kills.add();
     throw core::FaultError(core::cat(
         "fault injection: killed rank ", world_rank, " at operation #", index,
         " (", to_string(kind), "), seed ", plan_.seed));
   }
   if (world_rank == plan_.stall_rank && index == plan_.stall_op &&
       plan_.stall_ms > 0.0) {
+    static core::Counter& stalls =
+        core::MetricsRegistry::global().counter("simmpi.faults.stalls");
+    stalls.add();
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(plan_.stall_ms));
   }
   if (plan_.delay_prob > 0.0 &&
       decide(plan_.seed, world_rank, index, /*salt=*/1) < plan_.delay_prob) {
+    static core::Counter& delays =
+        core::MetricsRegistry::global().counter("simmpi.faults.delays");
+    delays.add();
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::micro>(plan_.delay_us));
   }
@@ -121,6 +133,9 @@ bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
   static_cast<unsigned char*>(data)[bit / 8] ^=
       static_cast<unsigned char>(1U << (bit % 8));
   corruptions_.fetch_add(1, std::memory_order_relaxed);
+  static core::Counter& corruptions =
+      core::MetricsRegistry::global().counter("simmpi.faults.corruptions");
+  corruptions.add();
   return true;
 }
 

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
 
 namespace fx::mpi {
@@ -128,6 +129,15 @@ void Watchdog::monitor(const std::stop_token& stop) {
     const double now = core::WallTimer::now();
     const auto blocked = board_->snapshot();
     if (ops != last_ops || blocked.empty()) {
+      // Progress resumed.  If the quiet period had already crossed half the
+      // window, the run was drifting toward a watchdog abort -- count it so
+      // metrics reveal near-deadlocks that never quite fire.
+      if (ops != last_ops && now - last_progress >= cfg_.window_ms / 2000.0) {
+        static core::Counter& near_misses =
+            core::MetricsRegistry::global().counter(
+                "simmpi.watchdog.near_misses");
+        near_misses.add();
+      }
       last_ops = ops;
       last_progress = now;
       continue;

@@ -5,7 +5,9 @@
 
 #include "core/error.hpp"
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "trace/tracer.hpp"
 
 namespace fx::task {
 
@@ -44,6 +46,16 @@ int current_worker_id() { return detail::tl_worker_id; }
 
 using detail::TaskNode;
 
+namespace {
+// Ready-queue depth sampled at every push; the histogram's quantiles show
+// how much parallel slack the scheduler typically has.
+core::Histogram& queue_depth_metric() {
+  static core::Histogram& h =
+      core::MetricsRegistry::global().histogram("task.queue_depth");
+  return h;
+}
+}  // namespace
+
 TaskRuntime::TaskRuntime(int nthreads, SchedulerPolicy policy)
     : nthreads_(nthreads), policy_(policy) {
   FX_CHECK(nthreads >= 1, "task runtime needs at least one worker");
@@ -65,6 +77,12 @@ TaskRuntime::~TaskRuntime() {
 void TaskRuntime::set_observer(TaskObserver observer) {
   std::lock_guard lock(mu_);
   observer_ = std::move(observer);
+}
+
+void TaskRuntime::set_tracer(trace::Tracer* tracer, int rank) {
+  std::lock_guard lock(mu_);
+  tracer_ = tracer;
+  trace_rank_ = rank;
 }
 
 std::size_t TaskRuntime::tasks_executed() const {
@@ -142,6 +160,7 @@ void TaskRuntime::submit(std::string label, std::vector<Dep> deps,
   link_dependencies_locked(node, deps);
   if (node->pending == 0) {
     ready_.push_back(node);
+    queue_depth_metric().record(static_cast<double>(ready_.size()));
     cv_ready_.notify_one();
   }
 }
@@ -190,15 +209,21 @@ TaskRuntime::NodePtr TaskRuntime::pop_child_of_locked(
 
 void TaskRuntime::run_task(const NodePtr& node, int worker_id) {
   TaskObserver observer;
+  trace::Tracer* tracer = nullptr;
+  int trace_rank = 0;
   {
     std::lock_guard lock(mu_);
     observer = observer_;
+    tracer = tracer_;
+    trace_rank = trace_rank_;
   }
   // A helping worker suspends its current task; restore it afterwards.
   NodePtr previous = std::exchange(detail::tl_current, node);
-  if (observer.on_start) {
-    observer.on_start(worker_id, node->label, core::WallTimer::now());
-  }
+  const double t_begin =
+      (tracer != nullptr || observer.on_start || observer.on_end)
+          ? core::WallTimer::now()
+          : 0.0;
+  if (observer.on_start) observer.on_start(worker_id, node->label, t_begin);
   try {
     node->fn();
   } catch (...) {
@@ -219,8 +244,13 @@ void TaskRuntime::run_task(const NodePtr& node, int worker_id) {
     if (!first_error_) first_error_ = err;
     if (node->sync != nullptr && !node->sync->error) node->sync->error = err;
   }
-  if (observer.on_end) {
-    observer.on_end(worker_id, node->label, core::WallTimer::now());
+  if (tracer != nullptr || observer.on_end) {
+    const double t_end = core::WallTimer::now();
+    if (observer.on_end) observer.on_end(worker_id, node->label, t_end);
+    if (tracer != nullptr) {
+      tracer->record_task(
+          {trace_rank, worker_id, node->label, t_begin, t_end});
+    }
   }
   detail::tl_current = std::move(previous);
   finish_task(node);
@@ -233,6 +263,7 @@ void TaskRuntime::finish_task(const NodePtr& node) {
   for (const NodePtr& succ : node->successors) {
     if (--succ->pending == 0) {
       ready_.push_back(succ);
+      queue_depth_metric().record(static_cast<double>(ready_.size()));
       cv_ready_.notify_one();
     }
   }
@@ -302,6 +333,7 @@ void TaskRuntime::taskloop(const std::string& label, std::size_t begin,
       ++outstanding_;
       ready_.push_back(node);
     }
+    queue_depth_metric().record(static_cast<double>(ready_.size()));
     cv_ready_.notify_all();
   }
 

@@ -33,6 +33,10 @@
 #include <thread>
 #include <vector>
 
+namespace fx::trace {
+class Tracer;
+}
+
 namespace fx::task {
 
 /// Access mode of a dependency clause.
@@ -140,6 +144,12 @@ class TaskRuntime {
 
   void set_observer(TaskObserver observer);
 
+  /// Routes task lifecycle events straight into `tracer` as TaskEvents
+  /// attributed to `rank` (the idiomatic replacement for hand-rolled
+  /// start/end observers).  Events are recorded on the executing worker's
+  /// lock-free tracer shard.  Pass nullptr to detach.
+  void set_tracer(trace::Tracer* tracer, int rank);
+
   [[nodiscard]] int num_threads() const { return nthreads_; }
   [[nodiscard]] SchedulerPolicy policy() const { return policy_; }
 
@@ -182,6 +192,8 @@ class TaskRuntime {
   std::vector<Range> ranges_;
 
   TaskObserver observer_;
+  trace::Tracer* tracer_ = nullptr;  // guarded by mu_; shards are lock-free
+  int trace_rank_ = 0;
   std::vector<std::jthread> workers_;
 };
 

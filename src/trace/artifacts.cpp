@@ -1,0 +1,61 @@
+#include "trace/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/tracer.hpp"
+
+namespace fx::trace {
+
+namespace {
+
+std::filesystem::path prepared_dir() {
+  const std::string dir = trace_dir();
+  if (dir.empty()) return {};
+  std::filesystem::path p(dir);
+  std::filesystem::create_directories(p);
+  return p;
+}
+
+void dump_metrics_into(const std::filesystem::path& dir,
+                       const std::string& name) {
+  const auto& reg = core::MetricsRegistry::global();
+  reg.dump((dir / (name + ".metrics.csv")).string(),
+           core::MetricsRegistry::DumpFormat::Csv);
+  reg.dump((dir / (name + ".metrics.json")).string(),
+           core::MetricsRegistry::DumpFormat::Json);
+}
+
+}  // namespace
+
+std::string trace_dir() {
+  const char* v = std::getenv("FFTX_TRACE_DIR");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+bool dump_run_artifacts(Tracer& tracer, const std::string& name) {
+  const auto dir = prepared_dir();
+  if (dir.empty()) return false;
+  tracer.normalize_time();
+  save_trace(tracer, (dir / (name + ".fxtrace")).string());
+  save_chrome_trace(tracer, (dir / (name + ".json")).string());
+  dump_metrics_into(dir, name);
+  std::cout << "[trace] observability artifacts for '" << name << "' in "
+            << dir.string() << "/\n";
+  return true;
+}
+
+bool dump_metrics(const std::string& name) {
+  const auto dir = prepared_dir();
+  if (dir.empty()) return false;
+  dump_metrics_into(dir, name);
+  std::cout << "[trace] metrics snapshot for '" << name << "' in "
+            << dir.string() << "/\n";
+  return true;
+}
+
+}  // namespace fx::trace

@@ -1,0 +1,33 @@
+// End-of-run observability artifacts, controlled by one env var.
+//
+// Every example and bench calls dump_run_artifacts() (or dump_metrics()
+// when it has no tracer) just before exiting.  When FFTX_TRACE_DIR is set
+// the run drops, uniformly and without per-binary flags:
+//
+//   $FFTX_TRACE_DIR/<name>.fxtrace       -- the native trace (trace_io)
+//   $FFTX_TRACE_DIR/<name>.json          -- Chrome/Perfetto trace-event JSON
+//   $FFTX_TRACE_DIR/<name>.metrics.csv   -- metrics registry snapshot
+//   $FFTX_TRACE_DIR/<name>.metrics.json  -- same, JSON
+//
+// When the variable is unset both calls are no-ops, so the helpers can be
+// called unconditionally.  The directory is created if missing.
+#pragma once
+
+#include <string>
+
+namespace fx::trace {
+
+class Tracer;
+
+/// Value of FFTX_TRACE_DIR, or "" when unset/empty.
+std::string trace_dir();
+
+/// Normalizes `tracer` to t = 0 and writes all four artifacts for this run
+/// under trace_dir()/<name>.*.  Returns false (doing nothing) when
+/// FFTX_TRACE_DIR is unset.
+bool dump_run_artifacts(Tracer& tracer, const std::string& name);
+
+/// Metrics-only variant for binaries that do not own a tracer.
+bool dump_metrics(const std::string& name);
+
+}  // namespace fx::trace

@@ -1,0 +1,194 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "trace/tracer.hpp"
+
+namespace fx::trace {
+
+namespace {
+
+// JSON string escaping for event names / labels.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {
+    os_.precision(15);
+    os_ << "{\"traceEvents\": [";
+  }
+
+  // Each emit_* writes one event object; the writer handles commas.
+  void begin_event() { os_ << (first_ ? "\n" : ",\n"); first_ = false; }
+
+  void metadata(int pid, int tid, const char* what, const std::string& name) {
+    begin_event();
+    os_ << R"({"ph": "M", "pid": )" << pid;
+    if (tid >= 0) os_ << R"(, "tid": )" << tid;
+    os_ << R"(, "name": ")" << what << R"(", "args": {"name": ")"
+        << escaped(name) << "\"}}";
+  }
+
+  void complete(int pid, int tid, const char* cat, const std::string& name,
+                double ts_us, double dur_us, const std::string& args_json) {
+    begin_event();
+    os_ << R"({"ph": "X", "pid": )" << pid << R"(, "tid": )" << tid
+        << R"(, "cat": ")" << cat << R"(", "name": ")" << escaped(name)
+        << R"(", "ts": )" << ts_us << R"(, "dur": )" << dur_us;
+    if (!args_json.empty()) os_ << R"(, "args": {)" << args_json << '}';
+    os_ << '}';
+  }
+
+  void counter(int pid, const std::string& name, double ts_us,
+               const char* series, double value) {
+    begin_event();
+    os_ << R"({"ph": "C", "pid": )" << pid << R"(, "name": ")"
+        << escaped(name) << R"(", "ts": )" << ts_us << R"(, "args": {")"
+        << series << R"(": )" << value << "}}";
+  }
+
+  void finish() { os_ << "\n]}\n"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+bool is_collective(mpi::CommOpKind k) {
+  return k != mpi::CommOpKind::Send && k != mpi::CommOpKind::Recv;
+}
+
+}  // namespace
+
+void save_chrome_trace(const Tracer& tracer, std::ostream& os,
+                       const ChromeExportOptions& opts) {
+  const auto& compute = tracer.compute_events();
+  const auto& comm = tracer.comm_events();
+  const auto& tasks = tracer.task_events();
+  const double origin = tracer.t_min();
+  const auto us = [origin](double t) { return (t - origin) * 1e6; };
+  const auto dur_us = [](double t0, double t1) { return (t1 - t0) * 1e6; };
+
+  Writer w(os);
+
+  // Track naming: every (rank, thread) pair seen in any stream.
+  std::set<std::pair<int, int>> tracks;
+  for (const auto& e : compute) tracks.insert({e.rank, e.thread});
+  for (const auto& e : comm) tracks.insert({e.rank, e.thread});
+  for (const auto& e : tasks) tracks.insert({e.rank, e.worker});
+  std::set<int> ranks;
+  for (const auto& [rank, thread] : tracks) ranks.insert(rank);
+  for (const int rank : ranks) {
+    w.metadata(rank, -1, "process_name", "rank " + std::to_string(rank));
+  }
+  for (const auto& [rank, thread] : tracks) {
+    w.metadata(rank, thread, "thread_name",
+               "thread " + std::to_string(thread));
+  }
+
+  for (const auto& e : compute) {
+    std::string args = "\"band\": " + std::to_string(e.band) +
+                       ", \"instructions\": " +
+                       std::to_string(e.instructions);
+    w.complete(e.rank, e.thread, "compute", to_string(e.phase), us(e.t_begin),
+               dur_us(e.t_begin, e.t_end), args);
+  }
+  for (const auto& e : comm) {
+    std::string args = "\"comm\": " + std::to_string(e.comm_id) +
+                       ", \"comm_size\": " + std::to_string(e.comm_size) +
+                       ", \"tag\": " + std::to_string(e.tag) +
+                       ", \"bytes\": " + std::to_string(e.bytes);
+    w.complete(e.rank, e.thread, "comm", to_string(e.kind), us(e.t_begin),
+               dur_us(e.t_begin, e.t_end), args);
+  }
+  for (const auto& e : tasks) {
+    w.complete(e.rank, e.worker, "task", e.label, us(e.t_begin),
+               dur_us(e.t_begin, e.t_end), "");
+  }
+
+  // Counter track 1: collectives in flight, per rank.  Swept from the
+  // begin/end edges of collective comm events; ends sort before begins at
+  // equal timestamps so back-to-back collectives don't double-count.
+  {
+    std::map<int, std::vector<std::pair<double, int>>> edges;  // rank->(t,+-1)
+    for (const auto& e : comm) {
+      if (!is_collective(e.kind)) continue;
+      edges[e.rank].push_back({e.t_begin, +1});
+      edges[e.rank].push_back({e.t_end, -1});
+    }
+    for (auto& [rank, ev] : edges) {
+      std::sort(ev.begin(), ev.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first != b.first ? a.first < b.first
+                                            : a.second < b.second;
+                });
+      int inflight = 0;
+      for (const auto& [t, d] : ev) {
+        inflight += d;
+        w.counter(rank, "collectives in flight", us(t), "count", inflight);
+      }
+    }
+  }
+
+  // Counter track 2: IPC per compute phase, one series per thread.  The
+  // instruction counts are the cost model's (phases.hpp), so this is the
+  // modelled IPC the paper's Fig. 3 colors by, not a hardware counter.
+  {
+    const double hz = opts.freq_ghz * 1e9;
+    std::vector<const ComputeEvent*> sorted;
+    sorted.reserve(compute.size());
+    for (const auto& e : compute) sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ComputeEvent* a, const ComputeEvent* b) {
+                return a->t_begin < b->t_begin;
+              });
+    for (const ComputeEvent* e : sorted) {
+      const double dur = e->t_end - e->t_begin;
+      if (dur <= 0.0 || hz <= 0.0) continue;
+      const double ipc = e->instructions / (dur * hz);
+      const std::string name = "ipc thread " + std::to_string(e->thread);
+      w.counter(e->rank, name, us(e->t_begin), "ipc", ipc);
+      w.counter(e->rank, name, us(e->t_end), "ipc", 0.0);
+    }
+  }
+
+  w.finish();
+}
+
+void save_chrome_trace(const Tracer& tracer, const std::string& path,
+                       const ChromeExportOptions& opts) {
+  std::ofstream os(path);
+  FX_CHECK(os.good(), "cannot open chrome trace file '" + path + "'");
+  save_chrome_trace(tracer, os, opts);
+}
+
+}  // namespace fx::trace

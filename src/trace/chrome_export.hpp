@@ -1,0 +1,42 @@
+// Chrome trace-event / Perfetto JSON exporter.
+//
+// Converts a Tracer's three event streams into the Trace Event Format
+// (the JSON flavour understood by ui.perfetto.dev and chrome://tracing):
+//
+//   * one process per rank (pid = rank, named "rank N"),
+//   * one thread track per recording thread within the rank (tid = thread),
+//   * compute phases, comm operations and task lifecycles as "ph":"X"
+//     complete events (cat = compute / comm / task) with band, instruction
+//     count, bytes, tag and communicator attached as args,
+//   * a per-rank "collectives in flight" counter track ("ph":"C"), and a
+//     per-(rank, thread) "ipc" counter sampled per compute phase from the
+//     modelled instruction count.
+//
+// Timestamps are exported in microseconds relative to the trace's t_min(),
+// so real-backend (steady-clock) and model-backend (virtual-time) traces
+// both open at t = 0.  The .fxtrace format stays the interchange format;
+// this is a view for humans.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace fx::trace {
+
+class Tracer;
+
+struct ChromeExportOptions {
+  /// Clock frequency used to turn "instructions per second" into IPC for
+  /// the counter track.  The paper's KNL runs at 1.4 GHz.
+  double freq_ghz = 1.4;
+};
+
+/// Writes the full trace as one JSON object {"traceEvents": [...]}.
+void save_chrome_trace(const Tracer& tracer, std::ostream& os,
+                       const ChromeExportOptions& opts = {});
+
+/// Same, to a file (throws core::Error if the file cannot be opened).
+void save_chrome_trace(const Tracer& tracer, const std::string& path,
+                       const ChromeExportOptions& opts = {});
+
+}  // namespace fx::trace

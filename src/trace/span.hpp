@@ -1,0 +1,99 @@
+// RAII trace spans: time a scope and record it as one tracer event.
+//
+//   void BandFftPipeline::fft_z(...) {
+//     FX_TRACE_SCOPE(tracer_, rank, worker, trace::PhaseKind::FftZ, band,
+//                    trace::fft_cost(...).instructions);
+//     ...  // the whole scope becomes one ComputeEvent
+//   }
+//
+// Construction reads the clock once, destruction reads it again and pushes
+// the event through the tracer's lock-free shard for the current thread.
+// A null tracer makes the span a no-op (two branch instructions), so call
+// sites need no `if (tracer_)` guards.  When the cost model input is only
+// known after the work ran, name the span and call set_instructions():
+//
+//   trace::ScopedSpan span(tracer_, rank, worker, trace::PhaseKind::Pack,
+//                          band);
+//   const std::size_t moved = do_pack(...);
+//   span.set_instructions(trace::copy_cost(moved).instructions);
+//
+// The string-label overload records a TaskEvent instead (task lifecycles).
+// Spans must begin and end on the same thread -- they feed an SPSC shard.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/timer.hpp"
+#include "trace/phases.hpp"
+#include "trace/tracer.hpp"
+
+namespace fx::trace {
+
+/// Times its enclosing scope and records it on destruction as a
+/// ComputeEvent (phase overload) or TaskEvent (label overload).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, int rank, int thread, PhaseKind phase, int band,
+             double instructions = 0.0)
+      : tracer_(tracer),
+        rank_(rank),
+        thread_(thread),
+        phase_(phase),
+        band_(band),
+        instructions_(instructions),
+        t_begin_(tracer ? core::WallTimer::now() : 0.0) {}
+
+  ScopedSpan(Tracer* tracer, int rank, int worker, std::string label)
+      : tracer_(tracer),
+        rank_(rank),
+        thread_(worker),
+        is_task_(true),
+        label_(std::move(label)),
+        t_begin_(tracer ? core::WallTimer::now() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach the modelled instruction count once it is known (compute spans).
+  void set_instructions(double instructions) { instructions_ = instructions; }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    const double t_end = core::WallTimer::now();
+    if (is_task_) {
+      tracer_->record_task({rank_, thread_, std::move(label_), t_begin_,
+                            t_end});
+    } else {
+      tracer_->record_compute(
+          {rank_, thread_, phase_, band_, t_begin_, t_end, instructions_});
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  int rank_ = 0;
+  int thread_ = 0;
+  PhaseKind phase_ = PhaseKind::Other;
+  int band_ = 0;
+  bool is_task_ = false;
+  double instructions_ = 0.0;
+  std::string label_;
+  double t_begin_;
+};
+
+}  // namespace fx::trace
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage): scope guards need __LINE__
+// pasting for unique local names.
+#define FX_TRACE_CONCAT_INNER(a, b) a##b
+#define FX_TRACE_CONCAT(a, b) FX_TRACE_CONCAT_INNER(a, b)
+
+/// Record the enclosing scope as one trace event.  Arguments are forwarded
+/// to ScopedSpan: (tracer, rank, thread, PhaseKind, band[, instructions])
+/// for a compute phase, or (tracer, rank, worker, label) for a task.
+#define FX_TRACE_SCOPE(...)                                       \
+  ::fx::trace::ScopedSpan FX_TRACE_CONCAT(fx_trace_span_, __LINE__) { \
+    __VA_ARGS__                                                   \
+  }
+// NOLINTEND(cppcoreguidelines-macro-usage)

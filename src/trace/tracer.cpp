@@ -5,23 +5,130 @@
 
 namespace fx::trace {
 
+namespace {
+
+// Each tracer gets a process-unique id; the thread-local shard cache maps
+// id -> shard pointer.  Keying by id (not Tracer*) means a destroyed
+// tracer's cache entry can never be mistaken for a new tracer that happens
+// to be allocated at the same address -- a stale entry is simply never
+// matched again.
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+struct TlsEntry {
+  std::uint64_t id;
+  void* shard;
+};
+
+thread_local std::vector<TlsEntry> tl_shards;
+
+// Stale entries (tracers long destroyed) accumulate in long-lived worker
+// threads; past this size the cache is rebuilt from scratch.  Dropping a
+// live tracer's entry is harmless: the next record re-registers a fresh
+// shard for this thread.
+constexpr std::size_t kTlsCacheLimit = 64;
+
+}  // namespace
+
+Tracer::Tracer(int nranks, TracerMode mode)
+    : nranks_(nranks),
+      mode_(mode),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Shard& Tracer::my_shard() const {
+  for (const auto& e : tl_shards) {
+    if (e.id == id_) return *static_cast<Shard*>(e.shard);
+  }
+  if (tl_shards.size() >= kTlsCacheLimit) tl_shards.clear();
+  // Default-init, not value-init (make_unique): value-initializing a Shard
+  // zeroes ~230 KB of ring slots and first-touches every page, which costs
+  // more than the entire per-event path on short traced runs.  Slots at or
+  // past `head` are never read, so leaving them uninitialized is safe; the
+  // head/tail atomics carry their own {0} initializers.
+  std::unique_ptr<Shard> shard(new Shard);
+  Shard* p = shard.get();
+  {
+    std::lock_guard lock(reg_mu_);
+    shards_.push_back(std::move(shard));
+  }
+  tl_shards.push_back({id_, p});
+  return *p;
+}
+
+template <typename E, std::size_t N>
+void Tracer::spill(Ring<E, N>& ring, std::vector<E>& central,
+                   const E& e) const {
+  std::lock_guard lock(flush_mu_);
+  ring.drain(central);
+  ring.try_push(e);  // ring is empty now; cannot fail
+  spills_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Tracer::record_compute(const ComputeEvent& e) {
-  std::lock_guard lock(mu_);
-  compute_.push_back(e);
+  if (mode_ == TracerMode::Mutex) {
+    std::lock_guard lock(flush_mu_);
+    compute_.push_back(e);
+    return;
+  }
+  Shard& s = my_shard();
+  if (!s.compute.try_push(e)) spill(s.compute, compute_, e);
 }
 
 void Tracer::record_comm(const CommOpEvent& e) {
-  std::lock_guard lock(mu_);
-  comm_.push_back(e);
+  if (mode_ == TracerMode::Mutex) {
+    std::lock_guard lock(flush_mu_);
+    comm_.push_back(e);
+    return;
+  }
+  Shard& s = my_shard();
+  if (!s.comm.try_push(e)) spill(s.comm, comm_, e);
 }
 
 void Tracer::record_task(const TaskEvent& e) {
-  std::lock_guard lock(mu_);
-  tasks_.push_back(e);
+  if (mode_ == TracerMode::Mutex) {
+    std::lock_guard lock(flush_mu_);
+    tasks_.push_back(e);
+    return;
+  }
+  Shard& s = my_shard();
+  if (!s.tasks.try_push(e)) spill(s.tasks, tasks_, e);
+}
+
+void Tracer::flush() const {
+  std::lock_guard lock(flush_mu_);
+  // Snapshot the shard list; shards_ only grows and entries are stable.
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard reg(reg_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  for (Shard* s : shards) {
+    s->compute.drain(compute_);
+    s->comm.drain(comm_);
+    s->tasks.drain(tasks_);
+  }
+}
+
+const std::vector<ComputeEvent>& Tracer::compute_events() const {
+  flush();
+  return compute_;
+}
+
+const std::vector<CommOpEvent>& Tracer::comm_events() const {
+  flush();
+  return comm_;
+}
+
+const std::vector<TaskEvent>& Tracer::task_events() const {
+  flush();
+  return tasks_;
 }
 
 double Tracer::t_min() const {
-  std::lock_guard lock(mu_);
+  flush();
+  std::lock_guard lock(flush_mu_);
   double t = std::numeric_limits<double>::max();
   for (const auto& e : compute_) t = std::min(t, e.t_begin);
   for (const auto& e : comm_) t = std::min(t, e.t_begin);
@@ -30,7 +137,8 @@ double Tracer::t_min() const {
 }
 
 double Tracer::t_max() const {
-  std::lock_guard lock(mu_);
+  flush();
+  std::lock_guard lock(flush_mu_);
   double t = 0.0;
   for (const auto& e : compute_) t = std::max(t, e.t_end);
   for (const auto& e : comm_) t = std::max(t, e.t_end);
@@ -39,8 +147,8 @@ double Tracer::t_max() const {
 }
 
 void Tracer::normalize_time() {
-  const double origin = t_min();
-  std::lock_guard lock(mu_);
+  const double origin = t_min();  // flushes
+  std::lock_guard lock(flush_mu_);
   for (auto& e : compute_) {
     e.t_begin -= origin;
     e.t_end -= origin;
@@ -56,7 +164,8 @@ void Tracer::normalize_time() {
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mu_);
+  flush();  // resets every ring to empty
+  std::lock_guard lock(flush_mu_);
   compute_.clear();
   comm_.clear();
   tasks_.clear();

@@ -6,11 +6,33 @@
 // efficiency factors from these streams, and the renderers (timeline.hpp)
 // produce the Fig. 3 / Fig. 7 views.
 //
-// Thread safety: events are appended under a mutex; the hot path is two
-// clock reads and a small struct copy, which measured overhead keeps well
-// under the Extrae overheads quoted in the paper (0.6-2.2 %).
+// Collection is sharded: every recording thread gets its own set of SPSC
+// ring buffers (registered on first use), so the hot path is two clock
+// reads, a struct copy into the ring slot, and one release store -- no
+// lock, no contention with other recorders.  Shards are drained into the
+// central per-stream vectors whenever a reader needs them (flush()) or when
+// a producer's own ring fills up (the producer then briefly takes the
+// consumer role for its ring).  The paper's Extrae overhead envelope
+// (0.6-2.2 %) is the budget this has to stay inside even with tens of
+// recording threads; `bench_real_pipeline` measures it A/B against the
+// retained global-mutex mode (TracerMode::Mutex) and against tracing off.
+//
+// Read contract: the accessors (compute_events() etc., t_min/t_max,
+// normalize_time) flush all shards first and return references into the
+// merged store.  They give a consistent, complete view only once recording
+// has quiesced -- i.e. after the run's joins/barriers, the same
+// single-writer-then-read discipline the old mutex tracer silently relied
+// on.  Reading *while* other threads still record is safe (no data race,
+// flush serializes consumers) but naturally yields a snapshot that may miss
+// events still being produced.  Merged event order is grouped by recording
+// thread, not globally time-sorted; consumers that need time order sort by
+// t_begin (analysis.cpp and the renderers already do).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -53,42 +75,118 @@ struct TaskEvent {
   double t_end;
 };
 
+/// Collection strategy.  Sharded is the default; Mutex keeps the old
+/// global-mutex append path alive as the A/B baseline for
+/// bench_real_pipeline's overhead measurement.
+enum class TracerMode { Sharded, Mutex };
+
 /// Append-only event store for one experiment run.
 class Tracer {
  public:
-  explicit Tracer(int nranks) : nranks_(nranks) {}
+  explicit Tracer(int nranks, TracerMode mode = TracerMode::Sharded);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   void record_compute(const ComputeEvent& e);
   void record_comm(const CommOpEvent& e);
   void record_task(const TaskEvent& e);
 
   [[nodiscard]] int nranks() const { return nranks_; }
-  [[nodiscard]] const std::vector<ComputeEvent>& compute_events() const {
-    return compute_;
-  }
-  [[nodiscard]] const std::vector<CommOpEvent>& comm_events() const {
-    return comm_;
-  }
-  [[nodiscard]] const std::vector<TaskEvent>& task_events() const {
-    return tasks_;
-  }
+  [[nodiscard]] TracerMode mode() const { return mode_; }
 
-  /// Earliest / latest timestamp over all streams (0 if empty).
+  /// Merged streams; flushes all shards first (see the read contract in the
+  /// file header).  References stay valid until the next mutating call.
+  [[nodiscard]] const std::vector<ComputeEvent>& compute_events() const;
+  [[nodiscard]] const std::vector<CommOpEvent>& comm_events() const;
+  [[nodiscard]] const std::vector<TaskEvent>& task_events() const;
+
+  /// Earliest / latest timestamp over all streams (0 if empty).  Flushes.
   [[nodiscard]] double t_min() const;
   [[nodiscard]] double t_max() const;
 
   /// Shifts every timestamp so that t_min() becomes zero.  Call once after
-  /// the run; makes timelines and CSVs start at t = 0.
+  /// the run has quiesced; makes timelines and CSVs start at t = 0.
   void normalize_time();
+
+  /// Drains every thread's rings into the central store.  Idempotent;
+  /// called implicitly by every reader.
+  void flush() const;
 
   void clear();
 
+  /// Number of times a producer filled its ring and had to drain it inline
+  /// (each spill momentarily serializes that one thread with readers).
+  /// Useful for sizing checks; large values mean flush() is called too
+  /// rarely for the event rate.
+  [[nodiscard]] std::uint64_t overflow_spills() const {
+    return spills_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Fixed-capacity single-producer single-consumer ring.  The producer is
+  // the owning thread's record_* call; the consumer is whoever holds
+  // flush_mu_ (a reader, or the producer itself on overflow).
+  template <typename E, std::size_t N>
+  struct Ring {
+    std::array<E, N> slots;
+    std::atomic<std::size_t> head{0};  // written by producer
+    std::atomic<std::size_t> tail{0};  // written by consumer
+
+    bool try_push(const E& e) {
+      const std::size_t h = head.load(std::memory_order_relaxed);
+      if (h - tail.load(std::memory_order_acquire) == N) return false;
+      slots[h % N] = e;
+      head.store(h + 1, std::memory_order_release);
+      return true;
+    }
+
+    // Consumer side; caller must hold flush_mu_.
+    void drain(std::vector<E>& out) {
+      const std::size_t h = head.load(std::memory_order_acquire);
+      std::size_t t = tail.load(std::memory_order_relaxed);
+      for (; t != h; ++t) out.push_back(std::move(slots[t % N]));
+      tail.store(t, std::memory_order_release);
+    }
+  };
+
+  // Sized for a few hundred events per thread between flushes (overflow
+  // just spills through the mutex path, so a tight fit is safe), and to
+  // keep a Shard under the allocator's mmap threshold (~128 KB): a malloc
+  // that small is served from the reused heap, so per-run shard setup does
+  // not pay fresh mmap/munmap plus page faults on every recording thread.
+  static constexpr std::size_t kComputeCap = 1024;
+  static constexpr std::size_t kCommCap = 512;
+  static constexpr std::size_t kTaskCap = 256;
+
+  struct Shard {
+    Ring<ComputeEvent, kComputeCap> compute;
+    Ring<CommOpEvent, kCommCap> comm;
+    Ring<TaskEvent, kTaskCap> tasks;
+  };
+
+  /// This thread's shard of this tracer, registering one on first use.
+  Shard& my_shard() const;
+
+  /// Drains one ring of this thread's shard after try_push failed.
+  template <typename E, std::size_t N>
+  void spill(Ring<E, N>& ring, std::vector<E>& central, const E& e) const;
+
   int nranks_;
-  mutable std::mutex mu_;
-  std::vector<ComputeEvent> compute_;
-  std::vector<CommOpEvent> comm_;
-  std::vector<TaskEvent> tasks_;
+  TracerMode mode_;
+  std::uint64_t id_;  ///< process-unique, keys the thread-local shard cache
+
+  mutable std::mutex reg_mu_;  // guards shards_ growth
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+
+  // flush_mu_ serializes consumers (flush/clear/spill) and guards the
+  // central vectors.  Mutex mode records straight into them under it.
+  mutable std::mutex flush_mu_;
+  mutable std::vector<ComputeEvent> compute_;
+  mutable std::vector<CommOpEvent> comm_;
+  mutable std::vector<TaskEvent> tasks_;
+  mutable std::atomic<std::uint64_t> spills_{0};
 };
 
 }  // namespace fx::trace

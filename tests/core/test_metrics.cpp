@@ -1,0 +1,227 @@
+// Metrics registry: counter/gauge/histogram semantics, thread safety of
+// concurrent recording, quantile monotonicity, and the dump formats.
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace {
+
+using fx::core::Counter;
+using fx::core::Gauge;
+using fx::core::Histogram;
+using fx::core::MetricsRegistry;
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAddMax) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.25);
+  g.max_of(1.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 2.25);
+  g.max_of(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentAddIsExact) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0U);
+  h.record(1.0);
+  h.record(4.0);
+  h.record(0.25);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3U);
+  EXPECT_DOUBLE_EQ(s.sum, 5.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Histogram, QuantilesHaveBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100.0);
+  // Every sample is 100; any quantile must land within one quarter-octave
+  // bucket (2^0.25 ~ 1.19) of it.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GT(v, 100.0 / 1.2) << "q=" << q;
+    EXPECT_LT(v, 100.0 * 1.2) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  Histogram h;
+  // Spread across many octaves, including clamped extremes.
+  for (int i = 1; i <= 500; ++i) h.record(static_cast<double>(i));
+  h.record(0.0);     // clamps into the bottom bucket
+  h.record(1e300);   // clamps into the top bucket
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, ClampedValuesStillCount) {
+  Histogram h;
+  h.record(-5.0);
+  h.record(0.0);
+  h.record(1e300);
+  h.record(1e-300);
+  EXPECT_EQ(h.snapshot().count, 4U);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepCountAndSum) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  double want_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) want_sum += (t + 1) * double(kPerThread);
+  EXPECT_DOUBLE_EQ(s.sum, want_sum);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, kThreads);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3U);
+}
+
+TEST(Registry, KindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("dual");
+  EXPECT_THROW(reg.gauge("dual"), fx::core::Error);
+  EXPECT_THROW(reg.histogram("dual"), fx::core::Error);
+}
+
+TEST(Registry, RowsAreSortedAndTyped) {
+  MetricsRegistry reg;
+  reg.histogram("c.hist").record(2.0);
+  reg.counter("a.count").add(5);
+  reg.gauge("b.gauge").set(1.5);
+  const auto rows = reg.rows();
+  ASSERT_EQ(rows.size(), 3U);
+  EXPECT_EQ(rows[0].name, "a.count");
+  EXPECT_EQ(rows[0].kind, MetricsRegistry::Row::Kind::Counter);
+  EXPECT_DOUBLE_EQ(rows[0].value, 5.0);
+  EXPECT_EQ(rows[1].name, "b.gauge");
+  EXPECT_DOUBLE_EQ(rows[1].value, 1.5);
+  EXPECT_EQ(rows[2].name, "c.hist");
+  EXPECT_EQ(rows[2].hist.count, 1U);
+}
+
+TEST(Registry, CsvDumpHasHeaderAndRows) {
+  MetricsRegistry reg;
+  reg.counter("n.ops").add(7);
+  reg.histogram("n.wait").record(0.5);
+  std::stringstream ss;
+  reg.dump(ss, MetricsRegistry::DumpFormat::Csv);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("kind,name,value,count,sum,min,max,p50,p95,p99"),
+            std::string::npos);
+  EXPECT_NE(out.find("counter,n.ops,7"), std::string::npos);
+  EXPECT_NE(out.find("histogram,n.wait"), std::string::npos);
+}
+
+TEST(Registry, JsonDumpIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("j.ops").add(1);
+  reg.gauge("j.depth").set(4.0);
+  std::stringstream ss;
+  reg.dump(ss, MetricsRegistry::DumpFormat::Json);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(out.find("\"j.ops\""), std::string::npos);
+  EXPECT_NE(out.find("\"j.depth\""), std::string::npos);
+  // Crude balance check; the chrome-export test carries the real validator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(Registry, ResetZeroesEverythingButKeepsReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("r.ops");
+  Histogram& h = reg.histogram("r.wait");
+  c.add(9);
+  h.record(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0U);
+  EXPECT_EQ(h.snapshot().count, 0U);
+  c.add();
+  EXPECT_EQ(reg.counter("r.ops").value(), 1U);
+}
+
+TEST(Registry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "fftx/guarded.hpp"
 #include "fftx/pipeline.hpp"
 #include "simmpi/runtime.hpp"
@@ -80,11 +81,22 @@ RunOptions one_bit_flip() {
 }
 
 TEST(Hardening, GuardedExchangeRecoversFromInjectedBitFlip) {
+  auto& reg = fx::core::MetricsRegistry::global();
+  const std::uint64_t retries_before =
+      reg.counter("fftx.guard.retries").value();
+  const std::uint64_t failures_before =
+      reg.counter("fftx.guard.checksum_failures").value();
+
   const RunResult clean = run_pipeline(RunOptions{}, /*guard=*/false);
   const RunResult healed = run_pipeline(one_bit_flip(), /*guard=*/true);
 
   EXPECT_GE(healed.guard_retries, 1U);  // the flip was detected and retried
   EXPECT_GT(healed.guard_exchanges, 0U);
+  // The process-wide metrics must reflect the same recovery: a fault
+  // injection run dumps nonzero retry and checksum-failure counters.
+  EXPECT_GE(reg.counter("fftx.guard.retries").value(), retries_before + 1);
+  EXPECT_GE(reg.counter("fftx.guard.checksum_failures").value(),
+            failures_before + 1);
   for (int n = 0; n < kBands; ++n) {
     const auto& a = clean.bands[static_cast<std::size_t>(n)];
     const auto& b = healed.bands[static_cast<std::size_t>(n)];

@@ -1,0 +1,240 @@
+// Chrome/Perfetto trace-event exporter: output must be valid JSON, carry
+// one complete event per recorded trace event, and name every (rank,
+// thread) track via metadata events.
+#include "trace/chrome_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace {
+
+using fx::mpi::CommOpKind;
+using fx::trace::PhaseKind;
+using fx::trace::Tracer;
+
+// Minimal recursive-descent JSON validator: enough to reject anything a
+// real parser (python3 -m json.tool, Perfetto's loader) would reject --
+// unbalanced structure, bad literals, trailing commas, unescaped control
+// characters.  Accepts exactly one top-level value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_ + k])) == 0) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               s_[pos_ - 1])) != 0;
+  }
+
+  bool literal(const char* w) {
+    const std::string want(w);
+    if (s_.compare(pos_, want.size(), want) != 0) return false;
+    pos_ += want.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& hay, const std::string& pin) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(pin); p != std::string::npos;
+       p = hay.find(pin, p + pin.size())) {
+    ++n;
+  }
+  return n;
+}
+
+void fill(Tracer& tr) {
+  tr.record_compute({0, 0, PhaseKind::FftZ, 0, 0.10, 0.20, 1.0e8});
+  tr.record_compute({0, 1, PhaseKind::FftXy, 0, 0.20, 0.45, 3.0e8});
+  tr.record_compute({1, 0, PhaseKind::Vofr, 1, 0.15, 0.30, 5.0e7});
+  tr.record_comm(
+      {0, 0, CommOpKind::Alltoallv, 3, 2, 7, 4096, 0.45, 0.55});
+  tr.record_comm({1, 0, CommOpKind::Send, 3, 2, 8, 1024, 0.30, 0.32});
+  tr.record_task({0, 1, "band#3 \"quoted\"\nlabel", 0.55, 0.80});
+}
+
+std::string exported(const Tracer& tr) {
+  std::stringstream ss;
+  fx::trace::save_chrome_trace(tr, ss);
+  return ss.str();
+}
+
+TEST(ChromeExport, OutputIsValidJson) {
+  Tracer tr(2);
+  fill(tr);
+  const std::string json = exported(tr);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(ChromeExport, EmptyTracerIsValidJson) {
+  Tracer tr(1);
+  const std::string json = exported(tr);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeExport, CompleteEventCountMatchesStreams) {
+  Tracer tr(2);
+  fill(tr);
+  const std::string json = exported(tr);
+  // One "ph":"X" complete event per compute, comm, and task event.
+  const std::size_t want = tr.compute_events().size() +
+                           tr.comm_events().size() +
+                           tr.task_events().size();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), want);
+  // Counter tracks exist: collectives in flight per rank, IPC per thread.
+  EXPECT_GT(count_occurrences(json, "\"ph\": \"C\""), 0U);
+}
+
+TEST(ChromeExport, TracksAreNamedPerRankAndThread) {
+  Tracer tr(2);
+  fill(tr);
+  const std::string json = exported(tr);
+  // Process (= rank) and thread metadata for every track that has events.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("rank 0"), std::string::npos);
+  EXPECT_NE(json.find("rank 1"), std::string::npos);
+  EXPECT_NE(json.find("thread 0"), std::string::npos);
+  EXPECT_NE(json.find("thread 1"), std::string::npos);
+}
+
+TEST(ChromeExport, PhaseAndKindNamesAppear) {
+  Tracer tr(2);
+  fill(tr);
+  const std::string json = exported(tr);
+  EXPECT_NE(json.find("fft_z"), std::string::npos);
+  EXPECT_NE(json.find("fft_xy"), std::string::npos);
+  EXPECT_NE(json.find("vofr"), std::string::npos);
+  EXPECT_NE(json.find("Alltoallv"), std::string::npos);
+}
+
+TEST(ChromeExport, TimesAreRelativeMicroseconds) {
+  Tracer tr(1);
+  // t_min is 100.0 s; exported ts must be relative to it, not absolute.
+  tr.record_compute({0, 0, PhaseKind::Pack, 0, 100.0, 100.5, 1.0e6});
+  const std::string json = exported(tr);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"ts\": 0,"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 500000"), std::string::npos);
+}
+
+TEST(ChromeExport, LabelsAreEscaped) {
+  Tracer tr(2);
+  fill(tr);  // task label has a quote and newline
+  const std::string json = exported(tr);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+}  // namespace
