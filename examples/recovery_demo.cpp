@@ -1,0 +1,105 @@
+// Shrink-and-continue recovery, end to end: a multi-band run survives an
+// injected rank kill plus a burst of persistent payload corruption, shrinks
+// to the surviving ranks, replays the in-flight work, and still produces
+// the exact fault-free coefficients.
+//
+// Scenario: P ranks process NB bands in checkpointed batches.  Mid-run the
+// fault injector kills one rank and corrupts several consecutive transpose
+// payloads on another (outlasting the checksum guard's retry budget, so the
+// guard gives up collectively and the world repairs in place).  The demo
+// prints each rank's recovery report and verifies every band against the
+// serial oracle.
+//
+// Usage: recovery_demo [nranks] [bands]   (defaults: 4 ranks, 8 bands)
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/format.hpp"
+#include "core/table.hpp"
+#include "fftx/pipeline.hpp"
+#include "fftx/recovery.hpp"
+#include "fftx/reference.hpp"
+#include "simmpi/runtime.hpp"
+#include "trace/artifacts.hpp"
+
+int main(int argc, char** argv) {
+  using fx::fft::cplx;
+
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int bands = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int ntg = nranks % 2 == 0 ? 2 : 1;
+
+  // FFTX_FAULT_* in the environment overrides the built-in scenario (the CI
+  // recovery matrix drives kill placement and rank counts this way).
+  fx::mpi::RunOptions opts = fx::mpi::RunOptions::from_env();
+  opts.watchdog.window_ms = 60000.0;
+  if (opts.faults.any()) {
+    std::cout << "recovery demo: " << nranks << " ranks (ntg " << ntg << "), "
+              << bands << " bands, faults from FFTX_FAULT_* environment\n\n";
+  } else {
+    std::cout << "recovery demo: " << nranks << " ranks (ntg " << ntg << "), "
+              << bands << " bands, checkpoint every 2 bands\n";
+    std::cout << "injected: kill rank 1 mid-run + 6 corrupted transpose "
+                 "payloads on rank 0\n\n";
+    opts.faults.corrupt_rank = 0;
+    opts.faults.corrupt_op = 2;
+    opts.faults.corrupt_count = 6;
+    opts.faults.only_kind = static_cast<int>(fx::mpi::CommOpKind::Alltoallv);
+    opts.faults.kill_rank = 1;
+    opts.faults.kill_op = 15;
+  }
+
+  const auto desc = std::make_shared<const fx::fftx::Descriptor>(
+      fx::pw::Cell{8.0}, 8.0, nranks, ntg);
+
+  fx::fftx::RecoveryConfig rcfg = fx::fftx::RecoveryConfig::from_env();
+  rcfg.enabled = true;
+  if (rcfg.checkpoint_bands == 0) rcfg.checkpoint_bands = 2;
+  if (rcfg.retry.max_attempts < 6) rcfg.retry.max_attempts = 6;
+  rcfg.retry.base_delay_ms = 0.1;
+
+  fx::core::TablePrinter t("per-rank recovery reports");
+  t.header({"rank", "outcome", "shrinks", "replayed bands", "final world"});
+
+  std::vector<std::vector<cplx>> result;
+  std::mutex mu;
+  fx::mpi::Runtime::run(nranks, opts, [&](fx::mpi::Comm& world) {
+    fx::fftx::PipelineConfig cfg;
+    cfg.num_bands = bands;
+    cfg.guard_exchanges = true;
+    fx::fftx::RecoveryDriver driver(world, desc, cfg, rcfg);
+    std::vector<std::vector<cplx>> mine;
+    const auto rep = driver.run(mine);
+    std::lock_guard lock(mu);
+    t.row({fx::core::cat(world.rank()), rep.died ? "killed" : "completed",
+           fx::core::cat(rep.shrinks), fx::core::cat(rep.replayed_bands),
+           rep.died ? "-"
+                    : fx::core::cat(rep.final_nproc, " ranks, ntg ",
+                                    rep.final_ntg)});
+    if (!rep.died && result.empty()) result = std::move(mine);
+  });
+  t.print(std::cout);
+
+  if (result.empty()) {
+    std::cout << "no surviving rank completed -- recovery failed\n";
+    return 1;
+  }
+  double err = 0.0;
+  for (int n = 0; n < bands; ++n) {
+    const auto want = fx::fftx::reference_band_output(*desc, n, true);
+    const auto& got = result[static_cast<std::size_t>(n)];
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      err = std::max(err, std::abs(got[k] - want[k]));
+    }
+  }
+  std::cout << "\nmax error vs serial oracle over all " << bands
+            << " bands: " << err << '\n';
+  std::cout << (err < 1e-12 ? "recovered output matches the fault-free "
+                              "result\n"
+                            : "MISMATCH (bug!)\n");
+  fx::trace::dump_metrics("recovery_demo");
+  return err < 1e-12 ? 0 : 1;
+}

@@ -36,6 +36,15 @@ class DeadlockError : public CommError {
   explicit DeadlockError(const std::string& what) : CommError(what) {}
 };
 
+/// The communicator was revoked for repair (ULFM-style): the failure is
+/// survivable, and the surviving ranks are expected to rendezvous in
+/// Comm::agree / Comm::shrink instead of tearing the world down.  Derives
+/// from CommError so code that only knows how to unwind keeps working.
+class RevokedError : public CommError {
+ public:
+  explicit RevokedError(const std::string& what) : CommError(what) {}
+};
+
 /// Raised by the fault injector when a rank is scheduled to be killed
 /// (distinct from CommError so tests can tell an injected death from the
 /// induced peer unwinds).

@@ -1,0 +1,44 @@
+#include "core/hooks.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace fx::core {
+
+namespace {
+
+std::mutex g_mu;
+InstantSink g_sink;
+std::uint64_t g_token = 0;
+std::uint64_t g_next_token = 1;
+
+}  // namespace
+
+std::uint64_t install_instant_sink(InstantSink sink) {
+  std::lock_guard lock(g_mu);
+  if (g_sink) return 0;
+  g_sink = std::move(sink);
+  g_token = g_next_token++;
+  return g_token;
+}
+
+void remove_instant_sink(std::uint64_t token) {
+  std::lock_guard lock(g_mu);
+  if (token != 0 && token == g_token) {
+    g_sink = nullptr;
+    g_token = 0;
+  }
+}
+
+void emit_instant(const std::string& name) {
+  // Copy the sink out so a slow sink doesn't serialize emitters against
+  // install/remove; the copy is cheap at these event rates.
+  InstantSink sink;
+  {
+    std::lock_guard lock(g_mu);
+    sink = g_sink;
+  }
+  if (sink) sink(name);
+}
+
+}  // namespace fx::core

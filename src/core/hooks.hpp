@@ -1,0 +1,35 @@
+// Process-global hook for rare out-of-band "instant" events.
+//
+// Low layers (the simmpi watchdog, the recovery driver) sometimes have
+// something worth a timeline marker -- a near-miss, a communicator repair --
+// but no tracer reference: the tracer lives two library layers above them,
+// and threading one through every constructor for events that fire a
+// handful of times per run is not worth the coupling.  Instead, whoever
+// owns a tracer installs a sink here (see trace::AmbientTracerScope) and
+// the low layers call emit_instant(); with no sink installed the call is a
+// cheap no-op.
+//
+// Emission takes a mutex -- these events are rare by contract (never on a
+// per-operation hot path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fx::core {
+
+using InstantSink = std::function<void(const std::string& name)>;
+
+/// Installs `sink` as the process-global instant sink if none is installed.
+/// Returns the owner token (nonzero) on success, 0 if another sink is
+/// already active (the caller then simply doesn't own it).
+std::uint64_t install_instant_sink(InstantSink sink);
+
+/// Removes the sink iff `token` matches the active installation.
+void remove_instant_sink(std::uint64_t token);
+
+/// Invokes the installed sink with `name`; no-op when none is installed.
+void emit_instant(const std::string& name);
+
+}  // namespace fx::core

@@ -1,0 +1,82 @@
+#include "core/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "core/rng.hpp"
+#include "core/timer.hpp"
+
+namespace fx::core {
+
+namespace {
+
+bool env_double(const char* name, double& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = std::strtod(v, nullptr);
+  return true;
+}
+
+bool env_int(const char* name, int& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = static_cast<int>(std::strtol(v, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy p;
+  env_int("FFTX_RETRY_MAX_ATTEMPTS", p.max_attempts);
+  env_double("FFTX_RETRY_BASE_MS", p.base_delay_ms);
+  env_double("FFTX_RETRY_MULT", p.multiplier);
+  env_double("FFTX_RETRY_MAX_MS", p.max_delay_ms);
+  env_double("FFTX_RETRY_JITTER", p.jitter);
+  env_double("FFTX_RETRY_DEADLINE_S", p.deadline_s);
+  return p;
+}
+
+double RetryPolicy::delay_ms(int attempt, std::uint64_t salt) const {
+  double d = base_delay_ms;
+  for (int k = 0; k < attempt; ++k) {
+    d *= multiplier;
+    if (d >= max_delay_ms) break;
+  }
+  d = std::min(d, max_delay_ms);
+  if (jitter > 0.0 && d > 0.0) {
+    std::uint64_t x = seed;
+    x ^= 0x9e3779b97f4a7c15ULL * (salt + 1);
+    x ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(attempt) + 1);
+    const std::uint64_t h = splitmix64(x);
+    // Uniform in [-jitter, +jitter].
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    d *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return std::max(0.0, d);
+}
+
+RetryController::RetryController(const RetryPolicy& policy, std::uint64_t salt)
+    : policy_(policy), salt_(salt), t_start_(WallTimer::now()) {}
+
+bool RetryController::should_retry() const {
+  if (attempt_ + 1 >= policy_.max_attempts) return false;
+  if (policy_.deadline_s > 0.0 &&
+      WallTimer::now() - t_start_ >= policy_.deadline_s) {
+    return false;
+  }
+  return true;
+}
+
+double RetryController::backoff() {
+  const double d = policy_.delay_ms(attempt_, salt_);
+  ++attempt_;
+  if (d > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(d));
+  }
+  return d;
+}
+
+}  // namespace fx::core

@@ -1,0 +1,70 @@
+// Unified retry policy: exponential backoff with deterministic jitter and
+// an optional wall-clock deadline.
+//
+// Every retry loop in the stack (the guarded exchange's corruption retry,
+// the recovery driver's repair-and-replay loop) used to carry its own ad-hoc
+// bounded counter; this centralizes the schedule so the knobs -- attempt
+// budget, backoff curve, deadline -- are configured once (FFTX_RETRY_* env
+// vars) and reported uniformly.
+//
+// Jitter is a pure hash of (seed, salt, attempt), not a shared RNG, for the
+// same reason the fault injector hashes: outcomes must not depend on thread
+// interleaving.  Pass a per-rank salt to decorrelate ranks.
+#pragma once
+
+#include <cstdint>
+
+namespace fx::core {
+
+/// The schedule: delay(k) = min(base * multiplier^k, max) * (1 +- jitter),
+/// for attempts k = 0 .. max_attempts-1.  `max_attempts` counts tries, not
+/// retries: 4 means one initial try plus up to three repeats.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double base_delay_ms = 0.5;
+  double multiplier = 2.0;
+  double max_delay_ms = 250.0;
+  double jitter = 0.25;    ///< fraction of the delay, symmetric
+  double deadline_s = 0.0; ///< total budget from first try; 0 = unlimited
+  std::uint64_t seed = 1;
+
+  /// Reads FFTX_RETRY_MAX_ATTEMPTS, FFTX_RETRY_BASE_MS, FFTX_RETRY_MULT,
+  /// FFTX_RETRY_MAX_MS, FFTX_RETRY_JITTER, FFTX_RETRY_DEADLINE_S.  Unset
+  /// vars keep the defaults above.
+  static RetryPolicy from_env();
+
+  /// Backoff delay before repeat `attempt` (0-based), jittered
+  /// deterministically by (seed, salt, attempt).
+  [[nodiscard]] double delay_ms(int attempt, std::uint64_t salt = 0) const;
+};
+
+/// One retry loop's state: tracks the attempt count and the deadline.
+///
+///   core::RetryController retry(policy, /*salt=*/rank);
+///   for (;;) {
+///     try { work(); break; }
+///     catch (...) { if (!retry.should_retry()) throw; retry.backoff(); }
+///   }
+class RetryController {
+ public:
+  explicit RetryController(const RetryPolicy& policy, std::uint64_t salt = 0);
+
+  /// Completed (failed) attempts so far.
+  [[nodiscard]] int attempt() const { return attempt_; }
+
+  /// True while another attempt fits the budget: fewer than max_attempts
+  /// tries consumed and the deadline (if any) not yet passed.
+  [[nodiscard]] bool should_retry() const;
+
+  /// Sleeps this attempt's jittered delay and advances the attempt count.
+  /// Returns the milliseconds slept (for metrics).
+  double backoff();
+
+ private:
+  RetryPolicy policy_;
+  std::uint64_t salt_;
+  int attempt_ = 0;  ///< failures observed == backoffs taken
+  double t_start_;
+};
+
+}  // namespace fx::core

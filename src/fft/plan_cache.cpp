@@ -73,6 +73,23 @@ std::size_t PlanCache::size() const {
   return c1_.size() + cb_.size() + c2_.size();
 }
 
+std::size_t PlanCache::evict_unused() {
+  std::lock_guard lock(mu_);
+  const auto unused = [](const auto& kv) {
+    return kv.second.use_count() == 1;
+  };
+  std::size_t n = 0;
+  n += std::erase_if(c1_, unused);
+  n += std::erase_if(cb_, unused);
+  n += std::erase_if(c2_, unused);
+  if (n > 0) {
+    static core::Counter& evictions =
+        core::MetricsRegistry::global().counter("fft.plan_cache.evictions");
+    evictions.add(n);
+  }
+  return n;
+}
+
 void PlanCache::clear() {
   std::lock_guard lock(mu_);
   c1_.clear();

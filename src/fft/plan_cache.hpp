@@ -44,6 +44,12 @@ class PlanCache {
   /// Drops all cached plans (outstanding shared_ptrs stay valid).
   void clear();
 
+  /// Drops every plan no caller holds anymore (use_count == 1, i.e. only
+  /// the cache's own reference).  Cache hygiene after elastic
+  /// re-decomposition: plans built for a dead layout would otherwise stay
+  /// resident for the rest of the process.  Returns the number evicted.
+  std::size_t evict_unused();
+
   /// Process-wide shared instance.
   static PlanCache& global();
 

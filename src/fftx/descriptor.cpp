@@ -14,9 +14,24 @@ Descriptor::Descriptor(const pw::Cell& cell, double ecutwfc_ry, int nproc,
   dims_ = pw::wave_grid(cell, ecutwfc_ry);
   sphere_ = std::make_unique<pw::GSphere>(cell, ecutwfc_ry);
   sticks_ = std::make_unique<pw::StickMap>(*sphere_, nproc);
-  const int rgroup = group_size();
-  planes_ = std::make_unique<pw::PlaneDist>(dims_.nz, rgroup);
+  planes_ = std::make_unique<pw::PlaneDist>(dims_.nz, group_size());
+  build_layout();
+}
 
+Descriptor::Descriptor(const Descriptor& base, int nproc, int ntg)
+    : cell_(base.cell_), dims_(base.dims_), nproc_(nproc), ntg_(ntg) {
+  FX_CHECK(nproc >= 1 && ntg >= 1, "need positive rank/group counts");
+  FX_CHECK(nproc % ntg == 0, "ntg must divide nproc");
+
+  sphere_ = std::make_unique<pw::GSphere>(*base.sphere_);
+  // Rebalance the *same* sticks (global coefficient order preserved).
+  sticks_ = std::make_unique<pw::StickMap>(*base.sticks_, nproc);
+  planes_ = std::make_unique<pw::PlaneDist>(dims_.nz, group_size());
+  build_layout();
+}
+
+void Descriptor::build_layout() {
+  const int rgroup = group_size();
   const auto sticks = sticks_->sticks();
   const auto ordered = sticks_->stick_ordered_g();
 
@@ -28,8 +43,8 @@ Descriptor::Descriptor(const pw::Cell& cell, double ecutwfc_ry, int nproc,
   }
 
   // World-rank packed G order: concatenated stick runs in stick order.
-  world_g_index_.resize(static_cast<std::size_t>(nproc));
-  for (int w = 0; w < nproc; ++w) {
+  world_g_index_.resize(static_cast<std::size_t>(nproc_));
+  for (int w = 0; w < nproc_; ++w) {
     auto& idx = world_g_index_[static_cast<std::size_t>(w)];
     idx.reserve(sticks_->ng_of(w));
     for (std::size_t s : sticks_->sticks_of(w)) {

@@ -52,6 +52,13 @@ class Descriptor {
   /// Builds the full layout.  nproc must be divisible by ntg.
   Descriptor(const pw::Cell& cell, double ecutwfc_ry, int nproc, int ntg);
 
+  /// Shrink rebuild: the same problem (cell, cutoff, grid, sphere, global
+  /// stick order) redistributed over a different rank/group count.  Stick
+  /// ownership is rebalanced, planes redistributed, every index map
+  /// rebuilt; the packed *global* coefficient order is unchanged, so data
+  /// checkpointed under `base` replays bit-for-bit under the new layout.
+  Descriptor(const Descriptor& base, int nproc, int ntg);
+
   // --- Globals ---
   [[nodiscard]] const pw::Cell& cell() const { return cell_; }
   [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
@@ -130,6 +137,10 @@ class Descriptor {
   }
 
  private:
+  /// Builds every index map from dims_/sphere_/sticks_/planes_ (shared by
+  /// both constructors).
+  void build_layout();
+
   pw::Cell cell_;
   pw::GridDims dims_{};
   int nproc_;

@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/metrics.hpp"
+#include "core/retry.hpp"
 
 namespace fx::fftx {
 
@@ -18,13 +19,15 @@ struct GuardMetrics {
   core::Counter& exchanges;
   core::Counter& retries;
   core::Counter& checksum_failures;
+  core::Histogram& retry_backoff_ms;
 };
 
 GuardMetrics& guard_metrics() {
   auto& reg = core::MetricsRegistry::global();
   static GuardMetrics m{reg.counter("fftx.guard.exchanges"),
                         reg.counter("fftx.guard.retries"),
-                        reg.counter("fftx.guard.checksum_failures")};
+                        reg.counter("fftx.guard.checksum_failures"),
+                        reg.histogram("fftx.guard.retry_backoff_ms")};
   return m;
 }
 
@@ -54,7 +57,17 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
   std::vector<std::uint64_t> sent_sums(n);
   std::vector<std::uint64_t> want_sums(n);
 
-  for (int attempt = 0;; ++attempt) {
+  // The retry schedule comes from the unified policy (FFTX_RETRY_* env
+  // knobs); the caller's max_retries still bounds the attempt count.  The
+  // salt is identical on every rank, so the jittered backoff is too --
+  // ranks sleep and re-enter the exchange in lockstep.
+  core::RetryPolicy policy = core::RetryPolicy::from_env();
+  policy.max_attempts = max_retries + 1;
+  core::RetryController retry(
+      policy, (static_cast<std::uint64_t>(comm.id()) << 32) ^
+                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+
+  for (;;) {
     for (std::size_t p = 0; p < n; ++p) {
       sent_sums[p] =
           fnv1a(send + sdispls[p], scounts[p] * sizeof(fft::cplx));
@@ -87,10 +100,16 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
       }
       return;
     }
-    if (attempt >= max_retries) {
+    // The deadline check reads each rank's own clock, so agree on whether
+    // to continue -- otherwise one rank could throw while its peers re-enter
+    // the exchange and hang.
+    int cont = retry.should_retry() ? 1 : 0;
+    int all_cont = 0;
+    comm.allreduce(&cont, &all_cont, 1, mpi::ReduceOp::Min, tag);
+    if (all_cont == 0) {
       throw core::CommError(core::cat(
           "guarded alltoallv: payload corruption persists after ",
-          max_retries, " retries on comm ", comm.id(), " (tag ", tag,
+          retry.attempt(), " retries on comm ", comm.id(), " (tag ", tag,
           "): rank ", comm.rank(),
           bad_peer >= 0
               ? core::cat(" sees a checksum mismatch in the segment from "
@@ -102,6 +121,7 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
     if (stats != nullptr) {
       stats->retries.fetch_add(1, std::memory_order_relaxed);
     }
+    guard_metrics().retry_backoff_ms.record(retry.backoff());
   }
 }
 

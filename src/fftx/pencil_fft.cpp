@@ -86,6 +86,10 @@ PencilFft::PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows,
   ybuf_.resize(ypencil_elems());
 }
 
+void PencilFft::replan(mpi::Comm world, int prows, int pcols) {
+  *this = PencilFft(std::move(world), dims_, prows, pcols, tracer_);
+}
+
 void PencilFft::transpose_z_to_y(const cplx* z, cplx* y, int tag) {
   const std::size_t nz = dims_.nz;
   const std::size_t ny = dims_.ny;

@@ -47,6 +47,11 @@ class PencilFft {
   PencilFft(mpi::Comm world, const pw::GridDims& dims, int prows, int pcols,
             trace::Tracer* tracer = nullptr);
 
+  /// Re-plans against a new (typically shrunk) communicator and process
+  /// grid, keeping dims and tracer.  Collective over `world`; any data held
+  /// in pencil layouts of the old grid is invalidated.
+  void replan(mpi::Comm world, int prows, int pcols);
+
   [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
   [[nodiscard]] int prows() const { return prows_; }
   [[nodiscard]] int pcols() const { return pcols_; }

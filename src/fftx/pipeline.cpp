@@ -169,13 +169,13 @@ void BandFftPipeline::release_buffers(WorkBuffers* wb) {
   pool_.emplace_back(wb);
 }
 
-void BandFftPipeline::initialize_bands() {
+void BandFftPipeline::initialize_bands(int first_band) {
   const auto ordered = desc_->world_sticks().stick_ordered_g();
   const auto index = desc_->world_g_index(w_);
   for (int n = 0; n < cfg_.num_bands; ++n) {
     auto& band = psi_[static_cast<std::size_t>(n)];
     for (std::size_t k = 0; k < index.size(); ++k) {
-      band[k] = pw::wf_coefficient(n, ordered[index[k]]);
+      band[k] = pw::wf_coefficient(first_band + n, ordered[index[k]]);
     }
   }
 }

@@ -93,8 +93,11 @@ class BandFftPipeline {
   BandFftPipeline& operator=(BandFftPipeline&&) = delete;
 
   /// Fills every band's local coefficients from the deterministic
-  /// wave-function generator (layout independent).
-  void initialize_bands();
+  /// wave-function generator (layout independent).  `first_band` offsets
+  /// the generator's band index: local band n holds global band
+  /// first_band + n (the recovery driver runs checkpointed batches of a
+  /// larger global band range through one pipeline instance).
+  void initialize_bands(int first_band = 0);
 
   /// Runs the full band loop.  Returns local wall seconds between the
   /// opening and closing barrier (comparable across ranks).

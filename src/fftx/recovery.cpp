@@ -1,0 +1,246 @@
+#include "fftx/recovery.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+#include "core/hooks.hpp"
+#include "core/metrics.hpp"
+#include "core/timer.hpp"
+#include "fft/plan_cache.hpp"
+
+namespace fx::fftx {
+
+namespace {
+
+// Checkpoint gathers run on the world communicator after the pipeline's
+// closing barrier; a dedicated tag keeps them apart from any user traffic.
+constexpr int kCheckpointTag = 9001;
+
+// Process-wide recovery health: a metrics dump of a fault-injection run
+// shows how often the world shrank and how much work was replayed without
+// access to the per-rank reports.
+struct RecoveryMetrics {
+  core::Counter& shrinks;
+  core::Counter& replayed_bands;
+  core::Counter& checkpoint_bytes;
+  core::Histogram& shrink_ms;
+};
+
+RecoveryMetrics& recovery_metrics() {
+  auto& reg = core::MetricsRegistry::global();
+  static RecoveryMetrics m{reg.counter("fftx.recovery.shrinks"),
+                           reg.counter("fftx.recovery.replayed_bands"),
+                           reg.counter("fftx.recovery.checkpoint_bytes"),
+                           reg.histogram("fftx.recovery.shrink_ms")};
+  return m;
+}
+
+}  // namespace
+
+RecoveryConfig RecoveryConfig::from_env() {
+  RecoveryConfig cfg;
+  const char* v = std::getenv("FFTX_RECOVER");
+  cfg.enabled = v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
+  if (const char* b = std::getenv("FFTX_CHECKPOINT_BANDS")) {
+    cfg.checkpoint_bands =
+        std::max(0, static_cast<int>(std::strtol(b, nullptr, 10)));
+  }
+  cfg.retry = core::RetryPolicy::from_env();
+  return cfg;
+}
+
+int degraded_ntg(int nproc, int preferred, int batch_bands) {
+  FX_CHECK(nproc >= 1 && batch_bands >= 1,
+           "degraded_ntg needs a live world and a non-empty batch");
+  int best = 1;
+  for (int d = 2; d <= std::min(nproc, preferred); ++d) {
+    if (nproc % d == 0 && batch_bands % d == 0) best = d;
+  }
+  return best;
+}
+
+RecoveryDriver::RecoveryDriver(mpi::Comm world,
+                               std::shared_ptr<const Descriptor> desc,
+                               PipelineConfig cfg, RecoveryConfig rcfg,
+                               trace::Tracer* tracer)
+    : world_(std::move(world)),
+      desc_(std::move(desc)),
+      cfg_(cfg),
+      rcfg_(rcfg),
+      tracer_(tracer),
+      ntg_pref_(desc_->ntg()) {
+  FX_CHECK(world_.size() == desc_->nproc(),
+           "recovery driver needs one rank per descriptor slot");
+  FX_CHECK(cfg_.num_bands >= 1, "nothing to recover without bands");
+}
+
+RecoveryReport RecoveryDriver::run(std::vector<std::vector<fft::cplx>>& out) {
+  core::WallTimer timer;
+  out.assign(static_cast<std::size_t>(cfg_.num_bands), {});
+
+  RecoveryReport rep;
+  mpi::Comm comm = world_;
+  std::shared_ptr<const Descriptor> desc = desc_;
+  int completed = 0;
+  // One attempt == one shrink-and-replay round.  The salt is a constant, so
+  // every survivor sleeps the same jittered backoff and re-enters replay in
+  // lockstep.
+  core::RetryController retry(rcfg_.retry, 0x5ec04e8ULL);
+
+  for (;;) {
+    try {
+      run_batches(comm, desc, completed, out);
+      rep.completed = true;
+      break;
+    } catch (const core::FaultError& e) {
+      // This rank was killed by injection: revoke so every blocked peer
+      // unwinds promptly, declare death so the survivors' repair rendezvous
+      // can complete without us, and bow out.
+      comm.revoke(e.what());
+      comm.mark_dead();
+      rep.died = true;
+      break;
+    } catch (const core::Error& e) {
+      // Survivable failure: a peer's revoke unwound us, a guard exhausted
+      // its retries, or the validator flagged a mismatch.  Repair if the
+      // budget allows, otherwise surface the original error.
+      if (!rcfg_.enabled || !retry.should_retry()) throw;
+      repair(comm, completed, e.what(), rep);
+      retry.backoff();
+    }
+  }
+  rep.final_nproc = desc->nproc();
+  rep.final_ntg = desc->ntg();
+  rep.seconds = timer.seconds();
+  return rep;
+}
+
+void RecoveryDriver::run_batches(mpi::Comm& comm,
+                                 std::shared_ptr<const Descriptor>& desc,
+                                 int& completed,
+                                 std::vector<std::vector<fft::cplx>>& out) {
+  const int total = cfg_.num_bands;
+  const int interval =
+      rcfg_.checkpoint_bands > 0 ? std::min(rcfg_.checkpoint_bands, total)
+                                 : total;
+  while (completed < total) {
+    const int batch = std::min(interval, total - completed);
+    const int ntg = degraded_ntg(comm.size(), ntg_pref_, batch);
+    if (desc->nproc() != comm.size() || desc->ntg() != ntg) {
+      desc = std::make_shared<const Descriptor>(*desc, comm.size(), ntg);
+    }
+    PipelineConfig cfg = cfg_;
+    cfg.num_bands = batch;
+    inflight_ = batch;  // a fault from here to commit replays these bands
+    BandFftPipeline pipe(comm, desc, cfg, tracer_);
+    pipe.initialize_bands(completed);
+    pipe.run();
+    checkpoint(comm, *desc, pipe, completed, batch, out);
+    completed += batch;
+    inflight_ = 0;
+  }
+}
+
+void RecoveryDriver::checkpoint(mpi::Comm& comm, const Descriptor& desc,
+                                const BandFftPipeline& pipe, int first,
+                                int batch,
+                                std::vector<std::vector<fft::cplx>>& out) {
+  const int nproc = comm.size();
+  const auto np = static_cast<std::size_t>(nproc);
+  const std::size_t ng_mine = desc.ng_world(comm.rank());
+  const std::size_t ng_total = desc.sphere().size();
+
+  // Replicate each band to every rank: send my packed slice to all peers
+  // (every send segment starts at 0), receive all slices rank-major.
+  std::vector<std::size_t> scounts(np, ng_mine);
+  std::vector<std::size_t> sdispls(np, 0);
+  std::vector<std::size_t> rcounts(np);
+  std::vector<std::size_t> rdispls(np);
+  std::size_t off = 0;
+  for (int p = 0; p < nproc; ++p) {
+    rcounts[static_cast<std::size_t>(p)] = desc.ng_world(p);
+    rdispls[static_cast<std::size_t>(p)] = off;
+    off += rcounts[static_cast<std::size_t>(p)];
+  }
+
+  // Stage the whole batch before committing: a fault mid-gather unwinds out
+  // of here with `out` and the completed count untouched, so rollback never
+  // sees a half-written checkpoint.
+  std::vector<fft::cplx> gathered(off);
+  std::vector<std::vector<fft::cplx>> staging(
+      static_cast<std::size_t>(batch));
+  for (int n = 0; n < batch; ++n) {
+    // The checkpoint is the recovery ground truth, so it rides the same
+    // checksum guard as the pipeline's transposes when guarding is on --
+    // otherwise one corrupted gather would silently poison every replica.
+    if (cfg_.guard_exchanges) {
+      guarded_alltoallv(comm, pipe.band(n).data(), scounts.data(),
+                        sdispls.data(), gathered.data(), rcounts.data(),
+                        rdispls.data(), kCheckpointTag,
+                        cfg_.guard_max_retries, nullptr);
+    } else {
+      comm.alltoallv(pipe.band(n).data(), scounts.data(), sdispls.data(),
+                     gathered.data(), rcounts.data(), rdispls.data(),
+                     kCheckpointTag);
+    }
+    auto& dst = staging[static_cast<std::size_t>(n)];
+    dst.resize(ng_total);
+    for (int p = 0; p < nproc; ++p) {
+      const auto index = desc.world_g_index(p);
+      const fft::cplx* src =
+          gathered.data() + rdispls[static_cast<std::size_t>(p)];
+      for (std::size_t k = 0; k < index.size(); ++k) dst[index[k]] = src[k];
+    }
+  }
+
+  std::uint64_t bytes = 0;
+  for (int n = 0; n < batch; ++n) {
+    auto& band = staging[static_cast<std::size_t>(n)];
+    bytes += band.size() * sizeof(fft::cplx);
+    out[static_cast<std::size_t>(first + n)] = std::move(band);
+  }
+  recovery_metrics().checkpoint_bytes.add(bytes);
+}
+
+void RecoveryDriver::repair(mpi::Comm& comm, int& completed, const char* why,
+                            RecoveryReport& rep) {
+  auto& m = recovery_metrics();
+  core::WallTimer timer;
+  const int old_id = comm.id();
+
+  // Revoking is idempotent: the comm may already carry a peer's revoke (that
+  // is how we unwound), but a locally detected failure (guard exhaustion)
+  // must poison it ourselves so blocked peers join the repair.
+  comm.revoke(why);
+  const auto stable = static_cast<int>(comm.agree(completed));
+  mpi::Comm next = comm.shrink();
+
+  // Replayed work: bands of the aborted in-flight batch plus any committed
+  // checkpoints rolled back past (survivors commit in lockstep, so the
+  // rollback part is usually zero and the in-flight batch dominates).
+  const int replayed = (completed - stable) + inflight_;
+  inflight_ = 0;
+  rep.replayed_bands += replayed;
+  if (replayed > 0) {
+    m.replayed_bands.add(static_cast<std::uint64_t>(replayed));
+  }
+  completed = stable;
+  comm = std::move(next);
+  ++rep.shrinks;
+  m.shrinks.add();
+  m.shrink_ms.record(timer.seconds() * 1e3);
+
+  // Elastic re-decomposition happens lazily in run_batches (it also owns the
+  // partial-final-batch ntg choice); here we only drop plans no pipeline
+  // holds anymore, so a dead layout's plans don't stay resident.
+  fft::PlanCache::global().evict_unused();
+
+  core::emit_instant(core::cat(
+      "recovery: shrank comm ", old_id, " -> ", comm.id(), " (",
+      comm.size(), " survivors), replaying from band ", stable));
+}
+
+}  // namespace fx::fftx

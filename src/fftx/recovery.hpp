@@ -1,0 +1,118 @@
+// Shrink-and-continue fault recovery for the band-FFT pipeline.
+//
+// The RecoveryDriver runs a multi-band workload to completion despite rank
+// kills, stalls and persistent payload corruption, by layering three
+// mechanisms:
+//
+//   1. checkpointing -- the global band range is processed in batches; after
+//      each batch every surviving rank holds a full replica of the batch's
+//      output coefficients in *global* stick order (an Alltoallv gather
+//      followed by an index-map scatter), so no band's data is lost with a
+//      dead rank;
+//   2. communicator repair -- on a survivable failure the driver revokes the
+//      world communicator (unwinding every blocked peer), agrees on the last
+//      checkpoint every survivor reached (Comm::agree, a fault-tolerant Min),
+//      and shrinks to a survivor-only communicator (Comm::shrink);
+//   3. elastic re-decomposition -- the Descriptor is rebuilt over the
+//      surviving rank count with a gracefully degraded task-group count, the
+//      plan cache drops orphaned plans, and the driver replays every band
+//      after the agreed checkpoint.
+//
+// Replay is bit-exact: the descriptor's shrink rebuild preserves the global
+// coefficient order, and the pipeline's arithmetic per band is independent of
+// the decomposition (asserted by the layout sweep tests), so a run with
+// faults produces coefficients identical to a fault-free run.
+//
+// A rank killed by fault injection catches its own core::FaultError, revokes
+// the communicator (so peers unwind promptly instead of hanging), declares
+// itself dead (Comm::mark_dead) and returns with `died` set -- the simulated
+// analogue of a process vanishing under a ULFM runtime.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/retry.hpp"
+#include "fft/types.hpp"
+#include "fftx/descriptor.hpp"
+#include "fftx/pipeline.hpp"
+#include "simmpi/comm.hpp"
+#include "trace/tracer.hpp"
+
+namespace fx::fftx {
+
+struct RecoveryConfig {
+  /// Repair-and-replay on survivable failures.  When false the driver still
+  /// checkpoints but rethrows the first failure (hardened-only behavior).
+  bool enabled = true;
+  /// Bands per checkpoint batch; 0 runs the whole band range as one batch
+  /// (checkpoint only at the end -- cheapest, but a fault replays
+  /// everything).  Clamped to the band count.
+  int checkpoint_bands = 0;
+  /// Repair budget and backoff schedule (shared FFTX_RETRY_* knobs); one
+  /// "attempt" is one shrink-and-replay round.
+  core::RetryPolicy retry{};
+
+  /// enabled from FFTX_RECOVER (0 disables), checkpoint_bands from
+  /// FFTX_CHECKPOINT_BANDS, retry from the FFTX_RETRY_* family.
+  static RecoveryConfig from_env();
+};
+
+/// Per-rank outcome of a recovered run.
+struct RecoveryReport {
+  /// Every band finished and is replicated in the output.
+  bool completed = false;
+  /// This rank was killed by fault injection and bowed out.
+  bool died = false;
+  /// Shrink-and-replay rounds this rank participated in.
+  int shrinks = 0;
+  /// Bands this rank had finished but re-ran after a rollback.
+  int replayed_bands = 0;
+  /// Decomposition the final batch ran under.
+  int final_nproc = 0;
+  int final_ntg = 0;
+  double seconds = 0.0;
+};
+
+/// Largest feasible task-group count when `nproc` ranks process batches of
+/// `batch_bands` bands: the largest divisor of nproc that is <= preferred
+/// and divides batch_bands (always >= 1).
+[[nodiscard]] int degraded_ntg(int nproc, int preferred, int batch_bands);
+
+class RecoveryDriver {
+ public:
+  /// `world.size()` must equal `desc->nproc()`.  `cfg.num_bands` is the
+  /// *global* band count (the driver slices it into checkpoint batches, so
+  /// it need not be a multiple of ntg).
+  RecoveryDriver(mpi::Comm world, std::shared_ptr<const Descriptor> desc,
+                 PipelineConfig cfg,
+                 RecoveryConfig rcfg = RecoveryConfig::from_env(),
+                 trace::Tracer* tracer = nullptr);
+
+  /// Runs every band, repairing and replaying as needed.  On return with
+  /// `completed`, out[n] holds band n's output coefficients in global
+  /// stick-ordered sphere order, identical on every surviving rank and
+  /// bit-for-bit equal to a fault-free run.  A rank that was killed returns
+  /// early with `died` set.  Throws only when recovery is disabled or the
+  /// repair budget is exhausted.
+  RecoveryReport run(std::vector<std::vector<fft::cplx>>& out);
+
+ private:
+  void run_batches(mpi::Comm& comm, std::shared_ptr<const Descriptor>& desc,
+                   int& completed, std::vector<std::vector<fft::cplx>>& out);
+  void checkpoint(mpi::Comm& comm, const Descriptor& desc,
+                  const BandFftPipeline& pipe, int first, int batch,
+                  std::vector<std::vector<fft::cplx>>& out);
+  void repair(mpi::Comm& comm, int& completed, const char* why,
+              RecoveryReport& rep);
+
+  mpi::Comm world_;
+  std::shared_ptr<const Descriptor> desc_;
+  PipelineConfig cfg_;
+  RecoveryConfig rcfg_;
+  trace::Tracer* tracer_;
+  int ntg_pref_;   ///< the original decomposition's task-group count
+  int inflight_ = 0;  ///< bands of the batch being processed right now
+};
+
+}  // namespace fx::fftx

@@ -30,10 +30,20 @@ StickMap::StickMap(const GSphere& sphere, int nproc) : nproc_(nproc) {
     ordered_.insert(ordered_.end(), gs.begin(), gs.end());
   }
 
-  // Greedy balance: heaviest stick to the least-loaded rank (ties by rank).
+  balance();
+}
+
+StickMap::StickMap(const StickMap& base, int nproc)
+    : nproc_(nproc), sticks_(base.sticks_), ordered_(base.ordered_) {
+  FX_CHECK(nproc >= 1, "stick map needs at least one rank");
+  balance();
+}
+
+// Greedy balance: heaviest stick to the least-loaded rank (ties by rank).
+void StickMap::balance() {
   owner_.assign(sticks_.size(), 0);
-  sticks_of_.assign(static_cast<std::size_t>(nproc), {});
-  ng_of_.assign(static_cast<std::size_t>(nproc), 0);
+  sticks_of_.assign(static_cast<std::size_t>(nproc_), {});
+  ng_of_.assign(static_cast<std::size_t>(nproc_), 0);
 
   std::vector<std::size_t> order(sticks_.size());
   std::iota(order.begin(), order.end(), 0);
@@ -42,7 +52,7 @@ StickMap::StickMap(const GSphere& sphere, int nproc) : nproc_(nproc) {
   });
   for (std::size_t s : order) {
     int best = 0;
-    for (int r = 1; r < nproc; ++r) {
+    for (int r = 1; r < nproc_; ++r) {
       if (ng_of_[static_cast<std::size_t>(r)] <
           ng_of_[static_cast<std::size_t>(best)]) {
         best = r;

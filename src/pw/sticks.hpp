@@ -28,6 +28,12 @@ class StickMap {
  public:
   StickMap(const GSphere& sphere, int nproc);
 
+  /// Rebalance: the same sticks (same order, same stick_ordered_g) spread
+  /// over a different rank count.  Used by elastic re-decomposition after a
+  /// communicator shrink -- the global coefficient order is preserved, only
+  /// ownership moves.
+  StickMap(const StickMap& base, int nproc);
+
   [[nodiscard]] std::span<const Stick> sticks() const { return sticks_; }
   [[nodiscard]] std::size_t num_sticks() const { return sticks_.size(); }
   [[nodiscard]] int nproc() const { return nproc_; }
@@ -53,6 +59,10 @@ class StickMap {
   }
 
  private:
+  /// Greedy balance of sticks_ over nproc_ ranks (heaviest stick to the
+  /// least-loaded rank); fills owner_/sticks_of_/ng_of_.
+  void balance();
+
   int nproc_;
   std::vector<Stick> sticks_;
   std::vector<int> owner_;

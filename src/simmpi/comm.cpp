@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 #include <tuple>
+#include <utility>
 
 #include "core/format.hpp"
 #include "core/metrics.hpp"
@@ -72,9 +73,14 @@ int wrank(const CommContext& ctx, int rank) {
              : ctx.world_ranks[static_cast<std::size_t>(rank)];
 }
 
-/// Must hold ctx.mu.  Unwinds with the poisoning rank's error.
+/// Must hold ctx.mu.  Unwinds with the poisoning rank's error; a revoked
+/// (repairable) communicator raises the RevokedError subclass so recovery
+/// drivers can rendezvous in agree/shrink instead of tearing down.
 void check_alive_locked(const CommContext& ctx) {
-  if (ctx.aborted) throw core::CommError(ctx.poison_reason);
+  if (ctx.aborted) {
+    if (ctx.revoked) throw core::RevokedError(ctx.poison_reason);
+    throw core::CommError(ctx.poison_reason);
+  }
 }
 
 /// Fault-injection entry hook: may sleep (delay/stall) or throw
@@ -617,6 +623,145 @@ Comm Comm::split(int color, int key, int tag) const {
   child.set_observer(rank_state_->get_observer());
   detail::leave_collective(*ctx_, opkey, rank_, *op);
   return child;
+}
+
+// --- Fault recovery (revoke / mark_dead / agree / shrink) ---
+
+namespace {
+
+/// Core of the repair rendezvous shared by agree() and shrink(): completes
+/// once every rank has either joined or been declared dead, so it works on
+/// a revoked (poisoned) context.  Repair operations are exempt from the
+/// alive check and from fault injection.  `join` folds this rank's
+/// contribution in (under the lock; `first` is true for the round's first
+/// arriver), `finish` runs exactly once when the round completes, and
+/// `extract` reads this rank's result before the round is retired.
+template <typename Join, typename Finish, typename Extract>
+auto repair_rendezvous(detail::CommContext& ctx, detail::RepairState& st,
+                       int rank, CommOpKind kind, Join&& join, Finish&& finish,
+                       Extract&& extract) {
+  std::unique_lock lock(ctx.mu);
+  FX_CHECK(!ctx.dead[static_cast<std::size_t>(rank)],
+           "a rank declared dead cannot join a repair collective");
+  // A previous round may still be draining (ready but not yet retired by
+  // its last participant); wait for its reset before joining the next one.
+  ctx.cv.wait(lock, [&] { return !st.ready; });
+  if (st.arrived == 0) {
+    st.joined.assign(static_cast<std::size_t>(ctx.size), 0);
+  }
+  FX_CHECK(!st.joined[static_cast<std::size_t>(rank)],
+           "rank entered a repair collective twice in one round");
+  join(st, st.arrived == 0);
+  st.joined[static_cast<std::size_t>(rank)] = 1;
+  ++st.arrived;
+  auto try_finish = [&] {
+    if (!st.ready && st.arrived + ctx.ndead >= ctx.size) {
+      finish(st);
+      st.ready = true;
+      ctx.cv.notify_all();
+    }
+  };
+  try_finish();
+  if (!st.ready) {
+    // mark_dead() notifies the condvar, so a late death re-runs try_finish
+    // from whichever waiter wakes first.
+    ProgressBoard::Scope blocked(
+        ctx.board.get(),
+        detail::blocked_info(ctx, rank, kind, /*tag=*/-1, st.gen));
+    ctx.cv.wait(lock, [&] {
+      try_finish();
+      return st.ready;
+    });
+  }
+  auto result = extract(st);
+  ++st.done;
+  if (st.done == st.arrived) {
+    detail::RepairState fresh;
+    fresh.gen = st.gen + 1;
+    st = std::move(fresh);
+    ctx.cv.notify_all();
+  }
+  return result;
+}
+
+}  // namespace
+
+void Comm::revoke(const std::string& reason) {
+  ctx_->revoke(core::cat("comm ", id(), " revoked by rank ", rank_, " (world ",
+                         detail::wrank(*ctx_, rank_), "): ", reason));
+}
+
+void Comm::mark_dead() {
+  std::lock_guard lock(ctx_->mu);
+  auto& flag = ctx_->dead[static_cast<std::size_t>(rank_)];
+  if (!flag) {
+    flag = 1;
+    ++ctx_->ndead;
+  }
+  ctx_->cv.notify_all();
+}
+
+long long Comm::agree(long long value) {
+  const long long result = repair_rendezvous(
+      *ctx_, ctx_->agree_st, rank_, CommOpKind::Allreduce,
+      [&](detail::RepairState& st, bool first) {
+        st.value = first ? value : std::min(st.value, value);
+      },
+      [](detail::RepairState&) {},
+      [](const detail::RepairState& st) { return st.value; });
+  detail::note_progress(*ctx_);
+  return result;
+}
+
+Comm Comm::shrink() {
+  auto [child_ctx, child_rank] = repair_rendezvous(
+      *ctx_, ctx_->shrink_st, rank_, CommOpKind::Split,
+      [](detail::RepairState&, bool) {},
+      [&](detail::RepairState& st) {
+        std::vector<int> members;
+        for (int p = 0; p < ctx_->size; ++p) {
+          if (st.joined[static_cast<std::size_t>(p)]) members.push_back(p);
+        }
+        auto child =
+            std::make_shared<CommContext>(static_cast<int>(members.size()));
+        // The survivor communicator inherits the hardening state like a
+        // split child would, but is NOT registered in `children`: a late
+        // revoke of the broken parent must not poison the repaired comm.
+        child->faults = ctx_->faults;
+        child->board = ctx_->board;
+        child->validate = ctx_->validate;
+        if (!ctx_->world_ranks.empty()) {
+          child->world_ranks.reserve(members.size());
+          for (int m : members) {
+            child->world_ranks.push_back(
+                ctx_->world_ranks[static_cast<std::size_t>(m)]);
+          }
+        }
+        st.child_rank.assign(static_cast<std::size_t>(ctx_->size), -1);
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          st.child_rank[static_cast<std::size_t>(members[i])] =
+              static_cast<int>(i);
+        }
+        st.child = std::move(child);
+      },
+      [&](const detail::RepairState& st) {
+        return std::pair(st.child,
+                         st.child_rank[static_cast<std::size_t>(rank_)]);
+      });
+  Comm out(std::move(child_ctx), child_rank);
+  out.set_observer(rank_state_->get_observer());
+  detail::note_progress(*ctx_);
+  return out;
+}
+
+bool Comm::is_revoked() const {
+  std::lock_guard lock(ctx_->mu);
+  return ctx_->revoked;
+}
+
+int Comm::num_dead() const {
+  std::lock_guard lock(ctx_->mu);
+  return ctx_->ndead;
 }
 
 void Comm::send_bytes(int dst, const void* data, std::size_t bytes, int tag) {

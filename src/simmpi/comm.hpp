@@ -151,6 +151,44 @@ class Comm {
   /// communicator, ordered by (key, old rank).  Collective over all ranks.
   [[nodiscard]] Comm split(int color, int key, int tag = 0) const;
 
+  // --- Fault recovery (ULFM-style revoke / agree / shrink) ---
+  //
+  // Protocol: when a rank fails survivably, someone (typically the failing
+  // rank, or the first survivor to notice) calls revoke(); every pending
+  // and future ordinary operation on this communicator and its split
+  // children then unwinds with core::RevokedError.  A rank that is truly
+  // gone calls mark_dead() and stops using the communicator; every other
+  // rank calls agree() and/or shrink(), which complete once each rank has
+  // either arrived or been declared dead.  The repair calls are exempt
+  // from poisoning and fault injection; they are single-flight (at most
+  // one shrink and one agree in progress per communicator).
+
+  /// Marks this communicator and its split children revoked-for-repair.
+  /// Idempotent; the first recorded reason wins.
+  void revoke(const std::string& reason = "communicator revoked for repair");
+
+  /// Declares this rank dead: it will not participate in any further
+  /// operation (including shrink/agree) on this communicator.
+  void mark_dead();
+
+  /// Fault-tolerant agreement: returns the minimum of the values
+  /// contributed by all surviving ranks.  Works on a revoked communicator.
+  [[nodiscard]] long long agree(long long value);
+
+  /// Builds and returns the survivor communicator: the ranks that call
+  /// shrink, renumbered densely in old-rank order.  The result is a fresh,
+  /// healthy communicator inheriting the fault injector, progress board,
+  /// validator switch, and world-rank mapping; it is NOT a child of this
+  /// one (a later revoke here cannot poison it).  Works on a revoked
+  /// communicator.
+  [[nodiscard]] Comm shrink();
+
+  /// True once revoke() (or a revoking peer) marked this communicator.
+  [[nodiscard]] bool is_revoked() const;
+
+  /// Ranks declared dead so far.
+  [[nodiscard]] int num_dead() const;
+
   // --- Point-to-point (buffered send; matching by (src, dst, tag)) ---
 
   void send_bytes(int dst, const void* data, std::size_t bytes, int tag = 0);

@@ -96,9 +96,32 @@ struct PendingRecv {
   std::shared_ptr<RequestState> state;
 };
 
+/// Rendezvous state of one repair collective (Comm::shrink / Comm::agree).
+/// Unlike ordinary collectives these complete when every rank has either
+/// arrived or been declared dead, so they run on a revoked context.  One
+/// instance per context and kind; the repair protocol is single-flight
+/// (the recovery driver serializes shrink/agree rounds).
+struct RepairState {
+  std::uint64_t gen = 0;  ///< bumped on reset; reused for repeated rounds
+  int arrived = 0;
+  int done = 0;
+  bool ready = false;
+  std::vector<char> joined;  ///< local rank -> arrived this round
+
+  // agree: running Min of the contributed values.
+  long long value = 0;
+
+  // shrink: the survivor communicator under construction.
+  std::shared_ptr<class CommContext> child;
+  std::vector<int> child_rank;  ///< local rank -> rank in child (-1 = dead)
+};
+
 class CommContext {
  public:
-  explicit CommContext(int sz) : size(sz), id(next_id().fetch_add(1)) {}
+  explicit CommContext(int sz)
+      : size(sz),
+        id(next_id().fetch_add(1)),
+        dead(static_cast<std::size_t>(sz), 0) {}
 
   static std::atomic<int>& next_id() {
     static std::atomic<int> counter{0};
@@ -108,21 +131,13 @@ class CommContext {
   /// Marks the communicator (and, recursively, every communicator split
   /// from it) dead with `reason`: all pending and future operations throw
   /// core::CommError(reason).  The first reason wins; later poisons keep it.
-  void poison(const std::string& reason) {
-    std::vector<std::shared_ptr<CommContext>> kids;
-    {
-      std::lock_guard lock(mu);
-      if (!aborted) {
-        aborted = true;
-        poison_reason = reason;
-      }
-      for (auto& w : children) {
-        if (auto c = w.lock()) kids.push_back(std::move(c));
-      }
-      cv.notify_all();
-    }
-    for (auto& k : kids) k->poison(reason);
-  }
+  void poison(const std::string& reason) { poison_impl(reason, false); }
+
+  /// Like poison, but flags the failure as survivable: unwinds raise
+  /// core::RevokedError and survivors may rendezvous in shrink/agree on
+  /// this context.  A revoke upgrades an existing plain poison (the
+  /// unwind class changes; the first reason still wins).
+  void revoke(const std::string& reason) { poison_impl(reason, true); }
 
   void abort() { poison("communicator aborted: a peer rank failed"); }
 
@@ -132,7 +147,14 @@ class CommContext {
   std::mutex mu;
   std::condition_variable cv;
   bool aborted = false;
+  bool revoked = false;  ///< aborted-for-repair: unwinds throw RevokedError
   std::string poison_reason;
+
+  // --- Repair state (ULFM-style revoke/shrink/agree; see comm.hpp) ---
+  std::vector<char> dead;  ///< local rank -> declared dead via mark_dead()
+  int ndead = 0;
+  RepairState shrink_st;
+  RepairState agree_st;
 
   // Barrier (untagged fast path).
   int bar_count = 0;
@@ -151,6 +173,27 @@ class CommContext {
   /// local rank -> world rank; empty when the context was built outside
   /// Runtime::run (diagnostics then report local ranks only).
   std::vector<int> world_ranks;
+
+ private:
+  void poison_impl(const std::string& reason, bool as_revoke) {
+    std::vector<std::shared_ptr<CommContext>> kids;
+    {
+      std::lock_guard lock(mu);
+      if (!aborted) {
+        aborted = true;
+        poison_reason = reason;
+      }
+      if (as_revoke) revoked = true;
+      // A shrink child is deliberately NOT in `children` (it must outlive
+      // its revoked parent), so this recursion can never poison a repaired
+      // communicator -- only ordinary split() offspring.
+      for (auto& w : children) {
+        if (auto c = w.lock()) kids.push_back(std::move(c));
+      }
+      cv.notify_all();
+    }
+    for (auto& k : kids) k->poison_impl(reason, as_revoke);
+  }
 };
 
 }  // namespace fx::mpi::detail

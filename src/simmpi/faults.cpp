@@ -65,11 +65,13 @@ FaultPlan FaultPlan::from_env() {
   env_double("FFTX_FAULT_CORRUPT_PROB", plan.corrupt_prob);
   env_int("FFTX_FAULT_CORRUPT_RANK", plan.corrupt_rank);
   env_u64("FFTX_FAULT_CORRUPT_OP", plan.corrupt_op);
+  env_int("FFTX_FAULT_CORRUPT_COUNT", plan.corrupt_count);
   env_int("FFTX_FAULT_STALL_RANK", plan.stall_rank);
   env_u64("FFTX_FAULT_STALL_OP", plan.stall_op);
   env_double("FFTX_FAULT_STALL_MS", plan.stall_ms);
   env_int("FFTX_FAULT_KILL_RANK", plan.kill_rank);
   env_u64("FFTX_FAULT_KILL_OP", plan.kill_op);
+  env_int("FFTX_FAULT_KILL_COUNT", plan.kill_count);
   env_int("FFTX_FAULT_KIND", plan.only_kind);
   return plan;
 }
@@ -89,7 +91,9 @@ std::uint64_t FaultInjector::on_op(int world_rank, CommOpKind kind) {
 
   // Activation counters: a fault-injection run's metrics dump records
   // exactly what the injector did (cross-checkable against the seed).
-  if (world_rank == plan_.kill_rank && index == plan_.kill_op) {
+  if (plan_.kill_rank >= 0 && world_rank >= plan_.kill_rank &&
+      world_rank < plan_.kill_rank + plan_.kill_count &&
+      index == plan_.kill_op) {
     static core::Counter& kills =
         core::MetricsRegistry::global().counter("simmpi.faults.kills");
     kills.add();
@@ -123,7 +127,9 @@ bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
   const std::uint64_t index =
       corrupt_count_[r].fetch_add(1, std::memory_order_relaxed);
   const bool one_shot =
-      world_rank == plan_.corrupt_rank && index == plan_.corrupt_op;
+      world_rank == plan_.corrupt_rank && index >= plan_.corrupt_op &&
+      index < plan_.corrupt_op +
+                  static_cast<std::uint64_t>(plan_.corrupt_count);
   const bool random =
       plan_.corrupt_prob > 0.0 &&
       decide(plan_.seed, world_rank, index, /*salt=*/2) < plan_.corrupt_prob;

@@ -43,10 +43,14 @@ struct FaultPlan {
   // deterministically chosen bit of the received payload.
   double corrupt_prob = 0.0;
 
-  // Deterministic one-shot corruption: flip a bit in the payload of the
-  // `corrupt_op`-th corruptible operation executed by `corrupt_rank`.
+  // Deterministic corruption: flip a bit in the payload of each of the
+  // `corrupt_count` corruptible operations starting at the `corrupt_op`-th
+  // one executed by `corrupt_rank`.  `corrupt_count` > 1 models persistent
+  // corruption (e.g. a bad link) that outlasts bounded retries but
+  // eventually clears.
   int corrupt_rank = -1;
   std::uint64_t corrupt_op = 0;
+  int corrupt_count = 1;
 
   // Rank stall: the `stall_op`-th operation of `stall_rank` sleeps
   // `stall_ms` before proceeding (models a straggler / OS-jitter spike).
@@ -54,10 +58,12 @@ struct FaultPlan {
   std::uint64_t stall_op = 0;
   double stall_ms = 0.0;
 
-  // Rank kill: the `kill_op`-th operation of `kill_rank` throws
-  // core::FaultError instead of executing.
+  // Rank kill: the `kill_op`-th operation of each of the `kill_count`
+  // consecutive world ranks starting at `kill_rank` throws core::FaultError
+  // instead of executing (multi-kill exercises cascaded shrink recovery).
   int kill_rank = -1;
   std::uint64_t kill_op = 0;
+  int kill_count = 1;
 
   /// Restrict injection to one operation kind (e.g. only Alltoallv);
   /// negative = all kinds.  Compared against static_cast<int>(CommOpKind).
@@ -71,8 +77,9 @@ struct FaultPlan {
 
   /// Reads FFTX_FAULT_SEED, FFTX_FAULT_DELAY_PROB, FFTX_FAULT_DELAY_US,
   /// FFTX_FAULT_CORRUPT_PROB, FFTX_FAULT_CORRUPT_RANK, FFTX_FAULT_CORRUPT_OP,
-  /// FFTX_FAULT_STALL_RANK, FFTX_FAULT_STALL_OP, FFTX_FAULT_STALL_MS,
-  /// FFTX_FAULT_KILL_RANK, FFTX_FAULT_KILL_OP, FFTX_FAULT_KIND.
+  /// FFTX_FAULT_CORRUPT_COUNT, FFTX_FAULT_STALL_RANK, FFTX_FAULT_STALL_OP,
+  /// FFTX_FAULT_STALL_MS, FFTX_FAULT_KILL_RANK, FFTX_FAULT_KILL_OP,
+  /// FFTX_FAULT_KILL_COUNT, FFTX_FAULT_KIND.
   /// Unset vars keep the defaults above (an inactive plan).
   static FaultPlan from_env();
 };

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "core/format.hpp"
+#include "core/hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/timer.hpp"
 
@@ -133,10 +134,18 @@ void Watchdog::monitor(const std::stop_token& stop) {
       // window, the run was drifting toward a watchdog abort -- count it so
       // metrics reveal near-deadlocks that never quite fire.
       if (ops != last_ops && now - last_progress >= cfg_.window_ms / 2000.0) {
+        const double quiet_ms = (now - last_progress) * 1000.0;
+        auto& reg = core::MetricsRegistry::global();
         static core::Counter& near_misses =
-            core::MetricsRegistry::global().counter(
-                "simmpi.watchdog.near_misses");
+            reg.counter("simmpi.watchdog.near_misses");
         near_misses.add();
+        static core::Gauge& worst_quiet =
+            reg.gauge("simmpi.watchdog.near_miss_quiet_ms");
+        worst_quiet.max_of(quiet_ms);
+        core::emit_instant(core::cat("watchdog near-miss: quiet ",
+                                     core::fixed(quiet_ms, 1), " ms of ",
+                                     core::fixed(cfg_.window_ms, 1),
+                                     " ms window"));
       }
       last_ops = ops;
       last_progress = now;

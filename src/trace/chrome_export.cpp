@@ -68,6 +68,14 @@ class Writer {
     os_ << '}';
   }
 
+  void instant(int pid, int tid, const char* cat, const std::string& name,
+               double ts_us) {
+    begin_event();
+    os_ << R"({"ph": "i", "pid": )" << pid << R"(, "tid": )" << tid
+        << R"(, "cat": ")" << cat << R"(", "name": ")" << escaped(name)
+        << R"(", "ts": )" << ts_us << R"(, "s": "p"})";
+  }
+
   void counter(int pid, const std::string& name, double ts_us,
                const char* series, double value) {
     begin_event();
@@ -94,6 +102,7 @@ void save_chrome_trace(const Tracer& tracer, std::ostream& os,
   const auto& compute = tracer.compute_events();
   const auto& comm = tracer.comm_events();
   const auto& tasks = tracer.task_events();
+  const auto& instants = tracer.instant_events();
   const double origin = tracer.t_min();
   const auto us = [origin](double t) { return (t - origin) * 1e6; };
   const auto dur_us = [](double t0, double t1) { return (t1 - t0) * 1e6; };
@@ -105,6 +114,9 @@ void save_chrome_trace(const Tracer& tracer, std::ostream& os,
   for (const auto& e : compute) tracks.insert({e.rank, e.thread});
   for (const auto& e : comm) tracks.insert({e.rank, e.thread});
   for (const auto& e : tasks) tracks.insert({e.rank, e.worker});
+  for (const auto& e : instants) {
+    if (e.rank >= 0) tracks.insert({e.rank, std::max(e.thread, 0)});
+  }
   std::set<int> ranks;
   for (const auto& [rank, thread] : tracks) ranks.insert(rank);
   for (const int rank : ranks) {
@@ -113,6 +125,16 @@ void save_chrome_trace(const Tracer& tracer, std::ostream& os,
   for (const auto& [rank, thread] : tracks) {
     w.metadata(rank, thread, "thread_name",
                "thread " + std::to_string(thread));
+  }
+  // Out-of-band instants (rank -1, e.g. the watchdog's) get a process of
+  // their own above the rank tracks.
+  const int events_pid = ranks.empty() ? 0 : *ranks.rbegin() + 1;
+  const bool any_ambient = std::any_of(
+      instants.begin(), instants.end(),
+      [](const InstantEvent& e) { return e.rank < 0; });
+  if (any_ambient) {
+    w.metadata(events_pid, -1, "process_name", "events");
+    w.metadata(events_pid, 0, "thread_name", "instants");
   }
 
   for (const auto& e : compute) {
@@ -133,6 +155,11 @@ void save_chrome_trace(const Tracer& tracer, std::ostream& os,
   for (const auto& e : tasks) {
     w.complete(e.rank, e.worker, "task", e.label, us(e.t_begin),
                dur_us(e.t_begin, e.t_end), "");
+  }
+  for (const auto& e : instants) {
+    const int pid = e.rank >= 0 ? e.rank : events_pid;
+    const int tid = e.rank >= 0 ? std::max(e.thread, 0) : 0;
+    w.instant(pid, tid, "instant", e.name, us(e.t));
   }
 
   // Counter track 1: collectives in flight, per rank.  Swept from the

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/hooks.hpp"
+#include "core/timer.hpp"
+
 namespace fx::trace {
 
 namespace {
@@ -95,6 +98,11 @@ void Tracer::record_task(const TaskEvent& e) {
   if (!s.tasks.try_push(e)) spill(s.tasks, tasks_, e);
 }
 
+void Tracer::record_instant(const InstantEvent& e) {
+  std::lock_guard lock(flush_mu_);
+  instants_.push_back(e);
+}
+
 void Tracer::flush() const {
   std::lock_guard lock(flush_mu_);
   // Snapshot the shard list; shards_ only grows and entries are stable.
@@ -126,6 +134,11 @@ const std::vector<TaskEvent>& Tracer::task_events() const {
   return tasks_;
 }
 
+const std::vector<InstantEvent>& Tracer::instant_events() const {
+  flush();
+  return instants_;
+}
+
 double Tracer::t_min() const {
   flush();
   std::lock_guard lock(flush_mu_);
@@ -133,6 +146,7 @@ double Tracer::t_min() const {
   for (const auto& e : compute_) t = std::min(t, e.t_begin);
   for (const auto& e : comm_) t = std::min(t, e.t_begin);
   for (const auto& e : tasks_) t = std::min(t, e.t_begin);
+  for (const auto& e : instants_) t = std::min(t, e.t);
   return t == std::numeric_limits<double>::max() ? 0.0 : t;
 }
 
@@ -143,6 +157,7 @@ double Tracer::t_max() const {
   for (const auto& e : compute_) t = std::max(t, e.t_end);
   for (const auto& e : comm_) t = std::max(t, e.t_end);
   for (const auto& e : tasks_) t = std::max(t, e.t_end);
+  for (const auto& e : instants_) t = std::max(t, e.t);
   return t;
 }
 
@@ -161,6 +176,7 @@ void Tracer::normalize_time() {
     e.t_begin -= origin;
     e.t_end -= origin;
   }
+  for (auto& e : instants_) e.t -= origin;
 }
 
 void Tracer::clear() {
@@ -169,6 +185,17 @@ void Tracer::clear() {
   compute_.clear();
   comm_.clear();
   tasks_.clear();
+  instants_.clear();
+}
+
+AmbientTracerScope::AmbientTracerScope(Tracer& tracer) {
+  token_ = core::install_instant_sink([&tracer](const std::string& name) {
+    tracer.record_instant({-1, -1, name, core::WallTimer::now()});
+  });
+}
+
+AmbientTracerScope::~AmbientTracerScope() {
+  core::remove_instant_sink(token_);
 }
 
 }  // namespace fx::trace

@@ -75,6 +75,17 @@ struct TaskEvent {
   double t_end;
 };
 
+/// A rare point-in-time marker (watchdog near-miss, communicator repair,
+/// checkpoint commit).  rank/thread may be -1 when the emitting layer does
+/// not know them (out-of-band events via core::emit_instant); the Chrome
+/// exporter puts those on a dedicated "events" track.
+struct InstantEvent {
+  int rank;
+  int thread;
+  std::string name;
+  double t;
+};
+
 /// Collection strategy.  Sharded is the default; Mutex keeps the old
 /// global-mutex append path alive as the A/B baseline for
 /// bench_real_pipeline's overhead measurement.
@@ -92,6 +103,9 @@ class Tracer {
   void record_compute(const ComputeEvent& e);
   void record_comm(const CommOpEvent& e);
   void record_task(const TaskEvent& e);
+  /// Instants are rare by contract, so they always take the mutex path
+  /// (no ring) regardless of mode.
+  void record_instant(const InstantEvent& e);
 
   [[nodiscard]] int nranks() const { return nranks_; }
   [[nodiscard]] TracerMode mode() const { return mode_; }
@@ -101,6 +115,7 @@ class Tracer {
   [[nodiscard]] const std::vector<ComputeEvent>& compute_events() const;
   [[nodiscard]] const std::vector<CommOpEvent>& comm_events() const;
   [[nodiscard]] const std::vector<TaskEvent>& task_events() const;
+  [[nodiscard]] const std::vector<InstantEvent>& instant_events() const;
 
   /// Earliest / latest timestamp over all streams (0 if empty).  Flushes.
   [[nodiscard]] double t_min() const;
@@ -186,7 +201,25 @@ class Tracer {
   mutable std::vector<ComputeEvent> compute_;
   mutable std::vector<CommOpEvent> comm_;
   mutable std::vector<TaskEvent> tasks_;
+  mutable std::vector<InstantEvent> instants_;
   mutable std::atomic<std::uint64_t> spills_{0};
+};
+
+/// Installs `tracer` as the process-global instant sink (core/hooks.hpp)
+/// for the scope's lifetime: core::emit_instant() calls from layers that
+/// hold no tracer reference (the simmpi watchdog, the recovery driver)
+/// become InstantEvents on this tracer.  Inert if another sink is already
+/// installed.  The tracer must outlive the scope.
+class AmbientTracerScope {
+ public:
+  explicit AmbientTracerScope(Tracer& tracer);
+  ~AmbientTracerScope();
+
+  AmbientTracerScope(const AmbientTracerScope&) = delete;
+  AmbientTracerScope& operator=(const AmbientTracerScope&) = delete;
+
+ private:
+  std::uint64_t token_ = 0;
 };
 
 }  // namespace fx::trace

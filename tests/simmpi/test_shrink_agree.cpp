@@ -1,0 +1,244 @@
+// Communicator repair: revoke/agree/shrink semantics, multi-kill fault
+// injection, and the watchdog's near-miss telemetry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/faults.hpp"
+#include "simmpi/runtime.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using fx::core::CommError;
+using fx::core::FaultError;
+using fx::core::RevokedError;
+using fx::mpi::Comm;
+using fx::mpi::CommOpKind;
+using fx::mpi::FaultInjector;
+using fx::mpi::FaultPlan;
+using fx::mpi::ReduceOp;
+using fx::mpi::RunOptions;
+using fx::mpi::Runtime;
+
+RunOptions quiet_options() {
+  RunOptions opts;
+  opts.watchdog.window_ms = 60000.0;
+  return opts;
+}
+
+TEST(Agree, ReturnsMinOverAllRanks) {
+  Runtime::run(4, quiet_options(), [&](Comm& comm) {
+    const long long mine = comm.rank() + 10;
+    EXPECT_EQ(comm.agree(mine), 10);
+    // A second round reuses the rendezvous state cleanly.
+    EXPECT_EQ(comm.agree(100 - comm.rank()), 97);
+  });
+}
+
+TEST(Revoke, UnwindsPeersWithRevokedError) {
+  std::atomic<int> revoked_unwinds{0};
+  Runtime::run(2, quiet_options(), [&](Comm& comm) {
+    if (comm.rank() == 0) comm.revoke("test revoke");
+    try {
+      for (;;) comm.barrier();
+    } catch (const RevokedError& e) {
+      // RevokedError derives from CommError, so pre-recovery catch sites
+      // keep working; the reason names the revoking rank.
+      EXPECT_NE(std::string(e.what()).find("revoked"), std::string::npos);
+      revoked_unwinds.fetch_add(1);
+    }
+    EXPECT_TRUE(comm.is_revoked());
+  });
+  EXPECT_EQ(revoked_unwinds.load(), 2);
+}
+
+TEST(Revoke, PoisonsNestedSplitChildren) {
+  std::atomic<int> unwound{0};
+  // Out-of-band rendezvous: the revoke must not land while a rank is still
+  // inside split()'s exit path, or it would unwind from the split instead
+  // of from the child collective this test is about.
+  std::atomic<int> split_done{0};
+  Runtime::run(4, quiet_options(), [&](Comm& world) {
+    Comm child = world.split(world.rank() % 2, world.rank());
+    split_done.fetch_add(1);
+    if (world.rank() == 0) {
+      while (split_done.load() < 4) std::this_thread::yield();
+      world.revoke("repair needed");
+    }
+    try {
+      // Child barriers run until the parent's revoke reaches the child;
+      // ranks 1 and 3 share a child and may complete a few rounds first.
+      for (;;) child.barrier();
+    } catch (const CommError& e) {
+      EXPECT_NE(std::string(e.what()).find("revoked"), std::string::npos);
+      unwound.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(unwound.load(), 4);
+}
+
+TEST(Shrink, WithoutDeathsYieldsSameSizeWorkingComm) {
+  Runtime::run(3, quiet_options(), [&](Comm& comm) {
+    comm.revoke("spurious failure, no deaths");
+    Comm fresh = comm.shrink();
+    EXPECT_EQ(fresh.size(), 3);
+    EXPECT_EQ(fresh.rank(), comm.rank());
+    EXPECT_FALSE(fresh.is_revoked());
+    int one = 1;
+    int sum = 0;
+    fresh.allreduce(&one, &sum, 1, ReduceOp::Sum);
+    EXPECT_EQ(sum, 3);
+    // The repaired comm is independent of the revoked parent: a late revoke
+    // of the parent must not poison it.
+    comm.revoke("second revoke after repair");
+    fresh.barrier();
+  });
+}
+
+TEST(Shrink, AfterKillProducesDenseSurvivorComm) {
+  RunOptions opts = quiet_options();
+  opts.faults.kill_rank = 1;
+  opts.faults.kill_op = 3;
+  std::atomic<int> survivors{0};
+  std::atomic<int> died{0};
+  Runtime::run(4, opts, [&](Comm& comm) {
+    try {
+      for (int it = 0; it < 8; ++it) {
+        double x = 1.0;
+        double sum = 0.0;
+        comm.allreduce(&x, &sum, 1, ReduceOp::Sum);
+      }
+    } catch (const FaultError&) {
+      // The injected kill: unwind the peers, declare death, bow out.
+      comm.revoke("killed by fault injection");
+      comm.mark_dead();
+      died.fetch_add(1);
+      return;
+    } catch (const CommError&) {
+      comm.revoke("peer failure");
+    }
+    EXPECT_EQ(comm.agree(comm.rank()), 0);  // Min over survivors {0, 2, 3}
+    // agree() completes only once the dead rank is accounted for, so the
+    // death count is stable to read now.
+    EXPECT_EQ(comm.num_dead(), 1);
+    Comm fresh = comm.shrink();
+    EXPECT_EQ(fresh.size(), 3);
+    // Survivor ranks are dense 0..2 in old-rank order.
+    const int expect_rank = comm.rank() == 0 ? 0 : comm.rank() - 1;
+    EXPECT_EQ(fresh.rank(), expect_rank);
+    double one = 1.0;
+    double total = 0.0;
+    fresh.allreduce(&one, &total, 1, ReduceOp::Sum);
+    EXPECT_EQ(total, 3.0);
+    survivors.fetch_add(1);
+  });
+  EXPECT_EQ(died.load(), 1);
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+TEST(FaultPlanExt, KillCountKillsARangeOfRanks) {
+  RunOptions opts = quiet_options();
+  opts.faults.kill_rank = 1;
+  opts.faults.kill_count = 2;
+  opts.faults.kill_op = 2;
+  std::atomic<int> died{0};
+  std::atomic<int> survivors{0};
+  std::atomic<int> final_size{-1};
+  Runtime::run(4, opts, [&](Comm& world) {
+    // The full recovery protocol: the two kills may land in one round or
+    // staggered across two (a rank unwound by the first revoke before
+    // reaching its own kill op dies on its next op after the repair).
+    Comm comm = world;
+    for (;;) {
+      try {
+        for (int it = 0; it < 6; ++it) comm.barrier();
+        break;
+      } catch (const FaultError&) {
+        comm.revoke("killed");
+        comm.mark_dead();
+        died.fetch_add(1);
+        return;
+      } catch (const CommError&) {
+        comm.revoke("peer failure");
+        comm = comm.shrink();
+      }
+    }
+    final_size.store(comm.size());
+    survivors.fetch_add(1);
+  });
+  EXPECT_EQ(final_size.load(), 2);
+  EXPECT_EQ(died.load(), 2);
+  EXPECT_EQ(survivors.load(), 2);
+}
+
+TEST(FaultPlanExt, CorruptCountSpansConsecutiveOps) {
+  FaultPlan plan;
+  plan.corrupt_rank = 0;
+  plan.corrupt_op = 1;
+  plan.corrupt_count = 3;
+  FaultInjector injector(plan, 1);
+  std::vector<unsigned char> buf(16, 0);
+  const auto hit = [&] {
+    return injector.maybe_corrupt(0, CommOpKind::Alltoallv, buf.data(),
+                                  buf.size());
+  };
+  EXPECT_FALSE(hit());  // op 0: before the window
+  EXPECT_TRUE(hit());   // ops 1..3: inside
+  EXPECT_TRUE(hit());
+  EXPECT_TRUE(hit());
+  EXPECT_FALSE(hit());  // op 4: window passed
+}
+
+TEST(FaultPlanExt, FromEnvReadsCountKnobs) {
+  ::setenv("FFTX_FAULT_KILL_RANK", "1", 1);
+  ::setenv("FFTX_FAULT_KILL_COUNT", "3", 1);
+  ::setenv("FFTX_FAULT_CORRUPT_RANK", "0", 1);
+  ::setenv("FFTX_FAULT_CORRUPT_COUNT", "5", 1);
+  const FaultPlan plan = FaultPlan::from_env();
+  EXPECT_EQ(plan.kill_count, 3);
+  EXPECT_EQ(plan.corrupt_count, 5);
+  ::unsetenv("FFTX_FAULT_KILL_RANK");
+  ::unsetenv("FFTX_FAULT_KILL_COUNT");
+  ::unsetenv("FFTX_FAULT_CORRUPT_RANK");
+  ::unsetenv("FFTX_FAULT_CORRUPT_COUNT");
+}
+
+TEST(Watchdog, NearMissFeedsGaugeAndTraceInstant) {
+  fx::trace::Tracer tracer(2);
+  {
+    fx::trace::AmbientTracerScope ambient(tracer);
+    RunOptions opts;
+    opts.watchdog.window_ms = 400.0;
+    Runtime::run(2, opts, [&](Comm& comm) {
+      comm.barrier();
+      // Rank 1 parks long enough that rank 0's barrier wait crosses half
+      // the watchdog window (a near-miss) but completes before it fires.
+      if (comm.rank() == 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      }
+      comm.barrier();
+      // Give the monitor a poll cycle to observe the resumed progress.
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      comm.barrier();
+    });
+  }
+  auto& reg = fx::core::MetricsRegistry::global();
+  EXPECT_GE(reg.gauge("simmpi.watchdog.near_miss_quiet_ms").value(), 200.0);
+  bool saw_instant = false;
+  for (const auto& e : tracer.instant_events()) {
+    if (e.name.find("watchdog near-miss") != std::string::npos) {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+}
+
+}  // namespace
