@@ -33,14 +33,18 @@ GuardMetrics& guard_metrics() {
 
 }  // namespace
 
-std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+std::uint64_t fnv1a(std::uint64_t seed, const void* data, std::size_t bytes) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t h = seed;
   for (std::size_t i = 0; i < bytes; ++i) {
     h ^= p[i];
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  return fnv1a(0xcbf29ce484222325ULL, data, bytes);
 }
 
 bool default_guard_exchanges() {
@@ -109,6 +113,92 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
     if (all_cont == 0) {
       throw core::CommError(core::cat(
           "guarded alltoallv: payload corruption persists after ",
+          retry.attempt(), " retries on comm ", comm.id(), " (tag ", tag,
+          "): rank ", comm.rank(),
+          bad_peer >= 0
+              ? core::cat(" sees a checksum mismatch in the segment from "
+                          "rank ",
+                          bad_peer)
+              : std::string(" is retrying for a corrupted peer")));
+    }
+    guard_metrics().retries.add();
+    if (stats != nullptr) {
+      stats->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    guard_metrics().retry_backoff_ms.record(retry.backoff());
+  }
+}
+
+namespace {
+
+/// Digest of the logical element stream of one scatter-gather segment.
+std::uint64_t fnv1a_view(const fft::cplx* base, mpi::SegView view) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const mpi::SegRun& run : view) {
+    if (run.stride == 1) {
+      h = fnv1a(h, base + run.offset, run.len * sizeof(fft::cplx));
+    } else {
+      for (std::size_t i = 0; i < run.len; ++i) {
+        h = fnv1a(h, base + run.offset + i * run.stride, sizeof(fft::cplx));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
+                            std::span<const mpi::SegView> sviews,
+                            fft::cplx* recv_base,
+                            std::span<const mpi::SegView> rviews, int tag,
+                            int max_retries, GuardStats* stats) {
+  const auto n = static_cast<std::size_t>(comm.size());
+  std::vector<std::uint64_t> sent_sums(n);
+  std::vector<std::uint64_t> want_sums(n);
+
+  core::RetryPolicy policy = core::RetryPolicy::from_env();
+  policy.max_attempts = max_retries + 1;
+  core::RetryController retry(
+      policy, (static_cast<std::uint64_t>(comm.id()) << 32) ^
+                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+
+  for (;;) {
+    for (std::size_t p = 0; p < n; ++p) {
+      sent_sums[p] = fnv1a_view(send_base, sviews[p]);
+    }
+    // Digests ride an Alltoall (distinct kind), the payload the blocking
+    // view exchange -- same matching discipline as the contiguous form.
+    comm.alltoall_bytes(sent_sums.data(), want_sums.data(),
+                        sizeof(std::uint64_t), tag);
+    comm.alltoallv_view(send_base, sviews, recv_base, rviews,
+                        sizeof(fft::cplx), tag);
+
+    int bad_peer = -1;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (fnv1a_view(recv_base, rviews[p]) != want_sums[p]) {
+        bad_peer = static_cast<int>(p);
+        break;
+      }
+    }
+    if (bad_peer >= 0) guard_metrics().checksum_failures.add();
+    int ok = bad_peer < 0 ? 1 : 0;
+    int all_ok = 0;
+    comm.allreduce(&ok, &all_ok, 1, mpi::ReduceOp::Min, tag);
+    if (all_ok == 1) {
+      guard_metrics().exchanges.add();
+      if (stats != nullptr) {
+        stats->exchanges.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    int cont = retry.should_retry() ? 1 : 0;
+    int all_cont = 0;
+    comm.allreduce(&cont, &all_cont, 1, mpi::ReduceOp::Min, tag);
+    if (all_cont == 0) {
+      throw core::CommError(core::cat(
+          "guarded alltoallv (fused view): payload corruption persists "
+          "after ",
           retry.attempt(), " retries on comm ", comm.id(), " (tag ", tag,
           "): rank ", comm.rank(),
           bad_peer >= 0

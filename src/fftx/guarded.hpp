@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 #include "fft/types.hpp"
 #include "simmpi/comm.hpp"
@@ -35,6 +36,12 @@ struct GuardStats {
 /// FNV-1a 64-bit checksum of a byte range (the guard's segment digest).
 [[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes);
 
+/// Seed-continuation form: extends `seed` (a prior fnv1a result or the FNV
+/// offset basis) over another byte range, so a scatter-gather segment can
+/// be digested run by run without staging it contiguously.
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t seed, const void* data,
+                                  std::size_t bytes);
+
 /// Alltoallv with end-to-end payload verification and bounded retry (see
 /// file comment).  Collective over `comm`; every rank must pass the same
 /// `tag` and `max_retries`.  Throws core::CommError when `max_retries`
@@ -44,6 +51,19 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
                        fft::cplx* recv, const std::size_t* rcounts,
                        const std::size_t* rdispls, int tag, int max_retries,
                        GuardStats* stats);
+
+/// Scatter-gather form of guarded_alltoallv for the fused (zero-copy)
+/// transpose layouts: per-peer segments are mpi::SegView run lists over the
+/// send/recv bases instead of contiguous (count, displ) slices.  Checksums
+/// walk the logical element stream of each view, so the digests agree with
+/// whatever layout the peer uses for the same segment.  The payload moves
+/// through the blocking view exchange; retry/agreement semantics are
+/// identical to the contiguous form.
+void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
+                            std::span<const mpi::SegView> sviews,
+                            fft::cplx* recv_base,
+                            std::span<const mpi::SegView> rviews, int tag,
+                            int max_retries, GuardStats* stats);
 
 /// Default of PipelineConfig::guard_exchanges: FFTX_GUARD_EXCHANGES != 0.
 [[nodiscard]] bool default_guard_exchanges();

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "core/error.hpp"
 #include "core/format.hpp"
+#include "core/metrics.hpp"
 #include "core/timer.hpp"
 #include "pw/wavefunction.hpp"
 #include "trace/span.hpp"
@@ -21,7 +24,72 @@ namespace {
 /// Timeline row for the current thread: worker id inside task modes, row 0
 /// for the orchestrator / Original mode.
 int trace_tid() { return std::max(0, task::current_worker_id()); }
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
+}
+
+// Exchange-path health: staging_bytes counts every byte the staged
+// (non-fused) transposes marshal through intermediate buffers (zero when
+// the fused layouts are on -- that is the "zero-copy" claim, measurable);
+// overlap_hidden_ms is, per overlapped chunk wait, the post-to-wait-entry
+// window in which the exchange progressed behind compute.
+struct ExchangeMetrics {
+  core::Counter& staging_bytes;
+  core::Histogram& staging_us;
+  core::Histogram& overlap_hidden_ms;
+};
+
+ExchangeMetrics& exchange_metrics() {
+  auto& reg = core::MetricsRegistry::global();
+  static ExchangeMetrics m{
+      reg.counter("fftx.exchange.staging_bytes"),
+      reg.histogram("fftx.exchange.staging_us"),
+      reg.histogram("fftx.exchange.overlap_hidden_ms")};
+  return m;
+}
+
+/// Times one staged marshal/unmarshal block into staging_us.  Staging copy
+/// time is exchange-path time the fused layouts eliminate, so the
+/// exchange-engine A/B sums it with the wait histograms to compare full
+/// exchange cost across variants.
+class StagingTimer {
+ public:
+  StagingTimer() : t0_(core::WallTimer::now()) {}
+  ~StagingTimer() {
+    exchange_metrics().staging_us.record((core::WallTimer::now() - t0_) *
+                                         1e6);
+  }
+
+ private:
+  double t0_;
+};
+
+/// Deterministic stick-chunk boundary: chunk c of C over n sticks.  Pure
+/// arithmetic on globally known quantities, so every rank derives every
+/// peer's chunks without communicating.
+std::size_t chunk_bound(std::size_t n, int c, int nchunks) {
+  return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(nchunks);
+}
 }  // namespace
+
+bool default_fused_exchange() { return env_flag("FFTX_FUSED_EXCHANGE"); }
+
+bool default_overlap_exchange() { return env_flag("FFTX_OVERLAP_EXCHANGE"); }
+
+int default_overlap_chunks() {
+  // Chunking only pays when rank-threads actually run concurrently: on a
+  // single hardware thread every extra chunk is pure context-switch and
+  // post/wait overhead, so fall back to one chunk (still nonblocking --
+  // the exchange is posted before the last Z-FFT batch and progresses at
+  // whichever endpoint posts second).
+  const int fallback = std::thread::hardware_concurrency() > 1 ? 4 : 1;
+  const char* v = std::getenv("FFTX_OVERLAP_CHUNKS");
+  if (v == nullptr || *v == '\0') return fallback;
+  const long n = std::strtol(v, nullptr, 10);
+  return n >= 1 ? static_cast<int>(n) : fallback;
+}
 
 const char* to_string(PipelineMode mode) {
   switch (mode) {
@@ -72,8 +140,12 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
            "world size does not match descriptor");
   FX_CHECK(cfg_.num_bands >= 1 && cfg_.num_bands % desc_->ntg() == 0,
            "num_bands must be a positive multiple of ntg");
+  FX_CHECK(cfg_.overlap_chunks >= 1, "overlap_chunks must be >= 1");
   FX_ASSERT(pack_.size() == desc_->ntg() && pack_.rank() == g_);
   FX_ASSERT(scat_.size() == desc_->group_size() && scat_.rank() == b_);
+
+  fused_ = cfg_.fused_exchange || cfg_.overlap_exchange;
+  overlap_ = cfg_.overlap_exchange;
 
   const int ntg = desc_->ntg();
   const int rgroup = desc_->group_size();
@@ -81,8 +153,7 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
   const std::size_t nst_b = desc_->nsticks_group(b_);
   const std::size_t npz_b = desc_->npz(b_);
 
-  psi_.resize(static_cast<std::size_t>(cfg_.num_bands));
-  for (auto& band : psi_) band.resize(ng_w);
+  psi_arena_.resize(static_cast<std::size_t>(cfg_.num_bands) * ng_w);
 
   if (cfg_.apply_potential) {
     vslab_.resize(npz_b * desc_->dims().plane());
@@ -119,6 +190,30 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
     roff += scat_recv_counts_[pu];
   }
 
+  if (fused_) {
+    // Fused scatter layouts (see the header): stick-ordered runs so any
+    // overlap chunk is a contiguous sub-slice on both sides.
+    const std::size_t nz = desc_->dims().nz;
+    const std::size_t nxny = desc_->dims().plane();
+    scat_send_runs_.resize(static_cast<std::size_t>(rgroup));
+    scat_recv_runs_.resize(static_cast<std::size_t>(rgroup));
+    for (int p = 0; p < rgroup; ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      const std::size_t first = desc_->first_plane(p);
+      const std::size_t count = desc_->npz(p);
+      scat_send_runs_[pu].reserve(nst_b);
+      for (std::size_t s = 0; s < nst_b; ++s) {
+        scat_send_runs_[pu].push_back(mpi::SegRun{s * nz + first, count, 1});
+      }
+      const auto sticks = desc_->group_sticks(p);
+      scat_recv_runs_[pu].reserve(sticks.size());
+      for (std::size_t s : sticks) {
+        scat_recv_runs_[pu].push_back(
+            mpi::SegRun{desc_->stick_xy(s), npz_b, nxny});
+      }
+    }
+  }
+
   if (tracer_ != nullptr) {
     auto forward = [this](const mpi::CommEvent& e) {
       tracer_->record_comm(trace::CommOpEvent{
@@ -143,12 +238,16 @@ std::unique_ptr<BandFftPipeline::WorkBuffers> BandFftPipeline::make_buffers()
     const {
   auto wb = std::make_unique<WorkBuffers>();
   const std::size_t ng_w = desc_->ng_world(w_);
-  wb->pack_send.resize(static_cast<std::size_t>(desc_->ntg()) * ng_w);
   wb->band_g.resize(desc_->ng_group(b_));
   wb->pencil.resize(desc_->pencil_size(b_));
-  wb->stage.resize(desc_->pencil_size(b_));
-  wb->plane_stage.resize(desc_->total_sticks() * desc_->npz(b_));
   wb->planes.resize(desc_->plane_size(b_));
+  if (!fused_) {
+    // The staging buffers exist only on the marshalled path; the fused
+    // exchanges address pencil/planes/psi directly.
+    wb->pack_send.resize(static_cast<std::size_t>(desc_->ntg()) * ng_w);
+    wb->stage.resize(desc_->pencil_size(b_));
+    wb->plane_stage.resize(desc_->total_sticks() * desc_->npz(b_));
+  }
   return wb;
 }
 
@@ -173,7 +272,7 @@ void BandFftPipeline::initialize_bands(int first_band) {
   const auto ordered = desc_->world_sticks().stick_ordered_g();
   const auto index = desc_->world_g_index(w_);
   for (int n = 0; n < cfg_.num_bands; ++n) {
-    auto& band = psi_[static_cast<std::size_t>(n)];
+    cplx* band = band_data(n);
     for (std::size_t k = 0; k < index.size(); ++k) {
       band[k] = pw::wf_coefficient(first_band + n, ordered[index[k]]);
     }
@@ -181,7 +280,8 @@ void BandFftPipeline::initialize_bands(int first_band) {
 }
 
 std::span<const cplx> BandFftPipeline::band(int n) const {
-  return psi_[static_cast<std::size_t>(n)];
+  const std::size_t ng_w = desc_->ng_world(w_);
+  return {psi_arena_.data() + static_cast<std::size_t>(n) * ng_w, ng_w};
 }
 
 void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
@@ -197,6 +297,20 @@ void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
   }
 }
 
+void BandFftPipeline::exchange_view(mpi::Comm& comm, const cplx* send_base,
+                                    std::span<const mpi::SegView> sviews,
+                                    cplx* recv_base,
+                                    std::span<const mpi::SegView> rviews,
+                                    int tag) {
+  if (cfg_.guard_exchanges) {
+    guarded_alltoallv_view(comm, send_base, sviews, recv_base, rviews, tag,
+                           cfg_.guard_max_retries, &guard_stats_);
+  } else {
+    comm.alltoallv_view(send_base, sviews, recv_base, rviews, sizeof(cplx),
+                        tag);
+  }
+}
+
 void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
   const int ntg = desc_->ntg();
   const std::size_t ng_w = desc_->ng_world(w_);
@@ -206,21 +320,43 @@ void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
     // same shortcut QE takes when task groups are off.
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Pack, iter,
                    trace::copy_cost(ng_w).instructions);
-    const auto& src = psi_[static_cast<std::size_t>(iter)];
-    std::copy(src.begin(), src.end(), wb.band_g.begin());
+    const cplx* src = band_data(iter);
+    std::copy(src, src + ng_w, wb.band_g.begin());
+    return;
+  }
+  if (fused_) {
+    // Zero-copy pack: member m's segment is band iter + m in the psi
+    // arena; the exchange gathers straight from there into band_g.
+    const auto nu = static_cast<std::size_t>(ntg);
+    std::vector<mpi::SegRun> sruns(nu);
+    std::vector<mpi::SegRun> rruns(nu);
+    std::vector<mpi::SegView> sviews(nu);
+    std::vector<mpi::SegView> rviews(nu);
+    for (std::size_t m = 0; m < nu; ++m) {
+      sruns[m] = mpi::SegRun{
+          (static_cast<std::size_t>(iter) + m) * ng_w, ng_w, 1};
+      rruns[m] = mpi::SegRun{pack_displs_[m], pack_counts_[m], 1};
+      sviews[m] = mpi::SegView(&sruns[m], 1);
+      rviews[m] = mpi::SegView(&rruns[m], 1);
+    }
+    exchange_view(pack_, psi_arena_.data(), sviews, wb.band_g.data(), rviews,
+                  /*tag=*/iter);
     return;
   }
   {
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Pack, iter,
                    trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
                        .instructions);
+    StagingTimer staging_timer;
     for (int m = 0; m < ntg; ++m) {
-      const auto& src = psi_[static_cast<std::size_t>(iter + m)];
-      std::copy(src.begin(), src.end(),
+      const cplx* src = band_data(iter + m);
+      std::copy(src, src + ng_w,
                 wb.pack_send.begin() +
                     static_cast<std::ptrdiff_t>(
                         static_cast<std::size_t>(m) * ng_w));
     }
+    exchange_metrics().staging_bytes.add(static_cast<std::size_t>(ntg) *
+                                         ng_w * sizeof(cplx));
   }
   exchange(pack_, wb.pack_send.data(), pack_send_counts_.data(),
            pack_send_displs_.data(), wb.band_g.data(), pack_counts_.data(),
@@ -238,18 +374,23 @@ void BandFftPipeline::do_psi_prep(WorkBuffers& wb, int iter) {
   }
 }
 
-void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
-                               bool use_taskloop) {
+void BandFftPipeline::fft_z_range(WorkBuffers& wb, int iter, Direction dir,
+                                  std::size_t lo, std::size_t hi) {
   const std::size_t nz = desc_->dims().nz;
-  const std::size_t nst = desc_->nsticks_group(b_);
   const fft::BatchPlan1d& plan =
       dir == Direction::Backward ? *z_to_real_ : *z_to_recip_;
+  FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::FftZ, iter,
+                 trace::fft_cost((hi - lo) * nz, nz).instructions);
+  plan.execute_many(hi - lo, wb.pencil.data() + lo * nz, 1, nz,
+                    wb.pencil.data() + lo * nz, 1, nz,
+                    fft::thread_workspace());
+}
+
+void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
+                               bool use_taskloop) {
+  const std::size_t nst = desc_->nsticks_group(b_);
   auto chunk = [&](std::size_t lo, std::size_t hi) {
-    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::FftZ, iter,
-                   trace::fft_cost((hi - lo) * nz, nz).instructions);
-    plan.execute_many(hi - lo, wb.pencil.data() + lo * nz, 1, nz,
-                      wb.pencil.data() + lo * nz, 1, nz,
-                      fft::thread_workspace());
+    fft_z_range(wb, iter, dir, lo, hi);
   };
   if (use_taskloop && rt_ != nullptr && nst > 0) {
     rt_->taskloop("fft_z", 0, nst, cfg_.grain_z, chunk);
@@ -265,9 +406,31 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
   const std::size_t nxny = desc_->dims().plane();
   const int rgroup = desc_->group_size();
 
+  if (fused_) {
+    // Zero-copy scatter: the exchange reads stick sections straight out of
+    // the pencil buffer and lands them at each stick's (x, y) column of
+    // the zero-filled planes -- both marshalling passes are gone.
+    const auto ru = static_cast<std::size_t>(rgroup);
+    std::vector<mpi::SegView> sviews(ru);
+    std::vector<mpi::SegView> rviews(ru);
+    for (std::size_t p = 0; p < ru; ++p) {
+      sviews[p] = mpi::SegView(scat_send_runs_[p]);
+      rviews[p] = mpi::SegView(scat_recv_runs_[p]);
+    }
+    {
+      FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Scatter,
+                     iter, trace::copy_cost(wb.planes.size()).instructions);
+      std::fill(wb.planes.begin(), wb.planes.end(), cplx{0.0, 0.0});
+    }
+    exchange_view(scat_, wb.pencil.data(), sviews, wb.planes.data(), rviews,
+                  /*tag=*/iter);
+    return;
+  }
+
   {  // Marshal pencil sections per destination rank: [peer][stick][iz].
     trace::ScopedSpan span(tracer_, w_, trace_tid(),
                            trace::PhaseKind::Scatter, iter);
+    StagingTimer staging_timer;
     std::size_t pos = 0;
     for (int p = 0; p < rgroup; ++p) {
       const std::size_t first = desc_->first_plane(p);
@@ -279,6 +442,7 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
       }
     }
     span.set_instructions(trace::copy_cost(pos).instructions);
+    exchange_metrics().staging_bytes.add(pos * sizeof(cplx));
   }
 
   exchange(scat_, wb.stage.data(), scat_send_counts_.data(),
@@ -289,6 +453,7 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
   {  // Unmarshal into zero-filled planes at each stick's (x, y).
     trace::ScopedSpan span(tracer_, w_, trace_tid(),
                            trace::PhaseKind::Scatter, iter);
+    StagingTimer staging_timer;
     std::fill(wb.planes.begin(), wb.planes.end(), cplx{0.0, 0.0});
     std::size_t pos = 0;
     for (int q = 0; q < rgroup; ++q) {
@@ -301,6 +466,7 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
     }
     span.set_instructions(
         trace::copy_cost(wb.planes.size() + pos).instructions);
+    exchange_metrics().staging_bytes.add(pos * sizeof(cplx));
   }
 }
 
@@ -340,9 +506,26 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
   const std::size_t nxny = desc_->dims().plane();
   const int rgroup = desc_->group_size();
 
+  if (fused_) {
+    // The forward layouts with the sides swapped: (x, y) columns of the
+    // planes go back to stick sections of the pencil, which is covered
+    // exactly once (no zero fill needed).
+    const auto ru = static_cast<std::size_t>(rgroup);
+    std::vector<mpi::SegView> sviews(ru);
+    std::vector<mpi::SegView> rviews(ru);
+    for (std::size_t p = 0; p < ru; ++p) {
+      sviews[p] = mpi::SegView(scat_recv_runs_[p]);
+      rviews[p] = mpi::SegView(scat_send_runs_[p]);
+    }
+    exchange_view(scat_, wb.planes.data(), sviews, wb.pencil.data(), rviews,
+                  /*tag=*/iter);
+    return;
+  }
+
   {  // Marshal plane sticks back: exact reverse of the forward unmarshal.
     trace::ScopedSpan span(tracer_, w_, trace_tid(),
                            trace::PhaseKind::Scatter, iter);
+    StagingTimer staging_timer;
     std::size_t pos = 0;
     for (int q = 0; q < rgroup; ++q) {
       for (std::size_t s : desc_->group_sticks(q)) {
@@ -353,6 +536,7 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
       }
     }
     span.set_instructions(trace::copy_cost(pos).instructions);
+    exchange_metrics().staging_bytes.add(pos * sizeof(cplx));
   }
 
   // Counts swap relative to the forward scatter.
@@ -364,6 +548,7 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
   {  // Unmarshal pencil sections: reverse of the forward marshal.
     trace::ScopedSpan span(tracer_, w_, trace_tid(),
                            trace::PhaseKind::Scatter, iter);
+    StagingTimer staging_timer;
     std::size_t pos = 0;
     for (int p = 0; p < rgroup; ++p) {
       const std::size_t first = desc_->first_plane(p);
@@ -375,6 +560,164 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
       }
     }
     span.set_instructions(trace::copy_cost(pos).instructions);
+    exchange_metrics().staging_bytes.add(pos * sizeof(cplx));
+  }
+}
+
+void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
+                                          bool use_taskloop) {
+  const std::size_t nst = desc_->nsticks_group(b_);
+  const auto ru = static_cast<std::size_t>(desc_->group_size());
+  const int nchunks = cfg_.overlap_chunks;
+
+  // Deferred until right before the first chunk's exchange (which scatters
+  // into the zeroed grid): zeroing planes up front would only let the
+  // Z-FFT evict them again.
+  auto zero_planes = [&] {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Scatter, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    std::fill(wb.planes.begin(), wb.planes.end(), cplx{0.0, 0.0});
+  };
+
+  auto fft_chunk = [&](std::size_t lo, std::size_t hi) {
+    if (use_taskloop && rt_ != nullptr && hi > lo) {
+      rt_->taskloop("fft_z", lo, hi, cfg_.grain_z,
+                    [&](std::size_t clo, std::size_t chi) {
+                      fft_z_range(wb, iter, Direction::Backward, clo, chi);
+                    });
+    } else {
+      fft_z_range(wb, iter, Direction::Backward, lo, hi);
+    }
+  };
+  // Chunk c of any rank with n sticks is [n*c/C, n*(c+1)/C): globally
+  // agreed arithmetic, so the per-chunk receive views below line up with
+  // what each peer posts for the same chunk.
+  auto chunk_views = [&](int c, std::vector<mpi::SegView>& sviews,
+                         std::vector<mpi::SegView>& rviews) {
+    const std::size_t lo = chunk_bound(nst, c, nchunks);
+    const std::size_t hi = chunk_bound(nst, c + 1, nchunks);
+    for (std::size_t p = 0; p < ru; ++p) {
+      sviews[p] = mpi::SegView(scat_send_runs_[p].data() + lo, hi - lo);
+      const std::size_t nq = scat_recv_runs_[p].size();
+      const std::size_t qlo = chunk_bound(nq, c, nchunks);
+      const std::size_t qhi = chunk_bound(nq, c + 1, nchunks);
+      rviews[p] = mpi::SegView(scat_recv_runs_[p].data() + qlo, qhi - qlo);
+    }
+    return std::pair{lo, hi};
+  };
+
+  std::vector<mpi::SegView> sviews(ru);
+  std::vector<mpi::SegView> rviews(ru);
+  if (cfg_.guard_exchanges) {
+    // Guarded chunks stay blocking (digest + agreement per chunk): fused
+    // and verified, just not overlapped.
+    for (int c = 0; c < nchunks; ++c) {
+      const auto [lo, hi] = chunk_views(c, sviews, rviews);
+      fft_chunk(lo, hi);
+      if (c == 0) zero_planes();
+      exchange_view(scat_, wb.pencil.data(), sviews, wb.planes.data(),
+                    rviews, /*tag=*/iter);
+    }
+    return;
+  }
+  std::vector<mpi::Request> reqs(static_cast<std::size_t>(nchunks));
+  std::vector<double> t_post(static_cast<std::size_t>(nchunks));
+  std::vector<bool> done(static_cast<std::size_t>(nchunks), false);
+  for (int c = 0; c < nchunks; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    const auto [lo, hi] = chunk_views(c, sviews, rviews);
+    fft_chunk(lo, hi);
+    if (c == 0) zero_planes();
+    reqs[cu] = scat_.ialltoallv_view(wb.pencil.data(), sviews,
+                                     wb.planes.data(), rviews, sizeof(cplx),
+                                     /*tag=*/iter);
+    t_post[cu] = WallTimer::now();
+    // Progress earlier chunks between FFT chunks: a test() on a ready
+    // request performs this rank's pull copies now, inside the compute
+    // region, instead of serializing them behind the final waits.
+    for (int k = 0; k < c; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      if (!done[ku]) done[ku] = reqs[ku].test();
+    }
+  }
+  for (int c = 0; c < nchunks; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    exchange_metrics().overlap_hidden_ms.record(
+        (WallTimer::now() - t_post[cu]) * 1e3);
+    reqs[cu].wait();
+  }
+}
+
+void BandFftPipeline::do_scatter_bw_fft_z(WorkBuffers& wb, int iter,
+                                          bool use_taskloop) {
+  const std::size_t nst = desc_->nsticks_group(b_);
+  const auto ru = static_cast<std::size_t>(desc_->group_size());
+  const int nchunks = cfg_.overlap_chunks;
+
+  auto fft_chunk = [&](std::size_t lo, std::size_t hi) {
+    if (use_taskloop && rt_ != nullptr && hi > lo) {
+      rt_->taskloop("fft_z", lo, hi, cfg_.grain_z,
+                    [&](std::size_t clo, std::size_t chi) {
+                      fft_z_range(wb, iter, Direction::Forward, clo, chi);
+                    });
+    } else {
+      fft_z_range(wb, iter, Direction::Forward, lo, hi);
+    }
+  };
+  // Sides swapped relative to the forward leg: chunk c receives MY stick
+  // chunk [lo, hi) back into the pencil, sending each peer q its own stick
+  // chunk out of the planes.
+  auto chunk_views = [&](int c, std::vector<mpi::SegView>& sviews,
+                         std::vector<mpi::SegView>& rviews) {
+    const std::size_t lo = chunk_bound(nst, c, nchunks);
+    const std::size_t hi = chunk_bound(nst, c + 1, nchunks);
+    for (std::size_t p = 0; p < ru; ++p) {
+      const std::size_t nq = scat_recv_runs_[p].size();
+      const std::size_t qlo = chunk_bound(nq, c, nchunks);
+      const std::size_t qhi = chunk_bound(nq, c + 1, nchunks);
+      sviews[p] = mpi::SegView(scat_recv_runs_[p].data() + qlo, qhi - qlo);
+      rviews[p] = mpi::SegView(scat_send_runs_[p].data() + lo, hi - lo);
+    }
+    return std::pair{lo, hi};
+  };
+
+  std::vector<mpi::SegView> sviews(ru);
+  std::vector<mpi::SegView> rviews(ru);
+  if (cfg_.guard_exchanges) {
+    for (int c = 0; c < nchunks; ++c) {
+      const auto [lo, hi] = chunk_views(c, sviews, rviews);
+      exchange_view(scat_, wb.planes.data(), sviews, wb.pencil.data(),
+                    rviews, /*tag=*/iter);
+      fft_chunk(lo, hi);
+    }
+    return;
+  }
+  // Post every chunk up front, then transform each chunk as it lands: the
+  // tail chunks' traffic hides behind the head chunks' Z-FFTs.
+  std::vector<mpi::Request> reqs(static_cast<std::size_t>(nchunks));
+  std::vector<double> t_post(static_cast<std::size_t>(nchunks));
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(
+      static_cast<std::size_t>(nchunks));
+  for (int c = 0; c < nchunks; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    ranges[cu] = chunk_views(c, sviews, rviews);
+    reqs[cu] = scat_.ialltoallv_view(wb.planes.data(), sviews,
+                                     wb.pencil.data(), rviews, sizeof(cplx),
+                                     /*tag=*/iter);
+    t_post[cu] = WallTimer::now();
+  }
+  for (int c = 0; c < nchunks; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    exchange_metrics().overlap_hidden_ms.record(
+        (WallTimer::now() - t_post[cu]) * 1e3);
+    reqs[cu].wait();
+    fft_chunk(ranges[cu].first, ranges[cu].second);
+    // Pull whatever later chunks have become ready while this chunk's
+    // Z-FFTs ran, so their copies overlap the compute too.
+    for (int k = c + 1; k < nchunks; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      if (!reqs[ku].test()) break;
+    }
   }
 }
 
@@ -387,7 +730,7 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
     const auto pidx = desc_->pencil_index(b_);
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Unpack, iter,
                    trace::copy_cost(pidx.size()).instructions);
-    auto& dst = psi_[static_cast<std::size_t>(iter)];
+    cplx* dst = band_data(iter);
     for (std::size_t k = 0; k < pidx.size(); ++k) {
       dst[k] = wb.pencil[pidx[k]] * inv_vol;
     }
@@ -401,6 +744,25 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
       wb.band_g[k] = wb.pencil[pidx[k]] * inv_vol;
     }
   }
+  if (fused_) {
+    // Reverse zero-copy pack: member m's segment of band_g scatters
+    // straight into band iter + m of the psi arena.
+    const auto nu = static_cast<std::size_t>(ntg);
+    std::vector<mpi::SegRun> sruns(nu);
+    std::vector<mpi::SegRun> rruns(nu);
+    std::vector<mpi::SegView> sviews(nu);
+    std::vector<mpi::SegView> rviews(nu);
+    for (std::size_t m = 0; m < nu; ++m) {
+      sruns[m] = mpi::SegRun{pack_displs_[m], pack_counts_[m], 1};
+      rruns[m] = mpi::SegRun{
+          (static_cast<std::size_t>(iter) + m) * ng_w, ng_w, 1};
+      sviews[m] = mpi::SegView(&sruns[m], 1);
+      rviews[m] = mpi::SegView(&rruns[m], 1);
+    }
+    exchange_view(pack_, wb.band_g.data(), sviews, psi_arena_.data(), rviews,
+                  /*tag=*/iter);
+    return;
+  }
   // Reverse band redistribution: segment m of band_g returns to member m.
   exchange(pack_, wb.band_g.data(), pack_counts_.data(), pack_displs_.data(),
            wb.pack_send.data(), pack_send_counts_.data(),
@@ -409,12 +771,15 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Unpack, iter,
                    trace::copy_cost(static_cast<std::size_t>(ntg) * ng_w)
                        .instructions);
+    StagingTimer staging_timer;
     for (int m = 0; m < ntg; ++m) {
-      auto& dst = psi_[static_cast<std::size_t>(iter + m)];
+      cplx* dst = band_data(iter + m);
       const cplx* src =
           wb.pack_send.data() + static_cast<std::size_t>(m) * ng_w;
-      std::copy(src, src + ng_w, dst.begin());
+      std::copy(src, src + ng_w, dst);
     }
+    exchange_metrics().staging_bytes.add(static_cast<std::size_t>(ntg) *
+                                         ng_w * sizeof(cplx));
   }
 }
 
@@ -422,13 +787,21 @@ void BandFftPipeline::do_iteration(WorkBuffers& wb, int iter,
                                    bool use_taskloop) {
   do_pack(wb, iter);
   do_psi_prep(wb, iter);
-  do_fft_z(wb, iter, Direction::Backward, use_taskloop);
-  do_scatter_forward(wb, iter);
+  if (overlap_) {
+    do_fft_z_scatter_fw(wb, iter, use_taskloop);
+  } else {
+    do_fft_z(wb, iter, Direction::Backward, use_taskloop);
+    do_scatter_forward(wb, iter);
+  }
   do_fft_xy(wb, iter, Direction::Backward, use_taskloop);
   if (cfg_.apply_potential) do_vofr(wb, iter);
   do_fft_xy(wb, iter, Direction::Forward, use_taskloop);
-  do_scatter_backward(wb, iter);
-  do_fft_z(wb, iter, Direction::Forward, use_taskloop);
+  if (overlap_) {
+    do_scatter_bw_fft_z(wb, iter, use_taskloop);
+  } else {
+    do_scatter_backward(wb, iter);
+    do_fft_z(wb, iter, Direction::Forward, use_taskloop);
+  }
   do_unpack(wb, iter);
 }
 
@@ -483,10 +856,11 @@ void BandFftPipeline::run_task_per_step() {
     // psi stand for `psis`, pencil/planes for `aux`.
     std::vector<task::Dep> psi_in;
     std::vector<task::Dep> psi_out;
+    const std::size_t ng_w = desc_->ng_world(w_);
     for (int m = 0; m < ntg; ++m) {
-      auto& band = psi_[static_cast<std::size_t>(iter + m)];
+      const std::span<cplx> band{band_data(iter + m), ng_w};
       psi_in.push_back(task::in(std::span<const cplx>(band)));
-      psi_out.push_back(task::out(std::span<cplx>(band)));
+      psi_out.push_back(task::out(band));
     }
     const auto band_g = std::span<cplx>(wb->band_g);
     const auto pencil = std::span<cplx>(wb->pencil);
@@ -502,15 +876,24 @@ void BandFftPipeline::run_task_per_step() {
                  task::out(pencil)},
                 [this, wb, iter] { do_psi_prep(*wb, iter); });
 
-    rt_->submit(core::cat("fft_z_fw#", iter), {task::inout(pencil)},
-                [this, wb, iter] {
-                  do_fft_z(*wb, iter, Direction::Backward, true);
-                });
+    if (overlap_) {
+      // The overlapped leg interleaves the Z-FFT chunks with their
+      // scatters, so both live in one task (pencil in flight the whole
+      // time, planes produced at the end).
+      rt_->submit(core::cat("fft_z_scatter_fw#", iter),
+                  {task::inout(pencil), task::out(planes)},
+                  [this, wb, iter] { do_fft_z_scatter_fw(*wb, iter, true); });
+    } else {
+      rt_->submit(core::cat("fft_z_fw#", iter), {task::inout(pencil)},
+                  [this, wb, iter] {
+                    do_fft_z(*wb, iter, Direction::Backward, true);
+                  });
 
-    rt_->submit(core::cat("scatter_fw#", iter),
-                {task::in(std::span<const cplx>(wb->pencil)),
-                 task::out(planes)},
-                [this, wb, iter] { do_scatter_forward(*wb, iter); });
+      rt_->submit(core::cat("scatter_fw#", iter),
+                  {task::in(std::span<const cplx>(wb->pencil)),
+                   task::out(planes)},
+                  [this, wb, iter] { do_scatter_forward(*wb, iter); });
+    }
 
     rt_->submit(core::cat("fft_xy_fw#", iter), {task::inout(planes)},
                 [this, wb, iter] {
@@ -527,15 +910,22 @@ void BandFftPipeline::run_task_per_step() {
                   do_fft_xy(*wb, iter, Direction::Forward, true);
                 });
 
-    rt_->submit(core::cat("scatter_bw#", iter),
-                {task::in(std::span<const cplx>(wb->planes)),
-                 task::out(pencil)},
-                [this, wb, iter] { do_scatter_backward(*wb, iter); });
+    if (overlap_) {
+      rt_->submit(core::cat("scatter_bw_fft_z#", iter),
+                  {task::in(std::span<const cplx>(wb->planes)),
+                   task::out(pencil)},
+                  [this, wb, iter] { do_scatter_bw_fft_z(*wb, iter, true); });
+    } else {
+      rt_->submit(core::cat("scatter_bw#", iter),
+                  {task::in(std::span<const cplx>(wb->planes)),
+                   task::out(pencil)},
+                  [this, wb, iter] { do_scatter_backward(*wb, iter); });
 
-    rt_->submit(core::cat("fft_z_bw#", iter), {task::inout(pencil)},
-                [this, wb, iter] {
-                  do_fft_z(*wb, iter, Direction::Forward, true);
-                });
+      rt_->submit(core::cat("fft_z_bw#", iter), {task::inout(pencil)},
+                  [this, wb, iter] {
+                    do_fft_z(*wb, iter, Direction::Forward, true);
+                  });
+    }
 
     deps = psi_out;
     deps.push_back(task::in(std::span<const cplx>(wb->pencil)));

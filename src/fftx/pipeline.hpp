@@ -60,6 +60,14 @@ enum class PipelineMode { Original, TaskPerStep, TaskPerFft, Combined };
 
 const char* to_string(PipelineMode mode);
 
+/// Default of PipelineConfig::fused_exchange: FFTX_FUSED_EXCHANGE != 0.
+[[nodiscard]] bool default_fused_exchange();
+/// Default of PipelineConfig::overlap_exchange: FFTX_OVERLAP_EXCHANGE != 0.
+[[nodiscard]] bool default_overlap_exchange();
+/// Default of PipelineConfig::overlap_chunks: FFTX_OVERLAP_CHUNKS (>= 1),
+/// else 4.
+[[nodiscard]] int default_overlap_chunks();
+
 struct PipelineConfig {
   int num_bands = 8;
   PipelineMode mode = PipelineMode::Original;
@@ -76,6 +84,18 @@ struct PipelineConfig {
   bool guard_exchanges = default_guard_exchanges();
   /// Retry budget per guarded exchange before a structured failure.
   int guard_max_retries = 3;
+  /// Zero-copy transposes: the band pack/unpack and pencil<->plane
+  /// exchanges move scatter-gather views of the FFT buffers directly,
+  /// deleting the marshalling (staging) passes.  Bit-identical to the
+  /// staged path.
+  bool fused_exchange = default_fused_exchange();
+  /// Chunk the Z-FFT by sticks and run each finished chunk's scatter as a
+  /// nonblocking exchange, overlapping transpose traffic with the
+  /// remaining transforms.  Implies the fused layouts; guarded exchanges
+  /// fall back to per-chunk blocking (fused, verified, not overlapped).
+  bool overlap_exchange = default_overlap_exchange();
+  /// Stick chunks per overlapped scatter (>= 1; must agree across ranks).
+  int overlap_chunks = default_overlap_chunks();
 };
 
 class BandFftPipeline {
@@ -125,6 +145,8 @@ class BandFftPipeline {
   void do_iteration(WorkBuffers& wb, int iter, bool use_taskloop);
   void do_pack(WorkBuffers& wb, int iter);
   void do_psi_prep(WorkBuffers& wb, int iter);
+  void fft_z_range(WorkBuffers& wb, int iter, fft::Direction dir,
+                   std::size_t lo, std::size_t hi);
   void do_fft_z(WorkBuffers& wb, int iter, fft::Direction dir,
                 bool use_taskloop);
   void do_scatter_forward(WorkBuffers& wb, int iter);
@@ -133,6 +155,13 @@ class BandFftPipeline {
   void do_vofr(WorkBuffers& wb, int iter);
   void do_scatter_backward(WorkBuffers& wb, int iter);
   void do_unpack(WorkBuffers& wb, int iter);
+
+  /// Overlapped forward leg: Z-FFT stick chunks, each finished chunk's
+  /// scatter posted nonblocking while the next chunk transforms.
+  void do_fft_z_scatter_fw(WorkBuffers& wb, int iter, bool use_taskloop);
+  /// Overlapped backward leg: all chunk scatters posted up front, each
+  /// arrival's Z-FFT running while later chunks are still in flight.
+  void do_scatter_bw_fft_z(WorkBuffers& wb, int iter, bool use_taskloop);
 
   void run_original();
   void run_task_per_fft(bool use_taskloop);
@@ -144,6 +173,13 @@ class BandFftPipeline {
                 const std::size_t* scounts, const std::size_t* sdispls,
                 fft::cplx* recv, const std::size_t* rcounts,
                 const std::size_t* rdispls, int tag);
+
+  /// The fused (scatter-gather view) counterpart of exchange(): blocking
+  /// view Alltoallv, or the guarded view variant under guard_exchanges.
+  void exchange_view(mpi::Comm& comm, const fft::cplx* send_base,
+                     std::span<const mpi::SegView> sviews,
+                     fft::cplx* recv_base,
+                     std::span<const mpi::SegView> rviews, int tag);
 
   std::unique_ptr<WorkBuffers> make_buffers() const;
 
@@ -159,8 +195,18 @@ class BandFftPipeline {
   mpi::Comm pack_;  ///< the T neighboring ranks (band redistribution)
   mpi::Comm scat_;  ///< the R alternating ranks (pencil<->plane exchange)
 
-  // Per-band packed coefficients (this rank's world-stick slice).
-  std::vector<core::aligned_vector<fft::cplx>> psi_;
+  bool fused_ = false;    ///< fused_exchange || overlap_exchange
+  bool overlap_ = false;  ///< overlap_exchange
+
+  // Per-band packed coefficients (this rank's world-stick slice), one
+  // arena with band n at n * ng_world(w): the fused pack/unpack exchanges
+  // address an iteration's ntg bands as scatter-gather views of the single
+  // base pointer.
+  core::aligned_vector<fft::cplx> psi_arena_;
+  [[nodiscard]] fft::cplx* band_data(int n) {
+    return psi_arena_.data() +
+           static_cast<std::size_t>(n) * desc_->ng_world(w_);
+  }
 
   // Immutable plans (thread-safe execution, shared across the ranks of
   // this process via the global plan cache) and the potential slab.
@@ -179,6 +225,14 @@ class BandFftPipeline {
   std::vector<std::size_t> scat_send_displs_;
   std::vector<std::size_t> scat_recv_counts_;  // from group peer q
   std::vector<std::size_t> scat_recv_displs_;
+
+  // Fused scatter layouts, precomputed (iteration-independent).  Send side
+  // addresses the pencil buffer: run j of peer p is stick j's npz(p)
+  // z-planes.  Receive side addresses the plane buffer: run j of peer q is
+  // stick group_sticks(q)[j]'s (x, y) column, stride nx * ny.  Runs are
+  // stick-ordered, so an overlap chunk's views are contiguous sub-slices.
+  std::vector<std::vector<mpi::SegRun>> scat_send_runs_;  // [peer][stick]
+  std::vector<std::vector<mpi::SegRun>> scat_recv_runs_;  // [peer][stick]
 
   std::unique_ptr<task::TaskRuntime> rt_;  // task modes only
 

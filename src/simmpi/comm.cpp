@@ -40,6 +40,10 @@ const char* to_string(CommOpKind kind) {
       return "Scatter";
     case CommOpKind::Reduce:
       return "Reduce";
+    case CommOpKind::Ialltoall:
+      return "Ialltoall";
+    case CommOpKind::Ialltoallv:
+      return "Ialltoallv";
   }
   return "?";
 }
@@ -115,11 +119,21 @@ ProgressBoard::Blocked blocked_info(const CommContext& ctx, int rank,
 /// on the kind or the per-tag order of collectives (an incomplete op pins
 /// every earlier same-tag op incomplete on all its participants), so raise
 /// a structured error naming both sides instead of letting both sides hang.
+/// Nonblocking collective kinds: posts return immediately, so an entry of
+/// theirs staying incomplete while other collectives run is the *intended*
+/// overlap, not a matching bug -- the validator exempts them both as the
+/// entering op and as the pinned-incomplete witness.
+bool is_nonblocking_kind(int kind) {
+  return kind == static_cast<int>(CommOpKind::Ialltoall) ||
+         kind == static_cast<int>(CommOpKind::Ialltoallv);
+}
+
 void validate_entry_locked(const CommContext& ctx, const OpKey& key,
                            int rank) {
-  if (!ctx.validate) return;
+  if (!ctx.validate || is_nonblocking_kind(key.kind)) return;
   for (const auto& [other_key, other] : ctx.ops) {
     if (other_key.tag != key.tag || other_key == key) continue;
+    if (is_nonblocking_kind(other_key.kind)) continue;
     if (other->ready || other->arrived == 0) continue;
     std::ostringstream os;
     os << "collective mismatch on comm " << ctx.id << " (size " << ctx.size
@@ -524,6 +538,7 @@ void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
                            const std::size_t* rcounts,
                            const std::size_t* rdispls, std::size_t elem_size,
                            int tag) {
+  FX_CHECK(send != recv, "alltoallv buffers must not alias");
   std::size_t sent_elems = 0;
   for (int p = 0; p < size(); ++p) {
     sent_elems += scounts[static_cast<std::size_t>(p)];
@@ -853,8 +868,427 @@ void Comm::recv_bytes(int src, void* data, std::size_t bytes, int tag) {
   post_recv(src, data, bytes, tag).wait();
 }
 
+// --- Nonblocking collectives (waiter-driven progress) ---
+
+namespace {
+
+// The nonblocking exchange engine's health counters: posted/completed pair
+// up in a quiescence check, wait_us is the *blocked* time only (post-to-
+// completion latency hidden behind compute never shows up here -- that is
+// the whole point of the engine).
+struct NbMetrics {
+  fx::core::Counter& posted;
+  fx::core::Counter& completed;
+  fx::core::Counter& bytes;
+  fx::core::Histogram& wait_us;
+};
+
+NbMetrics& nb_metrics() {
+  auto& reg = fx::core::MetricsRegistry::global();
+  static NbMetrics m{reg.counter("simmpi.ialltoallv.posted"),
+                     reg.counter("simmpi.ialltoallv.completed"),
+                     reg.counter("simmpi.ialltoallv.bytes"),
+                     reg.histogram("simmpi.ialltoallv.wait_us")};
+  return m;
+}
+
+/// Copies a logical element stream between two run lists whose total
+/// lengths agree (checked by the caller).  Contiguous stretches on both
+/// sides coalesce into single memcpys, so the fully-contiguous case
+/// degenerates to the blocking collectives' copy.  Elem is a compile-time
+/// constant where it matters: the strided inner loop's memcpy then inlines
+/// to plain moves (a runtime-size memcpy call per element is what made
+/// early fused exchanges lose to the staged path's typed marshal loops);
+/// Elem == 0 is the generic runtime-size fallback.
+template <std::size_t Elem>
+void copy_runs_impl(const unsigned char* sbase, const SegRun* srun,
+                    std::size_t nsrun, unsigned char* dbase,
+                    const SegRun* drun, std::size_t ndrun,
+                    std::size_t elem_rt) {
+  const std::size_t elem = Elem != 0 ? Elem : elem_rt;
+  std::size_t si = 0;
+  std::size_t so = 0;
+  std::size_t di = 0;
+  std::size_t dof = 0;
+  while (si < nsrun && di < ndrun) {
+    const SegRun& s = srun[si];
+    const SegRun& d = drun[di];
+    if (s.len == 0) {
+      ++si;
+      continue;
+    }
+    if (d.len == 0) {
+      ++di;
+      continue;
+    }
+    const std::size_t k = std::min(s.len - so, d.len - dof);
+    const unsigned char* sp = sbase + (s.offset + so * s.stride) * elem;
+    unsigned char* dp = dbase + (d.offset + dof * d.stride) * elem;
+    if (s.stride == 1 && d.stride == 1) {
+      std::memcpy(dp, sp, k * elem);
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        std::memcpy(dp + i * d.stride * elem, sp + i * s.stride * elem,
+                    Elem != 0 ? Elem : elem);
+      }
+    }
+    so += k;
+    dof += k;
+    if (so == s.len) {
+      ++si;
+      so = 0;
+    }
+    if (dof == d.len) {
+      ++di;
+      dof = 0;
+    }
+  }
+}
+
+void copy_runs(const unsigned char* sbase, const SegRun* srun,
+               std::size_t nsrun, unsigned char* dbase, const SegRun* drun,
+               std::size_t ndrun, std::size_t elem) {
+  switch (elem) {
+    case 16:  // complex<double>, the FFT pipeline's element
+      copy_runs_impl<16>(sbase, srun, nsrun, dbase, drun, ndrun, elem);
+      return;
+    case 8:
+      copy_runs_impl<8>(sbase, srun, nsrun, dbase, drun, ndrun, elem);
+      return;
+    case 4:
+      copy_runs_impl<4>(sbase, srun, nsrun, dbase, drun, ndrun, elem);
+      return;
+    default:
+      copy_runs_impl<0>(sbase, srun, nsrun, dbase, drun, ndrun, elem);
+  }
+}
+
+std::size_t run_span_elems(const std::vector<SegRun>& runs, std::size_t lo,
+                           std::size_t hi) {
+  std::size_t n = 0;
+  for (std::size_t i = lo; i < hi; ++i) n += runs[i].len;
+  return n;
+}
+
+/// Drives a nonblocking collective toward completion from the waiter's
+/// thread.  The payload moves at post time (every pairwise transfer is
+/// executed by whichever endpoint posted later), so this only
+///   1. blocks until every transfer touching this rank is done -- its
+///      sends consumed (the send buffer becomes reusable) and its
+///      receives landed.  Crucially this never waits on transfers between
+///      two OTHER ranks: there is no global all-ranks barrier, which is
+///      what lets a chunked exchange's waits collapse to near zero when
+///      the posts were spread across compute;
+///   2. finalizes once per request: fault injection over the completed
+///      receive stream, then completion accounting, with the last
+///      finalizer retiring the matching-table entry.
+/// Blocking mode waits watchdog-registered; test mode returns false
+/// instead.  Unwinds with the poison error when the communicator dies or
+/// is revoked mid-flight, and with the recorded pair mismatch when any
+/// two endpoints disagreed on exchange metadata.
+bool complete_nb(detail::RequestState& st, bool blocking) {
+  auto& ctx = *st.ctx;
+  auto& op = *st.op;
+  const auto r = static_cast<std::size_t>(st.comm_rank);
+  const double t_wait = fx::core::WallTimer::now();
+
+  std::unique_lock lock(ctx.mu);
+  if (st.done) return true;
+  auto check_failed = [&] {
+    if (!op.failed.empty()) throw core::CommError(op.failed);
+  };
+  check_failed();
+  auto mine_done = [&] {
+    return op.done_out[r] == ctx.size && op.done_in[r] == ctx.size;
+  };
+  if (!mine_done()) {
+    if (!blocking) {
+      detail::check_alive_locked(ctx);
+      return false;
+    }
+    ProgressBoard::Scope blocked(
+        ctx.board.get(), detail::blocked_info(ctx, st.comm_rank, st.kind,
+                                              st.tag, st.key.seq));
+    ctx.cv.wait(lock, [&] {
+      return mine_done() || !op.failed.empty() || ctx.aborted;
+    });
+    check_failed();
+    if (!mine_done()) detail::check_alive_locked(ctx);
+  }
+
+  if (!st.pulled) {
+    st.pulled = true;
+    if (ctx.faults) {
+      // Corruption injection over the logical receive stream, after all of
+      // it landed: the flip maps the chosen byte through the run layout,
+      // so the decision and the per-rank counting match the contiguous
+      // overload exactly.
+      std::size_t total_elems = 0;
+      for (const SegRun& run : st.rruns) total_elems += run.len;
+      auto flip = [&st](std::size_t byte, unsigned char mask) {
+        const std::size_t e = byte / st.elem_size;
+        const std::size_t off = byte % st.elem_size;
+        std::size_t seen = 0;
+        for (const SegRun& run : st.rruns) {
+          if (e < seen + run.len) {
+            auto* base = static_cast<unsigned char*>(st.recv_base);
+            base[(run.offset + (e - seen) * run.stride) * st.elem_size +
+                 off] ^= mask;
+            return;
+          }
+          seen += run.len;
+        }
+      };
+      ctx.faults->maybe_corrupt(detail::wrank(ctx, st.comm_rank), st.kind,
+                                total_elems * st.elem_size, flip);
+    }
+    ++op.observed;
+  }
+
+  // The last finalizer retires the matching-table entry; idempotent (only
+  // while the slot still maps to this very op -- a same-key successor may
+  // already occupy it).
+  if (op.observed == ctx.size) {
+    auto it = ctx.ops.find(st.key);
+    if (it != ctx.ops.end() && it->second.get() == &op) ctx.ops.erase(it);
+  }
+  st.done = true;
+  lock.unlock();
+
+  const double t_end = fx::core::WallTimer::now();
+  NbMetrics& m = nb_metrics();
+  m.completed.add();
+  m.bytes.add(st.bytes);
+  m.wait_us.record((t_end - t_wait) * 1e6);
+  if (st.rank_state) {
+    if (auto obs = st.rank_state->get_observer()) {
+      obs(CommEvent{st.kind, ctx.id, ctx.size, st.tag, st.bytes, st.t_post,
+                    t_end});
+    }
+  }
+  detail::note_progress(ctx);
+  return true;
+}
+
+}  // namespace
+
+Request Comm::post_nb_exchange(CommOpKind kind, const void* send_base,
+                               std::span<const SegView> sviews,
+                               void* recv_base,
+                               std::span<const SegView> rviews,
+                               std::size_t elem_size, int tag) {
+  const auto n = static_cast<std::size_t>(size());
+  FX_CHECK(send_base != recv_base,
+           "nonblocking exchange buffers must not alias");
+  FX_CHECK(sviews.size() == n && rviews.size() == n,
+           "exchange views need one entry per peer");
+  FX_CHECK(elem_size > 0, "exchange element size must be positive");
+  detail::inject(*ctx_, rank_, kind);
+  const OpKey key{static_cast<int>(kind), tag,
+                  rank_state_->next_seq(static_cast<int>(kind), tag)};
+  const std::size_t r = static_cast<std::size_t>(rank_);
+
+  auto state = std::make_shared<detail::RequestState>();
+  state->ctx = ctx_;
+  state->comm_rank = rank_;
+  state->tag = tag;
+  state->key = key;
+  state->kind = kind;
+  state->recv_base = recv_base;
+  state->elem_size = elem_size;
+  state->rank_state = rank_state_;
+  state->t_post = fx::core::WallTimer::now();
+  state->rfirst.resize(n + 1, 0);
+  std::size_t sent_elems = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    state->rruns.insert(state->rruns.end(), rviews[p].begin(),
+                        rviews[p].end());
+    state->rfirst[p + 1] = state->rruns.size();
+    sent_elems += seg_elems(sviews[p]);
+  }
+  state->bytes = sent_elems * elem_size;
+
+  std::shared_ptr<OpState> op;
+  // Transfers this post enables, claimed under the lock and copied below
+  // with it released: (sender, receiver) pairs where both endpoints have
+  // now posted.  The later-posting endpoint always carries the pair's
+  // traffic, so waits only synchronize -- they never copy.
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  {
+    std::unique_lock lock(ctx_->mu);
+    detail::check_alive_locked(*ctx_);
+    detail::validate_entry_locked(*ctx_, key, rank_);
+    auto& slot = ctx_->ops[key];
+    if (!slot) slot = std::make_shared<OpState>(ctx_->size);
+    op = slot;
+    if (op->nb_send.empty()) {
+      op->nb_send.resize(n);
+      op->nb_recv.resize(n);
+      op->nb_recv_base.assign(n, nullptr);
+      op->nb_posted.assign(n, 0);
+      op->xfer.assign(n * n, 0);
+      op->done_out.assign(n, 0);
+      op->done_in.assign(n, 0);
+    }
+    auto& side = op->nb_send[r];
+    side.first.assign(n + 1, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      side.runs.insert(side.runs.end(), sviews[p].begin(), sviews[p].end());
+      side.first[p + 1] = side.runs.size();
+    }
+    auto& rside = op->nb_recv[r];
+    rside.first.assign(n + 1, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      rside.runs.insert(rside.runs.end(), rviews[p].begin(), rviews[p].end());
+      rside.first[p + 1] = rside.runs.size();
+    }
+    op->nb_recv_base[r] = recv_base;
+    op->send[r] = send_base;
+    op->scalar[r] = elem_size;
+    op->nb_posted[r] = 1;
+    ++op->arrived;
+    op->arrived_ranks.push_back(rank_);
+    FX_ASSERT(op->arrived <= ctx_->size, "collective over-subscribed");
+    if (op->arrived == ctx_->size) op->ready = true;
+
+    // Metadata agreement per enabled pair (cheap, under the lock): element
+    // sizes and pairwise stream lengths.  A mismatch poisons the whole op
+    // so every participant unwinds with the same diagnosis instead of
+    // hanging into the watchdog.
+    auto pair_error = [&](std::size_t p, std::size_t q) -> std::string {
+      if (op->scalar[p] != op->scalar[q]) {
+        return core::cat(
+            "nonblocking exchange element size mismatch on comm ", ctx_->id,
+            " (tag ", tag, "): rank ", p, " (world ",
+            detail::wrank(*ctx_, static_cast<int>(p)), ") uses ",
+            op->scalar[p], " B, but rank ", q, " (world ",
+            detail::wrank(*ctx_, static_cast<int>(q)), ") uses ",
+            op->scalar[q], " B");
+      }
+      const auto& ss = op->nb_send[p];
+      const auto& rs = op->nb_recv[q];
+      const std::size_t theirs =
+          run_span_elems(ss.runs, ss.first[q], ss.first[q + 1]);
+      const std::size_t mine =
+          run_span_elems(rs.runs, rs.first[p], rs.first[p + 1]);
+      if (theirs != mine) {
+        return core::cat(
+            "nonblocking exchange count mismatch on comm ", ctx_->id,
+            " (tag ", tag, "): rank ", p, " (world ",
+            detail::wrank(*ctx_, static_cast<int>(p)), ") sends ", theirs,
+            " element(s) of ", op->scalar[p], " B to rank ", q, " (world ",
+            detail::wrank(*ctx_, static_cast<int>(q)), "), which expects ",
+            mine, " element(s)");
+      }
+      return {};
+    };
+    auto claim = [&](std::size_t p, std::size_t q) {
+      std::uint8_t& s = op->xfer[p * n + q];
+      if (s != 0) return;
+      std::string err = pair_error(p, q);
+      if (!err.empty()) {
+        op->failed = err;
+        ctx_->cv.notify_all();
+        throw core::CommError(err);
+      }
+      s = 1;
+      jobs.emplace_back(p, q);
+    };
+    for (std::size_t q = 0; q < n; ++q) {
+      if (!op->nb_posted[q]) continue;
+      claim(r, q);
+      if (q != r) claim(q, r);
+    }
+    state->op = op;
+  }
+  // Execute the claimed transfers peer-direct with the lock released: the
+  // posted views and buffers are immutable, both endpoints' buffers stay
+  // valid until their waits return, and distinct transfers never overlap
+  // (each receiver's per-peer views are disjoint by contract).
+  for (const auto& [p, q] : jobs) {
+    const auto& ss = op->nb_send[p];
+    const auto& rs = op->nb_recv[q];
+    copy_runs(static_cast<const unsigned char*>(op->send[p]),
+              ss.runs.data() + ss.first[q], ss.first[q + 1] - ss.first[q],
+              static_cast<unsigned char*>(op->nb_recv_base[q]),
+              rs.runs.data() + rs.first[p], rs.first[p + 1] - rs.first[p],
+              elem_size);
+  }
+  if (!jobs.empty()) {
+    std::lock_guard lock(ctx_->mu);
+    for (const auto& [p, q] : jobs) {
+      op->xfer[p * n + q] = 2;
+      ++op->done_out[p];
+      ++op->done_in[q];
+    }
+    ctx_->cv.notify_all();
+  }
+  rank_state_->bytes_sent.fetch_add(state->bytes, std::memory_order_relaxed);
+  nb_metrics().posted.add();
+  return Request{std::move(state)};
+}
+
+Request Comm::ialltoall_bytes(const void* send, void* recv,
+                              std::size_t bytes_per_rank, int tag) {
+  const auto n = static_cast<std::size_t>(size());
+  std::vector<SegRun> sruns(n);
+  std::vector<SegRun> rruns(n);
+  std::vector<SegView> sviews(n);
+  std::vector<SegView> rviews(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    sruns[p] = SegRun{p * bytes_per_rank, bytes_per_rank, 1};
+    rruns[p] = SegRun{p * bytes_per_rank, bytes_per_rank, 1};
+    sviews[p] = SegView(&sruns[p], 1);
+    rviews[p] = SegView(&rruns[p], 1);
+  }
+  return post_nb_exchange(CommOpKind::Ialltoall, send, sviews, recv, rviews,
+                          /*elem_size=*/1, tag);
+}
+
+Request Comm::ialltoallv_bytes(const void* send, const std::size_t* scounts,
+                               const std::size_t* sdispls, void* recv,
+                               const std::size_t* rcounts,
+                               const std::size_t* rdispls,
+                               std::size_t elem_size, int tag) {
+  const auto n = static_cast<std::size_t>(size());
+  std::vector<SegRun> sruns(n);
+  std::vector<SegRun> rruns(n);
+  std::vector<SegView> sviews(n);
+  std::vector<SegView> rviews(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    sruns[p] = SegRun{sdispls[p], scounts[p], 1};
+    rruns[p] = SegRun{rdispls[p], rcounts[p], 1};
+    sviews[p] = SegView(&sruns[p], 1);
+    rviews[p] = SegView(&rruns[p], 1);
+  }
+  return post_nb_exchange(CommOpKind::Ialltoallv, send, sviews, recv, rviews,
+                          elem_size, tag);
+}
+
+Request Comm::ialltoallv_view(const void* send_base,
+                              std::span<const SegView> sviews,
+                              void* recv_base,
+                              std::span<const SegView> rviews,
+                              std::size_t elem_size, int tag) {
+  return post_nb_exchange(CommOpKind::Ialltoallv, send_base, sviews,
+                          recv_base, rviews, elem_size, tag);
+}
+
+void Comm::alltoallv_view(const void* send_base,
+                          std::span<const SegView> sviews, void* recv_base,
+                          std::span<const SegView> rviews,
+                          std::size_t elem_size, int tag) {
+  post_nb_exchange(CommOpKind::Ialltoallv, send_base, sviews, recv_base,
+                   rviews, elem_size, tag)
+      .wait();
+}
+
 void Request::wait() {
   if (!state_) return;
+  if (state_->op) {
+    complete_nb(*state_, /*blocking=*/true);
+    return;
+  }
   auto& ctx = *state_->ctx;
   std::unique_lock lock(ctx.mu);
   if (state_->done) return;
@@ -869,6 +1303,7 @@ void Request::wait() {
 
 bool Request::test() const {
   if (!state_) return true;
+  if (state_->op) return complete_nb(*state_, /*blocking=*/false);
   std::lock_guard lock(state_->ctx->mu);
   if (!state_->done) detail::check_alive_locked(*state_->ctx);
   return state_->done;

@@ -48,6 +48,10 @@ enum class CommOpKind {
   Gather,
   Scatter,
   Reduce,
+  // Appended (not inserted): the integer values above are serialized in
+  // traces and matched by FFTX_FAULT_KIND, so they must stay stable.
+  Ialltoall,
+  Ialltoallv,
 };
 
 /// Human-readable name, e.g. "Alltoallv".
@@ -66,6 +70,27 @@ struct CommEvent {
 
 /// Callback invoked synchronously by the rank that executed the operation.
 using CommObserver = std::function<void(const CommEvent&)>;
+
+/// One strided run of a scatter-gather exchange view: elements
+/// offset + i*stride of the base pointer, for i in [0, len).  All fields
+/// are in elements of the exchange's elem_size.
+struct SegRun {
+  std::size_t offset;
+  std::size_t len;
+  std::size_t stride;
+};
+
+/// Per-peer view: the runs describing what one peer sends (or where one
+/// peer's data lands), traversed in order.  Views are copied at post time,
+/// so callers may build them in temporaries.
+using SegView = std::span<const SegRun>;
+
+/// Total elements covered by a view.
+[[nodiscard]] inline std::size_t seg_elems(SegView view) {
+  std::size_t n = 0;
+  for (const SegRun& r : view) n += r.len;
+  return n;
+}
 
 namespace detail {
 class CommContext;
@@ -146,6 +171,49 @@ class Comm {
                        const std::size_t* sdispls, void* recv,
                        const std::size_t* rcounts, const std::size_t* rdispls,
                        std::size_t elem_size, int tag = 0);
+
+  /// Strided scatter-gather exchange: sends the elements of svuews[p]
+  /// (relative to `send_base`) to peer p and receives peer q's payload into
+  /// rviews[q] (relative to `recv_base`), both traversed in run order.
+  /// Element streams must agree pairwise in length (checked).  Blocking;
+  /// equivalent to ialltoallv_view(...).wait().
+  void alltoallv_view(const void* send_base, std::span<const SegView> sviews,
+                      void* recv_base, std::span<const SegView> rviews,
+                      std::size_t elem_size, int tag = 0);
+
+  // --- Nonblocking collectives ---
+  //
+  // Posting registers this rank's buffers and returns immediately; no
+  // global rendezvous happens until wait()/test().  Progress runs in the
+  // waiter: once every rank of the communicator has posted the matching
+  // operation, each waiter pulls its own receive payload directly from the
+  // peers' send buffers (peer-direct copies, no barrier).  A request
+  // completes only after *every* rank has pulled, so send buffers must stay
+  // valid until the local wait() returns -- the same guarantee the blocking
+  // collectives give.  Matching follows the blocking rules: (kind, tag,
+  // per-rank sequence); several nonblocking exchanges may be in flight on
+  // one tag as long as all ranks post them in the same order.
+
+  /// Nonblocking alltoall_bytes.  Buffers (send, recv) must stay valid and
+  /// unmodified until the returned request completes.
+  [[nodiscard]] Request ialltoall_bytes(const void* send, void* recv,
+                                        std::size_t bytes_per_rank,
+                                        int tag = 0);
+
+  /// Nonblocking alltoallv_bytes.  The count/displacement arrays are copied
+  /// at post time; the payload buffers must stay valid until completion.
+  [[nodiscard]] Request ialltoallv_bytes(
+      const void* send, const std::size_t* scounts,
+      const std::size_t* sdispls, void* recv, const std::size_t* rcounts,
+      const std::size_t* rdispls, std::size_t elem_size, int tag = 0);
+
+  /// Nonblocking alltoallv_view.  The views are copied at post time; the
+  /// payload regions they describe must stay valid until completion.
+  [[nodiscard]] Request ialltoallv_view(const void* send_base,
+                                        std::span<const SegView> sviews,
+                                        void* recv_base,
+                                        std::span<const SegView> rviews,
+                                        std::size_t elem_size, int tag = 0);
 
   /// Partitions the communicator: ranks passing the same color form a new
   /// communicator, ordered by (key, old rank).  Collective over all ranks.
@@ -256,6 +324,10 @@ class Comm {
                     void (*combine)(void*, const void*, std::size_t), int root,
                     int tag);
   Request post_recv(int src, void* data, std::size_t bytes, int tag);
+  Request post_nb_exchange(CommOpKind kind, const void* send_base,
+                           std::span<const SegView> sviews, void* recv_base,
+                           std::span<const SegView> rviews,
+                           std::size_t elem_size, int tag);
 
   std::shared_ptr<detail::CommContext> ctx_;
   std::shared_ptr<detail::RankState> rank_state_;

@@ -69,6 +69,30 @@ struct OpState {
   // Split results:
   std::vector<std::shared_ptr<class CommContext>> child_ctx;
   std::vector<int> child_rank;
+
+  // Nonblocking exchange (Ialltoall/Ialltoallv): per-rank send AND recv
+  // views, copied at post time so the engine can move payload long after
+  // the posting frame returned.  Each pairwise transfer p->q executes
+  // eagerly, claimed at post time by whichever endpoint posts later, so a
+  // rank's wait blocks only until its own row (sends consumed) and column
+  // (receives landed) are done -- never on a global all-ranks-pulled
+  // barrier.  Send and recv buffers stay valid until the local wait
+  // returns, which the row/column condition guarantees.
+  struct NbSide {
+    std::vector<SegRun> runs;        ///< all peers' runs, concatenated
+    std::vector<std::size_t> first;  ///< size n+1: peer p's runs span
+                                     ///< [first[p], first[p+1])
+  };
+  std::vector<NbSide> nb_send;  ///< sized by the first nonblocking poster
+  std::vector<NbSide> nb_recv;
+  std::vector<void*> nb_recv_base;  ///< per-rank recv buffer base
+  std::vector<char> nb_posted;      ///< per-rank: views registered
+  std::vector<std::uint8_t> xfer;   ///< [p*n+q]: 0 pending / 1 claimed /
+                                    ///< 2 done, transfer p -> q
+  std::vector<int> done_out;        ///< per sender p: done transfers p -> *
+  std::vector<int> done_in;         ///< per receiver q: done transfers * -> q
+  int observed = 0;    ///< ranks whose wait/test finalized the request
+  std::string failed;  ///< metadata-mismatch poison (empty = healthy)
 };
 
 struct P2pKey {
@@ -81,12 +105,32 @@ struct P2pKey {
 /// Completion flag of a nonblocking operation, synchronized through the
 /// owning communicator's mutex/condvar.  src/tag/comm_rank identify the
 /// operation for watchdog diagnostics.
+///
+/// For nonblocking collectives (op != nullptr) the state additionally
+/// carries this rank's receive-side view (copied at post time, also
+/// registered in the OpState for peer-side eager transfers) and the
+/// finalization flag `pulled` (corruption injection + completion
+/// accounting run once per request).  The OpState is shared; this struct
+/// holds only per-rank state, so there is no ownership cycle.
 struct RequestState {
   std::shared_ptr<class CommContext> ctx;
   bool done = false;
   int src = -1;
   int comm_rank = -1;  ///< the posting (receiving) rank
   int tag = 0;
+
+  // --- Nonblocking collective fields (unused for point-to-point) ---
+  std::shared_ptr<OpState> op;
+  OpKey key{};
+  CommOpKind kind = CommOpKind::Recv;
+  void* recv_base = nullptr;
+  std::size_t elem_size = 0;
+  std::vector<SegRun> rruns;        ///< recv runs, concatenated per peer
+  std::vector<std::size_t> rfirst;  ///< size n+1
+  bool pulled = false;  ///< finalization (injection + accounting) ran
+  double t_post = 0.0;              ///< post wall time (event/metrics)
+  std::size_t bytes = 0;            ///< payload bytes this rank sends
+  std::shared_ptr<struct RankState> rank_state;  ///< event emission at wait
 };
 
 /// A posted (not yet matched) nonblocking receive.

@@ -120,8 +120,9 @@ std::uint64_t FaultInjector::on_op(int world_rank, CommOpKind kind) {
   return index;
 }
 
-bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
-                                  std::size_t bytes) {
+bool FaultInjector::maybe_corrupt(
+    int world_rank, CommOpKind kind, std::size_t bytes,
+    const std::function<void(std::size_t, unsigned char)>& flip_bit) {
   if (bytes == 0 || !kind_selected(kind)) return false;
   const auto r = static_cast<std::size_t>(world_rank);
   const std::uint64_t index =
@@ -136,13 +137,21 @@ bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
   if (!one_shot && !random) return false;
   const std::uint64_t bit =
       decide_u64(plan_.seed, world_rank, index, /*salt=*/3) % (bytes * 8);
-  static_cast<unsigned char*>(data)[bit / 8] ^=
-      static_cast<unsigned char>(1U << (bit % 8));
+  flip_bit(static_cast<std::size_t>(bit / 8),
+           static_cast<unsigned char>(1U << (bit % 8)));
   corruptions_.fetch_add(1, std::memory_order_relaxed);
   static core::Counter& corruptions =
       core::MetricsRegistry::global().counter("simmpi.faults.corruptions");
   corruptions.add();
   return true;
+}
+
+bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
+                                  std::size_t bytes) {
+  return maybe_corrupt(world_rank, kind, bytes,
+                       [data](std::size_t byte, unsigned char mask) {
+                         static_cast<unsigned char*>(data)[byte] ^= mask;
+                       });
 }
 
 std::uint64_t FaultInjector::ops_seen(int world_rank) const {

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -101,6 +102,14 @@ class FaultInjector {
   /// selected by the plan; `bytes` must be > 0 for a flip to land.
   bool maybe_corrupt(int world_rank, CommOpKind kind, void* data,
                      std::size_t bytes);
+
+  /// Like maybe_corrupt for payloads that are not contiguous in memory
+  /// (scatter-gather views): identical selection, counting and bit choice
+  /// over a logical `bytes`-long stream; when selected, `flip_bit(byte,
+  /// mask)` must XOR `mask` into logical byte `byte` of that stream.
+  bool maybe_corrupt(
+      int world_rank, CommOpKind kind, std::size_t bytes,
+      const std::function<void(std::size_t, unsigned char)>& flip_bit);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   /// Operations seen so far by `world_rank` (determinism tests).

@@ -62,6 +62,10 @@ char mpi_letter(mpi::CommOpKind kind) {
       return 'C';
     case mpi::CommOpKind::Reduce:
       return 'R';
+    case mpi::CommOpKind::Ialltoall:
+      return 'I';
+    case mpi::CommOpKind::Ialltoallv:
+      return 'i';
   }
   return '?';
 }

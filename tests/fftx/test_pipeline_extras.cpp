@@ -23,13 +23,20 @@ using fx::pw::Cell;
 
 double run_and_check(const std::shared_ptr<const Descriptor>& desc,
                      PipelineMode mode, int nthreads, int bands,
-                     fx::trace::Tracer* tracer = nullptr) {
+                     fx::trace::Tracer* tracer = nullptr,
+                     bool force_staged = false) {
   double worst = 0.0;
   fx::mpi::Runtime::run(desc->nproc(), [&](fx::mpi::Comm& world) {
     PipelineConfig cfg;
     cfg.num_bands = bands;
     cfg.mode = mode;
     cfg.nthreads = nthreads;
+    if (force_staged) {
+      // For tests that assert staged-path artifacts (marshalling trace
+      // phases), regardless of FFTX_FUSED_EXCHANGE / FFTX_OVERLAP_EXCHANGE.
+      cfg.fused_exchange = false;
+      cfg.overlap_exchange = false;
+    }
     BandFftPipeline pipe(world, desc, cfg, tracer);
     pipe.initialize_bands();
     pipe.run();
@@ -119,7 +126,8 @@ TEST(TraceIntegration, InstructionTotalsEqualAcrossModes) {
 TEST(TraceIntegration, EveryPipelinePhaseAppearsInTrace) {
   auto desc = std::make_shared<const Descriptor>(Cell{8.0}, 8.0, 2, 2);
   fx::trace::Tracer tracer(2);
-  run_and_check(desc, PipelineMode::Original, 1, 4, &tracer);
+  run_and_check(desc, PipelineMode::Original, 1, 4, &tracer,
+                /*force_staged=*/true);
   std::map<fx::trace::PhaseKind, int> seen;
   for (const auto& e : tracer.compute_events()) ++seen[e.phase];
   using PK = fx::trace::PhaseKind;

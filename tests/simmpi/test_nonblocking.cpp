@@ -1,19 +1,55 @@
 // Nonblocking point-to-point: completion semantics, posting order,
 // mixing with blocking receives, and the overlap pattern the paper's
-// future work (MPI inside tasks) relies on.
+// future work (MPI inside tasks) relies on.  Plus the nonblocking
+// collectives (Ialltoall/Ialltoallv, contiguous and scatter-gather views)
+// behind the pipeline's fused overlapped transposes, including their
+// behavior under fault injection, the watchdog, and revocation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+#include "core/timer.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
 
+using fx::core::CommError;
+using fx::core::DeadlockError;
+using fx::core::FaultError;
 using fx::mpi::Comm;
+using fx::mpi::CommOpKind;
 using fx::mpi::Request;
+using fx::mpi::RunOptions;
 using fx::mpi::Runtime;
+using fx::mpi::SegRun;
+using fx::mpi::SegView;
+
+/// Quiet-watchdog options for tests that exercise other features.
+RunOptions quiet_options() {
+  RunOptions opts;
+  opts.watchdog.window_ms = 60000.0;
+  return opts;
+}
+
+/// Elements rank r sends to rank p in the irregular exchange tests.
+std::size_t seg_count(int r, int p) {
+  return static_cast<std::size_t>(1 + r + 2 * p);
+}
+
+double seg_value(int r, int p, std::size_t i) {
+  return 100.0 * r + 10.0 * p + static_cast<double>(i);
+}
 
 TEST(Nonblocking, DefaultRequestIsComplete) {
   Request r;
@@ -115,6 +151,335 @@ TEST(Nonblocking, OverlapComputeWithPendingReceive) {
       EXPECT_DOUBLE_EQ(incoming[999], 999.0);
     }
   });
+}
+
+/// Builds the irregular send/recv buffers of `seg_count`/`seg_value` for
+/// `rank` in a `size`-rank world, returning {send, scounts, sdispls}.
+struct VBufs {
+  std::vector<double> send;
+  std::vector<double> recv;
+  std::vector<std::size_t> scounts, sdispls, rcounts, rdispls;
+};
+
+VBufs make_vbufs(int rank, int size) {
+  VBufs b;
+  const auto n = static_cast<std::size_t>(size);
+  b.scounts.resize(n);
+  b.sdispls.resize(n);
+  b.rcounts.resize(n);
+  b.rdispls.resize(n);
+  std::size_t soff = 0;
+  std::size_t roff = 0;
+  for (int p = 0; p < size; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    b.scounts[pu] = seg_count(rank, p);
+    b.sdispls[pu] = soff;
+    soff += b.scounts[pu];
+    b.rcounts[pu] = seg_count(p, rank);
+    b.rdispls[pu] = roff;
+    roff += b.rcounts[pu];
+  }
+  b.send.resize(soff);
+  b.recv.resize(roff, -1.0);
+  for (int p = 0; p < size; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    for (std::size_t i = 0; i < b.scounts[pu]; ++i) {
+      b.send[b.sdispls[pu] + i] = seg_value(rank, p, i);
+    }
+  }
+  return b;
+}
+
+void expect_vrecv(const VBufs& b, int rank, int size) {
+  for (int p = 0; p < size; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    for (std::size_t i = 0; i < b.rcounts[pu]; ++i) {
+      EXPECT_DOUBLE_EQ(b.recv[b.rdispls[pu] + i], seg_value(p, rank, i))
+          << "from rank " << p << " element " << i;
+    }
+  }
+}
+
+TEST(NonblockingCollective, IalltoallvMatchesBlockingAlltoallv) {
+  Runtime::run(4, [&](Comm& comm) {
+    VBufs nb = make_vbufs(comm.rank(), comm.size());
+    VBufs bl = make_vbufs(comm.rank(), comm.size());
+    Request r = comm.ialltoallv_bytes(
+        nb.send.data(), nb.scounts.data(), nb.sdispls.data(), nb.recv.data(),
+        nb.rcounts.data(), nb.rdispls.data(), sizeof(double), /*tag=*/3);
+    comm.alltoallv(bl.send.data(), bl.scounts.data(), bl.sdispls.data(),
+                   bl.recv.data(), bl.rcounts.data(), bl.rdispls.data(),
+                   /*tag=*/4);
+    r.wait();
+    EXPECT_TRUE(r.test());
+    expect_vrecv(nb, comm.rank(), comm.size());
+    EXPECT_EQ(nb.recv, bl.recv);
+  });
+}
+
+TEST(NonblockingCollective, IalltoallMatchesBlockingAlltoall) {
+  Runtime::run(3, [&](Comm& comm) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    std::vector<std::int64_t> send(n);
+    std::vector<std::int64_t> nb_recv(n, -1);
+    std::vector<std::int64_t> bl_recv(n, -1);
+    for (std::size_t p = 0; p < n; ++p) {
+      send[p] = 1000 * comm.rank() + static_cast<std::int64_t>(p);
+    }
+    Request r = comm.ialltoall_bytes(send.data(), nb_recv.data(),
+                                     sizeof(std::int64_t), /*tag=*/0);
+    comm.alltoall_bytes(send.data(), bl_recv.data(), sizeof(std::int64_t),
+                        /*tag=*/1);
+    r.wait();
+    EXPECT_EQ(nb_recv, bl_recv);
+    for (std::size_t p = 0; p < n; ++p) {
+      EXPECT_EQ(nb_recv[p], static_cast<std::int64_t>(1000 * p) + comm.rank());
+    }
+  });
+}
+
+TEST(NonblockingCollective, StridedViewsExchangeWithoutStaging) {
+  // Rank r sends column r of a 2x2 row-major matrix (stride 2) and
+  // receives each peer's segment into column slots of its own matrix:
+  // a transpose exchanged directly between strided layouts, no staging.
+  Runtime::run(2, [&](Comm& comm) {
+    const int me = comm.rank();
+    std::vector<double> mat = {10.0 + me, 20.0 + me,   // row 0
+                               30.0 + me, 40.0 + me};  // row 1
+    std::vector<double> out(4, -1.0);
+    // Send column p to peer p; receive from peer p into column p.
+    std::vector<SegRun> sruns = {SegRun{0, 2, 2}, SegRun{1, 2, 2}};
+    std::vector<SegRun> rruns = {SegRun{0, 2, 2}, SegRun{1, 2, 2}};
+    std::vector<SegView> sviews = {SegView(&sruns[0], 1),
+                                   SegView(&sruns[1], 1)};
+    std::vector<SegView> rviews = {SegView(&rruns[0], 1),
+                                   SegView(&rruns[1], 1)};
+    Request r = comm.ialltoallv_view(mat.data(), sviews, out.data(), rviews,
+                                     sizeof(double), /*tag=*/0);
+    r.wait();
+    // out column p = peer p's column me.
+    for (int p = 0; p < 2; ++p) {
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(p)],
+                       10.0 * (1 + me) + p);
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(2 + p)],
+                       10.0 * (3 + me) + p);
+    }
+  });
+}
+
+TEST(NonblockingCollective, PostedExchangeOverlapsCompute) {
+  Runtime::run(2, [&](Comm& comm) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    std::vector<double> send(n, static_cast<double>(comm.rank()));
+    std::vector<double> recv(n, -1.0);
+    Request r = comm.ialltoall_bytes(send.data(), recv.data(),
+                                     sizeof(double), /*tag=*/0);
+    // "Compute" while the exchange is in flight; the request makes
+    // progress in wait(), not here.
+    double acc = 0.0;
+    for (int i = 0; i < 10000; ++i) acc += static_cast<double>(i) * 0.5;
+    EXPECT_GT(acc, 0.0);
+    r.wait();
+    for (std::size_t p = 0; p < n; ++p) {
+      EXPECT_DOUBLE_EQ(recv[p], static_cast<double>(p));
+    }
+  });
+}
+
+TEST(NonblockingCollective, SeveralInFlightSameTagMatchInPostOrder) {
+  // The overlapped pipeline posts one exchange per Z-FFT chunk, all under
+  // the iteration tag; (kind, tag, seq) matching must pair chunk c with
+  // chunk c on every rank.
+  Runtime::run(2, [&](Comm& comm) {
+    constexpr int kChunks = 4;
+    const auto n = static_cast<std::size_t>(comm.size());
+    std::vector<std::vector<double>> send(kChunks);
+    std::vector<std::vector<double>> recv(kChunks);
+    std::vector<Request> reqs;
+    for (int c = 0; c < kChunks; ++c) {
+      send[c].assign(n, 100.0 * comm.rank() + c);
+      recv[c].assign(n, -1.0);
+      reqs.push_back(comm.ialltoall_bytes(send[c].data(), recv[c].data(),
+                                          sizeof(double), /*tag=*/9));
+    }
+    for (int c = kChunks - 1; c >= 0; --c) reqs[c].wait();
+    for (int c = 0; c < kChunks; ++c) {
+      for (std::size_t p = 0; p < n; ++p) {
+        EXPECT_DOUBLE_EQ(recv[c][p], 100.0 * static_cast<double>(p) + c);
+      }
+    }
+  });
+}
+
+TEST(NonblockingCollective, AliasedBuffersThrow) {
+  EXPECT_THROW(Runtime::run(1,
+                            [&](Comm& comm) {
+                              std::vector<double> buf(1, 0.0);
+                              comm.ialltoall_bytes(buf.data(), buf.data(),
+                                                   sizeof(double))
+                                  .wait();
+                            }),
+               fx::core::Error);
+}
+
+TEST(NonblockingCollective, BlockingAlltoallvAliasedBuffersThrow) {
+  // The aliasing guard the blocking variant was missing (alltoall_bytes
+  // always had it).
+  EXPECT_THROW(Runtime::run(1,
+                            [&](Comm& comm) {
+                              std::vector<double> buf(1, 0.0);
+                              const std::size_t one = 1;
+                              const std::size_t zero = 0;
+                              comm.alltoallv_bytes(buf.data(), &one, &zero,
+                                                   buf.data(), &one, &zero,
+                                                   sizeof(double));
+                            }),
+               fx::core::Error);
+}
+
+TEST(NonblockingCollective, PostedAndCompletedCountersAdvance) {
+  auto& reg = fx::core::MetricsRegistry::global();
+  const auto posted0 = reg.counter("simmpi.ialltoallv.posted").value();
+  const auto completed0 = reg.counter("simmpi.ialltoallv.completed").value();
+  Runtime::run(2, [&](Comm& comm) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    std::vector<double> send(n, 1.0);
+    std::vector<double> recv(n, 0.0);
+    comm.ialltoall_bytes(send.data(), recv.data(), sizeof(double)).wait();
+  });
+  EXPECT_EQ(reg.counter("simmpi.ialltoallv.posted").value(), posted0 + 2);
+  EXPECT_EQ(reg.counter("simmpi.ialltoallv.completed").value(),
+            completed0 + 2);
+}
+
+TEST(NonblockingFaults, KillMidExchangeUnwindsPeers) {
+  RunOptions opts = quiet_options();
+  opts.faults.kill_rank = 1;
+  opts.faults.kill_op = 0;
+  opts.faults.only_kind = static_cast<int>(CommOpKind::Ialltoallv);
+  std::atomic<int> peer_unwinds{0};
+  try {
+    Runtime::run(4, opts, [&](Comm& comm) {
+      try {
+        VBufs b = make_vbufs(comm.rank(), comm.size());
+        comm.ialltoallv_bytes(b.send.data(), b.scounts.data(),
+                              b.sdispls.data(), b.recv.data(),
+                              b.rcounts.data(), b.rdispls.data(),
+                              sizeof(double))
+            .wait();
+      } catch (const CommError& e) {
+        EXPECT_NE(std::string(e.what()).find("rank 1 failed"),
+                  std::string::npos)
+            << e.what();
+        peer_unwinds.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("killed rank 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("Ialltoallv"), std::string::npos);
+  }
+  EXPECT_EQ(peer_unwinds.load(), 3);
+}
+
+TEST(NonblockingFaults, StallMidExchangeStillCompletes) {
+  RunOptions opts = quiet_options();
+  opts.faults.stall_rank = 0;
+  opts.faults.stall_op = 0;
+  opts.faults.stall_ms = 50.0;
+  opts.faults.only_kind = static_cast<int>(CommOpKind::Ialltoallv);
+  fx::core::WallTimer timer;
+  Runtime::run(2, opts, [&](Comm& comm) {
+    VBufs b = make_vbufs(comm.rank(), comm.size());
+    Request r = comm.ialltoallv_bytes(
+        b.send.data(), b.scounts.data(), b.sdispls.data(), b.recv.data(),
+        b.rcounts.data(), b.rdispls.data(), sizeof(double));
+    r.wait();
+    expect_vrecv(b, comm.rank(), comm.size());
+  });
+  EXPECT_GE(timer.seconds(), 0.045);
+}
+
+TEST(NonblockingFaults, CorruptMidFlightFlipsExactlyOneBit) {
+  RunOptions opts = quiet_options();
+  opts.faults.corrupt_rank = 0;
+  opts.faults.corrupt_op = 0;
+  opts.faults.only_kind = static_cast<int>(CommOpKind::Ialltoallv);
+  std::atomic<int> flipped_bits{0};
+  Runtime::run(2, opts, [&](Comm& comm) {
+    VBufs b = make_vbufs(comm.rank(), comm.size());
+    comm.ialltoallv_bytes(b.send.data(), b.scounts.data(), b.sdispls.data(),
+                          b.recv.data(), b.rcounts.data(), b.rdispls.data(),
+                          sizeof(double))
+        .wait();
+    // Diff the received payload bitwise against the clean expectation.
+    VBufs want = make_vbufs(comm.rank(), comm.size());
+    for (int p = 0; p < comm.size(); ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      for (std::size_t i = 0; i < want.rcounts[pu]; ++i) {
+        want.recv[want.rdispls[pu] + i] = seg_value(p, comm.rank(), i);
+      }
+    }
+    for (std::size_t k = 0; k < b.recv.size(); ++k) {
+      std::uint64_t got = 0;
+      std::uint64_t exp = 0;
+      std::memcpy(&got, &b.recv[k], sizeof(got));
+      std::memcpy(&exp, &want.recv[k], sizeof(exp));
+      flipped_bits.fetch_add(std::popcount(got ^ exp));
+    }
+  });
+  EXPECT_EQ(flipped_bits.load(), 1);
+}
+
+TEST(NonblockingFaults, WatchdogCatchesNeverMatchedExchange) {
+  // Rank 1 never posts: rank 0 blocks in wait() with its ProgressBoard
+  // registration, so the deadlock report names the nonblocking kind.
+  RunOptions opts;
+  opts.watchdog.window_ms = 250.0;
+  fx::core::WallTimer timer;
+  try {
+    Runtime::run(2, opts, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        const auto n = static_cast<std::size_t>(comm.size());
+        std::vector<double> send(n, 0.0);
+        std::vector<double> recv(n, 0.0);
+        comm.ialltoall_bytes(send.data(), recv.data(), sizeof(double),
+                             /*tag=*/5)
+            .wait();
+      } else {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("Ialltoall"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_LT(timer.seconds(), 10.0);
+}
+
+TEST(NonblockingFaults, RevokedCommUnwindsWaiter) {
+  std::atomic<int> revoked_unwinds{0};
+  Runtime::run(2, quiet_options(), [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      // Let rank 0 block in the wait first, then revoke.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      comm.revoke("test revoke");
+      return;
+    }
+    try {
+      const auto n = static_cast<std::size_t>(comm.size());
+      std::vector<double> send(n, 0.0);
+      std::vector<double> recv(n, 0.0);
+      comm.ialltoall_bytes(send.data(), recv.data(), sizeof(double)).wait();
+      FAIL() << "expected RevokedError";
+    } catch (const fx::core::RevokedError& e) {
+      EXPECT_NE(std::string(e.what()).find("revoked"), std::string::npos);
+      revoked_unwinds.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(revoked_unwinds.load(), 1);
 }
 
 TEST(Nonblocking, SizeMismatchOnPostedReceiveThrows) {
