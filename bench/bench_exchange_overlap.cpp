@@ -48,6 +48,7 @@ struct Measured {
   double wait_s = 0.0;        // summed exchange-blocked seconds, all ranks
   double staging_s = 0.0;     // summed staged marshal/unmarshal seconds
   double staging_mb = 0.0;    // marshalling traffic through staging buffers
+  double bytes_mb = 0.0;      // payload bytes actually exchanged (wire size)
   double hidden_ms = 0.0;     // post-to-wait gap the overlap engine hid
   std::uint64_t posted = 0;   // nonblocking exchanges posted
 
@@ -60,6 +61,7 @@ struct Samples {
   std::vector<double> waits;
   std::vector<double> stagings;
   double staging_bytes = 0.0;
+  double exchanged_bytes = 0.0;
   double hidden_sum = 0.0;
   std::uint64_t posted = 0;
 };
@@ -74,10 +76,14 @@ void run_once(const std::shared_ptr<const fx::fftx::Descriptor>& desc,
   auto& staging_us = reg.histogram("fftx.exchange.staging_us");
   auto& hidden = reg.histogram("fftx.exchange.overlap_hidden_ms");
   auto& posted = reg.counter("simmpi.ialltoallv.posted");
+  auto& bytes_bl = reg.counter("simmpi.alltoallv.bytes");
+  auto& bytes_nb = reg.counter("simmpi.ialltoallv.bytes");
 
   const double wait0 = wait_bl.sum() + wait_nb.sum();
   const double staging_us0 = staging_us.sum();
   const double staging0 = static_cast<double>(staging.value());
+  const double bytes0 =
+      static_cast<double>(bytes_bl.value() + bytes_nb.value());
   const double hidden0 = hidden.sum();
   const std::uint64_t posted0 = posted.value();
 
@@ -100,6 +106,8 @@ void run_once(const std::shared_ptr<const fx::fftx::Descriptor>& desc,
   out.waits.push_back((wait_bl.sum() + wait_nb.sum() - wait0) / 1e6);
   out.stagings.push_back((staging_us.sum() - staging_us0) / 1e6);
   out.staging_bytes += static_cast<double>(staging.value()) - staging0;
+  out.exchanged_bytes +=
+      static_cast<double>(bytes_bl.value() + bytes_nb.value()) - bytes0;
   out.hidden_sum += hidden.sum() - hidden0;
   out.posted += posted.value() - posted0;
 }
@@ -110,6 +118,7 @@ Measured summarize(const Samples& s, int reps) {
   m.wait_s = fx::core::median(s.waits);
   m.staging_s = fx::core::median(s.stagings);
   m.staging_mb = s.staging_bytes / 1e6 / reps;
+  m.bytes_mb = s.exchanged_bytes / 1e6 / reps;
   m.hidden_ms = s.hidden_sum / reps;
   m.posted = s.posted / static_cast<std::uint64_t>(reps);
   return m;
@@ -126,11 +135,12 @@ int main() {
   fx::core::TablePrinter t(
       "Exchange engine (real backend, medians over 21 order-rotated paired reps)");
   t.header({"config", "variant", "wall [s]", "wait [s]", "staging [s]",
-            "cost [s]", "staging [MB]", "hidden [ms]", "cost vs staged"});
+            "cost [s]", "staging [MB]", "wire [MB]", "hidden [ms]",
+            "cost vs staged"});
   fx::core::CsvWriter csv("bench/out/exchange_overlap.csv");
   csv.row({"nranks", "ntg", "ecut", "variant", "wall_s", "exchange_wait_s",
-           "staging_s", "exchange_cost_s", "staging_mb", "hidden_ms",
-           "posted", "cost_reduction_pct"});
+           "staging_s", "exchange_cost_s", "staging_mb", "bytes_exchanged_mb",
+           "hidden_ms", "posted", "cost_reduction_pct"});
 
   struct Config {
     int nranks;
@@ -175,13 +185,15 @@ int main() {
              fx::core::fixed(m.wait_s, 4), fx::core::fixed(m.staging_s, 4),
              fx::core::fixed(m.cost_s(), 4),
              fx::core::fixed(m.staging_mb, 2),
+             fx::core::fixed(m.bytes_mb, 2),
              fx::core::fixed(m.hidden_ms, 1),
              fx::core::cat(fx::core::fixed(reduction, 1), " %")});
       csv.row({fx::core::cat(c.nranks), fx::core::cat(c.ntg),
                fx::core::cat(c.ecut), v.name, fx::core::cat(m.wall_s),
                fx::core::cat(m.wait_s), fx::core::cat(m.staging_s),
                fx::core::cat(m.cost_s()), fx::core::cat(m.staging_mb),
-               fx::core::cat(m.hidden_ms), fx::core::cat(m.posted),
+               fx::core::cat(m.bytes_mb), fx::core::cat(m.hidden_ms),
+               fx::core::cat(m.posted),
                fx::core::cat(fx::core::fixed(reduction, 1))});
     }
   }

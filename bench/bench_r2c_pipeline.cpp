@@ -1,0 +1,175 @@
+// Real-input pipeline + narrow wire A/B: complex bands vs r2c pair-packed
+// bands, each at fp64 / fp32 / bf16 wire precision, on the real backend.
+//
+// The r2c claim is structural -- for Gamma-point (real) wavefunctions the
+// pipeline carries gamma_pair_count(nbands) packed bands instead of nbands,
+// so the exchange counters must show exactly half the bytes -- and the wire
+// claim is also structural: fp32 halves and bf16 quarters the bytes of
+// every view exchange.  Both are read from simmpi.{alltoallv,ialltoallv}
+// .bytes deltas around otherwise identical runs; wall time then shows how
+// much of the byte cut survives as end-to-end speedup on this host.
+//
+// All variants run the fused zero-copy engine (narrow wire implies fused
+// anyway), so the A/B isolates band count and wire width, nothing else.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "core/metrics.hpp"
+#include "core/stats.hpp"
+#include "fft/gamma.hpp"
+#include "simmpi/runtime.hpp"
+#include "simmpi/wire.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool real_bands;
+  fx::mpi::WireFormat wire;
+};
+
+constexpr Variant kVariants[] = {
+    {"complex-fp64", false, fx::mpi::WireFormat::Fp64},
+    {"complex-fp32", false, fx::mpi::WireFormat::Fp32},
+    {"complex-bf16", false, fx::mpi::WireFormat::Bf16},
+    {"r2c-fp64", true, fx::mpi::WireFormat::Fp64},
+    {"r2c-fp32", true, fx::mpi::WireFormat::Fp32},
+    {"r2c-bf16", true, fx::mpi::WireFormat::Bf16},
+};
+
+struct Measured {
+  double wall_s = 0.0;   // median wall seconds of the reps
+  double wait_s = 0.0;   // summed exchange-blocked seconds, all ranks
+  double bytes_mb = 0.0; // wire bytes actually exchanged, per rep
+};
+
+/// Per-variant accumulator across the interleaved reps.
+struct Samples {
+  std::vector<double> times;
+  std::vector<double> waits;
+  double exchanged_bytes = 0.0;
+};
+
+/// One pipeline run of `v`, with per-run metric deltas banked into `out`.
+void run_once(const std::shared_ptr<const fx::fftx::Descriptor>& desc,
+              int nranks, const Variant& v, int num_bands, Samples& out) {
+  auto& reg = fx::core::MetricsRegistry::global();
+  auto& wait_bl = reg.histogram("simmpi.alltoallv.wait_us");
+  auto& wait_nb = reg.histogram("simmpi.ialltoallv.wait_us");
+  auto& bytes_bl = reg.counter("simmpi.alltoallv.bytes");
+  auto& bytes_nb = reg.counter("simmpi.ialltoallv.bytes");
+
+  const double wait0 = wait_bl.sum() + wait_nb.sum();
+  const double bytes0 =
+      static_cast<double>(bytes_bl.value() + bytes_nb.value());
+
+  double t = 0.0;
+  fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& world) {
+    fx::fftx::PipelineConfig cfg;
+    cfg.num_bands = num_bands;
+    cfg.mode = fx::fftx::PipelineMode::Original;
+    cfg.nthreads = 1;
+    cfg.guard_exchanges = false;
+    cfg.fused_exchange = true;
+    cfg.real_bands = v.real_bands;
+    cfg.wire_format = v.wire;
+    fx::fftx::BandFftPipeline pipe(world, desc, cfg);
+    pipe.initialize_bands();
+    const double dt = pipe.run();
+    if (world.rank() == 0) t = dt;
+  });
+  out.times.push_back(t);
+  out.waits.push_back((wait_bl.sum() + wait_nb.sum() - wait0) / 1e6);
+  out.exchanged_bytes +=
+      static_cast<double>(bytes_bl.value() + bytes_nb.value()) - bytes0;
+}
+
+Measured summarize(const Samples& s, int reps) {
+  Measured m;
+  m.wall_s = fx::core::median(s.times);
+  m.wait_s = fx::core::median(s.waits);
+  m.bytes_mb = s.exchanged_bytes / 1e6 / reps;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kReps = 15;
+  // Even band count so the r2c variants pack full pairs; large enough that
+  // the rank-thread spawn/join cost of Runtime::run stops polluting the
+  // per-run metric deltas.
+  constexpr int kBands = 32;
+
+  fx::core::TablePrinter t(
+      "r2c + wire precision (real backend, medians over 15 order-rotated "
+      "paired reps)");
+  t.header({"config", "variant", "wall [s]", "wait [s]", "wire [MB]",
+            "byte cut", "speedup"});
+  fx::core::CsvWriter csv("bench/out/r2c_wire.csv");
+  csv.row({"nranks", "ntg", "ecut", "variant", "bands_carried", "wall_s",
+           "exchange_wait_s", "bytes_on_wire_mb", "byte_cut_x", "speedup_x"});
+
+  struct Config {
+    int nranks;
+    int ntg;
+    double ecut;
+  };
+  // The 8-rank, ecut-32 point is the exchange-bound regime where cutting
+  // bytes on the wire should show up in wall time, not just the counters.
+  const Config configs[] = {
+      {4, 2, 16.0}, {8, 2, 16.0}, {8, 2, 32.0},
+  };
+
+  constexpr int kNumVariants =
+      static_cast<int>(sizeof(kVariants) / sizeof(kVariants[0]));
+
+  for (const Config& c : configs) {
+    // Interleave the variants within each rep, rotating the order, so
+    // host-speed drift over the measurement window lands on every variant
+    // equally (same paired-rep scheme as the exchange-engine bench).
+    auto desc = std::make_shared<const fx::fftx::Descriptor>(
+        fx::pw::Cell{10.0}, c.ecut, c.nranks, c.ntg);
+    Samples samples[kNumVariants];
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int i = 0; i < kNumVariants; ++i) {
+        const int vi = (rep + i) % kNumVariants;
+        run_once(desc, c.nranks, kVariants[vi], kBands, samples[vi]);
+      }
+    }
+    double base_wall = 0.0;
+    double base_bytes = 0.0;
+    for (int vi = 0; vi < kNumVariants; ++vi) {
+      const Variant& v = kVariants[vi];
+      const Measured m = summarize(samples[vi], kReps);
+      if (!v.real_bands && v.wire == fx::mpi::WireFormat::Fp64) {
+        base_wall = m.wall_s;
+        base_bytes = m.bytes_mb;
+      }
+      const double byte_cut = m.bytes_mb > 0.0 ? base_bytes / m.bytes_mb : 0.0;
+      const double speedup = m.wall_s > 0.0 ? base_wall / m.wall_s : 0.0;
+      const int carried =
+          v.real_bands
+              ? static_cast<int>(fx::fft::gamma_pair_count(kBands))
+              : kBands;
+      t.row({fx::core::cat(c.nranks, " ranks, ntg ", c.ntg, ", ecut ",
+                           fx::core::fixed(c.ecut, 0)),
+             v.name, fx::core::fixed(m.wall_s, 4),
+             fx::core::fixed(m.wait_s, 4), fx::core::fixed(m.bytes_mb, 2),
+             fx::core::cat(fx::core::fixed(byte_cut, 2), " x"),
+             fx::core::cat(fx::core::fixed(speedup, 2), " x")});
+      csv.row({fx::core::cat(c.nranks), fx::core::cat(c.ntg),
+               fx::core::cat(c.ecut), v.name, fx::core::cat(carried),
+               fx::core::cat(m.wall_s), fx::core::cat(m.wait_s),
+               fx::core::cat(m.bytes_mb),
+               fx::core::cat(fx::core::fixed(byte_cut, 2)),
+               fx::core::cat(fx::core::fixed(speedup, 2))});
+    }
+  }
+  t.print(std::cout);
+
+  fx::trace::dump_metrics("bench_r2c_pipeline");
+  return 0;
+}

@@ -87,19 +87,37 @@ int main(int argc, char** argv) {
     std::cout << "no surviving rank completed -- recovery failed\n";
     return 1;
   }
+  // The oracle follows the configured pipeline mode: packed-pair reference
+  // when FFTX_R2C carries real bands, and a relative quantizer-level
+  // tolerance when FFTX_WIRE_PRECISION narrows the wire (a shrink can
+  // change the decomposition, which perturbs narrow-wire results by one
+  // quantization pass -- fp64 stays bit-exact).
+  const bool real = fx::fftx::default_real_bands();
+  const auto wire = fx::mpi::default_wire_format();
+  const int carried = static_cast<int>(result.size());
   double err = 0.0;
-  for (int n = 0; n < bands; ++n) {
-    const auto want = fx::fftx::reference_band_output(*desc, n, true);
+  double peak = 0.0;
+  for (int n = 0; n < carried; ++n) {
+    const auto want =
+        real ? fx::fftx::reference_packed_band_output(*desc, n, bands, true)
+             : fx::fftx::reference_band_output(*desc, n, true);
     const auto& got = result[static_cast<std::size_t>(n)];
     for (std::size_t k = 0; k < want.size(); ++k) {
       err = std::max(err, std::abs(got[k] - want[k]));
+      peak = std::max(peak, std::abs(want[k]));
     }
   }
-  std::cout << "\nmax error vs serial oracle over all " << bands
-            << " bands: " << err << '\n';
-  std::cout << (err < 1e-12 ? "recovered output matches the fault-free "
-                              "result\n"
-                            : "MISMATCH (bug!)\n");
+  const bool relative = wire != fx::mpi::WireFormat::Fp64;
+  if (relative) err /= std::max(peak, 1e-300);
+  const double tol = wire == fx::mpi::WireFormat::Fp64   ? 1e-12
+                     : wire == fx::mpi::WireFormat::Fp32 ? 1e-4
+                                                         : 5e-2;
+  std::cout << "\n" << (relative ? "relative" : "max") << " error vs serial "
+            << (real ? "packed-pair" : "band") << " oracle over all "
+            << carried << " carried bands: " << err << '\n';
+  std::cout << (err < tol ? "recovered output matches the fault-free "
+                            "result\n"
+                          : "MISMATCH (bug!)\n");
   fx::trace::dump_metrics("recovery_demo");
-  return err < 1e-12 ? 0 : 1;
+  return err < tol ? 0 : 1;
 }

@@ -3,8 +3,30 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "fft/plan_cache.hpp"
 
 namespace fx::fft {
+
+void fft_real_bands(const BatchPlanR2c1d& plan, std::size_t nbands,
+                    const double* bands, std::size_t band_dist, cplx* spectra,
+                    std::size_t spec_dist, Workspace& ws) {
+  FX_CHECK(plan.direction() == Direction::Forward,
+           "fft_real_bands needs a Forward plan");
+  plan.execute_many(nbands, bands, 1, band_dist, spectra, 1, spec_dist, ws);
+}
+
+void ifft_real_bands(const BatchPlanR2c1d& plan, std::size_t nbands,
+                     const cplx* spectra, std::size_t spec_dist, double* bands,
+                     std::size_t band_dist, Workspace& ws) {
+  FX_CHECK(plan.direction() == Direction::Backward,
+           "ifft_real_bands needs a Backward plan");
+  plan.execute_many(nbands, spectra, 1, spec_dist, bands, 1, band_dist, ws);
+  const double inv_n = 1.0 / static_cast<double>(plan.size());
+  for (std::size_t b = 0; b < nbands; ++b) {
+    double* x = bands + b * band_dist;
+    for (std::size_t j = 0; j < plan.size(); ++j) x[j] *= inv_n;
+  }
+}
 
 void fft_two_real(const Fft1d& forward_plan, std::span<const double> a,
                   std::span<const double> b, std::span<cplx> spectrum_a,
@@ -16,21 +38,13 @@ void fft_two_real(const Fft1d& forward_plan, std::span<const double> a,
                spectrum_b.size() == n,
            "fft_two_real size mismatch");
 
-  Workspace::Buffer packed(ws, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    packed.data()[j] = cplx{a[j], b[j]};
-  }
-  Workspace::Buffer z(ws, n);
-  forward_plan.execute(packed.data(), z.data(), ws);
-
-  // A(k) = (Z(k) + conj(Z(n-k)))/2;  B(k) = (Z(k) - conj(Z(n-k)))/(2i).
-  for (std::size_t k = 0; k < n; ++k) {
-    const cplx zk = z.data()[k];
-    const cplx zm = std::conj(z.data()[k == 0 ? 0 : n - k]);
-    spectrum_a[k] = 0.5 * (zk + zm);
-    const cplx diff = zk - zm;
-    spectrum_b[k] = cplx{0.5 * diff.imag(), -0.5 * diff.real()};
-  }
+  const auto r2c = PlanCache::global().r2c1d(n, Direction::Forward);
+  const std::size_t nh = r2c->half_spectrum();
+  Workspace::Buffer half(ws, 2 * nh);
+  r2c->execute(a, {half.data(), nh}, ws);
+  r2c->execute(b, {half.data() + nh, nh}, ws);
+  expand_half_spectrum({half.data(), nh}, spectrum_a);
+  expand_half_spectrum({half.data() + nh, nh}, spectrum_b);
 }
 
 void ifft_two_real(const Fft1d& backward_plan,
@@ -44,18 +58,14 @@ void ifft_two_real(const Fft1d& backward_plan,
                spectrum_b.size() == n,
            "ifft_two_real size mismatch");
 
-  // Z(k) = A(k) + i*B(k): for Hermitian A, B the inverse transform of Z is
-  // exactly a + i*b.
-  Workspace::Buffer z(ws, n);
-  for (std::size_t k = 0; k < n; ++k) {
-    z.data()[k] = spectrum_a[k] + cplx{0.0, 1.0} * spectrum_b[k];
-  }
-  Workspace::Buffer out(ws, n);
-  backward_plan.execute(z.data(), out.data(), ws);
+  const auto c2r = PlanCache::global().r2c1d(n, Direction::Backward);
+  const std::size_t nh = c2r->half_spectrum();
+  c2r->execute({spectrum_a.data(), nh}, a, ws);
+  c2r->execute({spectrum_b.data(), nh}, b, ws);
   const double inv_n = 1.0 / static_cast<double>(n);
   for (std::size_t j = 0; j < n; ++j) {
-    a[j] = out.data()[j].real() * inv_n;
-    b[j] = out.data()[j].imag() * inv_n;
+    a[j] *= inv_n;
+    b[j] *= inv_n;
   }
 }
 

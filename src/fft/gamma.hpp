@@ -1,39 +1,71 @@
-// Gamma-point packing: two real signals through one complex FFT.
+// Gamma-point real-band utilities.
 //
 // At the Gamma point, Quantum ESPRESSO's wave functions are real in real
-// space, so their spectra are Hermitian: X(-k) = conj(X(k)).  Two real
-// signals a, b can therefore share one complex transform of z = a + i*b:
+// space, so their spectra are Hermitian: X(-k) = conj(X(k)).  The classic
+// exploitation was the "two bands at a time" packing trick -- run two real
+// signals through one complex FFT of z = a + i*b and split the spectra:
 //
 //   A(k) = (Z(k) + conj(Z(n-k))) / 2
 //   B(k) = (Z(k) - conj(Z(n-k))) / (2i)
 //
-// and conversely two Hermitian spectra pack into one complex inverse
-// transform.  This halves the FFT work for Gamma-only calculations --
-// QE's classic "two bands at a time" trick, exposed here as utilities on
-// top of the engine.
+// That trick only halves the *count* of transforms; every transform is
+// still full complex and every spectrum is stored twice over.  The native
+// r2c/c2r engine (fft/r2c1d.hpp) supersedes it: each real band gets its
+// own half-length transform and only the non-redundant half spectrum
+// (n/2 + 1 coefficients) is stored, which is what the distributed pipeline
+// ships through the exchange.  fft_two_real / ifft_two_real remain as
+// compatibility shims implemented on top of the r2c engine; new code
+// should use fft_real_bands / ifft_real_bands (or BatchPlanR2c1d
+// directly).
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "fft/plan1d.hpp"
+#include "fft/r2c1d.hpp"
 #include "fft/types.hpp"
 
 namespace fx::fft {
 
-/// Forward direction: transforms two real signals a, b (length n) with one
-/// length-n complex FFT; writes their full complex spectra (length n each).
-/// Buffers must not alias.  Uses the provided Forward plan (plan.size()
-/// must equal a.size() == b.size()).
+/// Number of packed transforms needed to carry `nbands` real bands two at
+/// a time: ceil(nbands/2).  The historical pairing loop computed nbands/2
+/// with integer division and silently dropped the last band when nbands
+/// was odd; the odd tail must instead ride as a final pair whose second
+/// (imaginary) slot is zero.
+[[nodiscard]] constexpr std::size_t gamma_pair_count(std::size_t nbands) {
+  return (nbands + 1) / 2;
+}
+
+/// Batched Gamma-point forward transform through the native r2c engine:
+/// band b reads `plan.size()` reals at bands[b*band_dist + j] and writes
+/// its half spectrum (`plan.half_spectrum()` coefficients) at
+/// spectra[b*spec_dist + k].  `plan` must be Forward.  Every band count is
+/// handled exactly -- there is no pairing and hence no odd-tail rounding.
+void fft_real_bands(const BatchPlanR2c1d& plan, std::size_t nbands,
+                    const double* bands, std::size_t band_dist, cplx* spectra,
+                    std::size_t spec_dist, Workspace& ws);
+
+/// Inverse of fft_real_bands (`plan` must be Backward); the reconstructed
+/// reals are scaled by 1/n, so a round trip restores the inputs.
+void ifft_real_bands(const BatchPlanR2c1d& plan, std::size_t nbands,
+                     const cplx* spectra, std::size_t spec_dist, double* bands,
+                     std::size_t band_dist, Workspace& ws);
+
+/// Compatibility shim for the packing trick's interface: transforms two
+/// real signals a, b (length n) and writes their full complex spectra
+/// (length n each).  Internally each signal now runs through the cached
+/// native r2c plan and the half spectra are Hermitian-expanded; the passed
+/// plan only validates size and direction.  Deprecated -- new code should
+/// use fft_real_bands and keep the half-spectrum storage.
 void fft_two_real(const Fft1d& forward_plan, std::span<const double> a,
                   std::span<const double> b, std::span<cplx> spectrum_a,
                   std::span<cplx> spectrum_b, Workspace& ws);
 
-/// Inverse direction: reconstructs the two real signals from their spectra
-/// with one complex backward transform.  The spectra must be Hermitian
-/// (X(n-k) == conj(X(k)) within `tolerance` of the checks the debug build
-/// asserts); the imaginary parts of the unpacked result are the numerical
-/// error and are discarded.  Outputs are scaled by 1/n (round trip with
-/// fft_two_real restores the inputs).
+/// Compatibility shim inverting fft_two_real: reconstructs the two real
+/// signals from their (Hermitian) full spectra, scaled by 1/n.  Only the
+/// stored half of each spectrum is read; the mirror half is implied.
+/// Deprecated -- new code should use ifft_real_bands.
 void ifft_two_real(const Fft1d& backward_plan, std::span<const cplx> spectrum_a,
                    std::span<const cplx> spectrum_b, std::span<double> a,
                    std::span<double> b, Workspace& ws);

@@ -20,4 +20,27 @@ void Fft3d::execute(const cplx* in, cplx* out) const {
   execute(in, out, thread_workspace());
 }
 
+Fft3dR2c::Fft3dR2c(std::size_t nx, std::size_t ny, std::size_t nz,
+                   Direction dir, BatchKernel kernel)
+    : nz_(nz), xy_(nx, ny, dir, kernel), along_z_(nz, dir, kernel) {}
+
+void Fft3dR2c::execute(const double* in, cplx* out, Workspace& ws) const {
+  const std::size_t plane = nx() * ny();
+  const std::size_t hplane = nhx() * ny();
+  for (std::size_t iz = 0; iz < nz_; ++iz) {
+    xy_.execute(in + iz * plane, out + iz * hplane, ws);
+  }
+  along_z_.execute_many(hplane, out, hplane, 1, out, hplane, 1, ws);
+}
+
+void Fft3dR2c::execute(const cplx* in, double* out, Workspace& ws) const {
+  const std::size_t plane = nx() * ny();
+  const std::size_t hplane = nhx() * ny();
+  Workspace::Buffer half(ws, hplane * nz_);
+  along_z_.execute_many(hplane, in, hplane, 1, half.data(), hplane, 1, ws);
+  for (std::size_t iz = 0; iz < nz_; ++iz) {
+    xy_.execute(half.data() + iz * hplane, out + iz * plane, ws);
+  }
+}
+
 }  // namespace fx::fft

@@ -37,4 +37,34 @@ class Fft3d {
   BatchPlan1d along_z_;
 };
 
+/// Real-input 3D transform on a row-major nx*ny*nz grid.  Forward plans
+/// map the real grid to the Hermitian-reduced (nx/2+1)*ny*nz half grid
+/// (r2c planes, then complex z lines); Backward plans invert it.
+/// Unnormalized: backward(forward(x)) == volume()*x.
+class Fft3dR2c {
+ public:
+  Fft3dR2c(std::size_t nx, std::size_t ny, std::size_t nz, Direction dir,
+           BatchKernel kernel = default_batch_kernel());
+
+  [[nodiscard]] std::size_t nx() const { return xy_.nx(); }
+  [[nodiscard]] std::size_t ny() const { return xy_.ny(); }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t nhx() const { return xy_.nhx(); }
+  [[nodiscard]] std::size_t volume() const { return nx() * ny() * nz_; }
+  /// Elements of the stored half grid: nhx()*ny*nz.
+  [[nodiscard]] std::size_t half_volume() const { return nhx() * ny() * nz_; }
+  [[nodiscard]] Direction direction() const { return xy_.direction(); }
+
+  /// r2c: in[ix + nx*(iy + ny*iz)] -> out[kx + nhx()*(iy + ny*iz)].
+  /// Forward plans only; buffers must not overlap.
+  void execute(const double* in, cplx* out, Workspace& ws) const;
+  /// c2r inverse of the layout above.  Backward plans only.
+  void execute(const cplx* in, double* out, Workspace& ws) const;
+
+ private:
+  std::size_t nz_;
+  Fft2dR2c xy_;
+  BatchPlan1d along_z_;
+};
+
 }  // namespace fx::fft

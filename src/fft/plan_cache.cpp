@@ -52,6 +52,22 @@ std::shared_ptr<const BatchPlan1d> PlanCache::batch1d(std::size_t n,
   return slot;
 }
 
+std::shared_ptr<const BatchPlanR2c1d> PlanCache::r2c1d(std::size_t n,
+                                                       Direction dir,
+                                                       BatchKernel kernel) {
+  const auto key =
+      std::make_tuple(n, static_cast<int>(dir), static_cast<int>(kernel));
+  std::lock_guard lock(mu_);
+  auto& slot = cr_[key];
+  if (!slot) {
+    cache_metrics().misses.add();
+    slot = std::make_shared<const BatchPlanR2c1d>(n, dir, kernel);
+  } else {
+    cache_metrics().hits.add();
+  }
+  return slot;
+}
+
 std::shared_ptr<const Fft2d> PlanCache::plan2d(std::size_t nx, std::size_t ny,
                                                Direction dir,
                                                BatchKernel kernel) {
@@ -70,7 +86,7 @@ std::shared_ptr<const Fft2d> PlanCache::plan2d(std::size_t nx, std::size_t ny,
 
 std::size_t PlanCache::size() const {
   std::lock_guard lock(mu_);
-  return c1_.size() + cb_.size() + c2_.size();
+  return c1_.size() + cb_.size() + cr_.size() + c2_.size();
 }
 
 std::size_t PlanCache::evict_unused() {
@@ -81,6 +97,7 @@ std::size_t PlanCache::evict_unused() {
   std::size_t n = 0;
   n += std::erase_if(c1_, unused);
   n += std::erase_if(cb_, unused);
+  n += std::erase_if(cr_, unused);
   n += std::erase_if(c2_, unused);
   if (n > 0) {
     static core::Counter& evictions =
@@ -94,6 +111,7 @@ void PlanCache::clear() {
   std::lock_guard lock(mu_);
   c1_.clear();
   cb_.clear();
+  cr_.clear();
   c2_.clear();
 }
 

@@ -19,6 +19,7 @@
 #include "fft/batch1d.hpp"
 #include "fft/plan1d.hpp"
 #include "fft/plan2d.hpp"
+#include "fft/r2c1d.hpp"
 
 namespace fx::fft {
 
@@ -31,6 +32,12 @@ class PlanCache {
   /// (n, dir, kernel).  This is what every execute_many call site in the
   /// pipeline uses; pass BatchKernel::Scalar for the A/B oracle.
   std::shared_ptr<const BatchPlan1d> batch1d(
+      std::size_t n, Direction dir, BatchKernel kernel = default_batch_kernel());
+
+  /// Returns (building on first use) the batched r2c/c2r plan for
+  /// (n, dir, kernel): Forward plans transform real input to the Hermitian
+  /// half spectrum, Backward plans invert it.
+  std::shared_ptr<const BatchPlanR2c1d> r2c1d(
       std::size_t n, Direction dir, BatchKernel kernel = default_batch_kernel());
 
   /// Returns (building on first use) the 2D plan for (nx, ny, dir, kernel).
@@ -59,6 +66,9 @@ class PlanCache {
   std::map<std::tuple<std::size_t, int, int>,
            std::shared_ptr<const BatchPlan1d>>
       cb_;
+  std::map<std::tuple<std::size_t, int, int>,
+           std::shared_ptr<const BatchPlanR2c1d>>
+      cr_;
   std::map<std::tuple<std::size_t, std::size_t, int, int>,
            std::shared_ptr<const Fft2d>>
       c2_;

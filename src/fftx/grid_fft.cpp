@@ -17,10 +17,11 @@ int trace_tid() { return std::max(0, task::current_worker_id()); }
 }  // namespace
 
 GridFft::GridFft(mpi::Comm comm, const pw::GridDims& dims,
-                 trace::Tracer* tracer)
+                 trace::Tracer* tracer, mpi::WireFormat wire)
     : comm_(comm),
       dims_(dims),
       tracer_(tracer),
+      wire_(wire),
       me_(comm.rank()),
       cols_(dims.plane(), comm.size()),
       planes_(dims.nz, comm.size()),
@@ -51,6 +52,30 @@ GridFft::GridFft(mpi::Comm comm, const pw::GridDims& dims,
   stage_b_.resize(stage);
 }
 
+void GridFft::exchange(const cplx* send, const std::size_t* scounts,
+                       const std::size_t* sdispls, cplx* recv,
+                       const std::size_t* rcounts,
+                       const std::size_t* rdispls, int tag) {
+  if (wire_ == mpi::WireFormat::Fp64) {
+    comm_.alltoallv(send, scounts, sdispls, recv, rcounts, rdispls, tag);
+    return;
+  }
+  // Wrap each peer's contiguous slice in a single-run view so the payload
+  // takes the wire-narrowing view exchange.
+  const auto P = static_cast<std::size_t>(comm_.size());
+  std::vector<mpi::SegRun> sruns(P);
+  std::vector<mpi::SegRun> rruns(P);
+  std::vector<mpi::SegView> sviews(P);
+  std::vector<mpi::SegView> rviews(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    sruns[p] = mpi::SegRun{sdispls[p], scounts[p], 1};
+    rruns[p] = mpi::SegRun{rdispls[p], rcounts[p], 1};
+    sviews[p] = mpi::SegView(&sruns[p], 1);
+    rviews[p] = mpi::SegView(&rruns[p], 1);
+  }
+  comm_.alltoallv_view(send, sviews, recv, rviews, sizeof(cplx), tag, wire_);
+}
+
 void GridFft::transpose_to_planes(std::span<const cplx> pencils,
                                   std::span<cplx> planes, int tag) {
   const std::size_t nz = dims_.nz;
@@ -73,9 +98,8 @@ void GridFft::transpose_to_planes(std::span<const cplx> pencils,
     }
     span.set_instructions(trace::copy_cost(pos).instructions);
   }
-  comm_.alltoallv(stage_b_.data(), send_counts_.data(), send_displs_.data(),
-                  stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
-                  tag);
+  exchange(stage_b_.data(), send_counts_.data(), send_displs_.data(),
+           stage_a_.data(), recv_counts_.data(), recv_displs_.data(), tag);
   // Unmarshal into plane-major layout.
   pos = 0;
   {
@@ -115,9 +139,8 @@ void GridFft::transpose_to_pencils(std::span<const cplx> planes,
     span.set_instructions(trace::copy_cost(pos).instructions);
   }
   // Counts swap roles relative to the forward transpose.
-  comm_.alltoallv(stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
-                  stage_b_.data(), send_counts_.data(), send_displs_.data(),
-                  tag);
+  exchange(stage_a_.data(), recv_counts_.data(), recv_displs_.data(),
+           stage_b_.data(), send_counts_.data(), send_displs_.data(), tag);
   pos = 0;
   {
     trace::ScopedSpan span(tracer_, me_, trace_tid(),

@@ -37,11 +37,18 @@ namespace fx::fftx {
 
 class GridFft {
  public:
-  /// One instance per rank of `comm`; all ranks must pass the same dims.
-  /// An optional tracer records FFT stages and transpose marshalling as
-  /// compute spans (rank = comm rank).
+  /// One instance per rank of `comm`; all ranks must pass the same dims
+  /// and the same wire format.  An optional tracer records FFT stages and
+  /// transpose marshalling as compute spans (rank = comm rank).  A
+  /// non-Fp64 `wire` narrows the transpose payload in flight (the staged
+  /// buffers stay fp64; the exchange quantizes on the wire) -- density
+  /// grids tolerate reduced exchange precision the same way the wave
+  /// pipeline does, and the dense transpose is the dominant byte mover.
   GridFft(mpi::Comm comm, const pw::GridDims& dims,
-          trace::Tracer* tracer = nullptr);
+          trace::Tracer* tracer = nullptr,
+          mpi::WireFormat wire = mpi::default_wire_format());
+
+  [[nodiscard]] mpi::WireFormat wire_format() const { return wire_; }
 
   [[nodiscard]] const pw::GridDims& dims() const { return dims_; }
 
@@ -85,9 +92,17 @@ class GridFft {
   void transpose_to_pencils(std::span<const fft::cplx> planes,
                             std::span<fft::cplx> pencils, int tag);
 
+  /// The transpose's Alltoallv: plain at Fp64, or routed through the view
+  /// exchange (one contiguous run per peer) when the wire narrows.
+  void exchange(const fft::cplx* send, const std::size_t* scounts,
+                const std::size_t* sdispls, fft::cplx* recv,
+                const std::size_t* rcounts, const std::size_t* rdispls,
+                int tag);
+
   mpi::Comm comm_;
   pw::GridDims dims_;
   trace::Tracer* tracer_;
+  mpi::WireFormat wire_;
   int me_;
   pw::PlaneDist cols_;    ///< distribution of the nx*ny Z-columns
   pw::PlaneDist planes_;  ///< distribution of the nz planes

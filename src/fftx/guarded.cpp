@@ -146,13 +146,42 @@ std::uint64_t fnv1a_view(const fft::cplx* base, mpi::SegView view) {
   return h;
 }
 
+/// Digest of the *wire encoding* of one segment: every double hashes as
+/// the exact bytes it occupies on a narrow wire.  Re-encoding is
+/// idempotent on round-tripped values, so sender (pre-quantization) and
+/// receiver (post-dequantization) digests agree for an intact payload.
+std::uint64_t fnv1a_view_wire(const fft::cplx* base, mpi::SegView view,
+                              mpi::WireFormat wire) {
+  if (wire == mpi::WireFormat::Fp64) return fnv1a_view(base, view);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto digest = [&h, wire](const fft::cplx& c) {
+    const double d[2] = {c.real(), c.imag()};
+    for (const double x : d) {
+      if (wire == mpi::WireFormat::Fp32) {
+        const std::uint32_t bits = mpi::fp32_encode(x);
+        h = fnv1a(h, &bits, sizeof(bits));
+      } else {
+        const std::uint16_t bits = mpi::bf16_encode(x);
+        h = fnv1a(h, &bits, sizeof(bits));
+      }
+    }
+  };
+  for (const mpi::SegRun& run : view) {
+    for (std::size_t i = 0; i < run.len; ++i) {
+      digest(base[run.offset + i * run.stride]);
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
                             std::span<const mpi::SegView> sviews,
                             fft::cplx* recv_base,
                             std::span<const mpi::SegView> rviews, int tag,
-                            int max_retries, GuardStats* stats) {
+                            int max_retries, GuardStats* stats,
+                            mpi::WireFormat wire) {
   const auto n = static_cast<std::size_t>(comm.size());
   std::vector<std::uint64_t> sent_sums(n);
   std::vector<std::uint64_t> want_sums(n);
@@ -165,18 +194,18 @@ void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
 
   for (;;) {
     for (std::size_t p = 0; p < n; ++p) {
-      sent_sums[p] = fnv1a_view(send_base, sviews[p]);
+      sent_sums[p] = fnv1a_view_wire(send_base, sviews[p], wire);
     }
     // Digests ride an Alltoall (distinct kind), the payload the blocking
     // view exchange -- same matching discipline as the contiguous form.
     comm.alltoall_bytes(sent_sums.data(), want_sums.data(),
                         sizeof(std::uint64_t), tag);
     comm.alltoallv_view(send_base, sviews, recv_base, rviews,
-                        sizeof(fft::cplx), tag);
+                        sizeof(fft::cplx), tag, wire);
 
     int bad_peer = -1;
     for (std::size_t p = 0; p < n; ++p) {
-      if (fnv1a_view(recv_base, rviews[p]) != want_sums[p]) {
+      if (fnv1a_view_wire(recv_base, rviews[p], wire) != want_sums[p]) {
         bad_peer = static_cast<int>(p);
         break;
       }

@@ -59,11 +59,21 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
 /// whatever layout the peer uses for the same segment.  The payload moves
 /// through the blocking view exchange; retry/agreement semantics are
 /// identical to the contiguous form.
+///
+/// With a non-Fp64 `wire` the payload crosses at wire precision and the
+/// digests hash the *wire encoding* of every double: the sender encodes
+/// what it sends, the receiver re-encodes what landed, and because the
+/// encoding is idempotent on round-tripped values the two agree exactly
+/// when the payload arrived intact.  Corruption below the wire's own
+/// precision (bits the narrowing discards anyway) is undetectable by
+/// construction -- the guard's detection floor equals the chosen wire
+/// error floor.
 void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
                             std::span<const mpi::SegView> sviews,
                             fft::cplx* recv_base,
                             std::span<const mpi::SegView> rviews, int tag,
-                            int max_retries, GuardStats* stats);
+                            int max_retries, GuardStats* stats,
+                            mpi::WireFormat wire = mpi::WireFormat::Fp64);
 
 /// Default of PipelineConfig::guard_exchanges: FFTX_GUARD_EXCHANGES != 0.
 [[nodiscard]] bool default_guard_exchanges();

@@ -11,6 +11,7 @@
 #include "core/format.hpp"
 #include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "fft/gamma.hpp"
 #include "pw/wavefunction.hpp"
 #include "trace/span.hpp"
 
@@ -78,6 +79,8 @@ bool default_fused_exchange() { return env_flag("FFTX_FUSED_EXCHANGE"); }
 
 bool default_overlap_exchange() { return env_flag("FFTX_OVERLAP_EXCHANGE"); }
 
+bool default_real_bands() { return env_flag("FFTX_R2C"); }
+
 int default_overlap_chunks() {
   // Chunking only pays when rank-threads actually run concurrently: on a
   // single hardware thread every extra chunk is pure context-switch and
@@ -138,13 +141,22 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
           desc_->dims().nx, desc_->dims().ny, Direction::Forward)) {
   FX_CHECK(world_.size() == desc_->nproc(),
            "world size does not match descriptor");
-  FX_CHECK(cfg_.num_bands >= 1 && cfg_.num_bands % desc_->ntg() == 0,
-           "num_bands must be a positive multiple of ntg");
+  npsi_ = cfg_.real_bands
+              ? static_cast<int>(fft::gamma_pair_count(
+                    static_cast<std::size_t>(std::max(0, cfg_.num_bands))))
+              : cfg_.num_bands;
+  FX_CHECK(npsi_ >= 1 && npsi_ % desc_->ntg() == 0,
+           cfg_.real_bands
+               ? "real-band pair count must be a positive multiple of ntg"
+               : "num_bands must be a positive multiple of ntg");
   FX_CHECK(cfg_.overlap_chunks >= 1, "overlap_chunks must be >= 1");
   FX_ASSERT(pack_.size() == desc_->ntg() && pack_.rank() == g_);
   FX_ASSERT(scat_.size() == desc_->group_size() && scat_.rank() == b_);
 
-  fused_ = cfg_.fused_exchange || cfg_.overlap_exchange;
+  // A narrow wire exists only on the view exchanges, so it implies the
+  // fused layouts (the staged Alltoallv would ship fp64 regardless).
+  fused_ = cfg_.fused_exchange || cfg_.overlap_exchange ||
+           cfg_.wire_format != mpi::WireFormat::Fp64;
   overlap_ = cfg_.overlap_exchange;
 
   const int ntg = desc_->ntg();
@@ -153,7 +165,7 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
   const std::size_t nst_b = desc_->nsticks_group(b_);
   const std::size_t npz_b = desc_->npz(b_);
 
-  psi_arena_.resize(static_cast<std::size_t>(cfg_.num_bands) * ng_w);
+  psi_arena_.resize(static_cast<std::size_t>(npsi_) * ng_w);
 
   if (cfg_.apply_potential) {
     vslab_.resize(npz_b * desc_->dims().plane());
@@ -271,10 +283,34 @@ void BandFftPipeline::release_buffers(WorkBuffers* wb) {
 void BandFftPipeline::initialize_bands(int first_band) {
   const auto ordered = desc_->world_sticks().stick_ordered_g();
   const auto index = desc_->world_g_index(w_);
-  for (int n = 0; n < cfg_.num_bands; ++n) {
-    cplx* band = band_data(n);
+  if (!cfg_.real_bands) {
+    for (int n = 0; n < npsi_; ++n) {
+      cplx* band = band_data(n);
+      for (std::size_t k = 0; k < index.size(); ++k) {
+        band[k] = pw::wf_coefficient(first_band + n, ordered[index[k]]);
+      }
+    }
+    return;
+  }
+  // Gamma-point packing: symmetrize each band so c(-G) == conj(c(G)) --
+  // i.e. its real-space field is real -- then carry bands (2p, 2p + 1) as
+  // the real/imaginary parts of one complex band.  An odd band count
+  // leaves the last pair's imaginary part zero (see gamma_pair_count).
+  auto herm = [&](int b, const pw::GVector& g) {
+    const pw::GVector ng{-g.mx, -g.my, -g.mz, g.m2};
+    const cplx c = pw::wf_coefficient(b, g);
+    const cplx cneg = pw::wf_coefficient(b, ng);
+    return 0.5 * (c + std::conj(cneg));
+  };
+  for (int p = 0; p < npsi_; ++p) {
+    cplx* band = band_data(p);
+    const int lo = first_band + 2 * p;
+    const bool has_hi = 2 * p + 1 < cfg_.num_bands;
     for (std::size_t k = 0; k < index.size(); ++k) {
-      band[k] = pw::wf_coefficient(first_band + n, ordered[index[k]]);
+      const pw::GVector& g = ordered[index[k]];
+      const cplx re = herm(lo, g);
+      const cplx im = has_hi ? herm(lo + 1, g) : cplx{0.0, 0.0};
+      band[k] = re + cplx{0.0, 1.0} * im;
     }
   }
 }
@@ -282,6 +318,14 @@ void BandFftPipeline::initialize_bands(int first_band) {
 std::span<const cplx> BandFftPipeline::band(int n) const {
   const std::size_t ng_w = desc_->ng_world(w_);
   return {psi_arena_.data() + static_cast<std::size_t>(n) * ng_w, ng_w};
+}
+
+void BandFftPipeline::set_band(int n, std::span<const cplx> coeffs) {
+  const std::size_t ng_w = desc_->ng_world(w_);
+  FX_CHECK(n >= 0 && n < npsi_, "set_band: band index out of range");
+  FX_CHECK(coeffs.size() == ng_w,
+           "set_band: span length must equal ng_world(rank)");
+  std::copy(coeffs.begin(), coeffs.end(), band_data(n));
 }
 
 void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
@@ -304,10 +348,11 @@ void BandFftPipeline::exchange_view(mpi::Comm& comm, const cplx* send_base,
                                     int tag) {
   if (cfg_.guard_exchanges) {
     guarded_alltoallv_view(comm, send_base, sviews, recv_base, rviews, tag,
-                           cfg_.guard_max_retries, &guard_stats_);
+                           cfg_.guard_max_retries, &guard_stats_,
+                           cfg_.wire_format);
   } else {
     comm.alltoallv_view(send_base, sviews, recv_base, rviews, sizeof(cplx),
-                        tag);
+                        tag, cfg_.wire_format);
   }
 }
 
@@ -630,7 +675,7 @@ void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
     if (c == 0) zero_planes();
     reqs[cu] = scat_.ialltoallv_view(wb.pencil.data(), sviews,
                                      wb.planes.data(), rviews, sizeof(cplx),
-                                     /*tag=*/iter);
+                                     /*tag=*/iter, cfg_.wire_format);
     t_post[cu] = WallTimer::now();
     // Progress earlier chunks between FFT chunks: a test() on a ready
     // request performs this rank's pull copies now, inside the compute
@@ -703,7 +748,7 @@ void BandFftPipeline::do_scatter_bw_fft_z(WorkBuffers& wb, int iter,
     ranges[cu] = chunk_views(c, sviews, rviews);
     reqs[cu] = scat_.ialltoallv_view(wb.planes.data(), sviews,
                                      wb.pencil.data(), rviews, sizeof(cplx),
-                                     /*tag=*/iter);
+                                     /*tag=*/iter, cfg_.wire_format);
     t_post[cu] = WallTimer::now();
   }
   for (int c = 0; c < nchunks; ++c) {
@@ -807,13 +852,13 @@ void BandFftPipeline::do_iteration(WorkBuffers& wb, int iter,
 
 void BandFftPipeline::run_original() {
   auto wb = make_buffers();
-  for (int iter = 0; iter < cfg_.num_bands; iter += desc_->ntg()) {
+  for (int iter = 0; iter < npsi_; iter += desc_->ntg()) {
     do_iteration(*wb, iter, /*use_taskloop=*/false);
   }
 }
 
 void BandFftPipeline::run_task_per_fft(bool use_taskloop) {
-  for (int iter = 0; iter < cfg_.num_bands; iter += desc_->ntg()) {
+  for (int iter = 0; iter < npsi_; iter += desc_->ntg()) {
     rt_->submit(core::cat("band_fft#", iter), [this, iter, use_taskloop] {
       WorkBuffers* wb = acquire_buffers();
       do_iteration(*wb, iter, use_taskloop);
@@ -826,7 +871,7 @@ void BandFftPipeline::run_task_per_fft(bool use_taskloop) {
 void BandFftPipeline::run_task_per_step() {
   const int ntg = desc_->ntg();
   std::vector<std::unique_ptr<WorkBuffers>> live;
-  live.reserve(static_cast<std::size_t>(cfg_.num_bands / ntg));
+  live.reserve(static_cast<std::size_t>(npsi_ / ntg));
 
   // Sliding iteration window.  Unlike TaskPerFft (where one task holds one
   // worker for a whole band, bounding the skew between ranks), the step
@@ -842,7 +887,7 @@ void BandFftPipeline::run_task_per_step() {
   int completed_iterations = 0;
 
   int index = 0;
-  for (int iter = 0; iter < cfg_.num_bands; iter += ntg, ++index) {
+  for (int iter = 0; iter < npsi_; iter += ntg, ++index) {
     if (index >= window) {
       std::unique_lock lock(window_mu);
       window_cv.wait(lock, [&] {

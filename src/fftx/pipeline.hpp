@@ -67,6 +67,8 @@ const char* to_string(PipelineMode mode);
 /// Default of PipelineConfig::overlap_chunks: FFTX_OVERLAP_CHUNKS (>= 1),
 /// else 4.
 [[nodiscard]] int default_overlap_chunks();
+/// Default of PipelineConfig::real_bands: FFTX_R2C != 0.
+[[nodiscard]] bool default_real_bands();
 
 struct PipelineConfig {
   int num_bands = 8;
@@ -96,13 +98,30 @@ struct PipelineConfig {
   bool overlap_exchange = default_overlap_exchange();
   /// Stick chunks per overlapped scatter (>= 1; must agree across ranks).
   int overlap_chunks = default_overlap_chunks();
+  /// Gamma-point real-band mode: bands are Hermitian-symmetrized (so their
+  /// real-space fields are real) and carried through the pipeline two to a
+  /// complex band -- pair p packs band 2p as the real part and band 2p + 1
+  /// as the imaginary part.  The band loop, every FFT and every exchange
+  /// then runs gamma_pair_count(num_bands) iterations instead of
+  /// num_bands: half the flops and half the bytes on the wire.  The pair
+  /// count (not num_bands) must be a multiple of ntg.  band(p) returns the
+  /// packed pair; tests unpack via Hermitian symmetry.
+  bool real_bands = default_real_bands();
+  /// Precision of every double crossing the fused view exchanges: Fp64 is
+  /// the bit-exact default; Fp32/Bf16 narrow the payload in flight (and
+  /// imply the fused layouts -- the staged Alltoallv path has no wire
+  /// narrowing).  Composes with guard_exchanges (digests hash the wire
+  /// encoding) and overlap_exchange.  Quantization error is tracked in the
+  /// fftx.exchange.wire_max_ulp_err gauge.
+  mpi::WireFormat wire_format = mpi::default_wire_format();
 };
 
 class BandFftPipeline {
  public:
   /// Collective over all ranks of `world` (performs the communicator
   /// splits).  `world.size()` must equal `desc->nproc()`, and num_bands
-  /// must be a multiple of desc->ntg().
+  /// (or, under real_bands, gamma_pair_count(num_bands)) must be a
+  /// multiple of desc->ntg().
   BandFftPipeline(mpi::Comm world, std::shared_ptr<const Descriptor> desc,
                   PipelineConfig cfg, trace::Tracer* tracer = nullptr);
   ~BandFftPipeline();
@@ -124,8 +143,20 @@ class BandFftPipeline {
   double run();
 
   /// This rank's packed coefficients of `band` (world stick distribution);
-  /// positions given by descriptor().world_g_index(rank).
+  /// positions given by descriptor().world_g_index(rank).  Under
+  /// real_bands, `n` indexes packed pairs (pair n carries bands 2n and
+  /// 2n + 1) and must be < num_psi().
   [[nodiscard]] std::span<const fft::cplx> band(int n) const;
+
+  /// Overwrites band (or pair) `n`'s local coefficients; the span length
+  /// must equal descriptor().ng_world(rank).  Lets tests and drivers feed
+  /// arbitrary coefficients through the pipeline (e.g. the complex oracle
+  /// run on real-band packed inputs).
+  void set_band(int n, std::span<const fft::cplx> coeffs);
+
+  /// Complex bands the band loop actually iterates: num_bands, or
+  /// gamma_pair_count(num_bands) under real_bands.
+  [[nodiscard]] int num_psi() const { return npsi_; }
 
   [[nodiscard]] const Descriptor& descriptor() const { return *desc_; }
   [[nodiscard]] const PipelineConfig& config() const { return cfg_; }
@@ -195,8 +226,9 @@ class BandFftPipeline {
   mpi::Comm pack_;  ///< the T neighboring ranks (band redistribution)
   mpi::Comm scat_;  ///< the R alternating ranks (pencil<->plane exchange)
 
-  bool fused_ = false;    ///< fused_exchange || overlap_exchange
+  bool fused_ = false;    ///< fused_exchange || overlap_exchange || wire
   bool overlap_ = false;  ///< overlap_exchange
+  int npsi_ = 0;          ///< complex bands in the loop (see num_psi())
 
   // Per-band packed coefficients (this rank's world-stick slice), one
   // arena with band n at n * ng_world(w): the fused pack/unpack exchanges

@@ -9,6 +9,7 @@
 #include "core/hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "fft/gamma.hpp"
 #include "fft/plan_cache.hpp"
 
 namespace fx::fftx {
@@ -79,7 +80,7 @@ RecoveryDriver::RecoveryDriver(mpi::Comm world,
 
 RecoveryReport RecoveryDriver::run(std::vector<std::vector<fft::cplx>>& out) {
   core::WallTimer timer;
-  out.assign(static_cast<std::size_t>(cfg_.num_bands), {});
+  out.assign(static_cast<std::size_t>(carried_total()), {});
 
   RecoveryReport rep;
   mpi::Comm comm = world_;
@@ -118,11 +119,23 @@ RecoveryReport RecoveryDriver::run(std::vector<std::vector<fft::cplx>>& out) {
   return rep;
 }
 
+int RecoveryDriver::carried_total() const {
+  return cfg_.real_bands ? static_cast<int>(fft::gamma_pair_count(
+                               static_cast<std::size_t>(cfg_.num_bands)))
+                         : cfg_.num_bands;
+}
+
 void RecoveryDriver::run_batches(mpi::Comm& comm,
                                  std::shared_ptr<const Descriptor>& desc,
                                  int& completed,
                                  std::vector<std::vector<fft::cplx>>& out) {
-  const int total = cfg_.num_bands;
+  // Everything here -- batches, checkpoints, replay counts, `out` slots --
+  // is in *carried* bands: packed pairs when real_bands, bands otherwise.
+  // The sub-pipeline still wants its config in real bands, so a real-mode
+  // batch of `batch` pairs covers real bands [2*completed, 2*completed +
+  // cfg.num_bands); pairs always start at even offsets, so the pairing of
+  // every batch matches a single unbatched run's.
+  const int total = carried_total();
   const int interval =
       rcfg_.checkpoint_bands > 0 ? std::min(rcfg_.checkpoint_bands, total)
                                  : total;
@@ -133,10 +146,12 @@ void RecoveryDriver::run_batches(mpi::Comm& comm,
       desc = std::make_shared<const Descriptor>(*desc, comm.size(), ntg);
     }
     PipelineConfig cfg = cfg_;
-    cfg.num_bands = batch;
+    cfg.num_bands = cfg_.real_bands
+                        ? std::min(2 * batch, cfg_.num_bands - 2 * completed)
+                        : batch;
     inflight_ = batch;  // a fault from here to commit replays these bands
     BandFftPipeline pipe(comm, desc, cfg, tracer_);
-    pipe.initialize_bands(completed);
+    pipe.initialize_bands(cfg_.real_bands ? 2 * completed : completed);
     pipe.run();
     checkpoint(comm, *desc, pipe, completed, batch, out);
     completed += batch;

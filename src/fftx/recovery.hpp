@@ -92,12 +92,19 @@ class RecoveryDriver {
   /// Runs every band, repairing and replaying as needed.  On return with
   /// `completed`, out[n] holds band n's output coefficients in global
   /// stick-ordered sphere order, identical on every surviving rank and
-  /// bit-for-bit equal to a fault-free run.  A rank that was killed returns
-  /// early with `died` set.  Throws only when recovery is disabled or the
-  /// repair budget is exhausted.
+  /// bit-for-bit equal to a fault-free run (quantizer-level at a narrow
+  /// wire: a shrink can change the decomposition, and the ntg==1 pack
+  /// shortcut skips one quantization pass).  With `cfg.real_bands` the
+  /// carried unit is the packed pair, so `out` has
+  /// `gamma_pair_count(num_bands)` entries, batch/replay counts are in
+  /// pairs, and out[p] is pair p's packed coefficients.  A rank that was
+  /// killed returns early with `died` set.  Throws only when recovery is
+  /// disabled or the repair budget is exhausted.
   RecoveryReport run(std::vector<std::vector<fft::cplx>>& out);
 
  private:
+  /// Carried bands the driver loops over: packed pairs when real_bands.
+  int carried_total() const;
   void run_batches(mpi::Comm& comm, std::shared_ptr<const Descriptor>& desc,
                    int& completed, std::vector<std::vector<fft::cplx>>& out);
   void checkpoint(mpi::Comm& comm, const Descriptor& desc,
@@ -112,7 +119,7 @@ class RecoveryDriver {
   RecoveryConfig rcfg_;
   trace::Tracer* tracer_;
   int ntg_pref_;   ///< the original decomposition's task-group count
-  int inflight_ = 0;  ///< bands of the batch being processed right now
+  int inflight_ = 0;  ///< carried bands of the batch in flight right now
 };
 
 }  // namespace fx::fftx

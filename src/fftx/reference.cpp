@@ -16,11 +16,35 @@ std::vector<cplx> reference_band_input(const Descriptor& desc, int band) {
   return c;
 }
 
-std::vector<cplx> reference_band_output(const Descriptor& desc, int band,
-                                        bool apply_potential) {
+std::vector<cplx> reference_packed_band_input(const Descriptor& desc,
+                                              int pair, int num_bands) {
+  const auto ordered = desc.world_sticks().stick_ordered_g();
+  auto herm = [](int b, const pw::GVector& g) {
+    const pw::GVector ng{-g.mx, -g.my, -g.mz, g.m2};
+    return 0.5 * (pw::wf_coefficient(b, g) +
+                  std::conj(pw::wf_coefficient(b, ng)));
+  };
+  const int lo = 2 * pair;
+  const bool has_hi = 2 * pair + 1 < num_bands;
+  std::vector<cplx> c(ordered.size());
+  for (std::size_t k = 0; k < ordered.size(); ++k) {
+    const cplx re = herm(lo, ordered[k]);
+    const cplx im =
+        has_hi ? herm(lo + 1, ordered[k]) : cplx{0.0, 0.0};
+    c[k] = re + cplx{0.0, 1.0} * im;
+  }
+  return c;
+}
+
+namespace {
+
+/// The serial transform both oracles share: embed -> BW 3D FFT -> VOFR ->
+/// FW 3D FFT -> 1/N, extracted back in sphere order.
+std::vector<cplx> transform_input(const Descriptor& desc,
+                                  const std::vector<cplx>& input,
+                                  bool apply_potential) {
   const auto& dims = desc.dims();
   const auto ordered = desc.world_sticks().stick_ordered_g();
-  const auto input = reference_band_input(desc, band);
 
   std::vector<cplx> grid(dims.volume(), cplx{0.0, 0.0});
   for (std::size_t k = 0; k < ordered.size(); ++k) {
@@ -54,6 +78,22 @@ std::vector<cplx> reference_band_output(const Descriptor& desc, int band,
         inv_vol;
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<cplx> reference_band_output(const Descriptor& desc, int band,
+                                        bool apply_potential) {
+  return transform_input(desc, reference_band_input(desc, band),
+                         apply_potential);
+}
+
+std::vector<cplx> reference_packed_band_output(const Descriptor& desc,
+                                               int pair, int num_bands,
+                                               bool apply_potential) {
+  return transform_input(
+      desc, reference_packed_band_input(desc, pair, num_bands),
+      apply_potential);
 }
 
 }  // namespace fx::fftx

@@ -24,4 +24,21 @@ std::vector<fft::cplx> reference_band_output(const Descriptor& desc, int band,
 /// Initial coefficients of `band` in global stick-ordered sphere order.
 std::vector<fft::cplx> reference_band_input(const Descriptor& desc, int band);
 
+/// Initial coefficients of real-band pair `pair` under the pipeline's
+/// gamma-point packing (PipelineConfig::real_bands): bands 2 * pair and
+/// 2 * pair + 1 are Hermitian-symmetrized (c(-G) = conj(c(G)), so their
+/// real-space fields are real) and packed as real/imaginary parts of one
+/// complex band.  When 2 * pair + 1 >= num_bands (odd band count) the
+/// imaginary part is zero.  Global stick-ordered sphere order.
+std::vector<fft::cplx> reference_packed_band_input(const Descriptor& desc,
+                                                   int pair, int num_bands);
+
+/// Expected output of real-band pair `pair`: the packed input pushed
+/// through the same serial 3D transform as reference_band_output.  The
+/// distributed pipeline applies the identical per-band arithmetic to a
+/// packed band as to any complex band, so this is the r2c-mode oracle.
+std::vector<fft::cplx> reference_packed_band_output(const Descriptor& desc,
+                                                    int pair, int num_bands,
+                                                    bool apply_potential);
+
 }  // namespace fx::fftx

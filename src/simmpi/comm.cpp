@@ -892,6 +892,16 @@ NbMetrics& nb_metrics() {
   return m;
 }
 
+/// Running peak of the wire quantization error, in ulps of the wire
+/// mantissa -- the runtime half of the reduced-precision error oracle (the
+/// other half is the ULP-bound tests).  Named for the exchange layer that
+/// opts into narrow wire formats.
+fx::core::Gauge& wire_ulp_gauge() {
+  static fx::core::Gauge& g =
+      fx::core::MetricsRegistry::global().gauge("fftx.exchange.wire_max_ulp_err");
+  return g;
+}
+
 /// Copies a logical element stream between two run lists whose total
 /// lengths agree (checked by the caller).  Contiguous stretches on both
 /// sides coalesce into single memcpys, so the fully-contiguous case
@@ -961,6 +971,88 @@ void copy_runs(const unsigned char* sbase, const SegRun* srun,
     default:
       copy_runs_impl<0>(sbase, srun, nsrun, dbase, drun, ndrun, elem);
   }
+}
+
+/// copy_runs for a reduced-precision wire: the same two-pointer run walk,
+/// but every double of the payload passes through the wire format's
+/// quantize->dequantize round trip in flight.  This IS the narrow wire --
+/// shipping encoded bytes and widening on arrival would land bit-identical
+/// values -- fused into the typed copy so no staging buffer reappears.
+/// Returns the largest quantization error seen, in wire-mantissa ulps.
+template <WireFormat W>
+double convert_runs_impl(const unsigned char* sbase, const SegRun* srun,
+                         std::size_t nsrun, unsigned char* dbase,
+                         const SegRun* drun, std::size_t ndrun,
+                         std::size_t elem) {
+  const std::size_t nd = elem / sizeof(double);
+  double max_err = 0.0;
+  auto move = [&max_err](unsigned char* dp, const unsigned char* sp,
+                         std::size_t doubles) {
+    for (std::size_t w = 0; w < doubles; ++w) {
+      double x;
+      std::memcpy(&x, sp + w * sizeof(double), sizeof(double));
+      const double q = wire_roundtrip(W, x);
+      const double e = wire_ulp_err(W, x, q);
+      if (e > max_err) max_err = e;
+      std::memcpy(dp + w * sizeof(double), &q, sizeof(double));
+    }
+  };
+  std::size_t si = 0;
+  std::size_t so = 0;
+  std::size_t di = 0;
+  std::size_t dof = 0;
+  while (si < nsrun && di < ndrun) {
+    const SegRun& s = srun[si];
+    const SegRun& d = drun[di];
+    if (s.len == 0) {
+      ++si;
+      continue;
+    }
+    if (d.len == 0) {
+      ++di;
+      continue;
+    }
+    const std::size_t k = std::min(s.len - so, d.len - dof);
+    const unsigned char* sp = sbase + (s.offset + so * s.stride) * elem;
+    unsigned char* dp = dbase + (d.offset + dof * d.stride) * elem;
+    if (s.stride == 1 && d.stride == 1) {
+      move(dp, sp, k * nd);
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        move(dp + i * d.stride * elem, sp + i * s.stride * elem, nd);
+      }
+    }
+    so += k;
+    dof += k;
+    if (so == s.len) {
+      ++si;
+      so = 0;
+    }
+    if (dof == d.len) {
+      ++di;
+      dof = 0;
+    }
+  }
+  return max_err;
+}
+
+/// Dispatches a pairwise transfer to the plain copy (Fp64) or the fused
+/// converting copy; returns the transfer's peak wire quantization error.
+double move_runs(const unsigned char* sbase, const SegRun* srun,
+                 std::size_t nsrun, unsigned char* dbase, const SegRun* drun,
+                 std::size_t ndrun, std::size_t elem, WireFormat wire) {
+  switch (wire) {
+    case WireFormat::Fp64:
+      copy_runs(sbase, srun, nsrun, dbase, drun, ndrun, elem);
+      return 0.0;
+    case WireFormat::Fp32:
+      return convert_runs_impl<WireFormat::Fp32>(sbase, srun, nsrun, dbase,
+                                                 drun, ndrun, elem);
+    case WireFormat::Bf16:
+      return convert_runs_impl<WireFormat::Bf16>(sbase, srun, nsrun, dbase,
+                                                 drun, ndrun, elem);
+  }
+  return 0.0;
 }
 
 std::size_t run_span_elems(const std::vector<SegRun>& runs, std::size_t lo,
@@ -1076,13 +1168,16 @@ Request Comm::post_nb_exchange(CommOpKind kind, const void* send_base,
                                std::span<const SegView> sviews,
                                void* recv_base,
                                std::span<const SegView> rviews,
-                               std::size_t elem_size, int tag) {
+                               std::size_t elem_size, int tag,
+                               WireFormat wire) {
   const auto n = static_cast<std::size_t>(size());
   FX_CHECK(send_base != recv_base,
            "nonblocking exchange buffers must not alias");
   FX_CHECK(sviews.size() == n && rviews.size() == n,
            "exchange views need one entry per peer");
   FX_CHECK(elem_size > 0, "exchange element size must be positive");
+  FX_CHECK(wire == WireFormat::Fp64 || elem_size % sizeof(double) == 0,
+           "reduced wire precision needs double-typed elements");
   detail::inject(*ctx_, rank_, kind);
   const OpKey key{static_cast<int>(kind), tag,
                   rank_state_->next_seq(static_cast<int>(kind), tag)};
@@ -1106,7 +1201,12 @@ Request Comm::post_nb_exchange(CommOpKind kind, const void* send_base,
     state->rfirst[p + 1] = state->rruns.size();
     sent_elems += seg_elems(sviews[p]);
   }
-  state->bytes = sent_elems * elem_size;
+  // Byte accounting is at *wire* size: a narrowed double costs 4 or 2
+  // bytes, which is the whole point of the reduced formats.
+  state->bytes = wire == WireFormat::Fp64
+                     ? sent_elems * elem_size
+                     : sent_elems * (elem_size / sizeof(double)) *
+                           wire_scalar_bytes(wire);
 
   std::shared_ptr<OpState> op;
   // Transfers this post enables, claimed under the lock and copied below
@@ -1145,6 +1245,7 @@ Request Comm::post_nb_exchange(CommOpKind kind, const void* send_base,
     op->nb_recv_base[r] = recv_base;
     op->send[r] = send_base;
     op->scalar[r] = elem_size;
+    op->scalar2[r] = static_cast<std::size_t>(wire);
     op->nb_posted[r] = 1;
     ++op->arrived;
     op->arrived_ranks.push_back(rank_);
@@ -1164,6 +1265,15 @@ Request Comm::post_nb_exchange(CommOpKind kind, const void* send_base,
             op->scalar[p], " B, but rank ", q, " (world ",
             detail::wrank(*ctx_, static_cast<int>(q)), ") uses ",
             op->scalar[q], " B");
+      }
+      if (op->scalar2[p] != op->scalar2[q]) {
+        return core::cat(
+            "nonblocking exchange wire format mismatch on comm ", ctx_->id,
+            " (tag ", tag, "): rank ", p, " (world ",
+            detail::wrank(*ctx_, static_cast<int>(p)), ") uses ",
+            to_string(static_cast<WireFormat>(op->scalar2[p])), ", but rank ",
+            q, " (world ", detail::wrank(*ctx_, static_cast<int>(q)),
+            ") uses ", to_string(static_cast<WireFormat>(op->scalar2[q])));
       }
       const auto& ss = op->nb_send[p];
       const auto& rs = op->nb_recv[q];
@@ -1205,14 +1315,22 @@ Request Comm::post_nb_exchange(CommOpKind kind, const void* send_base,
   // posted views and buffers are immutable, both endpoints' buffers stay
   // valid until their waits return, and distinct transfers never overlap
   // (each receiver's per-peer views are disjoint by contract).
+  double max_ulp = 0.0;
   for (const auto& [p, q] : jobs) {
     const auto& ss = op->nb_send[p];
     const auto& rs = op->nb_recv[q];
-    copy_runs(static_cast<const unsigned char*>(op->send[p]),
-              ss.runs.data() + ss.first[q], ss.first[q + 1] - ss.first[q],
-              static_cast<unsigned char*>(op->nb_recv_base[q]),
-              rs.runs.data() + rs.first[p], rs.first[p + 1] - rs.first[p],
-              elem_size);
+    const double e = move_runs(
+        static_cast<const unsigned char*>(op->send[p]),
+        ss.runs.data() + ss.first[q], ss.first[q + 1] - ss.first[q],
+        static_cast<unsigned char*>(op->nb_recv_base[q]),
+        rs.runs.data() + rs.first[p], rs.first[p + 1] - rs.first[p],
+        elem_size, wire);
+    if (e > max_ulp) max_ulp = e;
+  }
+  // One gauge update per post, not per double: the copy loops accumulate
+  // locally and the peak lands here.
+  if (wire != WireFormat::Fp64 && !jobs.empty()) {
+    wire_ulp_gauge().max_of(max_ulp);
   }
   if (!jobs.empty()) {
     std::lock_guard lock(ctx_->mu);
@@ -1242,7 +1360,7 @@ Request Comm::ialltoall_bytes(const void* send, void* recv,
     rviews[p] = SegView(&rruns[p], 1);
   }
   return post_nb_exchange(CommOpKind::Ialltoall, send, sviews, recv, rviews,
-                          /*elem_size=*/1, tag);
+                          /*elem_size=*/1, tag, WireFormat::Fp64);
 }
 
 Request Comm::ialltoallv_bytes(const void* send, const std::size_t* scounts,
@@ -1262,24 +1380,25 @@ Request Comm::ialltoallv_bytes(const void* send, const std::size_t* scounts,
     rviews[p] = SegView(&rruns[p], 1);
   }
   return post_nb_exchange(CommOpKind::Ialltoallv, send, sviews, recv, rviews,
-                          elem_size, tag);
+                          elem_size, tag, WireFormat::Fp64);
 }
 
 Request Comm::ialltoallv_view(const void* send_base,
                               std::span<const SegView> sviews,
                               void* recv_base,
                               std::span<const SegView> rviews,
-                              std::size_t elem_size, int tag) {
+                              std::size_t elem_size, int tag,
+                              WireFormat wire) {
   return post_nb_exchange(CommOpKind::Ialltoallv, send_base, sviews,
-                          recv_base, rviews, elem_size, tag);
+                          recv_base, rviews, elem_size, tag, wire);
 }
 
 void Comm::alltoallv_view(const void* send_base,
                           std::span<const SegView> sviews, void* recv_base,
                           std::span<const SegView> rviews,
-                          std::size_t elem_size, int tag) {
+                          std::size_t elem_size, int tag, WireFormat wire) {
   post_nb_exchange(CommOpKind::Ialltoallv, send_base, sviews, recv_base,
-                   rviews, elem_size, tag)
+                   rviews, elem_size, tag, wire)
       .wait();
 }
 

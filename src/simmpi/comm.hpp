@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "simmpi/wire.hpp"
 
 namespace fx::mpi {
 
@@ -177,9 +178,16 @@ class Comm {
   /// rviews[q] (relative to `recv_base`), both traversed in run order.
   /// Element streams must agree pairwise in length (checked).  Blocking;
   /// equivalent to ialltoallv_view(...).wait().
+  ///
+  /// A non-Fp64 `wire` format narrows every double of the payload to the
+  /// wire precision in flight (elem_size must then be a whole number of
+  /// doubles); all ranks must pass the same format (checked pairwise).
+  /// Byte accounting and CommEvents count the wire size, and the largest
+  /// quantization error feeds the fftx.exchange.wire_max_ulp_err gauge.
   void alltoallv_view(const void* send_base, std::span<const SegView> sviews,
                       void* recv_base, std::span<const SegView> rviews,
-                      std::size_t elem_size, int tag = 0);
+                      std::size_t elem_size, int tag = 0,
+                      WireFormat wire = WireFormat::Fp64);
 
   // --- Nonblocking collectives ---
   //
@@ -209,11 +217,13 @@ class Comm {
 
   /// Nonblocking alltoallv_view.  The views are copied at post time; the
   /// payload regions they describe must stay valid until completion.
+  /// `wire` behaves as in alltoallv_view.
   [[nodiscard]] Request ialltoallv_view(const void* send_base,
                                         std::span<const SegView> sviews,
                                         void* recv_base,
                                         std::span<const SegView> rviews,
-                                        std::size_t elem_size, int tag = 0);
+                                        std::size_t elem_size, int tag = 0,
+                                        WireFormat wire = WireFormat::Fp64);
 
   /// Partitions the communicator: ranks passing the same color form a new
   /// communicator, ordered by (key, old rank).  Collective over all ranks.
@@ -327,7 +337,7 @@ class Comm {
   Request post_nb_exchange(CommOpKind kind, const void* send_base,
                            std::span<const SegView> sviews, void* recv_base,
                            std::span<const SegView> rviews,
-                           std::size_t elem_size, int tag);
+                           std::size_t elem_size, int tag, WireFormat wire);
 
   std::shared_ptr<detail::CommContext> ctx_;
   std::shared_ptr<detail::RankState> rank_state_;

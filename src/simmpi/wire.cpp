@@ -1,0 +1,46 @@
+#include "simmpi/wire.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fx::mpi {
+
+const char* to_string(WireFormat f) {
+  switch (f) {
+    case WireFormat::Fp64:
+      return "fp64";
+    case WireFormat::Fp32:
+      return "fp32";
+    case WireFormat::Bf16:
+      return "bf16";
+  }
+  return "?";
+}
+
+bool parse_wire_format(const char* s, WireFormat& out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "fp64") == 0) {
+    out = WireFormat::Fp64;
+    return true;
+  }
+  if (std::strcmp(s, "fp32") == 0) {
+    out = WireFormat::Fp32;
+    return true;
+  }
+  if (std::strcmp(s, "bf16") == 0) {
+    out = WireFormat::Bf16;
+    return true;
+  }
+  return false;
+}
+
+WireFormat default_wire_format() {
+  static const WireFormat f = [] {
+    WireFormat w = WireFormat::Fp64;
+    parse_wire_format(std::getenv("FFTX_WIRE_PRECISION"), w);
+    return w;
+  }();
+  return f;
+}
+
+}  // namespace fx::mpi

@@ -1,0 +1,105 @@
+// Reduced-precision wire formats for the strided view exchange.
+//
+// The paper's efficiency tables show the transpose Alltoallv dominating
+// FFTXlib's wall-clock, and its payload is pure double-precision complex
+// data whose low mantissa bits carry no physics at typical SCF tolerances.
+// A WireFormat narrows every double to fp32 or to bf16-style truncation
+// (upper 16 bits of the float encoding, round-to-nearest-even) for the
+// wire, halving or quartering the exchanged bytes.
+//
+// Because this runtime's "wire" is a peer-direct memcpy, the narrow
+// encoding never needs to exist as a staging buffer: the conversion is a
+// per-double quantize->dequantize round trip fused into the exchange's
+// typed copy loops (see convert_runs in comm.cpp), which is bit-identical
+// to encoding on the sender and decoding on the receiver.  Byte metrics
+// (simmpi.ialltoallv.bytes, Comm::bytes_sent, CommEvent::bytes) count the
+// *wire* size, so the savings are visible to every observer; the
+// quantization error is tracked in ulps of the wire mantissa by the
+// fftx.exchange.wire_max_ulp_err gauge.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace fx::mpi {
+
+/// Precision of one double on the wire.  Fp64 is lossless; Fp32 rounds to
+/// IEEE single (24-bit mantissa); Bf16 keeps the upper 16 bits of the
+/// single encoding (8-bit mantissa, fp32's exponent range).
+enum class WireFormat : std::uint8_t { Fp64 = 0, Fp32 = 1, Bf16 = 2 };
+
+/// Human-readable name: "fp64", "fp32", "bf16".
+const char* to_string(WireFormat f);
+
+/// Parses "fp64" / "fp32" / "bf16"; returns false (out untouched) on
+/// anything else.
+bool parse_wire_format(const char* s, WireFormat& out);
+
+/// Process-wide default from FFTX_WIRE_PRECISION (read once; unset or
+/// unparsable means Fp64).
+WireFormat default_wire_format();
+
+/// Bytes one double occupies on the wire.
+constexpr std::size_t wire_scalar_bytes(WireFormat f) {
+  return f == WireFormat::Fp64 ? 8 : f == WireFormat::Fp32 ? 4 : 2;
+}
+
+/// Machine epsilon of the wire mantissa (0 for the lossless Fp64): 2^-23
+/// for fp32, 2^-7 for bf16.  The documented round-trip bound is 0.5 ulp
+/// for fp32 and 0.51 ulp for bf16 (double rounding through float costs at
+/// most an extra 2^-24 relative).
+constexpr double wire_rel_eps(WireFormat f) {
+  return f == WireFormat::Fp64 ? 0.0
+         : f == WireFormat::Fp32 ? 0x1.0p-23
+                                 : 0x1.0p-7;
+}
+
+/// bf16 encoding of a double: narrow to float, then round-to-nearest-even
+/// into the upper 16 bits.  NaN keeps a quiet payload instead of rounding
+/// into infinity.
+inline std::uint16_t bf16_encode(double x) {
+  const float f = static_cast<float>(x);
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  if (std::isnan(f)) return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  return static_cast<std::uint16_t>((bits + 0x7FFFu + ((bits >> 16) & 1u)) >>
+                                    16);
+}
+
+inline double bf16_decode(std::uint16_t h) {
+  return static_cast<double>(
+      std::bit_cast<float>(static_cast<std::uint32_t>(h) << 16));
+}
+
+/// fp32 encoding for digest purposes: the raw float bit pattern.
+inline std::uint32_t fp32_encode(double x) {
+  return std::bit_cast<std::uint32_t>(static_cast<float>(x));
+}
+
+/// What a double becomes after crossing the wire and being widened back.
+/// Idempotent: wire_roundtrip(f, wire_roundtrip(f, x)) == the inner value,
+/// which is what lets guarded digests hash re-encoded receive buffers.
+inline double wire_roundtrip(WireFormat f, double x) {
+  switch (f) {
+    case WireFormat::Fp64:
+      return x;
+    case WireFormat::Fp32:
+      return static_cast<double>(static_cast<float>(x));
+    case WireFormat::Bf16:
+      return bf16_decode(bf16_encode(x));
+  }
+  return x;
+}
+
+/// Quantization error of one round-tripped value in ulps of the wire
+/// mantissa, with the denominator floored at the wire's smallest normal
+/// (2^-126 for both narrow formats) so subnormal flushes do not divide by
+/// ~zero.  0 for Fp64.
+inline double wire_ulp_err(WireFormat f, double x, double q) {
+  if (f == WireFormat::Fp64) return 0.0;
+  const double scale = std::abs(x) > 0x1.0p-126 ? std::abs(x) : 0x1.0p-126;
+  return std::abs(x - q) / (scale * wire_rel_eps(f));
+}
+
+}  // namespace fx::mpi

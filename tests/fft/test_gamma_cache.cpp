@@ -85,6 +85,50 @@ TEST_P(GammaSweep, RoundTripRestoresBothSignals) {
 INSTANTIATE_TEST_SUITE_P(Sizes, GammaSweep,
                          ::testing::Values(2, 3, 8, 12, 17, 60, 128));
 
+TEST(Gamma, PairCountRoundsOddBandCountsUp) {
+  // The historical pairing loop used nbands/2 and dropped the odd tail
+  // band; the count must round up so the tail rides with a zero partner.
+  EXPECT_EQ(fx::fft::gamma_pair_count(0), 0U);
+  EXPECT_EQ(fx::fft::gamma_pair_count(1), 1U);
+  EXPECT_EQ(fx::fft::gamma_pair_count(2), 1U);
+  EXPECT_EQ(fx::fft::gamma_pair_count(5), 3U);
+  EXPECT_EQ(fx::fft::gamma_pair_count(6), 3U);
+  EXPECT_EQ(fx::fft::gamma_pair_count(7), 4U);
+}
+
+TEST(Gamma, RealBandsHandleOddCountsExactly) {
+  // 5 bands of length 16: the native r2c path has no pairing, so the odd
+  // band count that the packing trick used to truncate works unchanged.
+  const std::size_t n = 16;
+  const std::size_t nh = n / 2 + 1;
+  const std::size_t nbands = 5;
+  const auto x = random_real(nbands * n, 505);
+
+  const auto fwd = fx::fft::PlanCache::global().r2c1d(n, Direction::Forward);
+  const auto bwd = fx::fft::PlanCache::global().r2c1d(n, Direction::Backward);
+  Workspace ws;
+  std::vector<cplx> spectra(nbands * nh);
+  fx::fft::fft_real_bands(*fwd, nbands, x.data(), n, spectra.data(), nh, ws);
+
+  for (std::size_t b = 0; b < nbands; ++b) {
+    std::vector<cplx> in(n);
+    for (std::size_t j = 0; j < n; ++j) in[j] = cplx{x[b * n + j], 0.0};
+    std::vector<cplx> want(n);
+    fx::fft::dft_reference(in, want, Direction::Forward);
+    for (std::size_t k = 0; k < nh; ++k) {
+      ASSERT_NEAR(std::abs(spectra[b * nh + k] - want[k]), 0.0, 1e-10)
+          << "b=" << b << " k=" << k;
+    }
+  }
+
+  std::vector<double> back(nbands * n);
+  fx::fft::ifft_real_bands(*bwd, nbands, spectra.data(), nh, back.data(), n,
+                           ws);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], x[i], 1e-11) << "i=" << i;
+  }
+}
+
 TEST(Gamma, HermitianCheckRejectsGenericSpectrum) {
   std::vector<cplx> s{{1.0, 0.0}, {2.0, 3.0}, {4.0, 5.0}, {6.0, 7.0}};
   EXPECT_FALSE(fx::fft::is_hermitian(s, 1e-12));

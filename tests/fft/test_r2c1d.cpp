@@ -1,0 +1,267 @@
+// Batched r2c/c2r transforms vs. the reference DFT on real input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "fft/dft_ref.hpp"
+#include "fft/plan3d.hpp"
+#include "fft/plan_cache.hpp"
+#include "fft/r2c1d.hpp"
+
+namespace {
+
+using fx::core::Rng;
+using fx::fft::BatchKernel;
+using fx::fft::BatchPlanR2c1d;
+using fx::fft::cplx;
+using fx::fft::Direction;
+using fx::fft::Workspace;
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+// Reference r2c: full complex DFT of the real signal, first n/2+1 kept.
+std::vector<cplx> reference_half_spectrum(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> in(n);
+  for (std::size_t j = 0; j < n; ++j) in[j] = cplx{x[j], 0.0};
+  std::vector<cplx> full(n);
+  fx::fft::dft_reference(in, full, Direction::Forward);
+  full.resize(n / 2 + 1);
+  return full;
+}
+
+// Odd and even lengths, smooth and Bluestein sizes (17, 31, 97 are prime;
+// 46 = 2*23 sends the packed path's half-length plan through Bluestein).
+class R2cSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(R2cSweep, ForwardMatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 7 * n + 1);
+  const auto want = reference_half_spectrum(x);
+
+  BatchPlanR2c1d plan(n, Direction::Forward);
+  EXPECT_EQ(plan.half_spectrum(), n / 2 + 1);
+  Workspace ws;
+  std::vector<cplx> got(plan.half_spectrum());
+  plan.execute(x, got, ws);
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(std::abs(got[k] - want[k]), 0.0, 1e-10)
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(R2cSweep, RoundTripScalesByN) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 9 * n + 2);
+
+  BatchPlanR2c1d fwd(n, Direction::Forward);
+  BatchPlanR2c1d bwd(n, Direction::Backward);
+  Workspace ws;
+  std::vector<cplx> half(fwd.half_spectrum());
+  fwd.execute(x, half, ws);
+  std::vector<double> back(n);
+  bwd.execute(half, back, ws);
+  for (std::size_t j = 0; j < n; ++j) {
+    ASSERT_NEAR(back[j], static_cast<double>(n) * x[j], 1e-9 * n) << "j=" << j;
+  }
+}
+
+TEST_P(R2cSweep, ScalarOracleAgreesWithSimdPath) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 11 * n + 3);
+
+  BatchPlanR2c1d simd(n, Direction::Forward, BatchKernel::Simd);
+  BatchPlanR2c1d scalar(n, Direction::Forward, BatchKernel::Scalar);
+  EXPECT_FALSE(scalar.packed_active());
+  Workspace ws;
+  std::vector<cplx> a(simd.half_spectrum());
+  std::vector<cplx> b(simd.half_spectrum());
+  simd.execute(x, a, ws);
+  scalar.execute(x, b, ws);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_NEAR(std::abs(a[k] - b[k]), 0.0, 1e-10) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, R2cSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12, 17, 31, 46,
+                                           60, 97, 120, 128));
+
+// Batch sweep across layouts: every batch size from tiny to several SIMD
+// tiles, contiguous and transposed, against the per-signal reference.
+class R2cBatchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(R2cBatchSweep, ContiguousBatchesMatchReference) {
+  const std::size_t howmany = GetParam();
+  const std::size_t n = 24;
+  const std::size_t nh = n / 2 + 1;
+  const auto x = random_real(howmany * n, 100 + howmany);
+
+  BatchPlanR2c1d plan(n, Direction::Forward);
+  Workspace ws;
+  std::vector<cplx> got(howmany * nh);
+  plan.execute_many(howmany, x.data(), 1, n, got.data(), 1, nh, ws);
+  for (std::size_t b = 0; b < howmany; ++b) {
+    const std::vector<double> xb(x.begin() + static_cast<long>(b * n),
+                                 x.begin() + static_cast<long>((b + 1) * n));
+    const auto want = reference_half_spectrum(xb);
+    for (std::size_t k = 0; k < nh; ++k) {
+      ASSERT_NEAR(std::abs(got[b * nh + k] - want[k]), 0.0, 1e-10)
+          << "b=" << b << " k=" << k;
+    }
+  }
+}
+
+TEST_P(R2cBatchSweep, TransposedLayoutRoundTrips) {
+  const std::size_t howmany = GetParam();
+  const std::size_t n = 20;
+  const std::size_t nh = n / 2 + 1;
+  // Transposed: signal b's element j lives at [j*howmany + b].
+  const auto x = random_real(howmany * n, 200 + howmany);
+
+  BatchPlanR2c1d fwd(n, Direction::Forward);
+  BatchPlanR2c1d bwd(n, Direction::Backward);
+  Workspace ws;
+  std::vector<cplx> half(howmany * nh);
+  fwd.execute_many(howmany, x.data(), howmany, 1, half.data(), howmany, 1,
+                   ws);
+  std::vector<double> back(howmany * n);
+  bwd.execute_many(howmany, half.data(), howmany, 1, back.data(), howmany, 1,
+                   ws);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], static_cast<double>(n) * x[i], 1e-10 * n)
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, R2cBatchSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 16, 33, 64));
+
+TEST(R2c, RejectsWrongDirection) {
+  BatchPlanR2c1d fwd(8, Direction::Forward);
+  BatchPlanR2c1d bwd(8, Direction::Backward);
+  Workspace ws;
+  std::vector<double> x(8, 0.0);
+  std::vector<cplx> h(5);
+  EXPECT_THROW(bwd.execute(std::span<const double>(x),
+                           std::span<cplx>(h), ws),
+               fx::core::Error);
+  EXPECT_THROW(fwd.execute(std::span<const cplx>(h),
+                           std::span<double>(x), ws),
+               fx::core::Error);
+}
+
+TEST(R2c, ExpandHalfSpectrumIsHermitian) {
+  const std::size_t n = 12;
+  const auto x = random_real(n, 42);
+  BatchPlanR2c1d plan(n, Direction::Forward);
+  Workspace ws;
+  std::vector<cplx> half(plan.half_spectrum());
+  plan.execute(x, half, ws);
+  std::vector<cplx> full(n);
+  fx::fft::expand_half_spectrum(half, full);
+
+  std::vector<cplx> in(n);
+  for (std::size_t j = 0; j < n; ++j) in[j] = cplx{x[j], 0.0};
+  std::vector<cplx> want(n);
+  fx::fft::dft_reference(in, want, Direction::Forward);
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(std::abs(full[k] - want[k]), 0.0, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(R2c2d3d, HalfPlaneMatchesFullComplexTransform) {
+  const std::size_t nx = 12, ny = 10;
+  const std::size_t nhx = nx / 2 + 1;
+  const auto x = random_real(nx * ny, 77);
+
+  fx::fft::Fft2dR2c r2c(nx, ny, Direction::Forward);
+  Workspace ws;
+  std::vector<cplx> half(nhx * ny);
+  r2c.execute(x.data(), half.data(), ws);
+
+  std::vector<cplx> grid(nx * ny);
+  for (std::size_t i = 0; i < x.size(); ++i) grid[i] = cplx{x[i], 0.0};
+  fx::fft::Fft2d full(nx, ny, Direction::Forward);
+  full.execute(grid.data(), grid.data(), ws);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t kx = 0; kx < nhx; ++kx) {
+      ASSERT_NEAR(std::abs(half[kx + nhx * iy] - grid[kx + nx * iy]), 0.0,
+                  1e-9)
+          << "kx=" << kx << " iy=" << iy;
+    }
+  }
+
+  fx::fft::Fft2dR2c c2r(nx, ny, Direction::Backward);
+  std::vector<double> back(nx * ny);
+  c2r.execute(half.data(), back.data(), ws);
+  const double vol = static_cast<double>(nx * ny);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], vol * x[i], 1e-8) << "i=" << i;
+  }
+}
+
+TEST(R2c2d3d, HalfGridMatchesFullComplexTransform) {
+  const std::size_t nx = 8, ny = 6, nz = 5;
+  const std::size_t nhx = nx / 2 + 1;
+  const auto x = random_real(nx * ny * nz, 78);
+
+  fx::fft::Fft3dR2c r2c(nx, ny, nz, Direction::Forward);
+  EXPECT_EQ(r2c.half_volume(), nhx * ny * nz);
+  Workspace ws;
+  std::vector<cplx> half(r2c.half_volume());
+  r2c.execute(x.data(), half.data(), ws);
+
+  std::vector<cplx> grid(nx * ny * nz);
+  for (std::size_t i = 0; i < x.size(); ++i) grid[i] = cplx{x[i], 0.0};
+  fx::fft::Fft3d full(nx, ny, nz, Direction::Forward);
+  full.execute(grid.data(), grid.data(), ws);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t kx = 0; kx < nhx; ++kx) {
+        ASSERT_NEAR(std::abs(half[kx + nhx * (iy + ny * iz)] -
+                             grid[kx + nx * (iy + ny * iz)]),
+                    0.0, 1e-9)
+            << "kx=" << kx << " iy=" << iy << " iz=" << iz;
+      }
+    }
+  }
+
+  fx::fft::Fft3dR2c c2r(nx, ny, nz, Direction::Backward);
+  std::vector<double> back(nx * ny * nz);
+  c2r.execute(half.data(), back.data(), ws);
+  const double vol = static_cast<double>(r2c.volume());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], vol * x[i], 1e-7) << "i=" << i;
+  }
+}
+
+TEST(R2cPlanCache, SharesInstancesAndKeysOnKernel) {
+  fx::fft::PlanCache cache;
+  const auto p1 = cache.r2c1d(64, Direction::Forward, BatchKernel::Simd);
+  const auto p2 = cache.r2c1d(64, Direction::Forward, BatchKernel::Simd);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_NE(p1.get(),
+            cache.r2c1d(64, Direction::Backward, BatchKernel::Simd).get());
+  EXPECT_NE(p1.get(),
+            cache.r2c1d(64, Direction::Forward, BatchKernel::Scalar).get());
+  EXPECT_EQ(cache.size(), 3U);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  // The cleared-out plan stays usable.
+  Workspace ws;
+  std::vector<double> x(64, 1.0);
+  std::vector<cplx> h(33);
+  p1->execute(x, h, ws);
+  EXPECT_NEAR(h[0].real(), 64.0, 1e-10);
+}
+
+}  // namespace
