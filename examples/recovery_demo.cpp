@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
   rcfg.retry.base_delay_ms = 0.1;
 
   fx::core::TablePrinter t("per-rank recovery reports");
-  t.header({"rank", "outcome", "shrinks", "replayed bands", "final world"});
+  t.header({"rank", "outcome", "shrinks", "replayed bands",
+            "repaired bands", "final world"});
 
   std::vector<std::vector<cplx>> result;
   std::mutex mu;
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
     std::lock_guard lock(mu);
     t.row({fx::core::cat(world.rank()), rep.died ? "killed" : "completed",
            fx::core::cat(rep.shrinks), fx::core::cat(rep.replayed_bands),
+           fx::core::cat(rep.repaired_bands),
            rep.died ? "-"
                     : fx::core::cat(rep.final_nproc, " ranks, ntg ",
                                     rep.final_ntg)});
@@ -88,10 +90,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   // The oracle follows the configured pipeline mode: packed-pair reference
-  // when FFTX_R2C carries real bands, and a relative quantizer-level
-  // tolerance when FFTX_WIRE_PRECISION narrows the wire (a shrink can
-  // change the decomposition, which perturbs narrow-wire results by one
-  // quantization pass -- fp64 stays bit-exact).
+  // when FFTX_R2C carries real bands.  Recovered output is bit-exact at
+  // every wire format (per-band arithmetic, including wire quantization,
+  // is decomposition-independent); the relative tolerance below only
+  // covers the quantizer-level gap between the narrow-wire pipeline and
+  // the fp64 serial oracle.
   const bool real = fx::fftx::default_real_bands();
   const auto wire = fx::mpi::default_wire_format();
   const int carried = static_cast<int>(result.size());

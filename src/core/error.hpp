@@ -53,6 +53,17 @@ class FaultError : public Error {
   explicit FaultError(const std::string& what) : Error(what) {}
 };
 
+/// Silent data corruption caught by the ABFT layer: a checksum-band,
+/// Parseval or at-rest-digest invariant failed after the run's collective
+/// verdict, so every rank of the world throws it in lockstep.  Distinct
+/// from CommError because the *world* is healthy -- only data is wrong --
+/// and the recovery driver can repair surgically (replay the corrupted
+/// bands) instead of shrinking the communicator.
+class SdcError : public Error {
+ public:
+  explicit SdcError(const std::string& what) : Error(what) {}
+};
+
 /// A task body threw: carries the task label so join points (taskwait /
 /// taskloop) can report which task died, not just what it said.
 class TaskError : public Error {

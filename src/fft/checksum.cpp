@@ -1,0 +1,246 @@
+#include "fft/checksum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/rng.hpp"
+
+namespace fx::fft {
+
+// The ABFT passes run once per stage over every live buffer, so they must
+// cost a small fraction of the FFTs they guard.  Everything below is
+// written so -O3 auto-vectorizes it without -ffast-math: reductions use a
+// fixed small set of independent accumulators (deterministic summation
+// order -- ranks compare these values against each other), complex buffers
+// are accessed through the double[2] view the standard blesses for
+// std::complex, and the digest uses only shifts and xors.
+
+namespace {
+
+const double* as_doubles(const cplx* p) {
+  // [complex.numbers.general]: an array of complex<double> may be accessed
+  // as an array of double with element i of the complex array at indices
+  // 2i (real) and 2i + 1 (imaginary).
+  return reinterpret_cast<const double*>(p);
+}
+
+double* as_doubles(cplx* p) { return reinterpret_cast<double*>(p); }
+
+}  // namespace
+
+double abft_weight(std::size_t i) {
+  std::uint64_t s = 0xabf7c0de5eed0001ULL + i;
+  const std::uint64_t h = core::splitmix64(s);
+  return 1.0 + static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double checksum_accumulate(cplx* dst, const cplx* in, std::size_t idist,
+                           std::size_t lo, std::size_t hi, std::size_t n) {
+  double* d = as_doubles(dst);
+  double e_re = 0.0;
+  double e_im = 0.0;
+  for (std::size_t b = lo; b < hi; ++b) {
+    const double w = abft_weight(b);
+    const double* src = as_doubles(in + (b - lo) * idist);
+    for (std::size_t j = 0; j < 2 * n; j += 2) {
+      const double re = src[j];
+      const double im = src[j + 1];
+      d[j] += w * re;
+      d[j + 1] += w * im;
+      e_re += re * re;
+      e_im += im * im;
+    }
+  }
+  return e_re + e_im;
+}
+
+double energy(const cplx* p, std::size_t n) {
+  const double* d = as_doubles(p);
+  const std::size_t m = 2 * n;
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    acc[0] += d[i] * d[i];
+    acc[1] += d[i + 1] * d[i + 1];
+    acc[2] += d[i + 2] * d[i + 2];
+    acc[3] += d[i + 3] * d[i + 3];
+  }
+  for (; i < m; ++i) acc[i & 3] += d[i] * d[i];
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+ChecksumResidual checksum_compare(const cplx* a, const cplx* b,
+                                  std::size_t n) {
+  // Track squared magnitudes (no per-element sqrt) and take roots once.
+  const double* da = as_doubles(a);
+  const double* db = as_doubles(b);
+  double r2 = 0.0;
+  double s2 = 0.0;
+  for (std::size_t j = 0; j < 2 * n; j += 2) {
+    const double dre = da[j] - db[j];
+    const double dim = da[j + 1] - db[j + 1];
+    r2 = std::max(r2, dre * dre + dim * dim);
+    s2 = std::max(s2, da[j] * da[j] + da[j + 1] * da[j + 1]);
+    s2 = std::max(s2, db[j] * db[j] + db[j + 1] * db[j + 1]);
+  }
+  return ChecksumResidual{std::sqrt(r2), std::sqrt(s2)};
+}
+
+double checksum_tolerance(std::size_t n, std::size_t nbatch, double scale) {
+  const double eps = 0x1.0p-52;
+  const double steps =
+      64.0 * (std::log2(static_cast<double>(std::max<std::size_t>(n, 2))) +
+              1.0) +
+      8.0 * static_cast<double>(nbatch);
+  return eps * steps * scale + 1e-290;
+}
+
+double energy_tolerance(std::size_t count) {
+  const double eps = 0x1.0p-52;
+  return 1e-12 + 64.0 * eps * static_cast<double>(count);
+}
+
+namespace {
+
+// Eight independent rotate-xor lanes, word i feeding lane i % 8.  Rotation
+// is invertible and xor is linear over GF(2), so any single flipped input
+// bit survives to its lane's final state: single-bit corruption (the fault
+// model) always changes the digest, and multi-bit corruption escapes only
+// through a deliberate cancellation aligned across a 512-word stride.
+// Shifts and xors only -- the hot loop vectorizes at any SIMD width.
+struct DigestLanes {
+  std::uint64_t lane[8] = {0x9e3779b97f4a7c15ULL, 0xbf58476d1ce4e5b9ULL,
+                           0x94d049bb133111ebULL, 0xd6e8feb86659fd93ULL,
+                           0xa0761d6478bd642fULL, 0xe7037ed1a0b428dbULL,
+                           0x8ebc6af09c88c6e3ULL, 0x589965cc75374cc3ULL};
+  std::size_t absorbed = 0;
+
+  void absorb8(const std::uint64_t* w) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      const std::uint64_t x = lane[l] ^ w[l];
+      lane[l] = (x << 29) | (x >> 35);
+    }
+    absorbed += 8;
+  }
+
+  void absorb1(std::uint64_t w) {
+    const std::size_t l = absorbed & 7;
+    const std::uint64_t x = lane[l] ^ w;
+    lane[l] = (x << 29) | (x >> 35);
+    ++absorbed;
+  }
+
+  /// Absorbs `nwords` words read byte-wise from `bytes` (memcpy loads keep
+  /// the double->word pun defined), re-aligning to the 8-word fast path
+  /// first so the word-index-to-lane mapping matches a single linear
+  /// digest regardless of how the stream is chunked.
+  void absorb_run(const unsigned char* bytes, std::size_t nwords) {
+    std::size_t i = 0;
+    while (i < nwords && (absorbed & 7) != 0) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, bytes + i * sizeof(std::uint64_t), sizeof(w));
+      absorb1(w);
+      ++i;
+    }
+    for (; i + 8 <= nwords; i += 8) {
+      std::uint64_t w[8];
+      std::memcpy(w, bytes + i * sizeof(std::uint64_t), sizeof(w));
+      absorb8(w);
+    }
+    for (; i < nwords; ++i) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, bytes + i * sizeof(std::uint64_t), sizeof(w));
+      absorb1(w);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t finalize() const {
+    // splitmix64 per lane diffuses the linear lane states; the fold is
+    // rotation-salted so lane order matters.
+    std::uint64_t h = 0x5eedabf7ULL ^ (static_cast<std::uint64_t>(absorbed)
+                                       << 1);
+    for (std::size_t l = 0; l < 8; ++l) {
+      std::uint64_t s = lane[l] + l + 1;
+      h = ((h << 7) | (h >> 57)) ^ core::splitmix64(s);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::uint64_t digest_words(const std::uint64_t* p, std::size_t n) {
+  DigestLanes lanes;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) lanes.absorb8(p + i);
+  for (; i < n; ++i) lanes.absorb1(p[i]);
+  return lanes.finalize();
+}
+
+std::uint64_t digest(const cplx* p, std::size_t n) {
+  // complex<double> is layout-compatible with double[2]; go through memcpy
+  // to keep the word-wise type pun defined (it compiles to plain loads).
+  static_assert(sizeof(cplx) == 2 * sizeof(std::uint64_t));
+  DigestLanes lanes;
+  lanes.absorb_run(reinterpret_cast<const unsigned char*>(p), 2 * n);
+  return lanes.finalize();
+}
+
+double checksum_accumulate_digest(cplx* dst, const cplx* in, std::size_t lo,
+                                  std::size_t hi, std::size_t n,
+                                  std::uint64_t* dig) {
+  // Per batch item: the weighted-accumulate/energy loop, then the digest
+  // absorption over the same 2n words.  The item is L1/L2-hot for the
+  // second loop, so the fusion halves memory traffic versus separate
+  // passes while each loop keeps its own clean vectorizable form.  The
+  // digest's word order and lane mapping match digest(in, (hi-lo)*n)
+  // exactly (contiguous items, absorb_run tracks the global word index).
+  double* d = as_doubles(dst);
+  double e_re = 0.0;
+  double e_im = 0.0;
+  DigestLanes lanes;
+  for (std::size_t b = lo; b < hi; ++b) {
+    const double w = abft_weight(b);
+    const double* src = as_doubles(in + (b - lo) * n);
+    for (std::size_t j = 0; j < 2 * n; j += 2) {
+      const double re = src[j];
+      const double im = src[j + 1];
+      d[j] += w * re;
+      d[j + 1] += w * im;
+      e_re += re * re;
+      e_im += im * im;
+    }
+    lanes.absorb_run(reinterpret_cast<const unsigned char*>(src), 2 * n);
+  }
+  *dig = lanes.finalize();
+  return e_re + e_im;
+}
+
+double energy_digest(const cplx* p, std::size_t n, std::uint64_t* dig) {
+  // Energy loop then digest absorption, blocked so the block stays
+  // cache-hot for the second read (same fusion shape as
+  // checksum_accumulate_digest).
+  const double* d = as_doubles(p);
+  const std::size_t m = 2 * n;
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  DigestLanes lanes;
+  constexpr std::size_t kBlock = 1024;  // words; multiple of 8
+  for (std::size_t base = 0; base < m; base += kBlock) {
+    const std::size_t end = std::min(m, base + kBlock);
+    std::size_t i = base;
+    for (; i + 4 <= end; i += 4) {
+      acc[0] += d[i] * d[i];
+      acc[1] += d[i + 1] * d[i + 1];
+      acc[2] += d[i + 2] * d[i + 2];
+      acc[3] += d[i + 3] * d[i + 3];
+    }
+    for (; i < end; ++i) acc[i & 3] += d[i] * d[i];
+    lanes.absorb_run(reinterpret_cast<const unsigned char*>(d + base),
+                     end - base);
+  }
+  *dig = lanes.finalize();
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+}  // namespace fx::fft

@@ -1,0 +1,100 @@
+// Checksum-band packing and digest primitives for algorithm-based fault
+// tolerance (ABFT) over batched FFTs.
+//
+// An FFT is linear: T(sum_i w_i x_i) == sum_i w_i T(x_i) for any weights.
+// The ABFT layer exploits this by forming one weighted "checksum band" per
+// batch before a transform stage and comparing its transform against the
+// same weighted combination of the transformed batch afterwards -- a single
+// extra length-n FFT guards a whole howmany-by-n batch.  The identity holds
+// only up to floating-point rounding (the two sides round differently), so
+// comparisons use the roundoff-floor tolerance derived here; corruption
+// below that floor is numerically indistinguishable from legitimate
+// rounding and therefore scientifically harmless.
+//
+// Parseval's theorem gives a second, cheaper invariant: an unnormalized
+// length-n transform (either direction) scales energy exactly,
+// ||T(x)||^2 == n * ||x||^2.
+//
+// For the gaps *between* compute stages -- where this codebase's fault
+// model injects its bit flips -- rounding plays no role, so a word digest
+// over the at-rest buffer detects every flipped bit exactly.
+//
+// Everything here is plain local arithmetic with no pipeline or MPI
+// dependencies; the fftx::AbftGuard composes these into per-stage checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fft/types.hpp"
+
+namespace fx::fft {
+
+/// Deterministic checksum weight of batch item i, uniform in [1, 2): far
+/// from zero (no band can vanish from the combination) and pairwise
+/// distinct (two corrupted bands cannot cancel except on a measure-zero
+/// set).  Stateless, so every rank and every replay derives identical
+/// weights.
+[[nodiscard]] double abft_weight(std::size_t i);
+
+/// Accumulates dst[j] += abft_weight(b) * in[(b - lo) * idist + j] for every
+/// batch item b in [lo, hi), where `in` points at item lo and items are
+/// `idist` elements apart, each of length n (contiguous).  Returns the
+/// summed energy sum |in|^2 over the touched elements, so callers get the
+/// Parseval input for free in the same pass.  Weights are indexed by the
+/// *global* item index b, letting chunked stages accumulate incrementally.
+double checksum_accumulate(cplx* dst, const cplx* in, std::size_t idist,
+                           std::size_t lo, std::size_t hi, std::size_t n);
+
+/// checksum_accumulate fused with the at-rest digest of the touched region:
+/// one streaming pass yields the weighted combination, the Parseval energy
+/// (returned) and, in *dig, a digest bit-identical to
+/// digest(in, (hi - lo) * n).  Requires idist == n (contiguous items), which
+/// is how every stage buffer is laid out; the guard pairs this with a
+/// preceding seal so the stage-entry digest check costs no extra pass.
+double checksum_accumulate_digest(cplx* dst, const cplx* in, std::size_t lo,
+                                  std::size_t hi, std::size_t n,
+                                  std::uint64_t* dig);
+
+/// Sum of |p[i]|^2 over n elements.
+[[nodiscard]] double energy(const cplx* p, std::size_t n);
+
+/// energy() fused with the at-rest digest of the same buffer (bit-identical
+/// to digest(p, n)) in one streaming pass -- the light-duty stage guard:
+/// Parseval in, seal/check out, no weighted combination.
+double energy_digest(const cplx* p, std::size_t n, std::uint64_t* dig);
+
+/// Max element residual and scale between two length-n vectors:
+/// residual = max |a - b|, scale = max(max |a|, max |b|).
+struct ChecksumResidual {
+  double residual = 0.0;
+  double scale = 0.0;
+};
+[[nodiscard]] ChecksumResidual checksum_compare(const cplx* a, const cplx* b,
+                                                std::size_t n);
+
+/// Roundoff-floor tolerance for the linearity check on a length-n transform
+/// of an nbatch-item combination whose compared vectors have infinity-norm
+/// `scale`: the FFT contributes O(log2 n) rounding steps per element and
+/// the combination O(nbatch), each bounded by eps * scale.  The constant is
+/// generous (it must never fire on a clean run) while still resolving any
+/// flip that perturbs a result by more than ~1e-12 of the data scale.
+[[nodiscard]] double checksum_tolerance(std::size_t n, std::size_t nbatch,
+                                        double scale);
+
+/// Relative tolerance for comparing two energy sums accumulated over
+/// `count` elements (plain summation: worst-case error grows linearly).
+[[nodiscard]] double energy_tolerance(std::size_t count);
+
+/// Order-dependent rotate-xor digest of n 64-bit words: any single flipped
+/// bit (and any burst short of a deliberate collision) changes the digest.
+/// Eight shift/xor-only lanes auto-vectorize at any SIMD width -- digesting
+/// must cost far less than the FFTs it guards.
+[[nodiscard]] std::uint64_t digest_words(const std::uint64_t* p,
+                                         std::size_t n);
+
+/// Digest of a complex buffer's bit pattern (2n doubles reinterpreted as
+/// words; std::complex<double> is layout-compatible by the standard).
+[[nodiscard]] std::uint64_t digest(const cplx* p, std::size_t n);
+
+}  // namespace fx::fft

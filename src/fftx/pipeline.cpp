@@ -11,8 +11,10 @@
 #include "core/format.hpp"
 #include "core/metrics.hpp"
 #include "core/timer.hpp"
+#include "fft/checksum.hpp"
 #include "fft/gamma.hpp"
 #include "pw/wavefunction.hpp"
+#include "simmpi/faults.hpp"
 #include "trace/span.hpp"
 
 namespace fx::fftx {
@@ -73,6 +75,15 @@ class StagingTimer {
 std::size_t chunk_bound(std::size_t n, int c, int nchunks) {
   return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(nchunks);
 }
+
+//// Applies the wire round-trip to one value (identity at Fp64).  The
+/// ntg == 1 pack/unpack shortcuts use this to reproduce exactly the
+/// quantization the multi-group exchanges apply, keeping outputs
+/// bit-identical across decompositions at every wire format.
+cplx wire_q(mpi::WireFormat f, cplx v) {
+  if (f == mpi::WireFormat::Fp64) return v;
+  return {mpi::wire_roundtrip(f, v.real()), mpi::wire_roundtrip(f, v.imag())};
+}
 }  // namespace
 
 bool default_fused_exchange() { return env_flag("FFTX_FUSED_EXCHANGE"); }
@@ -117,6 +128,7 @@ struct BandFftPipeline::WorkBuffers {
   core::aligned_vector<cplx> stage;       ///< scatter marshalling, pencil side
   core::aligned_vector<cplx> plane_stage; ///< scatter marshalling, plane side
   core::aligned_vector<cplx> planes;      ///< [iz][iy][ix], npz_b * nx * ny
+  AbftGuard::Scratch abft;                ///< per-iteration ABFT state
 };
 
 BandFftPipeline::BandFftPipeline(mpi::Comm world,
@@ -242,6 +254,16 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
     rt_ = std::make_unique<task::TaskRuntime>(cfg_.nthreads, cfg_.policy);
     if (tracer_ != nullptr) rt_->set_tracer(tracer_, w_);
   }
+
+  if (cfg_.abft != AbftMode::Off) {
+    abft_ = std::make_unique<AbftGuard>(*desc_, g_, b_, npsi_,
+                                        cfg_.wire_format);
+  }
+  wrank_ = world_.world_rank();
+  if (mpi::FaultInjector* fi = world_.fault_injector();
+      fi != nullptr && fi->plan().flips_active()) {
+    flip_ = fi;
+  }
 }
 
 BandFftPipeline::~BandFftPipeline() = default;
@@ -328,6 +350,14 @@ void BandFftPipeline::set_band(int n, std::span<const cplx> coeffs) {
   std::copy(coeffs.begin(), coeffs.end(), band_data(n));
 }
 
+void BandFftPipeline::flip(cplx* p, std::size_t n) {
+  if (flip_ != nullptr) flip_->maybe_flip(wrank_, p, n * sizeof(cplx));
+}
+
+std::vector<int> BandFftPipeline::abft_corrupt_bands() const {
+  return abft_ != nullptr ? abft_->corrupt_bands() : std::vector<int>{};
+}
+
 void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
                                const std::size_t* scounts,
                                const std::size_t* sdispls, cplx* recv,
@@ -359,14 +389,24 @@ void BandFftPipeline::exchange_view(mpi::Comm& comm, const cplx* send_base,
 void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
   const int ntg = desc_->ntg();
   const std::size_t ng_w = desc_->ng_world(w_);
+  if (abft_ != nullptr) abft_->begin_iteration(wb.abft, iter);
   if (ntg == 1) {
     // No task groups: the group coefficient order equals the packed order,
     // so the band-grouping layer (marshal + Alltoallv) disappears -- the
-    // same shortcut QE takes when task groups are off.
+    // same shortcut QE takes when task groups are off.  A narrow wire is
+    // still applied: the multi-group pack exchange would quantize these
+    // coefficients in flight, and replaying a band on a different
+    // decomposition must reproduce that bit pattern exactly.
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Pack, iter,
                    trace::copy_cost(ng_w).instructions);
     const cplx* src = band_data(iter);
-    std::copy(src, src + ng_w, wb.band_g.begin());
+    if (cfg_.wire_format == mpi::WireFormat::Fp64) {
+      std::copy(src, src + ng_w, wb.band_g.begin());
+    } else {
+      for (std::size_t k = 0; k < ng_w; ++k) {
+        wb.band_g[k] = wire_q(cfg_.wire_format, src[k]);
+      }
+    }
     return;
   }
   if (fused_) {
@@ -417,6 +457,10 @@ void BandFftPipeline::do_psi_prep(WorkBuffers& wb, int iter) {
   for (std::size_t k = 0; k < pidx.size(); ++k) {
     wb.pencil[pidx[k]] = wb.band_g[k];
   }
+  if (abft_ != nullptr) {
+    abft_->seal_pencil(wb.abft, wb.pencil.data(), wb.pencil.size());
+  }
+  flip(wb.pencil.data(), wb.pencil.size());
 }
 
 void BandFftPipeline::fft_z_range(WorkBuffers& wb, int iter, Direction dir,
@@ -434,6 +478,11 @@ void BandFftPipeline::fft_z_range(WorkBuffers& wb, int iter, Direction dir,
 void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
                                bool use_taskloop) {
   const std::size_t nst = desc_->nsticks_group(b_);
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.pencil.size()).instructions);
+    abft_->z_begin(wb.abft, wb.pencil.data(), nst);
+  }
   auto chunk = [&](std::size_t lo, std::size_t hi) {
     fft_z_range(wb, iter, dir, lo, hi);
   };
@@ -442,6 +491,12 @@ void BandFftPipeline::do_fft_z(WorkBuffers& wb, int iter, Direction dir,
   } else {
     chunk(0, nst);
   }
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.pencil.size()).instructions);
+    abft_->z_verify(wb.abft, wb.pencil.data(), nst, dir);
+  }
+  flip(wb.pencil.data(), wb.pencil.size());
 }
 
 void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
@@ -450,6 +505,27 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
   const std::size_t npz_b = desc_->npz(b_);
   const std::size_t nxny = desc_->dims().plane();
   const int rgroup = desc_->group_size();
+
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.pencil.size()).instructions);
+    abft_->check_pencil(wb.abft, wb.pencil.data(), wb.pencil.size());
+  }
+  auto abft_done = [&] {
+    if (abft_ != nullptr) {
+      FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                     trace::copy_cost(wb.planes.size()).instructions);
+      // The forward scatter ships the whole pencil (every stick section
+      // goes to exactly one peer), so the sent energy is the post-Z pencil
+      // energy z_verify already computed; the received energy lands with
+      // the next xy_capture pass over the planes.
+      std::size_t elems = 0;
+      for (std::size_t c : scat_recv_counts_) elems += c;
+      abft_->exchange_send(wb.abft, wb.abft.z_e_post, elems, 0);
+      abft_->seal_planes(wb.abft, wb.planes.data(), wb.planes.size());
+    }
+    flip(wb.planes.data(), wb.planes.size());
+  };
 
   if (fused_) {
     // Zero-copy scatter: the exchange reads stick sections straight out of
@@ -469,6 +545,7 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
     }
     exchange_view(scat_, wb.pencil.data(), sviews, wb.planes.data(), rviews,
                   /*tag=*/iter);
+    abft_done();
     return;
   }
 
@@ -513,6 +590,7 @@ void BandFftPipeline::do_scatter_forward(WorkBuffers& wb, int iter) {
         trace::copy_cost(wb.planes.size() + pos).instructions);
     exchange_metrics().staging_bytes.add(pos * sizeof(cplx));
   }
+  abft_done();
 }
 
 void BandFftPipeline::do_fft_xy(WorkBuffers& wb, int iter, Direction dir,
@@ -521,6 +599,11 @@ void BandFftPipeline::do_fft_xy(WorkBuffers& wb, int iter, Direction dir,
   const std::size_t nxny = desc_->dims().plane();
   const fft::Fft2d& plan =
       dir == Direction::Backward ? *xy_to_real_ : *xy_to_recip_;
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    abft_->xy_begin(wb.abft, wb.planes.data(), npz_b, dir);
+  }
   auto chunk = [&](std::size_t lo, std::size_t hi) {
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::FftXy, iter,
                    trace::fft_cost((hi - lo) * nxny, nxny).instructions);
@@ -534,14 +617,36 @@ void BandFftPipeline::do_fft_xy(WorkBuffers& wb, int iter, Direction dir,
   } else {
     chunk(0, npz_b);
   }
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    abft_->xy_verify(wb.abft, wb.planes.data(), npz_b, dir);
+  }
+  flip(wb.planes.data(), wb.planes.size());
 }
 
 void BandFftPipeline::do_vofr(WorkBuffers& wb, int iter) {
-  FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Vofr, iter,
-                 trace::vofr_cost(wb.planes.size()).instructions);
-  for (std::size_t i = 0; i < wb.planes.size(); ++i) {
-    wb.planes[i] *= vslab_[i];
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    abft_->check_planes(wb.abft, wb.planes.data(), wb.planes.size());
+    abft_->vofr_arm(wb.abft,
+                    abft_->vofr_expected(wb.planes.data(), vslab_.data(),
+                                         wb.planes.size()));
   }
+  {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Vofr, iter,
+                   trace::vofr_cost(wb.planes.size()).instructions);
+    for (std::size_t i = 0; i < wb.planes.size(); ++i) {
+      wb.planes[i] *= vslab_[i];
+    }
+  }
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    abft_->seal_planes(wb.abft, wb.planes.data(), wb.planes.size());
+  }
+  flip(wb.planes.data(), wb.planes.size());
 }
 
 void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
@@ -550,6 +655,28 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
   const std::size_t npz_b = desc_->npz(b_);
   const std::size_t nxny = desc_->dims().plane();
   const int rgroup = desc_->group_size();
+
+  double e_send = 0.0;
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    abft_->check_planes(wb.abft, wb.planes.data(), wb.planes.size());
+    // Only the sphere's stick columns travel back (the dense grid between
+    // sticks stays local), so sent energy is the stick-column energy, and
+    // the received data covers the pencil exactly once.
+    e_send = abft_->stick_energy(wb.planes.data());
+  }
+  auto abft_done = [&] {
+    if (abft_ != nullptr) {
+      FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                     trace::copy_cost(wb.pencil.size()).instructions);
+      // The received energy is the pre-FFT pencil energy the Z stage's
+      // checksum capture accumulates anyway; z_verify settles the record.
+      abft_->exchange_send(wb.abft, e_send, wb.pencil.size(), 1);
+      abft_->seal_pencil(wb.abft, wb.pencil.data(), wb.pencil.size());
+    }
+    flip(wb.pencil.data(), wb.pencil.size());
+  };
 
   if (fused_) {
     // The forward layouts with the sides swapped: (x, y) columns of the
@@ -564,6 +691,7 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
     }
     exchange_view(scat_, wb.planes.data(), sviews, wb.pencil.data(), rviews,
                   /*tag=*/iter);
+    abft_done();
     return;
   }
 
@@ -607,6 +735,7 @@ void BandFftPipeline::do_scatter_backward(WorkBuffers& wb, int iter) {
     span.set_instructions(trace::copy_cost(pos).instructions);
     exchange_metrics().staging_bytes.add(pos * sizeof(cplx));
   }
+  abft_done();
 }
 
 void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
@@ -614,6 +743,29 @@ void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
   const std::size_t nst = desc_->nsticks_group(b_);
   const auto ru = static_cast<std::size_t>(desc_->group_size());
   const int nchunks = cfg_.overlap_chunks;
+
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.pencil.size()).instructions);
+    abft_->check_pencil(wb.abft, wb.pencil.data(), wb.pencil.size());
+    abft_->z_reset(wb.abft);
+  }
+  // Fused stage verdicts happen once, after the last wait: the Z linearity
+  // check over the whole (in-place transformed) pencil, then the exchange
+  // energy conservation into the landed planes.
+  auto abft_done = [&] {
+    if (abft_ != nullptr) {
+      FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                     trace::copy_cost(wb.pencil.size() + wb.planes.size())
+                         .instructions);
+      abft_->z_verify(wb.abft, wb.pencil.data(), nst, Direction::Backward);
+      std::size_t elems = 0;
+      for (std::size_t c : scat_recv_counts_) elems += c;
+      abft_->exchange_send(wb.abft, wb.abft.z_e_post, elems, 0);
+      abft_->seal_planes(wb.abft, wb.planes.data(), wb.planes.size());
+    }
+    flip(wb.planes.data(), wb.planes.size());
+  };
 
   // Deferred until right before the first chunk's exchange (which scatters
   // into the zeroed grid): zeroing planes up front would only let the
@@ -625,6 +777,9 @@ void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
   };
 
   auto fft_chunk = [&](std::size_t lo, std::size_t hi) {
+    // Fold this chunk into the checksum band before it transforms in
+    // place -- the capture must see pre-FFT data.
+    if (abft_ != nullptr) abft_->z_accumulate(wb.abft, wb.pencil.data(), lo, hi);
     if (use_taskloop && rt_ != nullptr && hi > lo) {
       rt_->taskloop("fft_z", lo, hi, cfg_.grain_z,
                     [&](std::size_t clo, std::size_t chi) {
@@ -663,6 +818,7 @@ void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
       exchange_view(scat_, wb.pencil.data(), sviews, wb.planes.data(),
                     rviews, /*tag=*/iter);
     }
+    abft_done();
     return;
   }
   std::vector<mpi::Request> reqs(static_cast<std::size_t>(nchunks));
@@ -691,6 +847,7 @@ void BandFftPipeline::do_fft_z_scatter_fw(WorkBuffers& wb, int iter,
         (WallTimer::now() - t_post[cu]) * 1e3);
     reqs[cu].wait();
   }
+  abft_done();
 }
 
 void BandFftPipeline::do_scatter_bw_fft_z(WorkBuffers& wb, int iter,
@@ -699,7 +856,28 @@ void BandFftPipeline::do_scatter_bw_fft_z(WorkBuffers& wb, int iter,
   const auto ru = static_cast<std::size_t>(desc_->group_size());
   const int nchunks = cfg_.overlap_chunks;
 
+  double e_send = 0.0;
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.planes.size()).instructions);
+    abft_->check_planes(wb.abft, wb.planes.data(), wb.planes.size());
+    e_send = abft_->stick_energy(wb.planes.data());
+    abft_->z_reset(wb.abft);
+  }
+  // The per-chunk accumulation below sums received (pre-FFT) pencil energy
+  // as a side effect, so the exchange check reuses it as e_recv.
+  auto abft_done = [&] {
+    if (abft_ != nullptr) {
+      FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                     trace::copy_cost(wb.pencil.size()).instructions);
+      abft_->exchange_send(wb.abft, e_send, wb.pencil.size(), 1);
+      abft_->z_verify(wb.abft, wb.pencil.data(), nst, Direction::Forward);
+    }
+    flip(wb.pencil.data(), wb.pencil.size());
+  };
+
   auto fft_chunk = [&](std::size_t lo, std::size_t hi) {
+    if (abft_ != nullptr) abft_->z_accumulate(wb.abft, wb.pencil.data(), lo, hi);
     if (use_taskloop && rt_ != nullptr && hi > lo) {
       rt_->taskloop("fft_z", lo, hi, cfg_.grain_z,
                     [&](std::size_t clo, std::size_t chi) {
@@ -735,6 +913,7 @@ void BandFftPipeline::do_scatter_bw_fft_z(WorkBuffers& wb, int iter,
                     rviews, /*tag=*/iter);
       fft_chunk(lo, hi);
     }
+    abft_done();
     return;
   }
   // Post every chunk up front, then transform each chunk as it lands: the
@@ -764,21 +943,37 @@ void BandFftPipeline::do_scatter_bw_fft_z(WorkBuffers& wb, int iter,
       if (!reqs[ku].test()) break;
     }
   }
+  abft_done();
 }
 
 void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
   const int ntg = desc_->ntg();
   const std::size_t ng_w = desc_->ng_world(w_);
   const double inv_vol = 1.0 / static_cast<double>(desc_->dims().volume());
+  if (abft_ != nullptr) {
+    FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
+                   trace::copy_cost(wb.pencil.size()).instructions);
+    abft_->check_pencil(wb.abft, wb.pencil.data(), wb.pencil.size());
+  }
   if (ntg == 1) {
-    // Inverse of the ntg == 1 pack shortcut: rescale straight into psi.
+    // Inverse of the ntg == 1 pack shortcut: rescale straight into psi,
+    // applying the wire round-trip the multi-group unpack exchange would
+    // (see do_pack; a one-group replay must be bit-identical to the
+    // original decomposition's output at every wire format).
     const auto pidx = desc_->pencil_index(b_);
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Unpack, iter,
                    trace::copy_cost(pidx.size()).instructions);
     cplx* dst = band_data(iter);
-    for (std::size_t k = 0; k < pidx.size(); ++k) {
-      dst[k] = wb.pencil[pidx[k]] * inv_vol;
+    if (cfg_.wire_format == mpi::WireFormat::Fp64) {
+      for (std::size_t k = 0; k < pidx.size(); ++k) {
+        dst[k] = wb.pencil[pidx[k]] * inv_vol;
+      }
+    } else {
+      for (std::size_t k = 0; k < pidx.size(); ++k) {
+        dst[k] = wire_q(cfg_.wire_format, wb.pencil[pidx[k]] * inv_vol);
+      }
     }
+    if (abft_ != nullptr) abft_->finish_iteration(wb.abft);
     return;
   }
   {
@@ -806,6 +1001,7 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
     }
     exchange_view(pack_, wb.band_g.data(), sviews, psi_arena_.data(), rviews,
                   /*tag=*/iter);
+    if (abft_ != nullptr) abft_->finish_iteration(wb.abft);
     return;
   }
   // Reverse band redistribution: segment m of band_g returns to member m.
@@ -826,6 +1022,7 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
     exchange_metrics().staging_bytes.add(static_cast<std::size_t>(ntg) *
                                          ng_w * sizeof(cplx));
   }
+  if (abft_ != nullptr) abft_->finish_iteration(wb.abft);
 }
 
 void BandFftPipeline::do_iteration(WorkBuffers& wb, int iter,
@@ -1014,6 +1211,17 @@ double BandFftPipeline::run() {
     case PipelineMode::Combined:
       run_task_per_fft(/*use_taskloop=*/true);
       break;
+  }
+  if (abft_ != nullptr) {
+    // Collective verdict: every rank leaves with the same corrupted-band
+    // list, so the SdcError below is thrown in lockstep (no rank is left
+    // blocked in a collective by a peer that threw).
+    const auto& bad = abft_->verdict(world_);
+    if (!bad.empty() && !cfg_.abft_defer) {
+      throw core::SdcError(core::cat(
+          "abft: silent data corruption detected in ", bad.size(), " of ",
+          npsi_, " carried band(s) (mode ", to_string(cfg_.abft), ")"));
+    }
   }
   world_.barrier();
   return timer.seconds();

@@ -48,6 +48,7 @@
 #include "fft/batch1d.hpp"
 #include "fft/plan2d.hpp"
 #include "fft/plan_cache.hpp"
+#include "fftx/abft.hpp"
 #include "fftx/descriptor.hpp"
 #include "fftx/guarded.hpp"
 #include "simmpi/comm.hpp"
@@ -114,6 +115,17 @@ struct PipelineConfig {
   /// encoding) and overlap_exchange.  Quantization error is tracked in the
   /// fftx.exchange.wire_max_ulp_err gauge.
   mpi::WireFormat wire_format = mpi::default_wire_format();
+  /// Silent-data-corruption detection across every stage: checksum bands
+  /// over the batched FFTs, Parseval/VOFR/exchange energy conservation, and
+  /// at-rest digests across stage gaps (see abft.hpp).  Detect and Repair
+  /// run identical checks inside the pipeline; they differ in what the
+  /// RecoveryDriver does with an agreed detection (fail fast vs surgical
+  /// band replay).  FFTX_ABFT selects the default.
+  AbftMode abft = default_abft_mode();
+  /// Driver-internal: on an agreed detection, record the corrupted bands
+  /// (abft_corrupt_bands()) instead of throwing core::SdcError from run(),
+  /// so the RecoveryDriver can recompute just those bands.
+  bool abft_defer = false;
 };
 
 class BandFftPipeline {
@@ -170,6 +182,12 @@ class BandFftPipeline {
     return guard_stats_.retries.load();
   }
 
+  /// Carried-band indices the end-of-run ABFT verdict agreed are corrupt
+  /// (identical on every rank; empty when abft is Off or the run was
+  /// clean).  Meaningful after run() returned -- with abft_defer set, a
+  /// detection returns instead of throwing and is read back here.
+  [[nodiscard]] std::vector<int> abft_corrupt_bands() const;
+
  private:
   struct WorkBuffers;
 
@@ -213,6 +231,12 @@ class BandFftPipeline {
                      std::span<const mpi::SegView> rviews, int tag);
 
   std::unique_ptr<WorkBuffers> make_buffers() const;
+
+  /// Compute bit-flip injection hook (FFTX_FAULT_FLIP_*): offers the stage
+  /// output buffer to the fault injector.  Called at every stage boundary
+  /// regardless of cfg_.abft, so flips land (and per-rank opportunity
+  /// indices advance identically) whether or not anyone is checking.
+  void flip(fft::cplx* p, std::size_t n);
 
   mpi::Comm world_;
   std::shared_ptr<const Descriptor> desc_;
@@ -269,6 +293,10 @@ class BandFftPipeline {
   std::unique_ptr<task::TaskRuntime> rt_;  // task modes only
 
   GuardStats guard_stats_;
+
+  std::unique_ptr<AbftGuard> abft_;     // non-null iff cfg_.abft != Off
+  mpi::FaultInjector* flip_ = nullptr;  // non-null iff flips configured
+  int wrank_ = 0;  ///< original world rank (stable across comm shrink)
 
   // Reusable per-task buffer sets (TaskPerFft/Combined: at most nthreads
   // iterations are in flight, so the pool never blocks).

@@ -93,7 +93,7 @@ RecoveryReport RecoveryDriver::run(std::vector<std::vector<fft::cplx>>& out) {
 
   for (;;) {
     try {
-      run_batches(comm, desc, completed, out);
+      run_batches(comm, desc, completed, out, rep);
       rep.completed = true;
       break;
     } catch (const core::FaultError& e) {
@@ -128,7 +128,8 @@ int RecoveryDriver::carried_total() const {
 void RecoveryDriver::run_batches(mpi::Comm& comm,
                                  std::shared_ptr<const Descriptor>& desc,
                                  int& completed,
-                                 std::vector<std::vector<fft::cplx>>& out) {
+                                 std::vector<std::vector<fft::cplx>>& out,
+                                 RecoveryReport& rep) {
   // Everything here -- batches, checkpoints, replay counts, `out` slots --
   // is in *carried* bands: packed pairs when real_bands, bands otherwise.
   // The sub-pipeline still wants its config in real bands, so a real-mode
@@ -149,14 +150,68 @@ void RecoveryDriver::run_batches(mpi::Comm& comm,
     cfg.num_bands = cfg_.real_bands
                         ? std::min(2 * batch, cfg_.num_bands - 2 * completed)
                         : batch;
+    // In Repair mode the pipeline defers its SDC verdict to us instead of
+    // throwing: corrupted bands are named, the world stays healthy, and we
+    // recompute only those bands below.  Detect mode throws core::SdcError,
+    // which run()'s generic handler escalates to a full shrink-and-replay.
+    cfg.abft_defer = cfg_.abft == AbftMode::Repair;
     inflight_ = batch;  // a fault from here to commit replays these bands
     BandFftPipeline pipe(comm, desc, cfg, tracer_);
     pipe.initialize_bands(cfg_.real_bands ? 2 * completed : completed);
     pipe.run();
+    const std::vector<int> bad = pipe.abft_corrupt_bands();
     checkpoint(comm, *desc, pipe, completed, batch, out);
+    if (!bad.empty()) replay_bands(comm, desc, completed, bad, out, rep);
     completed += batch;
     inflight_ = 0;
   }
+}
+
+void RecoveryDriver::replay_bands(mpi::Comm& comm,
+                                  const std::shared_ptr<const Descriptor>& desc,
+                                  int first, const std::vector<int>& bad,
+                                  std::vector<std::vector<fft::cplx>>& out,
+                                  RecoveryReport& rep) {
+  auto& am = abft_metrics();
+  // The verdict was a collective Allreduce, so every rank agrees on `bad`
+  // and the world is healthy: no revoke, no shrink, no rollback.  Each
+  // corrupted carried band is recomputed from its deterministic initial
+  // coefficients through a one-band ntg == 1 pipeline over the *same*
+  // communicator (degraded_ntg of a 1-band batch is always 1), under the
+  // same ABFT checks.  Per-band arithmetic is decomposition-independent --
+  // including the wire quantization on the ntg == 1 shortcuts -- so the
+  // repaired band is bit-identical to a fault-free run's.
+  std::shared_ptr<const Descriptor> solo = desc;
+  if (solo->ntg() != 1) {
+    solo = std::make_shared<const Descriptor>(*desc, comm.size(), 1);
+  }
+  for (const int n : bad) {
+    const int gb = first + n;
+    am.repairs.add();
+    core::emit_instant(
+        core::cat("abft: surgical replay of carried band ", gb));
+    PipelineConfig cfg = cfg_;
+    cfg.num_bands =
+        cfg_.real_bands ? std::min(2, cfg_.num_bands - 2 * gb) : 1;
+    cfg.abft_defer = true;
+    BandFftPipeline pipe(comm, solo, cfg, tracer_);
+    pipe.initialize_bands(cfg_.real_bands ? 2 * gb : gb);
+    pipe.run();
+    if (!pipe.abft_corrupt_bands().empty()) {
+      // The recompute tripped the detectors again: something beyond a
+      // transient flip is wrong (sticky corruption, a bad rank).  Hand the
+      // band to the heavyweight machinery.
+      am.escalations.add();
+      throw core::SdcError(core::cat(
+          "abft: carried band ", gb,
+          " still corrupt after surgical replay; escalating to "
+          "shrink-and-replay"));
+    }
+    checkpoint(comm, *solo, pipe, gb, 1, out);
+    am.repaired_bands.add();
+    ++rep.repaired_bands;
+  }
+  fft::PlanCache::global().evict_unused();
 }
 
 void RecoveryDriver::checkpoint(mpi::Comm& comm, const Descriptor& desc,

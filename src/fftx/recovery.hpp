@@ -18,6 +18,17 @@
 //      plan cache drops orphaned plans, and the driver replays every band
 //      after the agreed checkpoint.
 //
+// Silent data corruption gets a cheaper, surgical path (PipelineConfig::
+// abft == Repair): the pipeline's ABFT verdict names the corrupted bands,
+// the world is healthy by construction (the verdict is collective), so the
+// driver recomputes just those bands through a one-band ntg == 1 pipeline
+// over the SAME communicator -- no revoke, no shrink, no rollback of clean
+// bands -- re-verifies the replay under the same checks, and escalates to
+// the full shrink-and-replay machinery only if the recompute detects
+// corruption again.  In Detect mode the pipeline instead throws
+// core::SdcError in lockstep, which the driver treats like any survivable
+// failure (full replay from the last checkpoint).
+//
 // Replay is bit-exact: the descriptor's shrink rebuild preserves the global
 // coefficient order, and the pipeline's arithmetic per band is independent of
 // the decomposition (asserted by the layout sweep tests), so a run with
@@ -68,6 +79,9 @@ struct RecoveryReport {
   int shrinks = 0;
   /// Bands this rank had finished but re-ran after a rollback.
   int replayed_bands = 0;
+  /// Bands recomputed surgically (no shrink) after an ABFT detection and
+  /// re-verified clean.
+  int repaired_bands = 0;
   /// Decomposition the final batch ran under.
   int final_nproc = 0;
   int final_ntg = 0;
@@ -92,9 +106,10 @@ class RecoveryDriver {
   /// Runs every band, repairing and replaying as needed.  On return with
   /// `completed`, out[n] holds band n's output coefficients in global
   /// stick-ordered sphere order, identical on every surviving rank and
-  /// bit-for-bit equal to a fault-free run (quantizer-level at a narrow
-  /// wire: a shrink can change the decomposition, and the ntg==1 pack
-  /// shortcut skips one quantization pass).  With `cfg.real_bands` the
+  /// bit-for-bit equal to a fault-free run at every wire format (a shrink
+  /// or a surgical band replay can change the decomposition, but per-band
+  /// arithmetic -- including the wire quantization the ntg==1 shortcuts
+  /// now apply -- is decomposition-independent).  With `cfg.real_bands` the
   /// carried unit is the packed pair, so `out` has
   /// `gamma_pair_count(num_bands)` entries, batch/replay counts are in
   /// pairs, and out[p] is pair p's packed coefficients.  A rank that was
@@ -106,10 +121,21 @@ class RecoveryDriver {
   /// Carried bands the driver loops over: packed pairs when real_bands.
   int carried_total() const;
   void run_batches(mpi::Comm& comm, std::shared_ptr<const Descriptor>& desc,
-                   int& completed, std::vector<std::vector<fft::cplx>>& out);
+                   int& completed, std::vector<std::vector<fft::cplx>>& out,
+                   RecoveryReport& rep);
   void checkpoint(mpi::Comm& comm, const Descriptor& desc,
                   const BandFftPipeline& pipe, int first, int batch,
                   std::vector<std::vector<fft::cplx>>& out);
+  /// Surgical SDC repair: recomputes carried bands first + bad[i] through
+  /// one-band ntg == 1 pipelines on the *unchanged* communicator,
+  /// re-verifies each under ABFT, and overwrites the bands' checkpoint
+  /// replicas.  Throws core::SdcError (escalating to shrink-and-replay in
+  /// run()) if a replay detects corruption again.
+  void replay_bands(mpi::Comm& comm,
+                    const std::shared_ptr<const Descriptor>& desc, int first,
+                    const std::vector<int>& bad,
+                    std::vector<std::vector<fft::cplx>>& out,
+                    RecoveryReport& rep);
   void repair(mpi::Comm& comm, int& completed, const char* why,
               RecoveryReport& rep);
 

@@ -31,6 +31,8 @@ MachineConfig MachineConfig::knl() {
   set(trace::PhaseKind::Vofr, 0.90);
   set(trace::PhaseKind::Unpack, 0.70);
   set(trace::PhaseKind::Other, 1.0);
+  // Integrity checks stream buffers linearly (digest + weighted sums).
+  set(trace::PhaseKind::Abft, 1.0);
   return m;
 }
 

@@ -229,6 +229,10 @@ void Comm::set_observer(CommObserver observer) {
 
 std::size_t Comm::bytes_sent() const { return rank_state_->bytes_sent.load(); }
 
+FaultInjector* Comm::fault_injector() const { return ctx_->faults.get(); }
+
+int Comm::world_rank() const { return detail::wrank(*ctx_, rank_); }
+
 namespace {
 
 // The transpose collectives are the paper's scaling limiter, so their

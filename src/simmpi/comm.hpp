@@ -72,6 +72,8 @@ struct CommEvent {
 /// Callback invoked synchronously by the rank that executed the operation.
 using CommObserver = std::function<void(const CommEvent&)>;
 
+class FaultInjector;  // faults.hpp (which includes this header)
+
 /// One strided run of a scatter-gather exchange view: elements
 /// offset + i*stride of the base pointer, for i in [0, len).  All fields
 /// are in elements of the exchange's elem_size.
@@ -319,6 +321,17 @@ class Comm {
 
   /// Total payload bytes this rank has sent through this communicator.
   [[nodiscard]] std::size_t bytes_sent() const;
+
+  /// The world-shared fault injector, or nullptr when injection is off.
+  /// Compute layers hook their own fault sites into the same deterministic
+  /// schedule this way (the FFT pipeline's ABFT flip opportunities).  The
+  /// pointer stays valid for the communicator's lifetime.
+  [[nodiscard]] FaultInjector* fault_injector() const;
+
+  /// This rank's original world rank: stable across splits and shrinks
+  /// (identity for communicators built outside Runtime::run), so
+  /// deterministic per-rank fault schedules survive recovery.
+  [[nodiscard]] int world_rank() const;
 
  private:
   friend class Runtime;

@@ -1,9 +1,17 @@
 #include "simmpi/faults.hpp"
 
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
+
+extern "C" {
+extern char** environ;  // NOLINT: POSIX environment scan (typo detection)
+}
 
 #include "core/error.hpp"
 #include "core/format.hpp"
@@ -34,35 +42,97 @@ std::uint64_t decide_u64(std::uint64_t seed, int rank, std::uint64_t index,
   return core::splitmix64(x);
 }
 
-bool env_u64(const char* name, std::uint64_t& out) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return false;
-  out = std::strtoull(v, nullptr, 10);
-  return true;
+[[noreturn]] void invalid_env(const char* name, const char* value,
+                              const char* expected) {
+  throw core::Error(core::cat("fault injection: invalid ", name, "='", value,
+                              "': expected ", expected));
 }
 
-bool env_int(const char* name, int& out) {
+void env_u64(const char* name, std::uint64_t& out) {
   const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return false;
-  out = static_cast<int>(std::strtol(v, nullptr, 10));
-  return true;
+  if (v == nullptr || *v == '\0') return;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || *v == '-' || errno == ERANGE) {
+    invalid_env(name, v, "an unsigned integer");
+  }
+  out = static_cast<std::uint64_t>(x);
 }
 
-bool env_double(const char* name, double& out) {
+void env_int(const char* name, int& out) {
   const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return false;
-  out = std::strtod(v, nullptr);
-  return true;
+  if (v == nullptr || *v == '\0') return;
+  errno = 0;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || x < INT_MIN ||
+      x > INT_MAX) {
+    invalid_env(name, v, "an integer");
+  }
+  out = static_cast<int>(x);
+}
+
+void env_double(const char* name, double& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !std::isfinite(x)) {
+    invalid_env(name, v, "a finite number");
+  }
+  out = x;
+}
+
+void env_prob(const char* name, double& out) {
+  double x = out;
+  env_double(name, x);
+  if (x < 0.0 || x > 1.0) {
+    invalid_env(name, std::getenv(name), "a probability in [0, 1]");
+  }
+  out = x;
+}
+
+/// Every variable name FaultPlan::from_env understands (suffix after
+/// FFTX_FAULT_); a set FFTX_FAULT_* variable outside this list is a typo
+/// that would otherwise silently run the chaos test fault-free.
+constexpr const char* kKnownVars[] = {
+    "SEED",       "DELAY_PROB",   "DELAY_US",      "CORRUPT_PROB",
+    "CORRUPT_RANK", "CORRUPT_OP", "CORRUPT_COUNT", "STALL_RANK",
+    "STALL_OP",   "STALL_MS",     "KILL_RANK",     "KILL_OP",
+    "KILL_COUNT", "FLIP_RANK",    "FLIP_OP",       "FLIP_COUNT",
+    "FLIP_PROB",  "KIND"};
+
+void check_known_vars() {
+  constexpr std::size_t kPrefixLen = 11;  // strlen("FFTX_FAULT_")
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    if (std::strncmp(*e, "FFTX_FAULT_", kPrefixLen) != 0) continue;
+    const char* eq = std::strchr(*e, '=');
+    if (eq == nullptr) continue;
+    const std::string suffix(*e + kPrefixLen,
+                             static_cast<std::size_t>(eq - (*e + kPrefixLen)));
+    bool known = false;
+    for (const char* k : kKnownVars) known = known || suffix == k;
+    if (known) continue;
+    std::string accepted;
+    for (const char* k : kKnownVars) {
+      if (!accepted.empty()) accepted += ", ";
+      accepted += core::cat("FFTX_FAULT_", k);
+    }
+    throw core::Error(core::cat("fault injection: unknown variable FFTX_FAULT_",
+                                suffix, "; accepted variables: ", accepted));
+  }
 }
 
 }  // namespace
 
 FaultPlan FaultPlan::from_env() {
+  check_known_vars();
   FaultPlan plan;
   env_u64("FFTX_FAULT_SEED", plan.seed);
-  env_double("FFTX_FAULT_DELAY_PROB", plan.delay_prob);
+  env_prob("FFTX_FAULT_DELAY_PROB", plan.delay_prob);
   env_double("FFTX_FAULT_DELAY_US", plan.delay_us);
-  env_double("FFTX_FAULT_CORRUPT_PROB", plan.corrupt_prob);
+  env_prob("FFTX_FAULT_CORRUPT_PROB", plan.corrupt_prob);
   env_int("FFTX_FAULT_CORRUPT_RANK", plan.corrupt_rank);
   env_u64("FFTX_FAULT_CORRUPT_OP", plan.corrupt_op);
   env_int("FFTX_FAULT_CORRUPT_COUNT", plan.corrupt_count);
@@ -72,14 +142,24 @@ FaultPlan FaultPlan::from_env() {
   env_int("FFTX_FAULT_KILL_RANK", plan.kill_rank);
   env_u64("FFTX_FAULT_KILL_OP", plan.kill_op);
   env_int("FFTX_FAULT_KILL_COUNT", plan.kill_count);
+  env_int("FFTX_FAULT_FLIP_RANK", plan.flip_rank);
+  env_u64("FFTX_FAULT_FLIP_OP", plan.flip_op);
+  env_int("FFTX_FAULT_FLIP_COUNT", plan.flip_count);
+  env_prob("FFTX_FAULT_FLIP_PROB", plan.flip_prob);
   env_int("FFTX_FAULT_KIND", plan.only_kind);
+  if (plan.only_kind >= 0 &&
+      plan.only_kind > static_cast<int>(CommOpKind::Ialltoallv)) {
+    invalid_env("FFTX_FAULT_KIND", std::getenv("FFTX_FAULT_KIND"),
+                "a CommOpKind integer (0..13) or negative for all kinds");
+  }
   return plan;
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, int nranks)
     : plan_(plan),
       op_count_(static_cast<std::size_t>(nranks)),
-      corrupt_count_(static_cast<std::size_t>(nranks)) {}
+      corrupt_count_(static_cast<std::size_t>(nranks)),
+      flip_count_(static_cast<std::size_t>(nranks)) {}
 
 std::uint64_t FaultInjector::on_op(int world_rank, CommOpKind kind) {
   const auto r = static_cast<std::size_t>(world_rank);
@@ -152,6 +232,34 @@ bool FaultInjector::maybe_corrupt(int world_rank, CommOpKind kind, void* data,
                        [data](std::size_t byte, unsigned char mask) {
                          static_cast<unsigned char*>(data)[byte] ^= mask;
                        });
+}
+
+bool FaultInjector::maybe_flip(int world_rank, void* data,
+                               std::size_t bytes) {
+  if (!plan_.flips_active()) return false;
+  const auto r = static_cast<std::size_t>(world_rank);
+  // Count the opportunity before any bail-out: the per-rank index must
+  // advance identically on every run so FFTX_FAULT_FLIP_OP is reproducible
+  // even past ranks whose buffers happen to be empty at some stage.
+  const std::uint64_t index =
+      flip_count_[r].fetch_add(1, std::memory_order_relaxed);
+  if (bytes == 0) return false;
+  const bool one_shot =
+      world_rank == plan_.flip_rank && index >= plan_.flip_op &&
+      index < plan_.flip_op + static_cast<std::uint64_t>(plan_.flip_count);
+  const bool random =
+      plan_.flip_prob > 0.0 &&
+      decide(plan_.seed, world_rank, index, /*salt=*/4) < plan_.flip_prob;
+  if (!one_shot && !random) return false;
+  const std::uint64_t bit =
+      decide_u64(plan_.seed, world_rank, index, /*salt=*/5) % (bytes * 8);
+  static_cast<unsigned char*>(data)[bit / 8] ^=
+      static_cast<unsigned char>(1U << (bit % 8));
+  flips_.fetch_add(1, std::memory_order_relaxed);
+  static core::Counter& flips =
+      core::MetricsRegistry::global().counter("simmpi.faults.flips");
+  flips.add();
+  return true;
 }
 
 std::uint64_t FaultInjector::ops_seen(int world_rank) const {

@@ -66,6 +66,20 @@ struct FaultPlan {
   std::uint64_t kill_op = 0;
   int kill_count = 1;
 
+  // Compute bit flips: flip one deterministically chosen bit (any of sign /
+  // exponent / mantissa) of a compute buffer at a flip *opportunity* -- a
+  // stage boundary where the FFT pipeline offers its pencil/planes buffer
+  // via FaultInjector::maybe_flip.  Selection mirrors corruption: each of
+  // the `flip_count` opportunities starting at the `flip_op`-th one seen by
+  // `flip_rank` flips, or `flip_prob` selects opportunities at random.
+  // Unlike the fields above, flips never touch communication payloads --
+  // they model silent data corruption inside the compute that only the
+  // ABFT layer (fftx/abft.hpp) can see; `only_kind` does not apply.
+  int flip_rank = -1;
+  std::uint64_t flip_op = 0;
+  int flip_count = 1;
+  double flip_prob = 0.0;
+
   /// Restrict injection to one operation kind (e.g. only Alltoallv);
   /// negative = all kinds.  Compared against static_cast<int>(CommOpKind).
   int only_kind = -1;
@@ -73,15 +87,26 @@ struct FaultPlan {
   /// True if the plan injects anything at all.
   [[nodiscard]] bool any() const {
     return delay_prob > 0.0 || corrupt_prob > 0.0 || corrupt_rank >= 0 ||
-           stall_rank >= 0 || kill_rank >= 0;
+           stall_rank >= 0 || kill_rank >= 0 || flips_active();
+  }
+
+  /// True if the plan can inject compute bit flips (lets the pipeline skip
+  /// the per-stage maybe_flip hook entirely otherwise).
+  [[nodiscard]] bool flips_active() const {
+    return flip_rank >= 0 || flip_prob > 0.0;
   }
 
   /// Reads FFTX_FAULT_SEED, FFTX_FAULT_DELAY_PROB, FFTX_FAULT_DELAY_US,
   /// FFTX_FAULT_CORRUPT_PROB, FFTX_FAULT_CORRUPT_RANK, FFTX_FAULT_CORRUPT_OP,
   /// FFTX_FAULT_CORRUPT_COUNT, FFTX_FAULT_STALL_RANK, FFTX_FAULT_STALL_OP,
   /// FFTX_FAULT_STALL_MS, FFTX_FAULT_KILL_RANK, FFTX_FAULT_KILL_OP,
-  /// FFTX_FAULT_KILL_COUNT, FFTX_FAULT_KIND.
-  /// Unset vars keep the defaults above (an inactive plan).
+  /// FFTX_FAULT_KILL_COUNT, FFTX_FAULT_FLIP_RANK, FFTX_FAULT_FLIP_OP,
+  /// FFTX_FAULT_FLIP_COUNT, FFTX_FAULT_FLIP_PROB, FFTX_FAULT_KIND.
+  /// Unset vars keep the defaults above (an inactive plan).  Malformed
+  /// values (unparseable numbers, probabilities outside [0, 1], an unknown
+  /// FFTX_FAULT_KIND) and unrecognized FFTX_FAULT_* variable names throw
+  /// core::Error naming the variable and the accepted values -- a typo in a
+  /// chaos-test matrix must fail loudly, not silently run fault-free.
   static FaultPlan from_env();
 };
 
@@ -111,6 +136,13 @@ class FaultInjector {
       int world_rank, CommOpKind kind, std::size_t bytes,
       const std::function<void(std::size_t, unsigned char)>& flip_bit);
 
+  /// Called by `world_rank` at a compute-stage boundary with the stage's
+  /// output buffer (a flip *opportunity*).  Flips one deterministic bit of
+  /// the buffer and returns true when the plan selects this opportunity;
+  /// every call counts toward the per-rank opportunity index, selected or
+  /// not, so FFTX_FAULT_FLIP_OP addresses a reproducible pipeline stage.
+  bool maybe_flip(int world_rank, void* data, std::size_t bytes);
+
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   /// Operations seen so far by `world_rank` (determinism tests).
   [[nodiscard]] std::uint64_t ops_seen(int world_rank) const;
@@ -118,6 +150,8 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t corruptions() const {
     return corruptions_.load();
   }
+  /// Total compute bit flips injected (ABFT coverage tests).
+  [[nodiscard]] std::uint64_t flips() const { return flips_.load(); }
 
  private:
   [[nodiscard]] bool kind_selected(CommOpKind kind) const {
@@ -127,7 +161,9 @@ class FaultInjector {
   const FaultPlan plan_;
   std::vector<std::atomic<std::uint64_t>> op_count_;       // per world rank
   std::vector<std::atomic<std::uint64_t>> corrupt_count_;  // per world rank
+  std::vector<std::atomic<std::uint64_t>> flip_count_;     // per world rank
   std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> flips_{0};
 };
 
 }  // namespace fx::mpi

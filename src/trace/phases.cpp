@@ -20,6 +20,8 @@ const char* to_string(PhaseKind kind) {
       return "unpack";
     case PhaseKind::Other:
       return "other";
+    case PhaseKind::Abft:
+      return "abft";
   }
   return "?";
 }
@@ -63,6 +65,7 @@ PhaseCost phase_cost(PhaseKind kind, std::size_t elems, std::size_t len) {
     case PhaseKind::Scatter:
     case PhaseKind::Unpack:
     case PhaseKind::Other:
+    case PhaseKind::Abft:
       return copy_cost(elems);
   }
   return copy_cost(elems);

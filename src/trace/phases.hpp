@@ -29,13 +29,16 @@ enum class PhaseKind {
   Vofr,      ///< pointwise V(r) application
   Unpack,    ///< redistribution back + rescaling
   Other,
+  // Appended (not inserted): the integer values above are serialized in
+  // traces, so they must stay stable.
+  Abft,      ///< checksum-band / Parseval / digest integrity checks
 };
 
 /// Short stable name, e.g. "fft_z" (used by timelines and CSVs).
 const char* to_string(PhaseKind kind);
 
 /// Number of distinct PhaseKind values (for arrays indexed by phase).
-inline constexpr int kNumPhaseKinds = 8;
+inline constexpr int kNumPhaseKinds = 9;
 
 /// First-order operation counts for one phase execution.
 struct PhaseCost {

@@ -32,6 +32,8 @@ char phase_letter(PhaseKind kind) {
       return 'U';
     case PhaseKind::Other:
       return 'o';
+    case PhaseKind::Abft:
+      return 'A';
   }
   return '?';
 }

@@ -322,22 +322,13 @@ TEST(WirePipeline, RecoveryDriverSurvivesKillWithNarrowWire) {
   const auto [healed, healed_done, healed_died] = run_recovered(faulty);
   EXPECT_EQ(healed_died, 1);
   EXPECT_EQ(healed_done, kProc - 1);
-  // Narrow-wire results are decomposition-invariant only up to the
-  // quantizer: the shrunken world re-decomposes (here 3 ranks forces
-  // ntg = 1, whose pack shortcut skips one quantization pass), so the
-  // replayed bands match the checkpointed run to fp32 precision, not
-  // bitwise.  At the fp64 wire the same scenario IS bit-exact (see
-  // FusedOverlap.RecoveryDriverSurvivesKillOnFusedOverlappedPath).
-  ASSERT_EQ(healed.size(), clean.size());
-  double err = 0.0;
-  double peak = 0.0;
-  for (std::size_t n = 0; n < clean.size(); ++n) {
-    for (std::size_t k = 0; k < clean[n].size(); ++k) {
-      err = std::max(err, std::abs(healed[n][k] - clean[n][k]));
-      peak = std::max(peak, std::abs(clean[n][k]));
-    }
-  }
-  EXPECT_LT(err / peak, 1e-4);
+  // Narrow-wire replay is bit-exact: the shrunken world re-decomposes
+  // (here 3 ranks forces ntg = 1), but the ntg == 1 pack/unpack shortcuts
+  // apply the same wire quantization as the general path, so per-band
+  // arithmetic -- quantizer included -- is decomposition-independent and
+  // the replayed bands match the checkpointed run bitwise, exactly like
+  // the fp64 wire (FusedOverlap.RecoveryDriverSurvivesKillOnFusedOverlappedPath).
+  EXPECT_EQ(healed, clean);
 }
 
 TEST(R2cPipeline, RecoveryDriverBatchesAndReplaysPackedPairs) {
@@ -399,6 +390,66 @@ TEST(R2cPipeline, RecoveryDriverBatchesAndReplaysPackedPairs) {
   EXPECT_EQ(healed_died, 1);
   // fp64 wire: the shrink-and-replay result is bit-exact.
   EXPECT_EQ(healed, clean);
+}
+
+TEST(R2cPipeline, RecoveryDriverReplaysOddBandTailPair) {
+  // 7 real bands pack into 4 pairs with a half-empty tail (band 6 rides as
+  // the real part of pair 3, zero imaginary).  A kill must replay batches
+  // whose final pipeline carries that odd tail -- the re-decomposed world
+  // (3 ranks, ntg 1) regenerates the same pairing because pairs always
+  // start at even band offsets.
+  constexpr int kOddBands = 7;
+  auto desc =
+      std::make_shared<const Descriptor>(Cell{kAlat}, kEcut, kProc, kTg);
+  RecoveryConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.checkpoint_bands = 2;  // pairs per checkpoint: tail lands in batch 2
+  rcfg.retry.max_attempts = 6;
+  rcfg.retry.base_delay_ms = 0.1;
+
+  auto run_recovered = [&](const RunOptions& opts) {
+    std::vector<std::vector<cplx>> bands;
+    int died = 0;
+    std::mutex mu;
+    Runtime::run(kProc, opts, [&](Comm& world) {
+      PipelineConfig cfg;
+      cfg.num_bands = kOddBands;
+      cfg.mode = PipelineMode::Original;
+      cfg.real_bands = true;
+      cfg.fused_exchange = true;
+      cfg.overlap_exchange = true;
+      cfg.wire_format = WireFormat::Fp64;
+      RecoveryDriver driver(world, desc, cfg, rcfg);
+      std::vector<std::vector<cplx>> mine;
+      const auto rep = driver.run(mine);
+      std::lock_guard lock(mu);
+      if (rep.died) {
+        ++died;
+        return;
+      }
+      ASSERT_TRUE(rep.completed);
+      if (bands.empty()) {
+        bands = std::move(mine);
+      } else {
+        EXPECT_EQ(bands, mine) << "survivor replicas disagree";
+      }
+    });
+    return std::pair(std::move(bands), died);
+  };
+
+  const auto [clean, clean_died] = run_recovered(quiet_options());
+  EXPECT_EQ(clean_died, 0);
+  const auto want = packed_oracle(kOddBands);
+  ASSERT_EQ(clean.size(), 4U);
+  EXPECT_LT(worst_abs_error(clean, want), 1e-12);
+
+  RunOptions faulty = quiet_options();
+  faulty.faults.kill_rank = 2;
+  faulty.faults.kill_op = 5;
+  faulty.faults.only_kind = static_cast<int>(CommOpKind::Ialltoallv);
+  const auto [healed, healed_died] = run_recovered(faulty);
+  EXPECT_EQ(healed_died, 1);
+  EXPECT_EQ(healed, clean);  // fp64 wire: replay is bit-exact, tail included
 }
 
 TEST(WireGridFft, DenseTransposeNarrowsWithinQuantizerBound) {

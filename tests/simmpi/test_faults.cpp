@@ -328,4 +328,111 @@ TEST(RunOptions, FromEnvReadsFaultAndWatchdogVars) {
   EXPECT_FALSE(RunOptions::from_env().faults.any());
 }
 
+TEST(RunOptions, FromEnvReadsFlipVars) {
+  ::setenv("FFTX_FAULT_FLIP_RANK", "2", 1);
+  ::setenv("FFTX_FAULT_FLIP_OP", "17", 1);
+  ::setenv("FFTX_FAULT_FLIP_COUNT", "3", 1);
+  ::setenv("FFTX_FAULT_FLIP_PROB", "0.5", 1);
+  const FaultPlan plan = FaultPlan::from_env();
+  EXPECT_EQ(plan.flip_rank, 2);
+  EXPECT_EQ(plan.flip_op, 17U);
+  EXPECT_EQ(plan.flip_count, 3);
+  EXPECT_DOUBLE_EQ(plan.flip_prob, 0.5);
+  EXPECT_TRUE(plan.flips_active());
+  EXPECT_TRUE(plan.any());
+  ::unsetenv("FFTX_FAULT_FLIP_RANK");
+  ::unsetenv("FFTX_FAULT_FLIP_OP");
+  ::unsetenv("FFTX_FAULT_FLIP_COUNT");
+  ::unsetenv("FFTX_FAULT_FLIP_PROB");
+  EXPECT_FALSE(FaultPlan::from_env().flips_active());
+}
+
+TEST(FaultEnv, MalformedValuesThrowNamingTheVariable) {
+  auto expect_error = [](const char* name, const char* value,
+                         const char* needle) {
+    ::setenv(name, value, 1);
+    try {
+      (void)FaultPlan::from_env();
+      FAIL() << name << "='" << value << "' was accepted";
+    } catch (const fx::core::Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+    ::unsetenv(name);
+  };
+  expect_error("FFTX_FAULT_FLIP_PROB", "1.5", "probability in [0, 1]");
+  expect_error("FFTX_FAULT_FLIP_PROB", "banana", "a finite number");
+  expect_error("FFTX_FAULT_FLIP_RANK", "2x", "an integer");
+  expect_error("FFTX_FAULT_FLIP_OP", "-3", "an unsigned integer");
+  expect_error("FFTX_FAULT_SEED", "0xg", "an unsigned integer");
+  expect_error("FFTX_FAULT_KIND", "99", "CommOpKind integer");
+}
+
+TEST(FaultEnv, UnknownVariableThrowsListingAcceptedOnes) {
+  // A typo'd FFTX_FAULT_* variable must not silently run fault-free.
+  ::setenv("FFTX_FAULT_FLIP_RNAK", "0", 1);
+  try {
+    (void)FaultPlan::from_env();
+    FAIL() << "unknown FFTX_FAULT_FLIP_RNAK was accepted";
+  } catch (const fx::core::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("FFTX_FAULT_FLIP_RNAK"), std::string::npos) << what;
+    EXPECT_NE(what.find("accepted variables"), std::string::npos) << what;
+    EXPECT_NE(what.find("FFTX_FAULT_FLIP_RANK"), std::string::npos) << what;
+  }
+  ::unsetenv("FFTX_FAULT_FLIP_RNAK");
+  EXPECT_FALSE(FaultPlan::from_env().any());
+}
+
+TEST(FaultInjector, FlipsAreDeterministicAndSingleBit) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.flip_rank = 1;
+  plan.flip_op = 3;
+  plan.flip_count = 2;
+
+  auto run = [&] {
+    FaultInjector injector(plan, /*nranks=*/2);
+    std::vector<std::pair<int, std::vector<double>>> hits;
+    for (int op = 0; op < 8; ++op) {
+      for (int r = 0; r < 2; ++r) {
+        std::vector<double> buf(16, 1.0);
+        if (injector.maybe_flip(r, buf.data(), buf.size() * sizeof(double))) {
+          hits.emplace_back(r, buf);
+        }
+      }
+    }
+    EXPECT_EQ(injector.flips(), 2U);
+    return hits;
+  };
+
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);  // same seed, same opportunity grid -> same bits
+  ASSERT_EQ(a.size(), 2U);
+  for (const auto& [rank, buf] : a) {
+    EXPECT_EQ(rank, plan.flip_rank);
+    int changed = 0;
+    for (double v : buf) changed += v != 1.0;
+    EXPECT_EQ(changed, 1) << "a flip must corrupt exactly one word";
+  }
+}
+
+TEST(FaultInjector, FlipOpportunityIndexAdvancesPastEmptyBuffers) {
+  // Opportunity counting must be buffer-size independent, or FLIP_OP
+  // becomes irreproducible across configurations where some stages see
+  // empty slices on some ranks.
+  FaultPlan plan;
+  plan.flip_rank = 0;
+  plan.flip_op = 2;
+
+  FaultInjector injector(plan, 1);
+  double word = 1.0;
+  EXPECT_FALSE(injector.maybe_flip(0, &word, sizeof word));   // op 0
+  EXPECT_FALSE(injector.maybe_flip(0, nullptr, 0));           // op 1 (empty)
+  EXPECT_TRUE(injector.maybe_flip(0, &word, sizeof word));    // op 2 hits
+  EXPECT_NE(word, 1.0);
+}
+
 }  // namespace
