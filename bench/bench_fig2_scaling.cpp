@@ -16,6 +16,9 @@ int main() {
             "model runtime [s]", "speedup vs 1 x 8"});
   fx::core::CsvWriter csv("bench/out/fig2_scaling.csv");
   csv.row({"config", "total_ranks", "runtime_s", "speedup"});
+  // The KNL model is a deterministic discrete-event simulation, so these
+  // numbers are bit-stable across hosts -- perf_regress gates them tightly.
+  fxbench::JsonReport report("bench_fig2_scaling");
 
   double base = 0.0;
   for (int n : fxbench::original_sweep_n()) {
@@ -33,8 +36,11 @@ int main() {
            fx::core::fixed(base / r.runtime_s, 2) + "x"});
     csv.row({label, fx::core::cat(n * 8), fx::core::cat(r.runtime_s),
              fx::core::cat(base / r.runtime_s)});
+    report.set(fx::core::cat("fig2.runtime_s.", n, "x8"), r.runtime_s);
+    report.set(fx::core::cat("fig2.speedup.", n, "x8"), base / r.runtime_s);
   }
   t.print(std::cout);
+  report.write();
   std::cout << "\nExpected paper shape: sub-linear scaling that flattens at "
                "the full node; the hyper-threaded points (16x8, 32x8) do not "
                "improve on 8x8.\n";

@@ -14,6 +14,7 @@
 #include "fftx/recovery.hpp"
 #include "simmpi/runtime.hpp"
 #include "trace/artifacts.hpp"
+#include "trace/observatory.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
@@ -110,7 +111,7 @@ double run_e2e(int nranks, int ntg, fx::fftx::PipelineMode mode, int threads,
 
 /// Hardening A/B: the runtime safety net (collective validator + watchdog +
 /// progress board) on vs off, on the same workload.
-void bench_hardening_overhead() {
+void bench_hardening_overhead(fxbench::JsonReport& report) {
   using fx::fftx::PipelineMode;
 
   fx::mpi::RunOptions off;
@@ -151,6 +152,8 @@ void bench_hardening_overhead() {
     csv.row({to_string(row.mode), "off", fx::core::cat(med_off), "0"});
     csv.row({to_string(row.mode), "on", fx::core::cat(med_on),
              fx::core::cat(fx::core::fixed(overhead, 2))});
+    report.set(fx::core::cat("hardening_overhead.on_pct.", to_string(row.mode)),
+               overhead);
   }
   t.print(std::cout);
 
@@ -177,6 +180,9 @@ void bench_hardening_overhead() {
             fx::core::cat(fx::core::fixed(overhead, 2), " %")});
     csv.row({to_string(row.mode), "recovery", fx::core::cat(med_rec),
              fx::core::cat(fx::core::fixed(overhead, 2))});
+    report.set(
+        fx::core::cat("recovery_overhead.driver_pct.", to_string(row.mode)),
+        overhead);
   }
   tr.print(std::cout);
 }
@@ -197,7 +203,7 @@ double trimmed_mean(std::vector<double> v) {
 /// the sharded ring-buffer path, on the same workload.  The ring design
 /// only earns its complexity if "sharded" is at or below "mutex" and within
 /// a few percent of "off" (the paper's Extrae traces cost 0.6-2.2 %).
-void bench_trace_overhead() {
+void bench_trace_overhead(fxbench::JsonReport& report) {
   using fx::fftx::PipelineMode;
   using fx::trace::TracerMode;
 
@@ -283,7 +289,95 @@ void bench_trace_overhead() {
              fx::core::cat(fx::core::fixed(ovh_mutex, 2))});
     csv.row({to_string(row.mode), "sharded", fx::core::cat(med_ring),
              fx::core::cat(fx::core::fixed(ovh_ring, 2))});
+    report.set(
+        fx::core::cat("trace_overhead.mutex_pct.", to_string(row.mode)),
+        ovh_mutex);
+    report.set(
+        fx::core::cat("trace_overhead.sharded_pct.", to_string(row.mode)),
+        ovh_ring);
   }
+  t.print(std::cout);
+}
+
+/// Observatory A/B: FFTX_OBS=off vs watch on the same heavy workload, no
+/// tracer attached -- spans and the pipeline's comm observer feed the
+/// observatory directly, so this prices exactly what an always-on
+/// production deployment pays: record_phase per span, record_comm per
+/// collective, and the last-rank-out iteration verdicts.  Budget: <= 1 %.
+void bench_obs_overhead(fxbench::JsonReport& report) {
+  using fx::fftx::PipelineMode;
+  using fx::trace::ObsMode;
+
+  fx::mpi::RunOptions quiet;
+  quiet.watchdog.enabled = false;
+  quiet.validate_collectives = false;
+
+  // Same heavy workload as the trace A/B, for the same reason: the paired
+  // ratios only settle under a percent once runs are ~150 ms or longer.
+  constexpr double kEcut = 64.0;
+  constexpr int kBands = 128;
+
+  fx::core::TablePrinter t(
+      "Observatory overhead (FFTX_OBS off vs watch, trimmed mean of 33 "
+      "order-rotated paired reps)");
+  t.header({"version", "off [s]", "watch [s]", "watch ovh"});
+  fx::core::CsvWriter csv("bench/out/obs_overhead.csv");
+  csv.row({"mode", "variant", "seconds", "overhead_pct"});
+
+  struct Row {
+    const char* name;
+    int nranks;
+    int ntg;
+    PipelineMode mode;
+    int threads;
+  };
+  const Row rows[] = {
+      {"original 4 x 2", 8, 2, PipelineMode::Original, 1},
+      {"task-per-FFT 4 ranks x 2 thr", 4, 1, PipelineMode::TaskPerFft, 2},
+  };
+  constexpr int kReps = 33;
+  auto& obs = fx::trace::Observatory::global();
+  for (const Row& row : rows) {
+    std::vector<double> t_off;
+    std::vector<double> t_watch;
+    std::vector<double> ratio;
+    for (int rep = 0; rep < kReps; ++rep) {
+      double t_o = 0.0;
+      double t_w = 0.0;
+      // Order-rotated pairs, same scheme as the tracing A/B.  configure()
+      // resets the observatory's recorded state, so every watch rep starts
+      // with an empty ring and cold statistics -- the steady-state cost is
+      // the same (the ring is fixed-size), but the reset keeps rep K from
+      // carrying rep K-1's flight recorder.
+      for (int k = 0; k < 2; ++k) {
+        if ((rep + k) % 2 == 0) {
+          obs.configure(ObsMode::Off);
+          t_o = run_real(row.nranks, row.ntg, row.mode, row.threads, quiet,
+                         nullptr, kEcut, kBands);
+        } else {
+          obs.configure(ObsMode::Watch);
+          t_w = run_real(row.nranks, row.ntg, row.mode, row.threads, quiet,
+                         nullptr, kEcut, kBands);
+        }
+      }
+      t_off.push_back(t_o);
+      t_watch.push_back(t_w);
+      ratio.push_back(t_w / t_o);
+    }
+    const double med_off = trimmed_mean(t_off);
+    const double med_watch = trimmed_mean(t_watch);
+    const double ovh = (trimmed_mean(ratio) - 1.0) * 100.0;
+    t.row({row.name, fx::core::fixed(med_off, 4),
+           fx::core::fixed(med_watch, 4),
+           fx::core::cat(fx::core::fixed(ovh, 2), " %")});
+    csv.row({to_string(row.mode), "off", fx::core::cat(med_off), "0"});
+    csv.row({to_string(row.mode), "watch", fx::core::cat(med_watch),
+             fx::core::cat(fx::core::fixed(ovh, 2))});
+    report.set(fx::core::cat("obs_overhead.watch_pct.", to_string(row.mode)),
+               ovh);
+  }
+  // Hand the process back to whatever FFTX_OBS selected.
+  obs.configure(fx::trace::default_obs_mode());
   t.print(std::cout);
 }
 
@@ -293,7 +387,7 @@ void bench_trace_overhead() {
 /// the 8-rank ecut-32 workload is <= 3 %.  Repair (fault-free) adds only
 /// the deferred-verdict bookkeeping on top of detect, so the pair should
 /// be indistinguishable.
-void bench_abft_overhead() {
+void bench_abft_overhead(fxbench::JsonReport& report) {
   using fx::fftx::AbftMode;
   using fx::fftx::PipelineMode;
 
@@ -395,6 +489,8 @@ void bench_abft_overhead() {
                fx::core::cat(fx::core::fixed(ovh_detect, 2))});
       csv.row({"original", "repair", fx::core::cat(med_repair),
                fx::core::cat(fx::core::fixed(ovh_repair, 2))});
+      report.set("abft_overhead.detect_pct.link4ms", ovh_detect);
+      report.set("abft_overhead.repair_pct.link4ms", ovh_repair);
     }
   }
   t.print(std::cout);
@@ -405,6 +501,7 @@ void bench_abft_overhead() {
 int main() {
   using fx::fftx::PipelineMode;
 
+  fxbench::JsonReport report("bench_real_pipeline");
   fx::core::TablePrinter t(
       "Real backend (host wall-clock, reduced workload: ecut 16 Ry, alat "
       "10, 16 bands)");
@@ -451,9 +548,11 @@ int main() {
   }
   t.print(std::cout);
 
-  bench_hardening_overhead();
-  bench_abft_overhead();
-  bench_trace_overhead();
+  bench_hardening_overhead(report);
+  bench_abft_overhead(report);
+  bench_trace_overhead(report);
+  bench_obs_overhead(report);
+  report.write();
   fx::trace::dump_metrics("bench_real_pipeline");
   return 0;
 }

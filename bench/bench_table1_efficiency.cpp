@@ -25,6 +25,19 @@ int main() {
       "(model | paper)",
       fxbench::paper_table1(), runs, scal, "bench/out/table1_efficiency.csv");
 
+  // Deterministic model outputs: tight regression surface for perf_regress.
+  fxbench::JsonReport report("bench_table1_efficiency");
+  const int ns[] = {1, 2, 4, 8, 16};
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::string tag = fx::core::cat(ns[i], "x8");
+    report.set("table1.parallel_efficiency." + tag,
+               runs[i].parallel_efficiency);
+    report.set("table1.load_balance." + tag, runs[i].load_balance);
+    report.set("table1.comm_efficiency." + tag, runs[i].comm_efficiency);
+    report.set("table1.global_efficiency." + tag, scal[i].global_efficiency);
+  }
+  report.write();
+
   std::cout << "\nAvg IPC per configuration:";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     std::cout << ' ' << fx::core::fixed(runs[i].avg_ipc, 2);

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/csv.hpp"
+#include "core/json.hpp"
 #include "core/format.hpp"
 #include "core/table.hpp"
 #include "fftx/descriptor.hpp"
@@ -26,6 +28,49 @@
 #include "trace/timeline.hpp"
 
 namespace fxbench {
+
+/// Machine-readable bench result: a flat map of dotted metric names to
+/// numbers, written as bench/out/<bench>.json.  perf_regress merges every
+/// such file into BENCH_SUMMARY.json and gates the metrics against the
+/// committed bench/baselines.json, so anything banked here becomes part of
+/// the regression surface.  Keep names stable: "<family>.<quantity>[.<tag>]"
+/// (e.g. "fig2.speedup.8x8", "obs_overhead.watch_pct.original").
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench, std::string out_dir = "bench/out")
+      : bench_(std::move(bench)), out_dir_(std::move(out_dir)) {}
+  ~JsonReport() {
+    if (written_) return;
+    try {
+      write();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // A failed report write must not mask the bench's own exit path.
+    }
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void set(const std::string& metric, double value) {
+    metrics_[metric] = value;
+  }
+
+  void write() {
+    written_ = true;
+    fx::core::json::Object metrics;
+    for (const auto& [name, value] : metrics_) metrics[name] = value;
+    fx::core::json::Object doc;
+    doc["bench"] = bench_;
+    doc["metrics"] = std::move(metrics);
+    fx::core::json::save_file(fx::core::json::Value(std::move(doc)),
+                              out_dir_ + "/" + bench_ + ".json");
+  }
+
+ private:
+  std::string bench_;
+  std::string out_dir_;
+  std::map<std::string, double> metrics_;
+  bool written_ = false;
+};
 
 /// The paper's workload parameters (Sec. III).
 struct Workload {

@@ -1,0 +1,247 @@
+// The bench-JSON regression gate.
+//
+// Every bench that participates in the regression surface writes a
+// bench/out/<name>.json report (fxbench::JsonReport): a flat map of dotted
+// metric names to numbers.  This tool merges all of them into
+// bench/out/BENCH_SUMMARY.json and compares each metric that appears in the
+// committed baseline file against its tolerance spec:
+//
+//   {
+//     "checks": {
+//       "bench_fig2_scaling/fig2.speedup.8x8": {"value": 4.97, "rel_tol": 0.02},
+//       "bench_real_pipeline/obs_overhead.watch_pct.original": {"max": 1.0},
+//       "bench_table1_efficiency/table1.load_balance.8x8": {"min": 0.9}
+//     }
+//   }
+//
+// Spec forms (combinable): {"value", "rel_tol"[, "abs_tol"]} brackets the
+// actual around the recorded value; {"max"} / {"min"} bound it one-sided --
+// the right shape for host-dependent overhead percentages, where only the
+// budget is portable.  Deterministic KNL-model outputs get tight rel_tol;
+// real-backend wall seconds stay out of the baseline entirely (the CSVs
+// keep them for humans).
+//
+// A metric named by the baseline but missing from the merged summary FAILS:
+// a bench silently dropping a metric is exactly the kind of regression this
+// gate exists to catch.  Metrics present in the summary but absent from the
+// baseline are reported as uncovered, not failed, so adding a bench never
+// breaks CI retroactively.
+//
+// Usage: perf_regress [out_dir] [baseline]
+//   out_dir   directory of *.json reports     (default bench/out)
+//   baseline  tolerance file                  (default $FFTX_PERF_BASELINE,
+//                                              else bench/baselines.json)
+// Exit 0: all checks pass.  Exit 1: at least one failure.  Exit 2: setup
+// error (unreadable baseline, no reports).
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/format.hpp"
+#include "core/json.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+namespace json = fx::core::json;
+
+/// Reports found in `out_dir`, merged as "<bench>/<metric>" -> value.
+/// Also fills `benches` with the per-bench metric objects for the summary.
+std::map<std::string, double> merge_reports(const std::string& out_dir,
+                                            json::Object& benches) {
+  std::map<std::string, double> merged;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir)) {
+    if (entry.path().extension() == ".json" &&
+        entry.path().filename() != "BENCH_SUMMARY.json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    json::Value doc;
+    try {
+      doc = json::load_file(path.string());
+    } catch (const std::exception& e) {
+      std::cout << "[perf_regress] skipping " << path.filename().string()
+                << ": " << e.what() << '\n';
+      continue;
+    }
+    const json::Value* bench = doc.find("bench");
+    const json::Value* metrics = doc.find("metrics");
+    if (bench == nullptr || !bench->is_string() || metrics == nullptr ||
+        !metrics->is_object()) {
+      continue;  // some other JSON artifact, not a bench report
+    }
+    const std::string& name = bench->as_string();
+    benches[name] = *metrics;
+    for (const auto& [metric, value] : metrics->as_object()) {
+      if (value.is_number()) merged[name + "/" + metric] = value.as_number();
+    }
+  }
+  return merged;
+}
+
+struct CheckResult {
+  std::string metric;
+  std::string actual;    ///< formatted, or "missing"
+  std::string expected;  ///< human-readable spec
+  bool pass = false;
+  std::string detail;
+};
+
+CheckResult evaluate(const std::string& metric, const json::Value& spec,
+                     const std::map<std::string, double>& summary) {
+  CheckResult r;
+  r.metric = metric;
+
+  const auto value = spec.number_at("value");
+  const auto rel_tol = spec.number_at("rel_tol");
+  const auto abs_tol = spec.number_at("abs_tol");
+  const auto max_v = spec.number_at("max");
+  const auto min_v = spec.number_at("min");
+
+  std::string expected;
+  if (value) {
+    expected = fx::core::cat(fx::core::fixed(*value, 4), " +/- ",
+                             fx::core::fixed(rel_tol.value_or(0.0) * 100.0, 1),
+                             " %");
+    if (abs_tol) expected += fx::core::cat(" (abs ", *abs_tol, ")");
+  }
+  if (max_v) {
+    expected += expected.empty() ? "" : ", ";
+    expected += fx::core::cat("<= ", fx::core::fixed(*max_v, 4));
+  }
+  if (min_v) {
+    expected += expected.empty() ? "" : ", ";
+    expected += fx::core::cat(">= ", fx::core::fixed(*min_v, 4));
+  }
+  r.expected = expected.empty() ? "(no bound)" : expected;
+
+  const auto it = summary.find(metric);
+  if (it == summary.end()) {
+    r.actual = "missing";
+    r.detail = "metric absent from summary -- bench not run or dropped it";
+    return r;
+  }
+  const double actual = it->second;
+  r.actual = fx::core::fixed(actual, 4);
+
+  r.pass = true;
+  if (value) {
+    const double tol = rel_tol.value_or(0.0) * std::abs(*value) +
+                       abs_tol.value_or(0.0);
+    if (std::abs(actual - *value) > tol) {
+      r.pass = false;
+      r.detail = fx::core::cat("off baseline by ",
+                               fx::core::fixed(actual - *value, 4),
+                               " (tolerance ", fx::core::fixed(tol, 4), ")");
+    }
+  }
+  if (max_v && actual > *max_v) {
+    r.pass = false;
+    r.detail = fx::core::cat("exceeds budget ", fx::core::fixed(*max_v, 4));
+  }
+  if (min_v && actual < *min_v) {
+    r.pass = false;
+    r.detail = fx::core::cat("below floor ", fx::core::fixed(*min_v, 4));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "bench/out";
+  std::string baseline_path = "bench/baselines.json";
+  if (const char* env = std::getenv("FFTX_PERF_BASELINE");
+      env != nullptr && *env != '\0') {
+    baseline_path = env;
+  }
+  if (argc > 2) baseline_path = argv[2];
+
+  if (!std::filesystem::is_directory(out_dir)) {
+    std::cerr << "perf_regress: no such report directory: " << out_dir
+              << " (run the benches first, or pass the directory)\n";
+    return 2;
+  }
+
+  json::Object benches;
+  const auto summary = merge_reports(out_dir, benches);
+  if (summary.empty()) {
+    std::cerr << "perf_regress: no bench reports (*.json with bench/metrics "
+                 "keys) under "
+              << out_dir << '\n';
+    return 2;
+  }
+
+  // Write the merged summary regardless of the verdict: a failing CI run
+  // should still upload the numbers that failed.
+  json::Object flat;
+  for (const auto& [metric, value] : summary) flat[metric] = value;
+  json::Object doc;
+  doc["benches"] = std::move(benches);
+  doc["metrics"] = std::move(flat);
+  const std::string summary_path = out_dir + "/BENCH_SUMMARY.json";
+  json::save_file(json::Value(std::move(doc)), summary_path);
+  std::cout << "[perf_regress] " << summary.size() << " metric(s) from "
+            << out_dir << " -> " << summary_path << '\n';
+
+  json::Value baseline;
+  try {
+    baseline = json::load_file(baseline_path);
+  } catch (const std::exception& e) {
+    std::cerr << "perf_regress: cannot load baseline " << baseline_path
+              << ": " << e.what() << '\n';
+    return 2;
+  }
+  const json::Value* checks = baseline.find("checks");
+  if (checks == nullptr || !checks->is_object()) {
+    std::cerr << "perf_regress: baseline " << baseline_path
+              << " has no \"checks\" object\n";
+    return 2;
+  }
+
+  fx::core::TablePrinter t(
+      fx::core::cat("Performance regression gate (baseline ", baseline_path,
+                    ")"));
+  t.header({"metric", "actual", "baseline", "status"});
+  int failures = 0;
+  std::vector<CheckResult> failed;
+  for (const auto& [metric, spec] : checks->as_object()) {
+    const CheckResult r = evaluate(metric, spec, summary);
+    t.row({r.metric, r.actual, r.expected, r.pass ? "ok" : "FAIL"});
+    if (!r.pass) {
+      ++failures;
+      failed.push_back(r);
+    }
+  }
+  t.print(std::cout);
+
+  std::size_t covered = 0;
+  for (const auto& [metric, spec] : checks->as_object()) {
+    (void)spec;
+    if (summary.contains(metric)) ++covered;
+  }
+  std::cout << "[perf_regress] " << covered << "/"
+            << checks->as_object().size() << " checked metric(s) present, "
+            << summary.size() - covered << " summary metric(s) uncovered by "
+            << "the baseline\n";
+
+  if (failures > 0) {
+    std::cout << "\nperf_regress: " << failures << " check(s) FAILED:\n";
+    for (const auto& r : failed) {
+      std::cout << "  " << r.metric << ": actual " << r.actual << " vs "
+                << r.expected << " -- " << r.detail << '\n';
+    }
+    return 1;
+  }
+  std::cout << "perf_regress: all " << checks->as_object().size()
+            << " check(s) passed\n";
+  return 0;
+}

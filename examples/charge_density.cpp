@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   double rho_g0 = 0.0;
   double direct_charge = 0.0;
   fx::trace::Tracer tracer(nranks);
+  fx::trace::ArtifactScope artifacts(&tracer, "charge_density");
   fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& comm) {
     fx::fftx::GridFft grid(comm, dims, &tracer);
     fx::fft::Workspace ws;
@@ -104,6 +105,5 @@ int main(int argc, char** argv) {
             << "mean density (rho(G=0)):        "
             << fx::core::fixed(rho_g0, 9) << "\n"
             << "agreement: " << std::abs(direct_charge - rho_g0) << "\n";
-  fx::trace::dump_run_artifacts(tracer, "charge_density");
   return std::abs(direct_charge - rho_g0) < 1e-9 ? 0 : 1;
 }

@@ -17,12 +17,16 @@
 //                       honors FFTX_R2C and FFTX_WIRE_PRECISION -- the
 //                       oracle and tolerance follow the configured mode)
 //     -table            print the POP efficiency factors
+//     -perf-report      print the observatory's live phase attribution
+//                       (implies FFTX_OBS=watch when the env var is unset)
 //     -save-trace <f>   write the run's trace to <f> (fxtrace format)
 //     -trace-json <f>   write the run's trace as Chrome/Perfetto JSON
 //
 // Setting FFTX_TRACE_DIR=<dir> additionally drops the full artifact set
 // (<dir>/fftx_miniapp.{fxtrace,json,metrics.csv,metrics.json}) without any
 // flags -- the uniform observability hook every example and bench honors.
+// The artifacts are written from an ArtifactScope, so they survive
+// SdcError/CommError aborts (e.g. under FFTX_FAULT_PLAN fault injection).
 //
 // Examples:
 //   fftx_miniapp -backend model -nranks 64 -ntg 8            # paper 8x8
@@ -44,6 +48,7 @@
 #include "trace/analysis.hpp"
 #include "trace/artifacts.hpp"
 #include "trace/chrome_export.hpp"
+#include "trace/observatory.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -59,6 +64,7 @@ struct Options {
   bool model_backend = true;
   bool verify = false;
   bool table = false;
+  bool perf_report = false;
   std::string trace_path;
   std::string trace_json_path;
 };
@@ -107,6 +113,8 @@ Options parse(int argc, char** argv) {
       o.trace_json_path = need(i);
     } else if (a == "-table") {
       o.table = true;
+    } else if (a == "-perf-report") {
+      o.perf_report = true;
     } else {
       std::cerr << "unknown option " << a << " (see header comment)\n";
       std::exit(2);
@@ -130,6 +138,10 @@ void print_factors(const fx::trace::EfficiencySummary& s) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.perf_report &&
+      fx::trace::default_obs_mode() == fx::trace::ObsMode::Off) {
+    fx::trace::Observatory::global().configure(fx::trace::ObsMode::Watch);
+  }
 
   const fx::pw::Cell cell{o.alat};
   auto desc = std::make_shared<const fx::fftx::Descriptor>(cell, o.ecutwfc,
@@ -145,6 +157,9 @@ int main(int argc, char** argv) {
             << (o.model_backend ? "model (KNL)" : "real (this host)") << "\n";
 
   fx::trace::Tracer tracer(o.nranks);
+  // Dumped from the destructor, so the artifacts (trace, metrics, flight
+  // recorder) land even when the run below throws.
+  fx::trace::ArtifactScope artifacts(&tracer, "fftx_miniapp");
   double runtime = 0.0;
 
   if (o.model_backend) {
@@ -229,6 +244,11 @@ int main(int argc, char** argv) {
       std::cout << "Chrome trace written to " << o.trace_json_path << '\n';
     }
   }
-  fx::trace::dump_run_artifacts(tracer, "fftx_miniapp");
+  if (o.perf_report) {
+    const auto& obs = fx::trace::Observatory::global();
+    std::cout << "\nobservatory phase attribution ("
+              << fx::trace::to_string(obs.mode()) << " mode):\n"
+              << obs.attribution_report();
+  }
   return 0;
 }

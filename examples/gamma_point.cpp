@@ -27,6 +27,7 @@
 
 int main() {
   using fx::fft::cplx;
+  fx::trace::ArtifactScope artifacts(nullptr, "gamma_point");
   constexpr std::size_t kN = 720;  // a QE-style good size (2^4 * 3^2 * 5)
   constexpr int kBands = 5;        // odd on purpose: no partner needed
   constexpr int kReps = 800;
@@ -111,6 +112,5 @@ int main() {
             << " s  (" << fx::core::fixed(pct(packed), 1) << " % saved)\n"
             << "  separate complex baseline:   "
             << fx::core::fixed(separate, 3) << " s\n";
-  fx::trace::dump_metrics("gamma_point");
   return 0;
 }

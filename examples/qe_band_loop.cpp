@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
       {PipelineMode::Combined, 1, 4, "future work: both combined"},
   };
 
+  fx::trace::ArtifactScope artifacts(nullptr, "qe_band_loop");
   fx::core::TablePrinter t("band loop results");
   t.header({"mode", "wall [s]", "max error vs oracle", "note"});
 
@@ -91,6 +92,5 @@ int main(int argc, char** argv) {
             << (identical ? "yes" : "NO (bug!)") << '\n';
   std::cout << "note: wall times on this host are functional timings; the "
                "paper's KNL numbers come from the model benches.\n";
-  fx::trace::dump_metrics("qe_band_loop");
   return identical ? 0 : 1;
 }

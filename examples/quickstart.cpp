@@ -19,6 +19,7 @@
 
 int main() {
   using fx::fft::cplx;
+  fx::trace::ArtifactScope artifacts(nullptr, "quickstart");
 
   // --- 1. A serial 3D FFT round trip -------------------------------------
   const std::size_t n = 24;
@@ -68,6 +69,5 @@ int main() {
   });
   std::cout << "distributed pipeline vs serial oracle (band 0): max error "
             << worst << "\n";
-  fx::trace::dump_metrics("quickstart");
   return 0;
 }

@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
   t.header({"rank", "outcome", "shrinks", "replayed bands",
             "repaired bands", "final world"});
 
+  // Dumps metrics (and any flight-recorder state) even when recovery gives
+  // up and the run below unwinds on CommError/FaultError.
+  fx::trace::ArtifactScope artifacts(nullptr, "recovery_demo");
+
   std::vector<std::vector<cplx>> result;
   std::mutex mu;
   fx::mpi::Runtime::run(nranks, opts, [&](fx::mpi::Comm& world) {
@@ -121,6 +125,5 @@ int main(int argc, char** argv) {
   std::cout << (err < tol ? "recovered output matches the fault-free "
                             "result\n"
                           : "MISMATCH (bug!)\n");
-  fx::trace::dump_metrics("recovery_demo");
   return err < tol ? 0 : 1;
 }

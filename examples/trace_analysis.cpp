@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const auto desc = std::make_shared<const fx::fftx::Descriptor>(
       fx::pw::Cell{10.0}, 16.0, nranks, ntg);
   fx::trace::Tracer tracer(nranks);
+  fx::trace::ArtifactScope artifacts(&tracer, "trace_analysis");
 
   fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& world) {
     fx::fftx::PipelineConfig cfg;
@@ -79,6 +80,5 @@ int main(int argc, char** argv) {
             << fx::core::pct(s.transfer_efficiency) << '\n';
   fx::trace::write_events_csv(tracer, "trace_analysis_events.csv");
   std::cout << "\nraw events written to trace_analysis_events.csv\n";
-  fx::trace::dump_run_artifacts(tracer, "trace_analysis");
   return 0;
 }

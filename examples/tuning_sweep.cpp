@@ -39,6 +39,7 @@ double model_runtime(double ecut, double alat, int bands, int nranks, int ntg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  fx::trace::ArtifactScope artifacts(nullptr, "tuning_sweep");
   const double ecut = argc > 1 ? std::atof(argv[1]) : 80.0;
   const double alat = argc > 2 ? std::atof(argv[2]) : 20.0;
   const int bands = argc > 3 ? std::atoi(argv[3]) : 128;
@@ -100,6 +101,5 @@ int main(int argc, char** argv) {
                       "(the runtime schedules dynamically)"
                     : "original version with the layout above")
             << '\n';
-  fx::trace::dump_metrics("tuning_sweep");
   return 0;
 }

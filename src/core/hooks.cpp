@@ -12,6 +12,11 @@ InstantSink g_sink;
 std::uint64_t g_token = 0;
 std::uint64_t g_next_token = 1;
 
+std::mutex g_incident_mu;
+IncidentSink g_incident_sink;
+std::uint64_t g_incident_token = 0;
+std::uint64_t g_incident_next_token = 1;
+
 }  // namespace
 
 std::uint64_t install_instant_sink(InstantSink sink) {
@@ -39,6 +44,31 @@ void emit_instant(const std::string& name) {
     sink = g_sink;
   }
   if (sink) sink(name);
+}
+
+std::uint64_t install_incident_sink(IncidentSink sink) {
+  std::lock_guard lock(g_incident_mu);
+  if (g_incident_sink) return 0;
+  g_incident_sink = std::move(sink);
+  g_incident_token = g_incident_next_token++;
+  return g_incident_token;
+}
+
+void remove_incident_sink(std::uint64_t token) {
+  std::lock_guard lock(g_incident_mu);
+  if (token != 0 && token == g_incident_token) {
+    g_incident_sink = nullptr;
+    g_incident_token = 0;
+  }
+}
+
+void emit_incident(const std::string& reason) {
+  IncidentSink sink;
+  {
+    std::lock_guard lock(g_incident_mu);
+    sink = g_incident_sink;
+  }
+  if (sink) sink(reason);
 }
 
 }  // namespace fx::core

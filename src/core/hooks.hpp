@@ -32,4 +32,22 @@ void remove_instant_sink(std::uint64_t token);
 /// Invokes the installed sink with `name`; no-op when none is installed.
 void emit_instant(const std::string& name);
 
+/// Incident sink: same shape as the instant sink, but for *fault-context*
+/// events -- an SDC verdict, a recovery shrink, a watchdog near-miss, a
+/// guard retry.  The performance observatory (trace/observatory.hpp)
+/// installs one so that every incident triggers a flight-recorder dump of
+/// the surrounding iterations; layers below trace (simmpi's watchdog, the
+/// guard) report through here without seeing the observatory type.
+/// Incidents are rare by contract -- emission takes a mutex.
+using IncidentSink = std::function<void(const std::string& reason)>;
+
+/// Same single-owner contract as install_instant_sink.
+std::uint64_t install_incident_sink(IncidentSink sink);
+
+/// Removes the incident sink iff `token` matches the active installation.
+void remove_incident_sink(std::uint64_t token);
+
+/// Invokes the installed incident sink; no-op when none is installed.
+void emit_incident(const std::string& reason);
+
 }  // namespace fx::core

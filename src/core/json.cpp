@@ -1,0 +1,407 @@
+#include "core/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+
+namespace fx::core::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, Value::Kind got) {
+  throw Error(cat("json: expected ", want, ", value is kind ",
+                  static_cast<int>(got)));
+}
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional lossy stand-in.
+    out += "null";
+    return;
+  }
+  // Integers in the exact range print without an exponent or trailing
+  // zeros, so counters look like counters.
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Shortest round-trip would be nicer, but %.17g is always exact; trim the
+  // common all-zeros mantissa tail for readability.
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(cat("json parse error at offset ", pos_, ": ", why));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(cat("expected '", std::string(1, c), "'"));
+    ++pos_;
+  }
+
+  bool consume_word(const char* w) {
+    const std::size_t n = std::char_traits<char>::length(w);
+    if (s_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (c == 't') {
+      if (consume_word("true")) return Value(true);
+      fail("bad literal");
+    }
+    if (c == 'f') {
+      if (consume_word("false")) return Value(false);
+      fail("bad literal");
+    }
+    if (c == 'n') {
+      if (consume_word("null")) return {};
+      fail("bad literal");
+    }
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(o));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value(std::move(o));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(a));
+    }
+    for (;;) {
+      a.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value(std::move(a));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // recombined -- our own artifacts never emit them).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Value(d);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number", kind_);
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) kind_error("string", kind_);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  return arr_;
+}
+
+Array& Value::as_array() {
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  return obj_;
+}
+
+Object& Value::as_object() {
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  return obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> Value::number_at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+void Value::write(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number:
+      write_number(out, num_);
+      break;
+    case Kind::String:
+      write_escaped(out, str_);
+      break;
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline(depth + 1);
+        v.write(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline(depth + 1);
+        write_escaped(out, k);
+        out += ": ";
+        v.write(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  write(out, /*indent=*/2, /*depth=*/0);
+  out += '\n';
+  return out;
+}
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+Value load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(cat("json: cannot open '", path, "'"));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void save_file(const Value& v, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error(cat("json: cannot write '", path, "'"));
+  out << v.dump_pretty();
+}
+
+}  // namespace fx::core::json

@@ -1,0 +1,101 @@
+// Minimal JSON value: parse, build, serialize.
+//
+// The observability layer needs machine-readable artifacts (flight-recorder
+// dumps, bench reports, regression baselines) that downstream tooling can
+// both write *and read back* -- the metrics registry's JSON dump is
+// write-only.  External JSON libraries are off the table (the build is
+// dependency-free by policy), so this is the smallest useful subset:
+// null/bool/double/string/array/object, UTF-8 passed through verbatim,
+// \uXXXX accepted on input but never emitted.  Numbers are always double
+// (exact for the 53-bit integer range, which covers every counter we dump).
+//
+// Intended for cold paths only -- artifact dumps, baseline loads, bench
+// summaries.  Not a streaming parser; inputs are whole strings.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fx::core::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps object keys sorted, so serialization is deterministic --
+/// artifact diffs and baseline files stay stable across runs.
+using Object = std::map<std::string, Value>;
+
+/// One JSON value.  Default-constructed is null.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  Value(double d) : kind_(Kind::Number), num_(d) {}  // NOLINT
+  Value(int i) : kind_(Kind::Number), num_(i) {}  // NOLINT
+  Value(std::int64_t i)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  Value(std::uint64_t u)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Number), num_(static_cast<double>(u)) {}
+  Value(const char* s) : kind_(Kind::String), str_(s) {}  // NOLINT
+  Value(std::string s)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::String), str_(std::move(s)) {}
+  Value(Array a)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Array), arr_(std::move(a)) {}
+  Value(Object o)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Object), obj_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw core::Error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; null pointer when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// find() + as_number() in one step (nullopt when absent / wrong kind).
+  [[nodiscard]] std::optional<double> number_at(const std::string& key) const;
+
+  /// Compact single-line serialization.
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization, two-space indents (artifact files).
+  [[nodiscard]] std::string dump_pretty() const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws core::Error with position information on malformed input.
+Value parse(const std::string& text);
+
+/// Reads and parses a JSON file; throws core::Error when unreadable.
+Value load_file(const std::string& path);
+
+/// Serializes `v` (pretty) into `path`, creating parent directories.
+void save_file(const Value& v, const std::string& path);
+
+}  // namespace fx::core::json

@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "core/format.hpp"
+#include "core/hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/retry.hpp"
 
@@ -125,6 +126,14 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
     if (stats != nullptr) {
       stats->retries.fetch_add(1, std::memory_order_relaxed);
     }
+    // One incident per agreed retry round (all ranks re-enter together, so
+    // rank 0 speaks for the collective); the observatory's sink snapshots
+    // the flight recorder around the corruption.
+    if (comm.rank() == 0) {
+      core::emit_incident(core::cat("guard: checksum retry on comm ",
+                                    comm.id(), " (tag ", tag, ", attempt ",
+                                    retry.attempt(), ")"));
+    }
     guard_metrics().retry_backoff_ms.record(retry.backoff());
   }
 }
@@ -239,6 +248,11 @@ void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
     guard_metrics().retries.add();
     if (stats != nullptr) {
       stats->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (comm.rank() == 0) {
+      core::emit_incident(core::cat("guard: checksum retry on comm ",
+                                    comm.id(), " (tag ", tag, ", attempt ",
+                                    retry.attempt(), ")"));
     }
     guard_metrics().retry_backoff_ms.record(retry.backoff());
   }

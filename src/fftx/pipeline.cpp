@@ -1,6 +1,7 @@
 #include "fftx/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +10,7 @@
 
 #include "core/error.hpp"
 #include "core/format.hpp"
+#include "core/hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/timer.hpp"
 #include "fft/checksum.hpp"
@@ -83,6 +85,44 @@ std::size_t chunk_bound(std::size_t n, int c, int nchunks) {
 cplx wire_q(mpi::WireFormat f, cplx v) {
   if (f == mpi::WireFormat::Fp64) return v;
   return {mpi::wire_roundtrip(f, v.real()), mpi::wire_roundtrip(f, v.imag())};
+}
+
+/// Model-expected per-phase iteration cost for the observatory's drift
+/// detector: the same work descriptors the trace spans charge, divided by
+/// the phase's nominal IPC to turn instruction shares into time shares.
+/// Unnormalized -- Observatory::begin_run normalizes.
+std::array<double, trace::kNumPhaseKinds> expected_phase_shares(
+    const Descriptor& d, int w, int b, const PipelineConfig& cfg) {
+  const std::size_t ng_w = d.ng_world(w);
+  const std::size_t pencil = d.pencil_size(b);
+  const std::size_t planes = d.plane_size(b);
+  const std::size_t pidx = d.pencil_index(b).size();
+  const std::size_t nz = d.dims().nz;
+  const std::size_t nxny = d.dims().plane();
+  const auto ntg = static_cast<std::size_t>(d.ntg());
+
+  std::array<double, trace::kNumPhaseKinds> cost{};
+  auto at = [&](trace::PhaseKind k) -> double& {
+    return cost[static_cast<std::size_t>(k)];
+  };
+  at(trace::PhaseKind::Pack) =
+      trace::copy_cost(ntg > 1 ? ntg * ng_w : ng_w).instructions;
+  at(trace::PhaseKind::PsiPrep) = trace::copy_cost(pencil + pidx).instructions;
+  at(trace::PhaseKind::FftZ) = 2.0 * trace::fft_cost(pencil, nz).instructions;
+  at(trace::PhaseKind::Scatter) = 2.0 * trace::copy_cost(planes).instructions;
+  at(trace::PhaseKind::FftXy) =
+      2.0 * trace::fft_cost(planes, nxny).instructions;
+  if (cfg.apply_potential) {
+    at(trace::PhaseKind::Vofr) = trace::vofr_cost(planes).instructions;
+  }
+  at(trace::PhaseKind::Unpack) =
+      trace::copy_cost(pidx).instructions +
+      (ntg > 1 ? trace::copy_cost(ntg * ng_w).instructions : 0.0);
+  for (int p = 0; p < trace::kNumPhaseKinds; ++p) {
+    cost[static_cast<std::size_t>(p)] /=
+        trace::phase_nominal_ipc(static_cast<trace::PhaseKind>(p));
+  }
+  return cost;
 }
 }  // namespace
 
@@ -238,11 +278,19 @@ BandFftPipeline::BandFftPipeline(mpi::Comm world,
     }
   }
 
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr || trace::obs_active() != nullptr) {
+    // One observer feeds both sinks: the post-hoc tracer and the live
+    // observatory (which attributes exchange time to iterations by tag --
+    // data exchanges carry tag == iter, control tags are out of range).
     auto forward = [this](const mpi::CommEvent& e) {
-      tracer_->record_comm(trace::CommOpEvent{
-          w_, std::max(0, task::current_worker_id()), e.kind, e.comm_id,
-          e.comm_size, e.tag, e.bytes, e.t_begin, e.t_end});
+      if (tracer_ != nullptr) {
+        tracer_->record_comm(trace::CommOpEvent{
+            w_, std::max(0, task::current_worker_id()), e.kind, e.comm_id,
+            e.comm_size, e.tag, e.bytes, e.t_begin, e.t_end});
+      }
+      if (trace::Observatory* obs = trace::obs_active()) {
+        obs->record_comm(w_, e.tag, e.t_end - e.t_begin);
+      }
     };
     world_.set_observer(forward);
     pack_.set_observer(forward);
@@ -390,6 +438,9 @@ void BandFftPipeline::do_pack(WorkBuffers& wb, int iter) {
   const int ntg = desc_->ntg();
   const std::size_t ng_w = desc_->ng_world(w_);
   if (abft_ != nullptr) abft_->begin_iteration(wb.abft, iter);
+  if (trace::Observatory* obs = trace::obs_active()) {
+    obs->iteration_begin(w_, iter);
+  }
   if (ntg == 1) {
     // No task groups: the group coefficient order equals the packed order,
     // so the band-grouping layer (marshal + Alltoallv) disappears -- the
@@ -950,6 +1001,18 @@ void BandFftPipeline::do_unpack(WorkBuffers& wb, int iter) {
   const int ntg = desc_->ntg();
   const std::size_t ng_w = desc_->ng_world(w_);
   const double inv_vol = 1.0 / static_cast<double>(desc_->dims().volume());
+  // Unpack is the iteration's last step in every mode; the guard reports
+  // this rank done on each of the three exits (and on an unwinding one --
+  // a rank that threw is still finished with the iteration).
+  struct ObsDone {
+    int rank;
+    int iter;
+    ~ObsDone() {
+      if (trace::Observatory* obs = trace::obs_active()) {
+        obs->iteration_done(rank, iter);
+      }
+    }
+  } obs_done{w_, iter};
   if (abft_ != nullptr) {
     FX_TRACE_SCOPE(tracer_, w_, trace_tid(), trace::PhaseKind::Abft, iter,
                    trace::copy_cost(wb.pencil.size()).instructions);
@@ -1197,6 +1260,21 @@ void BandFftPipeline::run_task_per_step() {
 
 double BandFftPipeline::run() {
   world_.barrier();
+  // Every rank enters the observatory run (refcounted; the first one in
+  // shapes the per-rank structures and hands over the model's expected
+  // phase shares for drift detection).  RAII so a throwing run still
+  // balances end_run.
+  trace::Observatory* obs = trace::obs_active();
+  struct ObsRun {
+    trace::Observatory* obs;
+    ~ObsRun() {
+      if (obs != nullptr) obs->end_run();
+    }
+  } obs_run{obs};
+  if (obs != nullptr) {
+    obs->begin_run(world_.size(), desc_->ntg(),
+                   expected_phase_shares(*desc_, w_, b_, cfg_));
+  }
   WallTimer timer;
   switch (cfg_.mode) {
     case PipelineMode::Original:
@@ -1218,12 +1296,23 @@ double BandFftPipeline::run() {
     // blocked in a collective by a peer that threw).
     const auto& bad = abft_->verdict(world_);
     if (!bad.empty() && !cfg_.abft_defer) {
+      // Every rank that completes the verdict emits: the first rank out
+      // throws below and poisons the world, which can strand any single
+      // designated emitter (e.g. rank 0) inside the Allreduce with a
+      // CommError before it ever speaks.  The reason string is identical
+      // everywhere, and the observatory coalesces identical reasons within
+      // one run, so this still records as one incident.
+      core::emit_incident(core::cat("abft: sdc verdict, ", bad.size(),
+                                    " corrupted band(s)"));
       throw core::SdcError(core::cat(
           "abft: silent data corruption detected in ", bad.size(), " of ",
           npsi_, " carried band(s) (mode ", to_string(cfg_.abft), ")"));
     }
   }
   world_.barrier();
+  // Lockstep point: counters are shared, so under Strict either every rank
+  // throws here or none does.
+  if (obs != nullptr) obs->strict_check();
   return timer.seconds();
 }
 

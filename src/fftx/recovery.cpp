@@ -311,6 +311,13 @@ void RecoveryDriver::repair(mpi::Comm& comm, int& completed, const char* why,
   core::emit_instant(core::cat(
       "recovery: shrank comm ", old_id, " -> ", comm.id(), " (",
       comm.size(), " survivors), replaying from band ", stable));
+  // A shrink is a flight-recorder moment: the observatory's incident sink
+  // dumps the last iterations, showing what the world looked like when the
+  // failure hit.  Rank 0 of the survivors speaks for the collective repair.
+  if (comm.rank() == 0) {
+    core::emit_incident(core::cat("recovery: shrink to ", comm.size(),
+                                  " ranks (", why, ")"));
+  }
 }
 
 }  // namespace fx::fftx

@@ -146,6 +146,8 @@ void Watchdog::monitor(const std::stop_token& stop) {
                                      core::fixed(quiet_ms, 1), " ms of ",
                                      core::fixed(cfg_.window_ms, 1),
                                      " ms window"));
+        core::emit_incident(core::cat("watchdog near-miss: quiet ",
+                                      core::fixed(quiet_ms, 1), " ms"));
       }
       last_ops = ops;
       last_progress = now;

@@ -19,9 +19,15 @@ EfficiencySummary analyze_efficiency(const Tracer& tracer, double freq_ghz) {
   FX_CHECK(freq_ghz > 0.0, "frequency must be positive");
   EfficiencySummary s;
 
-  // Per-row computation time.
+  // Per-row computation time.  ABFT spans are integrity *overhead*, not
+  // useful computation: counting them as compute would flatter the load
+  // balance (every rank checks in lockstep) and shift comm efficiency, so
+  // Tables I/II reproductions would no longer isolate the algorithm.  The
+  // rows still exist (a rank that only ran checks is still a stream).
   std::map<std::int64_t, double> compute;
   for (const auto& e : tracer.compute_events()) {
+    compute.try_emplace(row_of(e.rank, e.thread), 0.0);
+    if (e.phase == PhaseKind::Abft) continue;
     compute[row_of(e.rank, e.thread)] += e.t_end - e.t_begin;
     s.total_instructions += e.instructions;
   }

@@ -70,6 +70,9 @@ struct ScalabilityFactors {
 /// Computes the per-run factors.  `freq_ghz` converts compute time to
 /// cycles for the IPC aggregate (use the machine model's clock for model
 /// traces; any consistent value works for relative real-trace analysis).
+/// PhaseKind::Abft spans are classified as overhead, not computation: they
+/// contribute neither to C_i nor to the instruction totals, so ABFT duty
+/// cycles do not skew the factors.
 EfficiencySummary analyze_efficiency(const Tracer& tracer, double freq_ghz);
 
 /// Derives the cross-run factors of Tables I/II.

@@ -4,8 +4,10 @@
 #include <filesystem>
 #include <iostream>
 
+#include "core/json.hpp"
 #include "core/metrics.hpp"
 #include "trace/chrome_export.hpp"
+#include "trace/observatory.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/tracer.hpp"
 
@@ -30,6 +32,14 @@ void dump_metrics_into(const std::filesystem::path& dir,
            core::MetricsRegistry::DumpFormat::Json);
 }
 
+void dump_flight_into(const std::filesystem::path& dir,
+                      const std::string& name) {
+  Observatory* obs = obs_active();
+  if (obs == nullptr || obs->iterations_done() == 0) return;
+  core::json::save_file(obs->flight_json(),
+                        (dir / (name + ".flight.json")).string());
+}
+
 }  // namespace
 
 std::string trace_dir() {
@@ -44,6 +54,7 @@ bool dump_run_artifacts(Tracer& tracer, const std::string& name) {
   save_trace(tracer, (dir / (name + ".fxtrace")).string());
   save_chrome_trace(tracer, (dir / (name + ".json")).string());
   dump_metrics_into(dir, name);
+  dump_flight_into(dir, name);
   std::cout << "[trace] observability artifacts for '" << name << "' in "
             << dir.string() << "/\n";
   return true;
@@ -53,9 +64,32 @@ bool dump_metrics(const std::string& name) {
   const auto dir = prepared_dir();
   if (dir.empty()) return false;
   dump_metrics_into(dir, name);
+  dump_flight_into(dir, name);
   std::cout << "[trace] metrics snapshot for '" << name << "' in "
             << dir.string() << "/\n";
   return true;
+}
+
+ArtifactScope::~ArtifactScope() {
+  if (!armed_) return;
+  try {
+    if (tracer_ != nullptr) {
+      dump_run_artifacts(*tracer_, name_);
+    } else {
+      dump_metrics(name_);
+    }
+  } catch (...) {
+    // Never let an artifact write terminate the program mid-unwind.
+  }
+}
+
+void ArtifactScope::flush() {
+  armed_ = false;
+  if (tracer_ != nullptr) {
+    dump_run_artifacts(*tracer_, name_);
+  } else {
+    dump_metrics(name_);
+  }
 }
 
 }  // namespace fx::trace

@@ -8,9 +8,22 @@
 //   $FFTX_TRACE_DIR/<name>.json          -- Chrome/Perfetto trace-event JSON
 //   $FFTX_TRACE_DIR/<name>.metrics.csv   -- metrics registry snapshot
 //   $FFTX_TRACE_DIR/<name>.metrics.json  -- same, JSON
+//   $FFTX_TRACE_DIR/<name>.flight.json   -- observatory flight recorder
+//                                           (only when FFTX_OBS is on and
+//                                           iterations were recorded)
 //
 // When the variable is unset both calls are no-ops, so the helpers can be
 // called unconditionally.  The directory is created if missing.
+//
+// Abnormal exits: a run that dies in an SdcError / CommError unwind is
+// exactly the run whose artifacts matter most, yet a bare end-of-main
+// dump_run_artifacts() call never executes on that path.  ArtifactScope is
+// the stack-order fix -- declare one after creating the tracer and the
+// artifacts are written from its destructor, unwind or not:
+//
+//   fx::trace::Tracer tracer(nranks);
+//   fx::trace::ArtifactScope artifacts(&tracer, "fftx_miniapp");
+//   ... run ...   // throwing past here still dumps
 #pragma once
 
 #include <string>
@@ -22,12 +35,36 @@ class Tracer;
 /// Value of FFTX_TRACE_DIR, or "" when unset/empty.
 std::string trace_dir();
 
-/// Normalizes `tracer` to t = 0 and writes all four artifacts for this run
+/// Normalizes `tracer` to t = 0 and writes all artifacts for this run
 /// under trace_dir()/<name>.*.  Returns false (doing nothing) when
 /// FFTX_TRACE_DIR is unset.
 bool dump_run_artifacts(Tracer& tracer, const std::string& name);
 
 /// Metrics-only variant for binaries that do not own a tracer.
 bool dump_metrics(const std::string& name);
+
+/// RAII artifact flush: dumps on destruction, including during exception
+/// unwinds, so traces / metrics / the flight recorder survive SdcError and
+/// CommError exits.  Dump errors are swallowed (never terminate during an
+/// unwind).  `tracer` may be null (metrics + flight only); it must outlive
+/// the scope.
+class ArtifactScope {
+ public:
+  ArtifactScope(Tracer* tracer, std::string name)
+      : tracer_(tracer), name_(std::move(name)) {}
+  ~ArtifactScope();
+
+  ArtifactScope(const ArtifactScope&) = delete;
+  ArtifactScope& operator=(const ArtifactScope&) = delete;
+
+  /// Dumps now and disarms the destructor (clean-path flush at a chosen
+  /// point, e.g. before printing a summary that reads the files back).
+  void flush();
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  bool armed_ = true;
+};
 
 }  // namespace fx::trace

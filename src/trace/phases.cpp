@@ -53,6 +53,27 @@ PhaseCost vofr_cost(std::size_t elems) {
   return {6.0 * e, 40.0 * e};
 }
 
+double phase_nominal_ipc(PhaseKind kind) {
+  // Mirror of model::MachineConfig::knl() base_ipc -- keep in sync.
+  switch (kind) {
+    case PhaseKind::PsiPrep:
+      return 0.30;
+    case PhaseKind::Pack:
+    case PhaseKind::Scatter:
+    case PhaseKind::Unpack:
+      return 0.70;
+    case PhaseKind::FftZ:
+    case PhaseKind::Vofr:
+      return 0.90;
+    case PhaseKind::FftXy:
+      return 1.40;
+    case PhaseKind::Other:
+    case PhaseKind::Abft:
+      return 1.0;
+  }
+  return 1.0;
+}
+
 PhaseCost phase_cost(PhaseKind kind, std::size_t elems, std::size_t len) {
   switch (kind) {
     case PhaseKind::FftZ:

@@ -65,4 +65,13 @@ PhaseCost vofr_cost(std::size_t elems);
 /// elements and `len` the transform length (ignored for non-FFT phases).
 PhaseCost phase_cost(PhaseKind kind, std::size_t elems, std::size_t len);
 
+/// Nominal (contention-free) relative IPC of a phase -- the trace-layer
+/// mirror of perfmodel's KNL calibration (model::MachineConfig::knl()
+/// base_ipc; keep the two in sync).  Dividing a phase's modelled
+/// instructions by this turns instruction shares into expected *time*
+/// shares, which is what the online observatory compares measured phase
+/// durations against.  Only ratios matter, so the mirror is usable on any
+/// host.
+double phase_nominal_ipc(PhaseKind kind);
+
 }  // namespace fx::trace

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "core/timer.hpp"
+#include "trace/observatory.hpp"
 #include "trace/phases.hpp"
 #include "trace/tracer.hpp"
 
@@ -32,17 +33,26 @@ namespace fx::trace {
 
 /// Times its enclosing scope and records it on destruction as a
 /// ComputeEvent (phase overload) or TaskEvent (label overload).
+///
+/// Compute spans additionally feed the online observatory when FFTX_OBS is
+/// on -- with or without a tracer, so always-on watch mode costs no trace
+/// memory.  The observatory is fed wall-clock durations from here (not
+/// from Tracer::record_compute) on purpose: the model backend writes
+/// virtual timestamps straight into the tracer, which must never poison
+/// the live statistics.
 class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, int rank, int thread, PhaseKind phase, int band,
              double instructions = 0.0)
       : tracer_(tracer),
+        obs_(obs_active()),
         rank_(rank),
         thread_(thread),
         phase_(phase),
         band_(band),
         instructions_(instructions),
-        t_begin_(tracer ? core::WallTimer::now() : 0.0) {}
+        t_begin_(tracer != nullptr || obs_ != nullptr ? core::WallTimer::now()
+                                                      : 0.0) {}
 
   ScopedSpan(Tracer* tracer, int rank, int worker, std::string label)
       : tracer_(tracer),
@@ -59,19 +69,27 @@ class ScopedSpan {
   void set_instructions(double instructions) { instructions_ = instructions; }
 
   ~ScopedSpan() {
-    if (tracer_ == nullptr) return;
+    if (tracer_ == nullptr && obs_ == nullptr) return;
     const double t_end = core::WallTimer::now();
     if (is_task_) {
-      tracer_->record_task({rank_, thread_, std::move(label_), t_begin_,
-                            t_end});
-    } else {
+      if (tracer_ != nullptr) {
+        tracer_->record_task({rank_, thread_, std::move(label_), t_begin_,
+                              t_end});
+      }
+      return;
+    }
+    if (tracer_ != nullptr) {
       tracer_->record_compute(
           {rank_, thread_, phase_, band_, t_begin_, t_end, instructions_});
+    }
+    if (obs_ != nullptr) {
+      obs_->record_phase(rank_, phase_, band_, t_end - t_begin_);
     }
   }
 
  private:
   Tracer* tracer_;
+  Observatory* obs_ = nullptr;
   int rank_ = 0;
   int thread_ = 0;
   PhaseKind phase_ = PhaseKind::Other;

@@ -73,6 +73,71 @@ TEST(Analysis, SyncDominatedCollective) {
   EXPECT_DOUBLE_EQ(s.load_balance, 2.0 / 3.0);
 }
 
+TEST(Analysis, TransferSyncSplitClosedForm) {
+  // Two ranks, 10 s run, 6 s compute each.  One collective ends at t=10;
+  // rank 0 enters at t=6, rank 1 at t=8.  Last entry t=8 splits each wait
+  // into sync (before) and transfer (after): transfer is 2 s on both rows,
+  // so avg transfer = 2 -> T_ideal = max(6, 10-2) = 8.
+  //   comm eff     = max_compute / T  = 6/10 = 0.6
+  //   transfer eff = T_ideal / T      = 8/10 = 0.8
+  //   sync eff     = comm / transfer  = 0.75
+  Tracer tr(2);
+  tr.record_compute(compute(0, 0.0, 6.0, 6.0e9));
+  tr.record_compute(compute(1, 0.0, 6.0, 6.0e9));
+  tr.record_comm(CommOpEvent{0, 0, CommOpKind::Alltoallv, 5, 2, 0, 100, 6.0,
+                             10.0});
+  tr.record_comm(CommOpEvent{1, 0, CommOpKind::Alltoallv, 5, 2, 0, 100, 8.0,
+                             10.0});
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_DOUBLE_EQ(s.runtime, 10.0);
+  EXPECT_DOUBLE_EQ(s.load_balance, 1.0);
+  EXPECT_DOUBLE_EQ(s.comm_efficiency, 0.6);
+  EXPECT_DOUBLE_EQ(s.transfer_efficiency, 0.8);
+  EXPECT_DOUBLE_EQ(s.sync_efficiency, 0.75);
+  EXPECT_DOUBLE_EQ(s.parallel_efficiency, 0.6);
+}
+
+TEST(Analysis, PointToPointIsPureTransfer) {
+  // A Send/Recv pair has no last-arrival semantics: its whole duration is
+  // transfer.  One rank computes 3 s then spends 1 s in a Recv inside a
+  // 4 s run: transfer eff = max(3, 4-1)/4 = 0.75, sync eff = 1.
+  Tracer tr(1);
+  tr.record_compute(compute(0, 0.0, 3.0, 3.0e9));
+  tr.record_comm(CommOpEvent{0, 0, CommOpKind::Recv, 2, 2, 1, 64, 3.0, 4.0});
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_DOUBLE_EQ(s.comm_efficiency, 0.75);
+  EXPECT_DOUBLE_EQ(s.transfer_efficiency, 0.75);
+  EXPECT_DOUBLE_EQ(s.sync_efficiency, 1.0);
+}
+
+TEST(Analysis, AbftSpansAreOverheadNotCompute) {
+  // Both ranks do 2 s of useful work; rank 0 additionally runs 2 s of ABFT
+  // checks.  Counting the checks as compute would report LB = (3/4)... the
+  // estimator must instead see perfectly balanced useful work.
+  Tracer tr(2);
+  tr.record_compute(compute(0, 0.0, 2.0, 2.0e9));
+  tr.record_compute(compute(0, 2.0, 4.0, 1.0e9, PhaseKind::Abft));
+  tr.record_compute(compute(1, 0.0, 2.0, 2.0e9));
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_DOUBLE_EQ(s.total_compute, 4.0);
+  EXPECT_DOUBLE_EQ(s.load_balance, 1.0);
+  // ABFT instructions are excluded too, so instruction scalability and
+  // IPC stay comparable across ABFT on/off runs.
+  EXPECT_DOUBLE_EQ(s.total_instructions, 4.0e9);
+  EXPECT_DOUBLE_EQ(s.avg_ipc, 1.0);
+}
+
+TEST(Analysis, AbftOnlyRowStillCounts) {
+  // A stream that ran nothing but integrity checks is still a stream: its
+  // zero compute must drag the load balance down, not vanish.
+  Tracer tr(2);
+  tr.record_compute(compute(0, 0.0, 2.0, 2.0e9));
+  tr.record_compute(compute(1, 0.0, 2.0, 1.0e9, PhaseKind::Abft));
+  const auto s = analyze_efficiency(tr, kFreq);
+  EXPECT_EQ(s.rows, 2);
+  EXPECT_DOUBLE_EQ(s.load_balance, 0.5);
+}
+
 TEST(Analysis, RowsIncludeThreads) {
   Tracer tr(1);
   tr.record_compute(ComputeEvent{0, 0, PhaseKind::FftZ, 0, 0.0, 1.0, 1e9});

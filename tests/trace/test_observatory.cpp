@@ -1,0 +1,345 @@
+// Online observatory: rolling statistics, iteration verdicts, straggler
+// and drift detection, the flight-recorder ring, and strict mode -- all
+// driven through the public API with hand-fed spans, so every expected
+// number is closed-form.
+//
+// The observatory is a process singleton; each test (re)configures it,
+// which resets all recorded state, and the suite leaves it Off.
+#include "trace/observatory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.hpp"
+#include "core/hooks.hpp"
+#include "core/json.hpp"
+#include "trace/phases.hpp"
+
+namespace {
+
+using fx::trace::kNumPhaseKinds;
+using fx::trace::Observatory;
+using fx::trace::ObsMode;
+using fx::trace::PhaseKind;
+
+std::array<double, kNumPhaseKinds> no_expectation() { return {}; }
+
+/// Runs one fully-reported iteration: every rank begins, records its
+/// phase seconds, and reports done (rank order = vector index).
+void feed_iteration(Observatory& obs, int iter,
+                    const std::vector<std::vector<std::pair<PhaseKind,
+                                                            double>>>& ranks,
+                    const std::vector<double>& comm_s = {}) {
+  const int n = static_cast<int>(ranks.size());
+  for (int r = 0; r < n; ++r) obs.iteration_begin(r, iter);
+  for (int r = 0; r < n; ++r) {
+    for (const auto& [phase, seconds] : ranks[static_cast<std::size_t>(r)]) {
+      obs.record_phase(r, phase, iter, seconds);
+    }
+    if (static_cast<std::size_t>(r) < comm_s.size()) {
+      obs.record_comm(r, iter, comm_s[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (int r = 0; r < n; ++r) obs.iteration_done(r, iter);
+}
+
+class ObservatoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs().configure(ObsMode::Watch);
+  }
+  void TearDown() override {
+    obs().configure(ObsMode::Off);
+  }
+  static Observatory& obs() { return Observatory::global(); }
+};
+
+TEST(ObsMode, EnvParsing) {
+  setenv("FFTX_OBS", "watch", 1);
+  EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Watch);
+  setenv("FFTX_OBS", "strict", 1);
+  EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Strict);
+  setenv("FFTX_OBS", "off", 1);
+  EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Off);
+  setenv("FFTX_OBS", "nonsense", 1);
+  EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Off);
+  unsetenv("FFTX_OBS");
+  EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Off);
+
+  EXPECT_STREQ(fx::trace::to_string(ObsMode::Watch), "watch");
+  EXPECT_STREQ(fx::trace::to_string(ObsMode::Strict), "strict");
+  EXPECT_STREQ(fx::trace::to_string(ObsMode::Off), "off");
+}
+
+TEST(ObsMode, RingCapacityEnvFloor) {
+  setenv("FFTX_OBS_RING", "128", 1);
+  EXPECT_EQ(fx::trace::default_obs_ring(), 128);
+  setenv("FFTX_OBS_RING", "1", 1);  // below the minimum of 4
+  EXPECT_EQ(fx::trace::default_obs_ring(), 4);
+  unsetenv("FFTX_OBS_RING");
+  EXPECT_EQ(fx::trace::default_obs_ring(), 32);
+}
+
+TEST_F(ObservatoryTest, OffModeRecordsNothing) {
+  obs().configure(ObsMode::Off);
+  EXPECT_EQ(fx::trace::obs_active(), nullptr);
+  obs().begin_run(2, 1, no_expectation());
+  obs().record_phase(0, PhaseKind::FftZ, 0, 0.001);
+  obs().iteration_begin(0, 0);
+  obs().iteration_done(0, 0);
+  obs().end_run();
+  EXPECT_EQ(obs().phase_records(), 0u);
+  EXPECT_EQ(obs().iterations_done(), 0u);
+}
+
+TEST_F(ObservatoryTest, WatchModeIsActiveAndCounts) {
+  EXPECT_EQ(fx::trace::obs_active(), &obs());
+  obs().begin_run(1, 1, no_expectation());
+  for (int i = 0; i < 20; ++i) {
+    obs().record_phase(0, PhaseKind::FftZ, 0, 0.010);
+  }
+  obs().end_run();
+  EXPECT_EQ(obs().phase_records(), 20u);
+  // The attribution table carries the phase row with its span count.
+  const std::string report = obs().attribution_report();
+  EXPECT_NE(report.find(fx::trace::to_string(PhaseKind::FftZ)),
+            std::string::npos);
+  EXPECT_NE(report.find("20"), std::string::npos);
+}
+
+TEST_F(ObservatoryTest, IterationVerdictComputesPopFactors) {
+  // Widen the straggler factor: a 2x gap would legitimately flag under the
+  // 1.75x default, and this test isolates the POP factor arithmetic.
+  fx::trace::Observatory::Detection wide;
+  wide.straggler_factor = 3.0;
+  obs().configure_detection(wide);
+  obs().begin_run(2, 1, no_expectation());
+  // Rank 0 computes 4 ms, rank 1 computes 2 ms: LB = avg/max = 3/4.
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftZ, 0.004}}, {{PhaseKind::FftZ, 0.002}}});
+  obs().end_run();
+  ASSERT_EQ(obs().iterations_done(), 1u);
+  const auto flight = obs().flight();
+  ASSERT_EQ(flight.size(), 1u);
+  EXPECT_TRUE(flight[0].complete);
+  EXPECT_EQ(flight[0].iter, 0);
+  EXPECT_DOUBLE_EQ(flight[0].load_balance, 0.75);
+  EXPECT_LE(flight[0].comm_efficiency, 1.0);
+  EXPECT_EQ(flight[0].straggler_rank, -1);  // 2x < widened 3x factor
+}
+
+TEST_F(ObservatoryTest, AbftSecondsAreOverheadNotCompute) {
+  obs().begin_run(2, 1, no_expectation());
+  // Identical useful compute; rank 1 additionally runs ABFT checks.  Were
+  // ABFT counted as compute, LB would drop to 0.75; it must stay 1.0.
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftZ, 0.004}},
+                  {{PhaseKind::FftZ, 0.004}, {PhaseKind::Abft, 0.004}}});
+  obs().end_run();
+  const auto flight = obs().flight();
+  ASSERT_EQ(flight.size(), 1u);
+  EXPECT_DOUBLE_EQ(flight[0].load_balance, 1.0);
+  EXPECT_DOUBLE_EQ(flight[0].ranks[1].abft_s, 0.004);
+  EXPECT_DOUBLE_EQ(flight[0].ranks[1].compute_s, 0.004);
+}
+
+TEST_F(ObservatoryTest, StragglerFlagNamesRankAndPhase) {
+  obs().begin_run(3, 1, no_expectation());
+  // Rank 2 spends 50 ms in FFT-XY against a 1 ms peer median: 50x > 1.75x
+  // and 49 ms > the 0.2 ms absolute floor.
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftXy, 0.001}},
+                  {{PhaseKind::FftXy, 0.001}},
+                  {{PhaseKind::FftXy, 0.050}}});
+  obs().end_run();
+  EXPECT_EQ(obs().straggler_flags(), 1u);
+  const auto flag = obs().last_straggler();
+  ASSERT_TRUE(flag.has_value());
+  EXPECT_EQ(flag->iter, 0);
+  EXPECT_EQ(flag->rank, 2);
+  EXPECT_EQ(flag->phase, static_cast<int>(PhaseKind::FftXy));
+  EXPECT_NEAR(flag->excess_s, 0.049, 1e-12);
+}
+
+TEST_F(ObservatoryTest, CollectiveStallAttributedToExchange) {
+  obs().begin_run(3, 1, no_expectation());
+  // Equal compute everywhere; rank 1 blocks 50 ms inside the exchange.
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftZ, 0.001}},
+                  {{PhaseKind::FftZ, 0.001}},
+                  {{PhaseKind::FftZ, 0.001}}},
+                 {0.001, 0.050, 0.001});
+  obs().end_run();
+  const auto flag = obs().last_straggler();
+  ASSERT_TRUE(flag.has_value());
+  EXPECT_EQ(flag->rank, 1);
+  EXPECT_EQ(flag->phase, kNumPhaseKinds);  // the "exchange" pseudo-phase
+}
+
+TEST_F(ObservatoryTest, BelowThresholdNeverFlags) {
+  obs().begin_run(2, 1, no_expectation());
+  // 1.5x the peer: below the 1.75x default factor.
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftZ, 0.010}}, {{PhaseKind::FftZ, 0.015}}});
+  // Huge ratio but sub-floor absolute excess (50 us < 200 us).
+  feed_iteration(obs(), 1,
+                 {{{PhaseKind::FftZ, 0.00001}}, {{PhaseKind::FftZ, 0.00006}}});
+  obs().end_run();
+  EXPECT_EQ(obs().straggler_flags(), 0u);
+  EXPECT_FALSE(obs().last_straggler().has_value());
+}
+
+TEST_F(ObservatoryTest, DriftAgainstModelExpectation) {
+  // The model predicts all compute in FFT-Z; the run spends everything in
+  // Pack.  Pack's EWMA share after one iteration is alpha * 1.0 = 0.1,
+  // above its expected-share threshold 0 * 1.6 + 0.05.
+  std::array<double, kNumPhaseKinds> expected{};
+  expected[static_cast<std::size_t>(PhaseKind::FftZ)] = 1.0;
+  obs().begin_run(1, 1, expected);
+  feed_iteration(obs(), 0, {{{PhaseKind::Pack, 0.010}}});
+  obs().end_run();
+  EXPECT_GE(obs().drift_flags(), 1u);
+  const auto flight = obs().flight();
+  ASSERT_EQ(flight.size(), 1u);
+  EXPECT_NE(flight[0].drift_mask &
+                (1u << static_cast<unsigned>(PhaseKind::Pack)),
+            0u);
+  // FFT-Z itself is under its expectation -- not drifted.
+  EXPECT_EQ(flight[0].drift_mask &
+                (1u << static_cast<unsigned>(PhaseKind::FftZ)),
+            0u);
+}
+
+TEST_F(ObservatoryTest, NoExpectationDisablesDrift) {
+  obs().begin_run(1, 1, no_expectation());
+  for (int i = 0; i < 10; ++i) {
+    feed_iteration(obs(), i, {{{PhaseKind::Pack, 0.010}}});
+  }
+  obs().end_run();
+  EXPECT_EQ(obs().drift_flags(), 0u);
+}
+
+TEST_F(ObservatoryTest, RingEvictsOldestIterations) {
+  obs().configure(ObsMode::Watch, /*ring_capacity=*/4);
+  obs().begin_run(1, 1, no_expectation());
+  for (int i = 0; i < 6; ++i) {
+    feed_iteration(obs(), i, {{{PhaseKind::FftZ, 0.001}}});
+  }
+  obs().end_run();
+  EXPECT_EQ(obs().iterations_done(), 6u);
+  const auto flight = obs().flight();
+  ASSERT_EQ(flight.size(), 4u);  // iterations 2..5; 0 and 1 aged out
+  EXPECT_EQ(flight.front().iter, 2);
+  EXPECT_EQ(flight.back().iter, 5);
+}
+
+TEST_F(ObservatoryTest, TaskGroupIterationsShareASlot) {
+  // With ntg = 2, iterations advance by 2 bands; slot_for divides by ntg
+  // so consecutive iterations do not collide in the ring.
+  obs().configure(ObsMode::Watch, /*ring_capacity=*/4);
+  obs().begin_run(1, 2, no_expectation());
+  for (int i = 0; i < 8; i += 2) {
+    feed_iteration(obs(), i, {{{PhaseKind::FftZ, 0.001}}});
+  }
+  obs().end_run();
+  const auto flight = obs().flight();
+  ASSERT_EQ(flight.size(), 4u);
+  EXPECT_EQ(flight.front().iter, 0);
+  EXPECT_EQ(flight.back().iter, 6);
+}
+
+TEST_F(ObservatoryTest, FlightJsonRoundTripsThroughParser) {
+  obs().begin_run(2, 1, no_expectation());
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftZ, 0.004}}, {{PhaseKind::FftZ, 0.002}}},
+                 {0.001, 0.001});
+  obs().end_run();
+  const auto doc = fx::core::json::parse(obs().flight_json().dump());
+  EXPECT_EQ(doc.number_at("nranks"), 2.0);
+  const auto* iters = doc.find("iterations");
+  ASSERT_NE(iters, nullptr);
+  ASSERT_EQ(iters->as_array().size(), 1u);
+  const auto& it = iters->as_array()[0];
+  EXPECT_EQ(it.number_at("iter"), 0.0);
+  EXPECT_EQ(it.number_at("load_balance"), 0.75);
+  const auto* ranks = it.find("ranks");
+  ASSERT_NE(ranks, nullptr);
+  ASSERT_EQ(ranks->as_array().size(), 2u);
+  EXPECT_EQ(ranks->as_array()[0].number_at("exchange_ms"), 1.0);
+}
+
+TEST_F(ObservatoryTest, IncidentHookDumpsFlightToTraceDir) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "fx_obs_incident_test";
+  std::filesystem::remove_all(dir);
+  setenv("FFTX_TRACE_DIR", dir.string().c_str(), 1);
+
+  obs().begin_run(1, 1, no_expectation());
+  feed_iteration(obs(), 0, {{{PhaseKind::FftZ, 0.001}}});
+  // Incidents route through the core hook -- the same path SdcError,
+  // recovery shrink, guard retries and watchdog near-misses use.
+  fx::core::emit_incident("test: injected incident");
+  obs().end_run();
+  unsetenv("FFTX_TRACE_DIR");
+
+  EXPECT_EQ(obs().incidents(), 1u);
+  bool found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().starts_with("obs_flight_")) {
+      found = true;
+      const auto doc = fx::core::json::load_file(entry.path().string());
+      const auto* incidents = doc.find("incidents");
+      ASSERT_NE(incidents, nullptr);
+      ASSERT_EQ(incidents->as_array().size(), 1u);
+      EXPECT_EQ(incidents->as_array()[0].as_string(),
+                "test: injected incident");
+    }
+  }
+  EXPECT_TRUE(found);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObservatoryTest, StrictModeThrowsOnAccumulatedFlags) {
+  obs().configure(ObsMode::Strict);
+  obs().begin_run(3, 1, no_expectation());
+  EXPECT_NO_THROW(obs().strict_check());  // clean so far
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftXy, 0.001}},
+                  {{PhaseKind::FftXy, 0.001}},
+                  {{PhaseKind::FftXy, 0.050}}});
+  EXPECT_THROW(obs().strict_check(), fx::core::Error);
+  obs().end_run();
+
+  // A new run rebases the strict counter: old flags do not re-throw.
+  obs().begin_run(3, 1, no_expectation());
+  EXPECT_NO_THROW(obs().strict_check());
+  obs().end_run();
+}
+
+TEST_F(ObservatoryTest, WatchModeNeverThrows) {
+  obs().begin_run(3, 1, no_expectation());
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftXy, 0.001}},
+                  {{PhaseKind::FftXy, 0.001}},
+                  {{PhaseKind::FftXy, 0.050}}});
+  obs().end_run();
+  EXPECT_GE(obs().straggler_flags(), 1u);
+  EXPECT_NO_THROW(obs().strict_check());
+}
+
+TEST_F(ObservatoryTest, DetectionThresholdsAreConfigurable) {
+  obs().begin_run(2, 1, no_expectation());
+  Observatory::Detection det;
+  det.straggler_factor = 1.2;  // tighter than the 1.5x gap below
+  det.straggler_floor_s = 1e-6;
+  obs().configure_detection(det);
+  feed_iteration(obs(), 0,
+                 {{{PhaseKind::FftZ, 0.010}}, {{PhaseKind::FftZ, 0.015}}});
+  obs().end_run();
+  EXPECT_EQ(obs().straggler_flags(), 1u);
+}
+
+}  // namespace
