@@ -1,0 +1,71 @@
+// Wall-clock deadline budget carried by a request through the stack.
+//
+// A Deadline is an absolute expiry on the WallTimer epoch (monotonic, shared
+// by every thread in the process), so it can be captured once at admission
+// and handed down through pipeline configs, guarded exchanges, and the
+// recovery driver without re-anchoring.  Default-constructed deadlines are
+// inactive: every check is free and nothing ever expires, so deadline-free
+// callers pay nothing.
+//
+// Cancellation protocol: per-rank clocks are read at slightly different
+// times, so a rank must never unilaterally throw on expiry while its peers
+// continue into a collective -- that desynchronizes the communicator.  The
+// pipeline and recovery driver instead fold the local expired() verdict into
+// a collective reduction at loop boundaries and throw DeadlineExceeded (see
+// core/error.hpp) on every rank in lockstep, leaving the communicator
+// healthy for the next request.
+#pragma once
+
+#include <limits>
+
+#include "core/timer.hpp"
+
+namespace fx::core {
+
+class Deadline {
+ public:
+  /// Inactive: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now; non-positive budgets yield an inactive
+  /// deadline (callers encode "no budget" as 0).
+  static Deadline after(double seconds) {
+    if (seconds <= 0.0) return {};
+    return Deadline(WallTimer::now() + seconds);
+  }
+
+  /// Expires at an absolute WallTimer::now() timestamp; non-positive means
+  /// inactive.  Used to re-materialize a deadline shipped across threads.
+  static Deadline at(double expiry_s) {
+    if (expiry_s <= 0.0) return {};
+    return Deadline(expiry_s);
+  }
+
+  [[nodiscard]] bool active() const { return expiry_s_ > 0.0; }
+
+  [[nodiscard]] bool expired() const {
+    return active() && WallTimer::now() >= expiry_s_;
+  }
+
+  /// Seconds until expiry (<= 0 when already expired); +inf when inactive.
+  [[nodiscard]] double remaining_s() const {
+    if (!active()) return std::numeric_limits<double>::infinity();
+    return expiry_s_ - WallTimer::now();
+  }
+
+  /// Absolute expiry timestamp (0 when inactive); pairs with at().
+  [[nodiscard]] double expiry_s() const { return expiry_s_; }
+
+  /// The tighter of two deadlines (inactive ones are transparent).
+  [[nodiscard]] static Deadline sooner(Deadline a, Deadline b) {
+    if (!a.active()) return b;
+    if (!b.active()) return a;
+    return a.expiry_s_ <= b.expiry_s_ ? a : b;
+  }
+
+ private:
+  explicit Deadline(double expiry_s) : expiry_s_(expiry_s) {}
+  double expiry_s_ = 0.0;
+};
+
+}  // namespace fx::core

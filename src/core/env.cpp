@@ -1,0 +1,94 @@
+#include "core/env.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/error.hpp"
+#include "core/format.hpp"
+
+namespace fx::core {
+
+void invalid_env(const char* name, const char* value, const char* expected,
+                 const char* context) {
+  const char* prefix = (context != nullptr && *context != '\0') ? context : "";
+  const char* sep = (*prefix != '\0') ? ": " : "";
+  throw Error(cat(prefix, sep, "invalid ", name, "='",
+                  value != nullptr ? value : "", "': expected ", expected));
+}
+
+bool env_u64(const char* name, std::uint64_t& out, const char* context) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || *v == '-' || errno == ERANGE) {
+    invalid_env(name, v, "an unsigned integer", context);
+  }
+  out = static_cast<std::uint64_t>(x);
+  return true;
+}
+
+bool env_int(const char* name, int& out, const char* context) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || x < INT_MIN ||
+      x > INT_MAX) {
+    invalid_env(name, v, "an integer", context);
+  }
+  out = static_cast<int>(x);
+  return true;
+}
+
+bool env_double(const char* name, double& out, const char* context) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !std::isfinite(x)) {
+    invalid_env(name, v, "a finite number", context);
+  }
+  out = x;
+  return true;
+}
+
+bool env_prob(const char* name, double& out, const char* context) {
+  double x = out;
+  if (!env_double(name, x, context)) return false;
+  if (x < 0.0 || x > 1.0) {
+    invalid_env(name, std::getenv(name), "a probability in [0, 1]", context);
+  }
+  out = x;
+  return true;
+}
+
+bool env_int_in(const char* name, int& out, int lo, int hi,
+                const char* context) {
+  int x = out;
+  if (!env_int(name, x, context)) return false;
+  if (x < lo || x > hi) {
+    invalid_env(name, std::getenv(name),
+                cat("an integer in [", lo, ", ", hi, "]").c_str(), context);
+  }
+  out = x;
+  return true;
+}
+
+bool env_double_in(const char* name, double& out, double lo, double hi,
+                   const char* context) {
+  double x = out;
+  if (!env_double(name, x, context)) return false;
+  if (x < lo || x > hi) {
+    invalid_env(name, std::getenv(name),
+                cat("a number in [", lo, ", ", hi, "]").c_str(), context);
+  }
+  out = x;
+  return true;
+}
+
+}  // namespace fx::core

@@ -64,6 +64,17 @@ class SdcError : public Error {
   explicit SdcError(const std::string& what) : Error(what) {}
 };
 
+/// A request's wall-clock budget expired: the work was cancelled cleanly at
+/// a collective cancellation point (all ranks throw in lockstep, partial
+/// work discarded, communicator left healthy).  Distinct from CommError --
+/// nothing failed -- and deliberately NOT survivable by the recovery
+/// driver's repair path: running out of time is a terminal verdict for the
+/// request, not a fault to retry.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
 /// A task body threw: carries the task label so join points (taskwait /
 /// taskloop) can report which task died, not just what it said.
 class TaskError : public Error {

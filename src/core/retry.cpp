@@ -2,41 +2,30 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
+#include <climits>
 #include <thread>
 
+#include "core/env.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 
 namespace fx::core {
 
-namespace {
-
-bool env_double(const char* name, double& out) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return false;
-  out = std::strtod(v, nullptr);
-  return true;
-}
-
-bool env_int(const char* name, int& out) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return false;
-  out = static_cast<int>(std::strtol(v, nullptr, 10));
-  return true;
-}
-
-}  // namespace
-
 RetryPolicy RetryPolicy::from_env() {
   RetryPolicy p;
-  env_int("FFTX_RETRY_MAX_ATTEMPTS", p.max_attempts);
-  env_double("FFTX_RETRY_BASE_MS", p.base_delay_ms);
-  env_double("FFTX_RETRY_MULT", p.multiplier);
-  env_double("FFTX_RETRY_MAX_MS", p.max_delay_ms);
-  env_double("FFTX_RETRY_JITTER", p.jitter);
-  env_double("FFTX_RETRY_DEADLINE_S", p.deadline_s);
+  env_int_in("FFTX_RETRY_MAX_ATTEMPTS", p.max_attempts, 1, INT_MAX, "retry");
+  env_double_in("FFTX_RETRY_BASE_MS", p.base_delay_ms, 0.0, 1e9, "retry");
+  env_double_in("FFTX_RETRY_MULT", p.multiplier, 1.0, 1e6, "retry");
+  env_double_in("FFTX_RETRY_MAX_MS", p.max_delay_ms, 0.0, 1e9, "retry");
+  env_prob("FFTX_RETRY_JITTER", p.jitter, "retry");
+  env_double_in("FFTX_RETRY_DEADLINE_S", p.deadline_s, 0.0, 1e9, "retry");
   return p;
+}
+
+double RetryPolicy::merge_deadline_s(double a, double b) {
+  if (a <= 0.0) return std::max(b, 0.0);
+  if (b <= 0.0) return a;
+  return std::min(a, b);
 }
 
 double RetryPolicy::delay_ms(int attempt, std::uint64_t salt) const {
@@ -61,6 +50,8 @@ double RetryPolicy::delay_ms(int attempt, std::uint64_t salt) const {
 RetryController::RetryController(const RetryPolicy& policy, std::uint64_t salt)
     : policy_(policy), salt_(salt), t_start_(WallTimer::now()) {}
 
+double RetryController::elapsed_s() const { return WallTimer::now() - t_start_; }
+
 bool RetryController::should_retry() const {
   if (attempt_ + 1 >= policy_.max_attempts) return false;
   if (policy_.deadline_s > 0.0 &&
@@ -71,8 +62,16 @@ bool RetryController::should_retry() const {
 }
 
 double RetryController::backoff() {
-  const double d = policy_.delay_ms(attempt_, salt_);
+  double d = policy_.delay_ms(attempt_, salt_);
   ++attempt_;
+  if (policy_.deadline_s > 0.0) {
+    // Fail fast at the deadline: sleeping the full jittered delay past the
+    // budget only postpones the caller's (inevitable) should_retry() == false
+    // verdict.  Clamp to the remaining budget, floored at zero.
+    const double remain_ms =
+        (policy_.deadline_s - (WallTimer::now() - t_start_)) * 1000.0;
+    d = std::clamp(remain_ms, 0.0, d);
+  }
   if (d > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(d));
   }

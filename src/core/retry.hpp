@@ -36,6 +36,11 @@ struct RetryPolicy {
   /// Backoff delay before repeat `attempt` (0-based), jittered
   /// deterministically by (seed, salt, attempt).
   [[nodiscard]] double delay_ms(int attempt, std::uint64_t salt = 0) const;
+
+  /// The tighter of two deadline budgets in seconds; 0 (unlimited) is
+  /// transparent.  Used to fold a request's remaining wall-clock budget into
+  /// an env-configured policy.
+  [[nodiscard]] static double merge_deadline_s(double a, double b);
 };
 
 /// One retry loop's state: tracks the attempt count and the deadline.
@@ -56,9 +61,13 @@ class RetryController {
   /// tries consumed and the deadline (if any) not yet passed.
   [[nodiscard]] bool should_retry() const;
 
-  /// Sleeps this attempt's jittered delay and advances the attempt count.
-  /// Returns the milliseconds slept (for metrics).
+  /// Sleeps this attempt's jittered delay -- clamped so it never overshoots
+  /// the deadline budget -- and advances the attempt count.  Returns the
+  /// milliseconds slept (for metrics).
   double backoff();
+
+  /// Seconds since the first attempt started.
+  [[nodiscard]] double elapsed_s() const;
 
  private:
   RetryPolicy policy_;

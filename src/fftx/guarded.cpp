@@ -57,17 +57,20 @@ void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
                        const std::size_t* scounts, const std::size_t* sdispls,
                        fft::cplx* recv, const std::size_t* rcounts,
                        const std::size_t* rdispls, int tag, int max_retries,
-                       GuardStats* stats) {
+                       GuardStats* stats, double deadline_s) {
   const auto n = static_cast<std::size_t>(comm.size());
   std::vector<std::uint64_t> sent_sums(n);
   std::vector<std::uint64_t> want_sums(n);
 
   // The retry schedule comes from the unified policy (FFTX_RETRY_* env
-  // knobs); the caller's max_retries still bounds the attempt count.  The
-  // salt is identical on every rank, so the jittered backoff is too --
-  // ranks sleep and re-enter the exchange in lockstep.
+  // knobs); the caller's max_retries still bounds the attempt count and the
+  // caller's deadline tightens the wall-clock budget.  The salt is identical
+  // on every rank, so the jittered backoff is too -- ranks sleep and
+  // re-enter the exchange in lockstep.
   core::RetryPolicy policy = core::RetryPolicy::from_env();
   policy.max_attempts = max_retries + 1;
+  policy.deadline_s =
+      core::RetryPolicy::merge_deadline_s(policy.deadline_s, deadline_s);
   core::RetryController retry(
       policy, (static_cast<std::uint64_t>(comm.id()) << 32) ^
                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
@@ -190,13 +193,15 @@ void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
                             fft::cplx* recv_base,
                             std::span<const mpi::SegView> rviews, int tag,
                             int max_retries, GuardStats* stats,
-                            mpi::WireFormat wire) {
+                            mpi::WireFormat wire, double deadline_s) {
   const auto n = static_cast<std::size_t>(comm.size());
   std::vector<std::uint64_t> sent_sums(n);
   std::vector<std::uint64_t> want_sums(n);
 
   core::RetryPolicy policy = core::RetryPolicy::from_env();
   policy.max_attempts = max_retries + 1;
+  policy.deadline_s =
+      core::RetryPolicy::merge_deadline_s(policy.deadline_s, deadline_s);
   core::RetryController retry(
       policy, (static_cast<std::uint64_t>(comm.id()) << 32) ^
                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));

@@ -44,13 +44,17 @@ struct GuardStats {
 
 /// Alltoallv with end-to-end payload verification and bounded retry (see
 /// file comment).  Collective over `comm`; every rank must pass the same
-/// `tag` and `max_retries`.  Throws core::CommError when `max_retries`
-/// retries still leave a corrupted segment.
+/// `tag`, `max_retries`, and `deadline_s`.  Throws core::CommError when
+/// `max_retries` retries still leave a corrupted segment.  A positive
+/// `deadline_s` tightens the retry loop's wall-clock budget (merged with
+/// FFTX_RETRY_DEADLINE_S): retries stop -- in lockstep, via the existing
+/// continue/throw agreement -- once the budget is spent, and backoff sleeps
+/// never overshoot it.
 void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,
                        const std::size_t* scounts, const std::size_t* sdispls,
                        fft::cplx* recv, const std::size_t* rcounts,
                        const std::size_t* rdispls, int tag, int max_retries,
-                       GuardStats* stats);
+                       GuardStats* stats, double deadline_s = 0.0);
 
 /// Scatter-gather form of guarded_alltoallv for the fused (zero-copy)
 /// transpose layouts: per-peer segments are mpi::SegView run lists over the
@@ -73,7 +77,8 @@ void guarded_alltoallv_view(mpi::Comm& comm, const fft::cplx* send_base,
                             fft::cplx* recv_base,
                             std::span<const mpi::SegView> rviews, int tag,
                             int max_retries, GuardStats* stats,
-                            mpi::WireFormat wire = mpi::WireFormat::Fp64);
+                            mpi::WireFormat wire = mpi::WireFormat::Fp64,
+                            double deadline_s = 0.0);
 
 /// Default of PipelineConfig::guard_exchanges: FFTX_GUARD_EXCHANGES != 0.
 [[nodiscard]] bool default_guard_exchanges();

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/hooks.hpp"
@@ -138,11 +139,9 @@ int default_overlap_chunks() {
   // post/wait overhead, so fall back to one chunk (still nonblocking --
   // the exchange is posted before the last Z-FFT batch and progresses at
   // whichever endpoint posts second).
-  const int fallback = std::thread::hardware_concurrency() > 1 ? 4 : 1;
-  const char* v = std::getenv("FFTX_OVERLAP_CHUNKS");
-  if (v == nullptr || *v == '\0') return fallback;
-  const long n = std::strtol(v, nullptr, 10);
-  return n >= 1 ? static_cast<int>(n) : fallback;
+  int chunks = std::thread::hardware_concurrency() > 1 ? 4 : 1;
+  core::env_int_in("FFTX_OVERLAP_CHUNKS", chunks, 1, 1 << 20, "pipeline");
+  return chunks;
 }
 
 const char* to_string(PipelineMode mode) {
@@ -412,8 +411,16 @@ void BandFftPipeline::exchange(mpi::Comm& comm, const cplx* send,
                                const std::size_t* rcounts,
                                const std::size_t* rdispls, int tag) {
   if (cfg_.guard_exchanges) {
+    // A live deadline bounds the guard's retry loop: the budget that
+    // remains now is all this exchange may spend on corruption retries
+    // (floored so an expired budget still permits the mandatory first
+    // attempt -- the collective must complete; the next iteration boundary
+    // cancels).
+    const double budget = cfg_.deadline.active()
+                              ? std::max(cfg_.deadline.remaining_s(), 1e-3)
+                              : 0.0;
     guarded_alltoallv(comm, send, scounts, sdispls, recv, rcounts, rdispls,
-                      tag, cfg_.guard_max_retries, &guard_stats_);
+                      tag, cfg_.guard_max_retries, &guard_stats_, budget);
   } else {
     comm.alltoallv(send, scounts, sdispls, recv, rcounts, rdispls, tag);
   }
@@ -425,9 +432,12 @@ void BandFftPipeline::exchange_view(mpi::Comm& comm, const cplx* send_base,
                                     std::span<const mpi::SegView> rviews,
                                     int tag) {
   if (cfg_.guard_exchanges) {
+    const double budget = cfg_.deadline.active()
+                              ? std::max(cfg_.deadline.remaining_s(), 1e-3)
+                              : 0.0;
     guarded_alltoallv_view(comm, send_base, sviews, recv_base, rviews, tag,
                            cfg_.guard_max_retries, &guard_stats_,
-                           cfg_.wire_format);
+                           cfg_.wire_format, budget);
   } else {
     comm.alltoallv_view(send_base, sviews, recv_base, rviews, sizeof(cplx),
                         tag, cfg_.wire_format);
@@ -1110,15 +1120,49 @@ void BandFftPipeline::do_iteration(WorkBuffers& wb, int iter,
   do_unpack(wb, iter);
 }
 
+namespace {
+/// World-comm tag of the collective deadline verdicts (9001 is the recovery
+/// checkpoint, 9101 the ABFT verdict; the orchestrator posts these in
+/// iteration order, so one reserved tag suffices).
+constexpr int kDeadlineTag = 9201;
+}  // namespace
+
+bool BandFftPipeline::deadline_expired_collective(int iter) {
+  if (!cfg_.deadline.active()) return false;
+  (void)iter;
+  // Per-rank clocks disagree slightly, so the verdict must be agreed before
+  // anyone may bail out of the band loop: Max-reduce the local expiry so
+  // either every rank cancels at this iteration boundary or none does.
+  int expired = cfg_.deadline.expired() ? 1 : 0;
+  int any = 0;
+  world_.allreduce(&expired, &any, 1, mpi::ReduceOp::Max, kDeadlineTag);
+  return any != 0;
+}
+
+void BandFftPipeline::throw_deadline(int iter) const {
+  throw core::DeadlineExceeded(core::cat(
+      "pipeline: wall-clock budget exhausted at band iteration ", iter,
+      " of ", npsi_, " (", core::fixed(-cfg_.deadline.remaining_s() * 1e3, 3),
+      " ms past expiry); partial work discarded"));
+}
+
 void BandFftPipeline::run_original() {
   auto wb = make_buffers();
   for (int iter = 0; iter < npsi_; iter += desc_->ntg()) {
+    if (deadline_expired_collective(iter)) throw_deadline(iter);
     do_iteration(*wb, iter, /*use_taskloop=*/false);
   }
 }
 
 void BandFftPipeline::run_task_per_fft(bool use_taskloop) {
   for (int iter = 0; iter < npsi_; iter += desc_->ntg()) {
+    if (deadline_expired_collective(iter)) {
+      // Same verdict on every rank: all stop submitting here and drain the
+      // in-flight iterations (whose collectives need all ranks' workers)
+      // before throwing, so the communicator stays healthy.
+      rt_->taskwait();
+      throw_deadline(iter);
+    }
     rt_->submit(core::cat("band_fft#", iter), [this, iter, use_taskloop] {
       WorkBuffers* wb = acquire_buffers();
       do_iteration(*wb, iter, use_taskloop);
@@ -1148,6 +1192,10 @@ void BandFftPipeline::run_task_per_step() {
 
   int index = 0;
   for (int iter = 0; iter < npsi_; iter += ntg, ++index) {
+    if (deadline_expired_collective(iter)) {
+      rt_->taskwait();
+      throw_deadline(iter);
+    }
     if (index >= window) {
       std::unique_lock lock(window_mu);
       window_cv.wait(lock, [&] {

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/aligned.hpp"
+#include "core/deadline.hpp"
 #include "fft/batch1d.hpp"
 #include "fft/plan2d.hpp"
 #include "fft/plan_cache.hpp"
@@ -126,6 +127,13 @@ struct PipelineConfig {
   /// (abft_corrupt_bands()) instead of throwing core::SdcError from run(),
   /// so the RecoveryDriver can recompute just those bands.
   bool abft_defer = false;
+  /// Wall-clock budget for the whole run (inactive by default).  Checked
+  /// collectively at every band-iteration boundary: when any rank sees the
+  /// budget spent, every rank throws core::DeadlineExceeded in lockstep --
+  /// partial work is discarded and the communicator stays healthy (task
+  /// modes drain in-flight iterations first).  The remaining budget also
+  /// bounds the guarded exchanges' retry loops.
+  core::Deadline deadline{};
 };
 
 class BandFftPipeline {
@@ -215,6 +223,12 @@ class BandFftPipeline {
   void run_original();
   void run_task_per_fft(bool use_taskloop);
   void run_task_per_step();
+
+  /// Collective deadline verdict at a band-iteration boundary (all ranks
+  /// call with the same `iter`): true when any rank's clock says the budget
+  /// is spent.  Free (no collective) when no deadline is configured.
+  [[nodiscard]] bool deadline_expired_collective(int iter);
+  [[noreturn]] void throw_deadline(int iter) const;
 
   /// All transpose traffic funnels through here: plain Alltoallv, or the
   /// checksum-guarded variant when cfg_.guard_exchanges is set.

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/hooks.hpp"
@@ -19,6 +20,27 @@ namespace {
 // Checkpoint gathers run on the world communicator after the pipeline's
 // closing barrier; a dedicated tag keeps them apart from any user traffic.
 constexpr int kCheckpointTag = 9001;
+
+// Batch-boundary deadline verdicts (9101 is the pipeline ABFT verdict,
+// 9201 the pipeline's per-iteration deadline check).
+constexpr int kDeadlineTag = 9301;
+
+/// Collective deadline verdict at a batch boundary: per-rank clocks differ,
+/// so Max-reduce the local expiry and cancel on every rank together (the
+/// communicator stays healthy for whatever the caller runs next).
+void check_deadline(mpi::Comm& comm, const core::Deadline& dl, int completed,
+                    int total) {
+  if (!dl.active()) return;
+  int expired = dl.expired() ? 1 : 0;
+  int any = 0;
+  comm.allreduce(&expired, &any, 1, mpi::ReduceOp::Max, kDeadlineTag);
+  if (any != 0) {
+    throw core::DeadlineExceeded(
+        core::cat("recovery: wall-clock budget exhausted with ", completed,
+                  " of ", total,
+                  " carried band(s) committed; cancelling cleanly"));
+  }
+}
 
 // Process-wide recovery health: a metrics dump of a fault-injection run
 // shows how often the world shrank and how much work was replayed without
@@ -45,10 +67,8 @@ RecoveryConfig RecoveryConfig::from_env() {
   RecoveryConfig cfg;
   const char* v = std::getenv("FFTX_RECOVER");
   cfg.enabled = v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
-  if (const char* b = std::getenv("FFTX_CHECKPOINT_BANDS")) {
-    cfg.checkpoint_bands =
-        std::max(0, static_cast<int>(std::strtol(b, nullptr, 10)));
-  }
+  core::env_int_in("FFTX_CHECKPOINT_BANDS", cfg.checkpoint_bands, 0, 1 << 20,
+                   "recovery");
   cfg.retry = core::RetryPolicy::from_env();
   return cfg;
 }
@@ -88,8 +108,14 @@ RecoveryReport RecoveryDriver::run(std::vector<std::vector<fft::cplx>>& out) {
   int completed = 0;
   // One attempt == one shrink-and-replay round.  The salt is a constant, so
   // every survivor sleeps the same jittered backoff and re-enters replay in
-  // lockstep.
-  core::RetryController retry(rcfg_.retry, 0x5ec04e8ULL);
+  // lockstep.  A live request deadline tightens the repair budget too: no
+  // point starting a replay round the request can no longer afford.
+  core::RetryPolicy rpol = rcfg_.retry;
+  if (cfg_.deadline.active()) {
+    rpol.deadline_s = core::RetryPolicy::merge_deadline_s(
+        rpol.deadline_s, std::max(cfg_.deadline.remaining_s(), 1e-6));
+  }
+  core::RetryController retry(rpol, 0x5ec04e8ULL);
 
   for (;;) {
     try {
@@ -104,11 +130,32 @@ RecoveryReport RecoveryDriver::run(std::vector<std::vector<fft::cplx>>& out) {
       comm.mark_dead();
       rep.died = true;
       break;
+    } catch (const core::DeadlineExceeded&) {
+      // Running out of time is a terminal verdict for the request, not a
+      // fault: never burn a repair round on it.  The throw was collective
+      // (pipeline iteration or batch boundary), so the communicator is
+      // healthy and every rank unwinds here together.
+      throw;
     } catch (const core::Error& e) {
       // Survivable failure: a peer's revoke unwound us, a guard exhausted
       // its retries, or the validator flagged a mismatch.  Repair if the
       // budget allows, otherwise surface the original error.
-      if (!rcfg_.enabled || !retry.should_retry()) throw;
+      bool cont = rcfg_.enabled && retry.should_retry();
+      if (cfg_.deadline.active()) {
+        // The budget check reads each rank's own clock; agree (fault-
+        // tolerant Min, dead ranks excused) so clock skew cannot split the
+        // survivors between repair and rethrow -- one rank re-entering
+        // replay while another unwinds would hang the repair rendezvous.
+        cont = cont && !cfg_.deadline.expired();
+        cont = comm.agree(cont ? 1 : 0) == 1;
+        if (!cont && comm.agree(cfg_.deadline.expired() ? 0 : 1) == 0) {
+          throw core::DeadlineExceeded(core::cat(
+              "recovery: wall-clock budget exhausted while handling a "
+              "survivable failure (",
+              e.what(), "); cancelling instead of repairing"));
+        }
+      }
+      if (!cont) throw;
       repair(comm, completed, e.what(), rep);
       retry.backoff();
     }
@@ -141,6 +188,7 @@ void RecoveryDriver::run_batches(mpi::Comm& comm,
       rcfg_.checkpoint_bands > 0 ? std::min(rcfg_.checkpoint_bands, total)
                                  : total;
   while (completed < total) {
+    check_deadline(comm, cfg_.deadline, completed, total);
     const int batch = std::min(interval, total - completed);
     const int ntg = degraded_ntg(comm.size(), ntg_pref_, batch);
     if (desc->nproc() != comm.size() || desc->ntg() != ntg) {
@@ -247,10 +295,14 @@ void RecoveryDriver::checkpoint(mpi::Comm& comm, const Descriptor& desc,
     // checksum guard as the pipeline's transposes when guarding is on --
     // otherwise one corrupted gather would silently poison every replica.
     if (cfg_.guard_exchanges) {
+      const double budget =
+          cfg_.deadline.active()
+              ? std::max(cfg_.deadline.remaining_s(), 1e-3)
+              : 0.0;
       guarded_alltoallv(comm, pipe.band(n).data(), scounts.data(),
                         sdispls.data(), gathered.data(), rcounts.data(),
                         rdispls.data(), kCheckpointTag,
-                        cfg_.guard_max_retries, nullptr);
+                        cfg_.guard_max_retries, nullptr, budget);
     } else {
       comm.alltoallv(pipe.band(n).data(), scounts.data(), sdispls.data(),
                      gathered.data(), rcounts.data(), rdispls.data(),

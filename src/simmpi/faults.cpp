@@ -13,6 +13,7 @@ extern "C" {
 extern char** environ;  // NOLINT: POSIX environment scan (typo detection)
 }
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/metrics.hpp"
@@ -42,55 +43,23 @@ std::uint64_t decide_u64(std::uint64_t seed, int rank, std::uint64_t index,
   return core::splitmix64(x);
 }
 
-[[noreturn]] void invalid_env(const char* name, const char* value,
-                              const char* expected) {
-  throw core::Error(core::cat("fault injection: invalid ", name, "='", value,
-                              "': expected ", expected));
-}
+// Validated env parsing lives in core/env.hpp (this file's PR 7 helpers,
+// generalized); these wrappers pin the subsystem context string.
+constexpr const char* kEnvCtx = "fault injection";
 
 void env_u64(const char* name, std::uint64_t& out) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long x = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0' || *v == '-' || errno == ERANGE) {
-    invalid_env(name, v, "an unsigned integer");
-  }
-  out = static_cast<std::uint64_t>(x);
+  core::env_u64(name, out, kEnvCtx);
 }
-
-void env_int(const char* name, int& out) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return;
-  errno = 0;
-  char* end = nullptr;
-  const long x = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE || x < INT_MIN ||
-      x > INT_MAX) {
-    invalid_env(name, v, "an integer");
-  }
-  out = static_cast<int>(x);
-}
-
+void env_int(const char* name, int& out) { core::env_int(name, out, kEnvCtx); }
 void env_double(const char* name, double& out) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return;
-  char* end = nullptr;
-  const double x = std::strtod(v, &end);
-  if (end == v || *end != '\0' || !std::isfinite(x)) {
-    invalid_env(name, v, "a finite number");
-  }
-  out = x;
+  core::env_double(name, out, kEnvCtx);
 }
-
 void env_prob(const char* name, double& out) {
-  double x = out;
-  env_double(name, x);
-  if (x < 0.0 || x > 1.0) {
-    invalid_env(name, std::getenv(name), "a probability in [0, 1]");
-  }
-  out = x;
+  core::env_prob(name, out, kEnvCtx);
+}
+[[noreturn]] void invalid_env(const char* name, const char* value,
+                              const char* expected) {
+  core::invalid_env(name, value, expected, kEnvCtx);
 }
 
 /// Every variable name FaultPlan::from_env understands (suffix after

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "core/env.hpp"
 #include "core/format.hpp"
 #include "core/hooks.hpp"
 #include "core/metrics.hpp"
@@ -19,10 +20,7 @@ WatchdogConfig WatchdogConfig::from_env() {
   if (const char* v = std::getenv("FFTX_WATCHDOG"); v != nullptr) {
     cfg.enabled = std::strtol(v, nullptr, 10) != 0;
   }
-  if (const char* v = std::getenv("FFTX_WATCHDOG_MS");
-      v != nullptr && *v != '\0') {
-    cfg.window_ms = std::strtod(v, nullptr);
-  }
+  core::env_double_in("FFTX_WATCHDOG_MS", cfg.window_ms, 1.0, 1e9, "watchdog");
   return cfg;
 }
 

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/hooks.hpp"
@@ -68,10 +69,9 @@ ObsMode default_obs_mode() {
 }
 
 int default_obs_ring() {
-  const char* v = std::getenv("FFTX_OBS_RING");
-  if (v == nullptr || *v == '\0') return 32;
-  const long n = std::strtol(v, nullptr, 10);
-  return std::max(4L, n);
+  int ring = 32;
+  core::env_int_in("FFTX_OBS_RING", ring, 4, 1 << 24, "observatory");
+  return ring;
 }
 
 const char* to_string(ObsMode mode) {

@@ -1,0 +1,204 @@
+// Retry schedule, deadline budgets, and validated env parsing.
+//
+// The load-bearing regression here: RetryController::backoff() must clamp
+// its sleep to the remaining FFTX_RETRY_DEADLINE_S budget.  It used to
+// sleep the full jittered delay even when the deadline had already passed
+// mid-backoff, which stretched "cancel by T" into "cancel by T plus one
+// full backoff" -- fatal for the serve frontend's deadline guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/deadline.hpp"
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/retry.hpp"
+#include "core/timer.hpp"
+
+namespace {
+
+using fx::core::Deadline;
+using fx::core::RetryController;
+using fx::core::RetryPolicy;
+
+/// Scoped env var: set on construction, restore on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(RetryPolicy, DelayCurveIsBoundedAndJittered) {
+  RetryPolicy p;
+  p.base_delay_ms = 1.0;
+  p.multiplier = 2.0;
+  p.max_delay_ms = 6.0;
+  p.jitter = 0.5;
+  for (int k = 0; k < 10; ++k) {
+    const double d = p.delay_ms(k, /*salt=*/7);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 6.0 * 1.5);
+  }
+  // Deterministic: same (seed, salt, attempt) -> same delay.
+  EXPECT_EQ(p.delay_ms(3, 11), p.delay_ms(3, 11));
+}
+
+TEST(RetryPolicy, MergeDeadlineTakesTheTighterBudget) {
+  EXPECT_EQ(RetryPolicy::merge_deadline_s(0.0, 0.0), 0.0);
+  EXPECT_EQ(RetryPolicy::merge_deadline_s(5.0, 0.0), 5.0);
+  EXPECT_EQ(RetryPolicy::merge_deadline_s(0.0, 3.0), 3.0);
+  EXPECT_EQ(RetryPolicy::merge_deadline_s(5.0, 3.0), 3.0);
+  EXPECT_EQ(RetryPolicy::merge_deadline_s(2.0, 3.0), 2.0);
+  // Negative "b" (already-expired remaining budget) must not mean
+  // unlimited.
+  EXPECT_EQ(RetryPolicy::merge_deadline_s(0.0, -1.0), 0.0);
+}
+
+TEST(RetryController, AttemptBudgetStopsRetries) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_delay_ms = 0.0;
+  p.max_delay_ms = 0.0;
+  RetryController retry(p);
+  int tries = 0;
+  for (;;) {
+    ++tries;  // simulated failing attempt
+    if (!retry.should_retry()) break;
+    retry.backoff();
+  }
+  EXPECT_EQ(tries, 3);
+}
+
+TEST(RetryController, BackoffNeverSleepsPastTheDeadline) {
+  RetryPolicy p;
+  p.max_attempts = 1000;
+  p.base_delay_ms = 5000.0;  // would sleep 5 s per backoff unclamped
+  p.multiplier = 1.0;
+  p.max_delay_ms = 5000.0;
+  p.jitter = 0.0;
+  p.deadline_s = 0.05;
+  RetryController retry(p);
+  const double t0 = fx::core::WallTimer::now();
+  while (retry.should_retry()) {
+    retry.backoff();
+  }
+  const double elapsed = fx::core::WallTimer::now() - t0;
+  // One clamped backoff may run right up to the deadline, never a full
+  // 5 s sleep beyond it.  Generous ceiling for CI jitter.
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_GE(retry.elapsed_s(), 0.0);
+}
+
+TEST(RetryController, ExpiredDeadlineBackoffReturnsImmediately) {
+  RetryPolicy p;
+  p.base_delay_ms = 5000.0;
+  p.max_delay_ms = 5000.0;
+  p.jitter = 0.0;
+  p.deadline_s = 1e-9;  // expired before the first backoff
+  RetryController retry(p);
+  const double t0 = fx::core::WallTimer::now();
+  const double slept = retry.backoff();
+  EXPECT_LT(fx::core::WallTimer::now() - t0, 0.5);
+  EXPECT_LT(slept, 500.0);
+  EXPECT_FALSE(retry.should_retry());
+}
+
+TEST(RetryPolicy, FromEnvRejectsGarbageWithNamedErrors) {
+  {
+    ScopedEnv e("FFTX_RETRY_MAX_ATTEMPTS", "zero");
+    EXPECT_THROW(RetryPolicy::from_env(), fx::core::Error);
+  }
+  {
+    ScopedEnv e("FFTX_RETRY_MAX_ATTEMPTS", "0");  // below the [1, ...] bound
+    EXPECT_THROW(RetryPolicy::from_env(), fx::core::Error);
+  }
+  {
+    ScopedEnv e("FFTX_RETRY_JITTER", "1.5");  // probability > 1
+    EXPECT_THROW(RetryPolicy::from_env(), fx::core::Error);
+  }
+  {
+    ScopedEnv e("FFTX_RETRY_DEADLINE_S", "-3");
+    EXPECT_THROW(RetryPolicy::from_env(), fx::core::Error);
+  }
+  {
+    ScopedEnv a("FFTX_RETRY_MAX_ATTEMPTS", "7");
+    ScopedEnv b("FFTX_RETRY_DEADLINE_S", "2.5");
+    const RetryPolicy p = RetryPolicy::from_env();
+    EXPECT_EQ(p.max_attempts, 7);
+    EXPECT_DOUBLE_EQ(p.deadline_s, 2.5);
+  }
+}
+
+TEST(EnvHelpers, ValidateRangeAndJunk) {
+  int iv = 42;
+  {
+    ScopedEnv e("FX_TEST_ENV_INT", "17");
+    EXPECT_TRUE(fx::core::env_int_in("FX_TEST_ENV_INT", iv, 1, 100, "test"));
+    EXPECT_EQ(iv, 17);
+  }
+  {
+    ScopedEnv e("FX_TEST_ENV_INT", "101");
+    EXPECT_THROW(fx::core::env_int_in("FX_TEST_ENV_INT", iv, 1, 100, "test"),
+                 fx::core::Error);
+  }
+  {
+    ScopedEnv e("FX_TEST_ENV_INT", "12abc");
+    EXPECT_THROW(fx::core::env_int_in("FX_TEST_ENV_INT", iv, 1, 100, "test"),
+                 fx::core::Error);
+  }
+  double dv = 1.0;
+  {
+    ScopedEnv e("FX_TEST_ENV_DBL", "nan");
+    EXPECT_THROW(fx::core::env_double("FX_TEST_ENV_DBL", dv, "test"),
+                 fx::core::Error);
+  }
+  // Unset keeps the caller's default and reports "not set".
+  unsetenv("FX_TEST_ENV_UNSET");
+  int keep = 5;
+  EXPECT_FALSE(fx::core::env_int_in("FX_TEST_ENV_UNSET", keep, 0, 10));
+  EXPECT_EQ(keep, 5);
+}
+
+TEST(DeadlineClass, AfterAtSoonerAndExpiry) {
+  const Deadline none;
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.expired());
+  EXPECT_GT(none.remaining_s(), 1e18);  // +inf
+
+  const Deadline gone = Deadline::after(0.0);
+  EXPECT_FALSE(gone.active());  // <= 0 budget means "no deadline"
+
+  const Deadline far = Deadline::after(3600.0);
+  EXPECT_TRUE(far.active());
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining_s(), 3000.0);
+
+  const Deadline past = Deadline::at(fx::core::WallTimer::now() - 1.0);
+  EXPECT_TRUE(past.active());
+  EXPECT_TRUE(past.expired());
+  EXPECT_LT(past.remaining_s(), 0.0);
+
+  const Deadline tight = Deadline::sooner(far, past);
+  EXPECT_TRUE(tight.expired());
+  const Deadline mixed = Deadline::sooner(none, far);
+  EXPECT_TRUE(mixed.active());
+  EXPECT_DOUBLE_EQ(mixed.expiry_s(), far.expiry_s());
+}
+
+}  // namespace

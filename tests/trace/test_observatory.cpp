@@ -74,11 +74,13 @@ TEST(ObsMode, EnvParsing) {
   EXPECT_STREQ(fx::trace::to_string(ObsMode::Off), "off");
 }
 
-TEST(ObsMode, RingCapacityEnvFloor) {
+TEST(ObsMode, RingCapacityEnvValidated) {
   setenv("FFTX_OBS_RING", "128", 1);
   EXPECT_EQ(fx::trace::default_obs_ring(), 128);
-  setenv("FFTX_OBS_RING", "1", 1);  // below the minimum of 4
-  EXPECT_EQ(fx::trace::default_obs_ring(), 4);
+  setenv("FFTX_OBS_RING", "1", 1);  // below the minimum of 4: rejected
+  EXPECT_THROW(fx::trace::default_obs_ring(), fx::core::Error);
+  setenv("FFTX_OBS_RING", "plenty", 1);  // garbage: rejected
+  EXPECT_THROW(fx::trace::default_obs_ring(), fx::core::Error);
   unsetenv("FFTX_OBS_RING");
   EXPECT_EQ(fx::trace::default_obs_ring(), 32);
 }
