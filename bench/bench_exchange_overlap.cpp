@@ -124,6 +124,45 @@ Measured summarize(const Samples& s, int reps) {
   return m;
 }
 
+/// Streaming depth-sweep accumulator: wall times plus fftx.stream.* deltas.
+struct StreamSamples {
+  std::vector<double> times;
+  double hidden_sum = 0.0;
+  std::uint64_t posts = 0;
+};
+
+/// One streaming-executor run at `depth` bands in flight (split
+/// nonblocking path: fused views, no guard), metric deltas banked.
+void run_stream_once(const std::shared_ptr<const fx::fftx::Descriptor>& desc,
+                     int nranks, int depth, int num_bands,
+                     StreamSamples& out) {
+  auto& reg = fx::core::MetricsRegistry::global();
+  auto& hidden = reg.histogram("fftx.stream.hidden_ms");
+  auto& posts = reg.counter("fftx.stream.posts");
+  const double hidden0 = hidden.sum();
+  const std::uint64_t posts0 = posts.value();
+
+  double t = 0.0;
+  fx::mpi::Runtime::run(nranks, [&](fx::mpi::Comm& world) {
+    fx::fftx::PipelineConfig cfg;
+    cfg.num_bands = num_bands;
+    cfg.mode = fx::fftx::PipelineMode::Streaming;
+    cfg.nthreads = 3;
+    cfg.stream_bands = depth;
+    cfg.stream_nonblocking = true;
+    cfg.fused_exchange = true;
+    cfg.overlap_exchange = false;
+    cfg.guard_exchanges = false;
+    fx::fftx::BandFftPipeline pipe(world, desc, cfg);
+    pipe.initialize_bands();
+    const double dt = pipe.run();
+    if (world.rank() == 0) t = dt;
+  });
+  out.times.push_back(t);
+  out.hidden_sum += hidden.sum() - hidden0;
+  out.posts += posts.value() - posts0;
+}
+
 }  // namespace
 
 int main() {
@@ -206,6 +245,82 @@ int main() {
     }
   }
   t.print(std::cout);
+
+  // --- Streaming depth sweep (ISSUE 10 acceptance case) ------------------
+  // N bands in flight through the whole pipeline on the split nonblocking
+  // path, 8 ranks at the exchange-bound ecut-32 grid.  hidden_ms is each
+  // exchange's post-to-wait-entry window: at N=1 the wait task runs right
+  // after the post, so the window is microscopic; at N>1 other bands'
+  // compute runs in between and the window approaches the full exchange
+  // latency.  bands/sec is end-to-end throughput of the same workload.
+  {
+    constexpr int kStreamReps = 11;
+    constexpr int kStreamRanks = 8;
+    constexpr int kStreamNtg = 2;
+    constexpr double kStreamEcut = 32.0;
+    constexpr int kDepths[] = {1, 2, 4, 8};
+    constexpr int kNumDepths =
+        static_cast<int>(sizeof(kDepths) / sizeof(kDepths[0]));
+
+    auto desc = std::make_shared<const fx::fftx::Descriptor>(
+        fx::pw::Cell{10.0}, kStreamEcut, kStreamRanks, kStreamNtg);
+    StreamSamples samples[kNumDepths];
+    for (int rep = 0; rep < kStreamReps; ++rep) {
+      for (int i = 0; i < kNumDepths; ++i) {
+        const int di = (rep + i) % kNumDepths;
+        run_stream_once(desc, kStreamRanks, kDepths[di], kBands,
+                        samples[di]);
+      }
+    }
+
+    fx::core::TablePrinter st(
+        "Streaming depth sweep (8 ranks, ntg 2, ecut 32, medians over 11 "
+        "order-rotated paired reps)");
+    st.header({"depth", "wall [s]", "bands/s", "hidden [ms/run]",
+               "posts/run", "vs depth 1"});
+    fx::core::CsvWriter scsv("bench/out/stream_depth_sweep.csv");
+    scsv.row({"nranks", "ntg", "ecut", "stream_bands", "wall_s",
+              "bands_per_s", "hidden_ms", "posted", "throughput_ratio"});
+    double base_bps = 0.0;
+    double base_hidden = 0.0;
+    for (int di = 0; di < kNumDepths; ++di) {
+      const double wall = fx::core::median(samples[di].times);
+      const double bps = static_cast<double>(kBands) / wall;
+      const double hidden_ms = samples[di].hidden_sum / kStreamReps;
+      const auto posts =
+          samples[di].posts / static_cast<std::uint64_t>(kStreamReps);
+      if (kDepths[di] == 1) {
+        base_bps = bps;
+        base_hidden = hidden_ms;
+      }
+      const double ratio = base_bps > 0.0 ? bps / base_bps : 0.0;
+      st.row({fx::core::cat(kDepths[di]), fx::core::fixed(wall, 4),
+              fx::core::fixed(bps, 1), fx::core::fixed(hidden_ms, 2),
+              fx::core::cat(posts),
+              fx::core::cat(fx::core::fixed(ratio, 3), "x")});
+      scsv.row({fx::core::cat(kStreamRanks), fx::core::cat(kStreamNtg),
+                fx::core::cat(kStreamEcut), fx::core::cat(kDepths[di]),
+                fx::core::cat(wall), fx::core::cat(bps),
+                fx::core::cat(hidden_ms), fx::core::cat(posts),
+                fx::core::cat(ratio)});
+      report.set(fx::core::cat("stream.hidden_ms.depth", kDepths[di],
+                               ".8r_ecut32"),
+                 hidden_ms);
+      report.set(fx::core::cat("stream.bands_per_s.depth", kDepths[di],
+                               ".8r_ecut32"),
+                 bps);
+      if (kDepths[di] > 1) {
+        report.set(fx::core::cat("stream.hidden_gain_ms.depth", kDepths[di],
+                                 "_vs_1.8r_ecut32"),
+                   hidden_ms - base_hidden);
+        report.set(fx::core::cat("stream.throughput_ratio.depth",
+                                 kDepths[di], "_vs_1.8r_ecut32"),
+                   ratio);
+      }
+    }
+    st.print(std::cout);
+  }
+
   report.write();
 
   fx::trace::dump_metrics("bench_exchange_overlap");

@@ -10,7 +10,7 @@
 //     -nbnd <n>         number of bands              (default 128)
 //     -nranks <n>       MPI ranks                    (default 4)
 //     -ntg <n>          FFT task groups              (default 1)
-//     -mode <m>         original|step|fft|combined   (default original)
+//     -mode <m>         original|step|fft|combined|stream (default original)
 //     -nthreads <n>     workers per rank, task modes (default 1)
 //     -backend <b>      real|model                   (default model)
 //     -verify           check band 0 against the serial oracle (real only;
@@ -98,6 +98,7 @@ Options parse(int argc, char** argv) {
       else if (m == "step") o.mode = fx::fftx::PipelineMode::TaskPerStep;
       else if (m == "fft") o.mode = fx::fftx::PipelineMode::TaskPerFft;
       else if (m == "combined") o.mode = fx::fftx::PipelineMode::Combined;
+      else if (m == "stream") o.mode = fx::fftx::PipelineMode::Streaming;
       else {
         std::cerr << "unknown mode " << m << '\n';
         std::exit(2);

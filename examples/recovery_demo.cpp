@@ -10,11 +10,16 @@
 // prints each rank's recovery report and verifies every band against the
 // serial oracle.
 //
-// Usage: recovery_demo [nranks] [bands]   (defaults: 4 ranks, 8 bands)
+// Usage: recovery_demo [nranks] [bands] [mode]
+//   (defaults: 4 ranks, 8 bands, mode original; mode "stream" runs the
+//   streaming executor with FFTX_STREAM_BANDS bands in flight, so the kill
+//   lands while several bands are mid-pipeline and replay must drain them)
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/format.hpp"
@@ -30,6 +35,14 @@ int main(int argc, char** argv) {
 
   const int nranks = argc > 1 ? std::atoi(argv[1]) : 4;
   const int bands = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::string mode_arg = argc > 3 ? argv[3] : "original";
+  fx::fftx::PipelineMode mode = fx::fftx::PipelineMode::Original;
+  if (mode_arg == "stream") {
+    mode = fx::fftx::PipelineMode::Streaming;
+  } else if (mode_arg != "original") {
+    std::cerr << "unknown mode " << mode_arg << " (original|stream)\n";
+    return 2;
+  }
   const int ntg = nranks % 2 == 0 ? 2 : 1;
 
   // FFTX_FAULT_* in the environment overrides the built-in scenario (the CI
@@ -38,10 +51,12 @@ int main(int argc, char** argv) {
   opts.watchdog.window_ms = 60000.0;
   if (opts.faults.any()) {
     std::cout << "recovery demo: " << nranks << " ranks (ntg " << ntg << "), "
-              << bands << " bands, faults from FFTX_FAULT_* environment\n\n";
+              << bands << " bands, " << mode_arg
+              << " pipeline, faults from FFTX_FAULT_* environment\n\n";
   } else {
     std::cout << "recovery demo: " << nranks << " ranks (ntg " << ntg << "), "
-              << bands << " bands, checkpoint every 2 bands\n";
+              << bands << " bands, " << mode_arg
+              << " pipeline, checkpoint every 2 bands\n";
     std::cout << "injected: kill rank 1 mid-run + 6 corrupted transpose "
                  "payloads on rank 0\n\n";
     opts.faults.corrupt_rank = 0;
@@ -74,7 +89,14 @@ int main(int argc, char** argv) {
   fx::mpi::Runtime::run(nranks, opts, [&](fx::mpi::Comm& world) {
     fx::fftx::PipelineConfig cfg;
     cfg.num_bands = bands;
+    cfg.mode = mode;
     cfg.guard_exchanges = true;
+    if (mode == fx::fftx::PipelineMode::Streaming) {
+      // The guarded (blocking) exchanges cap the in-flight depth at the
+      // worker count, so give the ring enough workers to keep several
+      // bands mid-pipeline when the kill fires.
+      cfg.nthreads = std::max(2, cfg.stream_bands);
+    }
     fx::fftx::RecoveryDriver driver(world, desc, cfg, rcfg);
     std::vector<std::vector<cplx>> mine;
     const auto rep = driver.run(mine);

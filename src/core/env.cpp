@@ -91,4 +91,17 @@ bool env_double_in(const char* name, double& out, double lo, double hi,
   return true;
 }
 
+bool env_flag(const char* name, bool& out, const char* context) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    invalid_env(name, v, "an integer flag (0 = off, nonzero = on)", context);
+  }
+  out = x != 0;
+  return true;
+}
+
 }  // namespace fx::core

@@ -42,4 +42,8 @@ bool env_int_in(const char* name, int& out, int lo, int hi,
 bool env_double_in(const char* name, double& out, double lo, double hi,
                    const char* context = nullptr);
 
+/// Boolean flag: any valid integer, nonzero means true (rejects non-integer
+/// text so "yes"/"on" fail loudly instead of silently reading as false).
+bool env_flag(const char* name, bool& out, const char* context = nullptr);
+
 }  // namespace fx::core

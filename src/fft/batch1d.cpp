@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 
 namespace fx::fft {
@@ -25,9 +26,8 @@ constexpr std::size_t kL2TileBytes = 512 * 1024;
 
 BatchKernel default_batch_kernel() {
   static const BatchKernel kernel = [] {
-    const char* v = std::getenv("FFTX_FFT_SCALAR");
-    const bool scalar = v != nullptr && v[0] != '\0' &&
-                        !(v[0] == '0' && v[1] == '\0');
+    bool scalar = false;
+    core::env_flag("FFTX_FFT_SCALAR", scalar, "fft");
     return scalar ? BatchKernel::Scalar : BatchKernel::Simd;
   }();
   return kernel;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/hooks.hpp"
@@ -49,8 +50,9 @@ std::uint64_t fnv1a(const void* data, std::size_t bytes) {
 }
 
 bool default_guard_exchanges() {
-  const char* v = std::getenv("FFTX_GUARD_EXCHANGES");
-  return v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
+  bool on = false;
+  core::env_flag("FFTX_GUARD_EXCHANGES", on, "guarded exchange");
+  return on;
 }
 
 void guarded_alltoallv(mpi::Comm& comm, const fft::cplx* send,

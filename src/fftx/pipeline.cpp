@@ -32,8 +32,9 @@ namespace {
 int trace_tid() { return std::max(0, task::current_worker_id()); }
 
 bool env_flag(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
+  bool on = false;
+  core::env_flag(name, on, "pipeline");
+  return on;
 }
 
 // Exchange-path health: staging_bytes counts every byte the staged
@@ -133,6 +134,18 @@ bool default_overlap_exchange() { return env_flag("FFTX_OVERLAP_EXCHANGE"); }
 
 bool default_real_bands() { return env_flag("FFTX_R2C"); }
 
+int default_stream_bands() {
+  int bands = 2;
+  core::env_int_in("FFTX_STREAM_BANDS", bands, 1, 4096, "streaming");
+  return bands;
+}
+
+bool default_stream_nonblocking() {
+  bool nb = true;
+  core::env_flag("FFTX_STREAM_NB", nb, "streaming");
+  return nb;
+}
+
 int default_overlap_chunks() {
   // Chunking only pays when rank-threads actually run concurrently: on a
   // single hardware thread every extra chunk is pure context-switch and
@@ -154,21 +167,11 @@ const char* to_string(PipelineMode mode) {
       return "task_per_fft";
     case PipelineMode::Combined:
       return "combined";
+    case PipelineMode::Streaming:
+      return "streaming";
   }
   return "?";
 }
-
-/// Per-iteration working storage.  Distinct iterations never share one, so
-/// buffers carry no cross-iteration dependencies.
-struct BandFftPipeline::WorkBuffers {
-  core::aligned_vector<cplx> pack_send;   ///< ntg * ng_w (band marshalling)
-  core::aligned_vector<cplx> band_g;      ///< my band on group sticks
-  core::aligned_vector<cplx> pencil;      ///< [stick][iz], nst_b * nz
-  core::aligned_vector<cplx> stage;       ///< scatter marshalling, pencil side
-  core::aligned_vector<cplx> plane_stage; ///< scatter marshalling, plane side
-  core::aligned_vector<cplx> planes;      ///< [iz][iy][ix], npz_b * nx * ny
-  AbftGuard::Scratch abft;                ///< per-iteration ABFT state
-};
 
 BandFftPipeline::BandFftPipeline(mpi::Comm world,
                                  std::shared_ptr<const Descriptor> desc,
@@ -1336,6 +1339,9 @@ double BandFftPipeline::run() {
       break;
     case PipelineMode::Combined:
       run_task_per_fft(/*use_taskloop=*/true);
+      break;
+    case PipelineMode::Streaming:
+      run_streaming();
       break;
   }
   if (abft_ != nullptr) {

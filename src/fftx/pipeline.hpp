@@ -34,6 +34,14 @@
 //                  phases to soften resource contention);
 //   Combined    -- the paper's future-work item: TaskPerFft outer tasks
 //                  whose FFT steps also taskloop across idle workers.
+//   Streaming   -- band-dataflow executor (stream.hpp): N band iterations
+//                  in flight across the full pipeline, each stage a
+//                  dependent task over a bounded ring of N buffer slots;
+//                  when the fused layouts are on, the transpose exchanges
+//                  split into a nonblocking post task and a completion-
+//                  waitable task, so band k+1's Z-FFT runs while band k's
+//                  scatter is on the wire.  FFTX_STREAM_BANDS sets N
+//                  (N = 1 recovers the staged strategies).
 //
 // All modes produce bit-identical coefficients (asserted by the tests):
 // the optimizations reorder work, never arithmetic within a band.
@@ -58,7 +66,7 @@
 
 namespace fx::fftx {
 
-enum class PipelineMode { Original, TaskPerStep, TaskPerFft, Combined };
+enum class PipelineMode { Original, TaskPerStep, TaskPerFft, Combined, Streaming };
 
 const char* to_string(PipelineMode mode);
 
@@ -71,6 +79,12 @@ const char* to_string(PipelineMode mode);
 [[nodiscard]] int default_overlap_chunks();
 /// Default of PipelineConfig::real_bands: FFTX_R2C != 0.
 [[nodiscard]] bool default_real_bands();
+/// Default of PipelineConfig::stream_bands: FFTX_STREAM_BANDS in [1, 4096],
+/// else 2.
+[[nodiscard]] int default_stream_bands();
+/// Default of PipelineConfig::stream_nonblocking: FFTX_STREAM_NB != 0,
+/// else true.
+[[nodiscard]] bool default_stream_nonblocking();
 
 struct PipelineConfig {
   int num_bands = 8;
@@ -127,6 +141,18 @@ struct PipelineConfig {
   /// (abft_corrupt_bands()) instead of throwing core::SdcError from run(),
   /// so the RecoveryDriver can recompute just those bands.
   bool abft_defer = false;
+  /// Streaming mode only: band iterations in flight at once (the depth of
+  /// the buffer-slot ring; bounded memory and backpressure).  1 recovers
+  /// the staged execution order; clamped to the iteration count, and --
+  /// when the stage tasks block in collectives (guarded or staged
+  /// exchanges, or stream_nonblocking off) -- to nthreads, for the same
+  /// skew-bounding reason run_task_per_step caps its window.
+  int stream_bands = default_stream_bands();
+  /// Streaming mode only: split each fused transpose exchange into a
+  /// nonblocking post task and a completion-waitable task, so workers run
+  /// other bands' compute while the exchange is on the wire.  Off (or
+  /// guarded / staged layouts) falls back to blocking stage tasks.
+  bool stream_nonblocking = default_stream_nonblocking();
   /// Wall-clock budget for the whole run (inactive by default).  Checked
   /// collectively at every band-iteration boundary: when any rank sees the
   /// budget spent, every rank throws core::DeadlineExceeded in lockstep --
@@ -197,7 +223,21 @@ class BandFftPipeline {
   [[nodiscard]] std::vector<int> abft_corrupt_bands() const;
 
  private:
-  struct WorkBuffers;
+  // The streaming executor (stream.cpp) drives the same private stage
+  // methods and buffers the built-in modes use, as tasks over a slot ring.
+  friend class StreamExecutor;
+
+  /// Per-iteration working storage.  Distinct iterations never share one,
+  /// so buffers carry no cross-iteration dependencies.
+  struct WorkBuffers {
+    core::aligned_vector<fft::cplx> pack_send;   ///< ntg * ng_w (marshalling)
+    core::aligned_vector<fft::cplx> band_g;      ///< my band on group sticks
+    core::aligned_vector<fft::cplx> pencil;      ///< [stick][iz], nst_b * nz
+    core::aligned_vector<fft::cplx> stage;       ///< scatter stage, pencil side
+    core::aligned_vector<fft::cplx> plane_stage; ///< scatter stage, plane side
+    core::aligned_vector<fft::cplx> planes;      ///< [iz][iy][ix]
+    AbftGuard::Scratch abft;                     ///< per-iteration ABFT state
+  };
 
   void do_iteration(WorkBuffers& wb, int iter, bool use_taskloop);
   void do_pack(WorkBuffers& wb, int iter);
@@ -223,6 +263,7 @@ class BandFftPipeline {
   void run_original();
   void run_task_per_fft(bool use_taskloop);
   void run_task_per_step();
+  void run_streaming();  // defined in stream.cpp
 
   /// Collective deadline verdict at a band-iteration boundary (all ranks
   /// call with the same `iter`): true when any rank's clock says the budget

@@ -65,8 +65,8 @@ RecoveryMetrics& recovery_metrics() {
 
 RecoveryConfig RecoveryConfig::from_env() {
   RecoveryConfig cfg;
-  const char* v = std::getenv("FFTX_RECOVER");
-  cfg.enabled = v != nullptr && *v != '\0' && std::strtol(v, nullptr, 10) != 0;
+  cfg.enabled = false;  // opt-in: unset FFTX_RECOVER means disabled
+  core::env_flag("FFTX_RECOVER", cfg.enabled, "recovery");
   core::env_int_in("FFTX_CHECKPOINT_BANDS", cfg.checkpoint_bands, 0, 1 << 20,
                    "recovery");
   cfg.retry = core::RetryPolicy::from_env();

@@ -1,0 +1,125 @@
+// Streaming band-dataflow executor: N band iterations in flight across the
+// full pipeline (PipelineMode::Streaming; DESIGN.md section 17).
+//
+// The built-in task modes bound concurrency structurally: TaskPerStep keeps
+// a window of `nthreads` iterations whose exchange tasks still *block* a
+// worker for the whole collective, and the overlap mode hides traffic only
+// within one band's forward/backward leg.  The streaming executor instead
+// expresses every stage of every band iteration as a dependency-clause task
+// over a bounded ring of FFTX_STREAM_BANDS buffer slots, and -- when the
+// fused view layouts are on -- splits each transpose exchange into
+//
+//   post task      (nonblocking ialltoallv_view; returns immediately)
+//   waitable task  (TaskRuntime::submit_waitable; parks until complete)
+//
+// so no worker is ever pinned inside a collective: while band k's scatter
+// is on the wire, the workers run band k+1's forward Z-FFT and band k-1's
+// backward leg.  Dependencies per iteration form a linear chain through a
+// one-byte slot token (`inout(slot.token)`); the same token serializes
+// iteration i + N behind iteration i (write-after-write on the reused
+// slot), which is the memory bound and the backpressure.
+//
+// Ordering and deadlock freedom: every rank submits the same tasks in the
+// same order, the chain forces in-iteration program order, and exchanges of
+// distinct iterations carry distinct tags (tag == iter), so simmpi's
+// (kind, tag, sequence) matching is race-free at any depth.  In the split
+// configuration stage tasks never block, and the runtime's single blocking
+// waiter -- which escalates the parked wait with the lowest SUBMISSION
+// sequence, identical across ranks -- cannot deadlock: the globally oldest
+// incomplete exchange has been posted by every rank (posts only need
+// non-blocking predecessors), so it always completes.  Waits that park
+// *after* the blocking slot was claimed still make progress because idle
+// workers keep nonblocking completion sweeps running while the slot is
+// held (see TaskRuntime::worker_loop).  In the blocking
+// fallback (guarded or staged exchanges, or FFTX_STREAM_NB=0) the depth is
+// additionally capped at nthreads -- the run_task_per_step window argument.
+//
+// Error handling: the first failing task captures its exception and
+// revokes the world communicator, which unwinds every peer's in-flight
+// collective; after the drain the *original* exception (FaultError,
+// SdcError, ...) is rethrown so the RecoveryDriver's type dispatch sees
+// exactly what the staged modes would throw.  N = 1 recovers the staged
+// execution order; every depth is bit-identical to the Original oracle.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fftx/pipeline.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx::fftx {
+
+/// One run() of a Streaming-mode pipeline.  Constructed and driven by
+/// BandFftPipeline::run_streaming() on every rank; not reusable.
+class StreamExecutor {
+ public:
+  explicit StreamExecutor(BandFftPipeline& pipe);
+  ~StreamExecutor();
+
+  StreamExecutor(const StreamExecutor&) = delete;
+  StreamExecutor& operator=(const StreamExecutor&) = delete;
+
+  /// Submits all band iterations over the slot ring and drains them.
+  void run();
+
+ private:
+  /// One ring entry: an iteration's working buffers plus the state of its
+  /// (single) in-flight exchange between a post task and its waitable.
+  struct Slot {
+    std::unique_ptr<BandFftPipeline::WorkBuffers> wb;
+    char token = 0;        ///< dependency anchor: chain + slot-reuse (WAW)
+    mpi::Request req;      ///< the posted exchange awaiting completion
+    bool posted = false;   ///< req holds a live request
+    double t_post = 0.0;   ///< post timestamp (hidden-time attribution)
+    double e_send = 0.0;   ///< ABFT stick energy carried post -> wait
+  };
+
+  void submit_iteration(Slot& slot, int iter);
+  void install_queue_wait_observer();
+
+  /// Wraps a stage body: skipped after a failure, and any throw captures
+  /// the original exception and revokes the world before rethrowing.
+  [[nodiscard]] std::function<void()> guard(std::function<void()> body);
+  /// First failure wins: records std::current_exception() and revokes the
+  /// world communicator so every rank's in-flight collectives unwind.
+  void capture_current();
+
+  /// Shared completion logic of the waitable exchange tasks: test (or, on
+  /// the last-chance attempt, wait for) the slot's request, record the
+  /// hidden window, then run the stage's post-exchange hook.
+  bool wait_poll(Slot& slot, bool last_chance,
+                 const std::function<void()>& done);
+
+  // Split-exchange stage bodies (fused layouts; mirror the blocking
+  // counterparts in pipeline.cpp exactly -- same ABFT hooks, same spans).
+  void post_pack(Slot& slot, int iter);
+  void post_scatter_fw(Slot& slot, int iter);
+  void done_scatter_fw(Slot& slot, int iter);
+  void post_scatter_bw(Slot& slot, int iter);
+  void done_scatter_bw(Slot& slot, int iter);
+  void post_unpack(Slot& slot, int iter);
+  void done_unpack(Slot& slot, int iter);
+
+  void signal_iteration_done();
+
+  BandFftPipeline& p_;
+  std::vector<Slot> slots_;
+  int depth_ = 1;
+  bool split_ = false;  ///< nonblocking post/wait exchange tasks
+
+  std::mutex window_mu_;
+  std::condition_variable window_cv_;
+  int completed_ = 0;  ///< iterations fully finished (unpack done)
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fx::fftx

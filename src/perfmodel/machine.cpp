@@ -33,6 +33,8 @@ MachineConfig MachineConfig::knl() {
   set(trace::PhaseKind::Other, 1.0);
   // Integrity checks stream buffers linearly (digest + weighted sums).
   set(trace::PhaseKind::Abft, 1.0);
+  // Queue wait is idle time, not execution; IPC is a placeholder.
+  set(trace::PhaseKind::TaskWait, 1.0);
   return m;
 }
 

@@ -176,15 +176,16 @@ ServeConfig ServeConfig::from_env() {
 }
 
 DegradeEffect apply_degrade_level(int level, mpi::WireFormat requested) {
-  DegradeEffect e{requested, 0, -1, {}};
+  DegradeEffect e{requested, 0, -1, 0, {}};
   if (level >= 1 && requested == mpi::WireFormat::Fp64) {
     e.wire = mpi::WireFormat::Fp32;
     e.note = "wire fp64->fp32";
   }
   if (level >= 2) {
     e.overlap_chunks = 1;
+    e.stream_bands = 1;  // fold the streaming ring: one band in flight
     if (!e.note.empty()) e.note += ", ";
-    e.note += "overlap chunks->1";
+    e.note += "overlap chunks->1, stream depth->1";
   }
   if (level >= 3) {
     e.checkpoint_bands = 0;
@@ -257,6 +258,7 @@ struct Frontend::Order {
   int carried_total = 0;
   int overlap_chunks = 0;    ///< 0 = keep configured default
   int checkpoint_bands = -1; ///< -1 = keep configured default
+  int stream_bands = 0;      ///< 0 = keep configured default
   int degrade_level = 0;
   std::string degrade_note;
   double deadline_expiry = 0.0;  ///< min over members; 0 = none
@@ -513,6 +515,7 @@ std::shared_ptr<Frontend::Order> Frontend::schedule_locked(int world_size) {
   o->wire = eff.wire;
   o->overlap_chunks = eff.overlap_chunks;
   o->checkpoint_bands = eff.checkpoint_bands;
+  o->stream_bands = eff.stream_bands;
   o->degrade_note = std::move(eff.note);
 
   auto& m = serve_metrics();
@@ -641,6 +644,7 @@ bool Frontend::execute_group(mpi::Comm& world, Order& o) {
   cfg.wire_format = o.wire;
   cfg.deadline = core::Deadline::at(o.deadline_expiry);
   if (o.overlap_chunks > 0) cfg.overlap_chunks = o.overlap_chunks;
+  if (o.stream_bands > 0) cfg.stream_bands = o.stream_bands;
   fftx::RecoveryConfig rcfg = cfg_.recovery;
   if (o.checkpoint_bands >= 0) rcfg.checkpoint_bands = o.checkpoint_bands;
 

@@ -34,8 +34,10 @@
 //   graceful degradation -- under queue pressure (fill fraction past
 //     FFTX_SERVE_DEGRADE_WATERMARK) or post-shrink capacity loss the
 //     scheduler steps executions down a declared ladder: L1 narrows the
-//     wire to fp32, L2 drops the overlap chunking to one chunk, L3 drops
-//     the checkpoint cadence to end-of-run only.  The applied level is
+//     wire to fp32, L2 drops the overlap chunking to one chunk and folds
+//     the streaming ring to one band in flight (shedding the extra
+//     in-flight band buffers), L3 drops the checkpoint cadence to
+//     end-of-run only.  The applied level is
 //     recorded in the Response (status CompletedDegraded), so callers
 //     know what they got.
 //
@@ -189,6 +191,7 @@ struct DegradeEffect {
   mpi::WireFormat wire;
   int overlap_chunks;    ///< 0 = keep configured value
   int checkpoint_bands;  ///< -1 = keep configured value
+  int stream_bands;      ///< 0 = keep configured value (streaming depth)
   std::string note;
 };
 [[nodiscard]] DegradeEffect apply_degrade_level(int level,

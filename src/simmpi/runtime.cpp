@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "simmpi/context.hpp"
@@ -19,9 +20,7 @@ RunOptions RunOptions::from_env() {
   RunOptions opts;
   opts.faults = FaultPlan::from_env();
   opts.watchdog = WatchdogConfig::from_env();
-  if (const char* v = std::getenv("FFTX_VALIDATE"); v != nullptr && *v != '\0') {
-    opts.validate_collectives = std::strtol(v, nullptr, 10) != 0;
-  }
+  core::env_flag("FFTX_VALIDATE", opts.validate_collectives, "simmpi");
   return opts;
 }
 

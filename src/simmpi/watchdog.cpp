@@ -17,9 +17,7 @@ namespace fx::mpi {
 
 WatchdogConfig WatchdogConfig::from_env() {
   WatchdogConfig cfg;
-  if (const char* v = std::getenv("FFTX_WATCHDOG"); v != nullptr) {
-    cfg.enabled = std::strtol(v, nullptr, 10) != 0;
-  }
+  core::env_flag("FFTX_WATCHDOG", cfg.enabled, "watchdog");
   core::env_double_in("FFTX_WATCHDOG_MS", cfg.window_ms, 1.0, 1e9, "watchdog");
   return cfg;
 }

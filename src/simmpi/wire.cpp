@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/env.hpp"
+
 namespace fx::mpi {
 
 const char* to_string(WireFormat f) {
@@ -37,7 +39,10 @@ bool parse_wire_format(const char* s, WireFormat& out) {
 WireFormat default_wire_format() {
   static const WireFormat f = [] {
     WireFormat w = WireFormat::Fp64;
-    parse_wire_format(std::getenv("FFTX_WIRE_PRECISION"), w);
+    const char* v = std::getenv("FFTX_WIRE_PRECISION");
+    if (v != nullptr && *v != '\0' && !parse_wire_format(v, w)) {
+      core::invalid_env("FFTX_WIRE_PRECISION", v, "fp64|fp32|bf16", "wire");
+    }
     return w;
   }();
   return f;

@@ -1,8 +1,10 @@
 #include "tasking/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/format.hpp"
 #include "core/metrics.hpp"
@@ -24,9 +26,12 @@ struct LoopSync {
 struct TaskNode {
   std::string label;
   std::function<void()> fn;
+  std::function<bool(bool)> poll;  ///< waitable tasks; empty otherwise
   int pending = 0;      ///< unfinished predecessor count
   int priority = 0;     ///< scheduling hint (Priority policy only)
   bool finished = false;
+  double t_ready = -1.0;         ///< queue-wait stamp; < 0 once reported
+  std::uint64_t submit_seq = 0;  ///< submission order, for blocking escalation
   std::vector<std::shared_ptr<TaskNode>> successors;
   std::shared_ptr<TaskNode> parent;  ///< submitting task (keeps it alive)
   LoopSync* sync = nullptr;          ///< taskloop group, if a loop child
@@ -43,6 +48,12 @@ thread_local int tl_worker_id = -1;
 }  // namespace detail
 
 int current_worker_id() { return detail::tl_worker_id; }
+
+int default_task_threads() {
+  int n = 1;
+  core::env_int_in("FFTX_TASK_THREADS", n, 1, 1024, "tasking");
+  return n;
+}
 
 using detail::TaskNode;
 
@@ -77,6 +88,7 @@ TaskRuntime::~TaskRuntime() {
 void TaskRuntime::set_observer(TaskObserver observer) {
   std::lock_guard lock(mu_);
   observer_ = std::move(observer);
+  want_queue_wait_ = static_cast<bool>(observer_.on_queue_wait);
 }
 
 void TaskRuntime::set_tracer(trace::Tracer* tracer, int rank) {
@@ -156,13 +168,42 @@ void TaskRuntime::submit(std::string label, std::vector<Dep> deps,
 
   std::lock_guard lock(mu_);
   FX_CHECK(!stop_, "submit after TaskRuntime shutdown");
+  node->submit_seq = ++submit_next_;
   ++outstanding_;
   link_dependencies_locked(node, deps);
   if (node->pending == 0) {
+    stamp_ready_locked(node);
     ready_.push_back(node);
     queue_depth_metric().record(static_cast<double>(ready_.size()));
     cv_ready_.notify_one();
   }
+}
+
+void TaskRuntime::submit_waitable(std::string label, std::vector<Dep> deps,
+                                  std::function<bool(bool)> poll,
+                                  int priority) {
+  FX_CHECK(static_cast<bool>(poll), "waitable task needs a poll function");
+  auto node = std::make_shared<TaskNode>();
+  node->label = std::move(label);
+  node->poll = std::move(poll);
+  node->priority = priority;
+  node->parent = detail::tl_current;
+
+  std::lock_guard lock(mu_);
+  FX_CHECK(!stop_, "submit after TaskRuntime shutdown");
+  node->submit_seq = ++submit_next_;
+  ++outstanding_;
+  link_dependencies_locked(node, deps);
+  if (node->pending == 0) {
+    stamp_ready_locked(node);
+    ready_.push_back(node);
+    queue_depth_metric().record(static_cast<double>(ready_.size()));
+    cv_ready_.notify_one();
+  }
+}
+
+void TaskRuntime::stamp_ready_locked(const NodePtr& node) {
+  if (want_queue_wait_) node->t_ready = core::WallTimer::now();
 }
 
 TaskRuntime::NodePtr TaskRuntime::pop_ready_locked() {
@@ -211,11 +252,17 @@ void TaskRuntime::run_task(const NodePtr& node, int worker_id) {
   TaskObserver observer;
   trace::Tracer* tracer = nullptr;
   int trace_rank = 0;
+  double t_ready = -1.0;
   {
     std::lock_guard lock(mu_);
     observer = observer_;
     tracer = tracer_;
     trace_rank = trace_rank_;
+    t_ready = std::exchange(node->t_ready, -1.0);
+  }
+  if (t_ready >= 0.0 && observer.on_queue_wait) {
+    observer.on_queue_wait(worker_id, node->label,
+                           core::WallTimer::now() - t_ready);
   }
   // A helping worker suspends its current task; restore it afterwards.
   NodePtr previous = std::exchange(detail::tl_current, node);
@@ -256,12 +303,117 @@ void TaskRuntime::run_task(const NodePtr& node, int worker_id) {
   finish_task(node);
 }
 
+bool TaskRuntime::run_waitable(const NodePtr& node, int worker_id,
+                               bool last_chance) {
+  TaskObserver observer;
+  trace::Tracer* tracer = nullptr;
+  int trace_rank = 0;
+  double t_ready = -1.0;
+  {
+    std::lock_guard lock(mu_);
+    observer = observer_;
+    tracer = tracer_;
+    trace_rank = trace_rank_;
+    t_ready = std::exchange(node->t_ready, -1.0);
+  }
+  if (t_ready >= 0.0 && observer.on_queue_wait) {
+    observer.on_queue_wait(worker_id, node->label,
+                           core::WallTimer::now() - t_ready);
+  }
+  const double t_begin =
+      (tracer != nullptr || observer.on_start || observer.on_end)
+          ? core::WallTimer::now()
+          : 0.0;
+  bool completed = true;
+  NodePtr previous = std::exchange(detail::tl_current, node);
+  try {
+    completed = node->poll(last_chance);
+  } catch (...) {
+    // A throwing poll retires the task with that error, exactly like a
+    // throwing fn in run_task.
+    std::exception_ptr err;
+    try {
+      throw;
+    } catch (const core::TaskError&) {
+      err = std::current_exception();
+    } catch (const std::exception& e) {
+      err = std::make_exception_ptr(core::TaskError(node->label, e.what()));
+    } catch (...) {
+      err = std::make_exception_ptr(
+          core::TaskError(node->label, "unknown exception"));
+    }
+    std::lock_guard lock(mu_);
+    if (!first_error_) first_error_ = err;
+    if (node->sync != nullptr && !node->sync->error) node->sync->error = err;
+  }
+  detail::tl_current = std::move(previous);
+  if (!completed) {
+    std::lock_guard lock(mu_);
+    parked_.push_back(node);
+    return false;
+  }
+  // Lifecycle events fire once, around the completing attempt only; the
+  // span then measures the *unhidden* wait (near zero when peers posted
+  // during other bands' compute, which is the overlap win being measured).
+  if (observer.on_start) observer.on_start(worker_id, node->label, t_begin);
+  if (tracer != nullptr || observer.on_end) {
+    const double t_end = core::WallTimer::now();
+    if (observer.on_end) observer.on_end(worker_id, node->label, t_end);
+    if (tracer != nullptr) {
+      tracer->record_task({trace_rank, worker_id, node->label, t_begin,
+                           t_end});
+    }
+  }
+  finish_task(node);
+  return true;
+}
+
+void TaskRuntime::sweep_parked(int worker_id) {
+  // One nonblocking completion check per currently-parked task; a task
+  // that stays incomplete re-parks at the back, so the budget taken up
+  // front bounds the sweep even as polls rotate the deque.
+  std::size_t budget;
+  {
+    std::lock_guard lock(mu_);
+    budget = parked_.size();
+  }
+  while (budget-- > 0) {
+    NodePtr node;
+    {
+      std::lock_guard lock(mu_);
+      if (parked_.empty()) return;
+      node = parked_.front();
+      parked_.pop_front();
+    }
+    run_waitable(node, worker_id, /*last_chance=*/false);
+  }
+}
+
+TaskRuntime::NodePtr TaskRuntime::take_oldest_parked_locked() {
+  // Oldest by SUBMISSION order, not by when the task first parked: in SPMD
+  // use every rank submits the same graph in the same order, so this picks
+  // the same (globally oldest) in-flight operation on every rank -- the one
+  // op whose peers have all posted or can still post.  Park order is a
+  // scheduling accident and may differ per rank; escalating by it can block
+  // rank A on a young op whose completion needs rank B to poll an older,
+  // already-completable parked wait that no idle worker ever revisits.
+  auto best = parked_.begin();
+  for (auto it = std::next(parked_.begin()); it != parked_.end(); ++it) {
+    if ((*it)->submit_seq < (*best)->submit_seq) best = it;
+  }
+  NodePtr node = *best;
+  parked_.erase(best);
+  return node;
+}
+
 void TaskRuntime::finish_task(const NodePtr& node) {
   std::lock_guard lock(mu_);
   node->finished = true;
   node->fn = nullptr;
+  node->poll = nullptr;
   for (const NodePtr& succ : node->successors) {
     if (--succ->pending == 0) {
+      stamp_ready_locked(succ);
       ready_.push_back(succ);
       queue_depth_metric().record(static_cast<double>(ready_.size()));
       cv_ready_.notify_one();
@@ -284,13 +436,58 @@ void TaskRuntime::worker_loop(int worker_id) {
   detail::tl_worker_id = worker_id;
   for (;;) {
     NodePtr node;
+    bool last_chance = false;
     {
       std::unique_lock lock(mu_);
-      cv_ready_.wait(lock, [&] { return stop_ || !ready_.empty(); });
-      if (ready_.empty()) return;  // stop_ and drained
-      node = pop_ready_locked();
+      const auto runnable = [&] {
+        return stop_ || !ready_.empty() ||
+               (!parked_.empty() && !blocking_waiter_);
+      };
+      while (!runnable()) {
+        if (parked_.empty()) {
+          cv_ready_.wait(lock);
+        } else {
+          // The blocking slot is taken and nothing is ready.  The claimed
+          // wait was the oldest *at claim time*; an older or newer wait that
+          // parked afterwards can become completable with no task completion
+          // ever waking a worker to poll it (its peers may in turn be
+          // blocked on ops this rank's parked chain must post).  So idle
+          // workers keep nonblocking sweeps flowing instead of sleeping.
+          cv_ready_.wait_for(lock, std::chrono::microseconds(200));
+          if (!runnable() && !parked_.empty()) {
+            lock.unlock();
+            sweep_parked(worker_id);
+            lock.lock();
+          }
+        }
+      }
+      if (!ready_.empty()) {
+        node = pop_ready_locked();
+      } else if (stop_) {
+        return;  // drained (parked tasks are abandoned at shutdown)
+      } else if (!parked_.empty() && !blocking_waiter_) {
+        // Nothing runnable: escalate the oldest parked wait to a blocking
+        // one.  Exactly one blocking waiter at a time keeps the other
+        // workers available for tasks whose posts the oldest collective's
+        // completion may transitively require on peer ranks.
+        node = take_oldest_parked_locked();
+        blocking_waiter_ = true;
+        last_chance = true;
+      } else {
+        continue;  // lost the race for the blocking slot
+      }
     }
-    run_task(node, worker_id);
+    if (node->poll) {
+      run_waitable(node, worker_id, last_chance);
+      if (last_chance) {
+        std::lock_guard lock(mu_);
+        blocking_waiter_ = false;
+        if (!parked_.empty()) cv_ready_.notify_one();
+      }
+    } else {
+      run_task(node, worker_id);
+    }
+    sweep_parked(worker_id);
   }
 }
 
@@ -331,6 +528,7 @@ void TaskRuntime::taskloop(const std::string& label, std::size_t begin,
       node->sync = &sync;
       ++sync.pending;
       ++outstanding_;
+      stamp_ready_locked(node);
       ready_.push_back(node);
     }
     queue_depth_metric().record(static_cast<double>(ready_.size()));

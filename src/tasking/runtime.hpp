@@ -24,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -89,11 +90,19 @@ enum class SchedulerPolicy { Fifo, Lifo, Priority };
 /// attribute compute phases to timeline rows.
 int current_worker_id();
 
+/// Default worker-thread count from the validated FFTX_TASK_THREADS knob
+/// (1 when unset; garbage and out-of-range values throw core::Error).
+int default_task_threads();
+
 /// Task lifecycle callbacks (consumed by the tracer).  Invoked on the
-/// executing worker thread.
+/// executing worker thread.  on_queue_wait fires once per task at its
+/// first dispatch with the seconds it sat ready-but-unscheduled, so the
+/// observatory can blame scheduling delay separately from compute.
 struct TaskObserver {
   std::function<void(int worker, const std::string& label, double t)> on_start;
   std::function<void(int worker, const std::string& label, double t)> on_end;
+  std::function<void(int worker, const std::string& label, double wait_s)>
+      on_queue_wait;
 };
 
 namespace detail {
@@ -126,6 +135,29 @@ class TaskRuntime {
               int priority = 0) {
     submit(std::move(label), {}, std::move(fn), priority);
   }
+
+  /// Submits a completion-waitable task: `poll(false)` must make a cheap
+  /// nonblocking completion check (e.g. mpi::Request::test) and return
+  /// whether the task retired; incomplete tasks are parked off-worker and
+  /// re-polled opportunistically instead of pinning a thread.  When the
+  /// runtime has nothing else to run, ONE worker re-dispatches the parked
+  /// task with the lowest SUBMISSION sequence with `poll(true)`, which must
+  /// block until done (e.g. mpi::Request::wait).  Restricting the blocking
+  /// slot to the earliest-submitted parked task preserves the FIFO
+  /// deadlock-freedom argument: ranks submitting identical graphs escalate
+  /// the same (globally oldest) in-flight collective, which every rank has
+  /// posted or can still post without blocking on a younger one.  (Park
+  /// order would not do: it is a per-rank scheduling accident, and
+  /// escalating by it can block one rank on a young op while an older,
+  /// already-completable wait sits parked with no idle worker to poll it.)
+  /// While the blocking slot is held, idle workers keep periodic
+  /// nonblocking sweeps over the parked set, so a wait that parks (or
+  /// completes) after the slot was claimed still retires without any task
+  /// completion to wake a worker.  Successors release at whichever poll
+  /// returns true; a throwing poll completes the task with that error.
+  void submit_waitable(std::string label, std::vector<Dep> deps,
+                       std::function<bool(bool last_chance)> poll,
+                       int priority = 0);
 
   /// Blocks until every task submitted so far (including transitively
   /// spawned ones) has finished.  Rethrows the first task exception,
@@ -162,9 +194,13 @@ class TaskRuntime {
 
   void worker_loop(int worker_id);
   void run_task(const NodePtr& node, int worker_id);
+  bool run_waitable(const NodePtr& node, int worker_id, bool last_chance);
+  void sweep_parked(int worker_id);
   void finish_task(const NodePtr& node);
   NodePtr pop_ready_locked();
   NodePtr pop_child_of_locked(const detail::TaskNode* parent);
+  NodePtr take_oldest_parked_locked();
+  void stamp_ready_locked(const NodePtr& node);
   void link_dependencies_locked(const NodePtr& node,
                                 const std::vector<Dep>& deps);
 
@@ -177,6 +213,10 @@ class TaskRuntime {
   bool stop_ = false;
 
   std::deque<NodePtr> ready_;
+  std::deque<NodePtr> parked_;   // incomplete waitable tasks
+  bool blocking_waiter_ = false;  // one worker at a time may poll(true)
+  std::uint64_t submit_next_ = 0;  // submission stamps (blocking escalation)
+  bool want_queue_wait_ = false;  // observer_.on_queue_wait installed
   std::size_t outstanding_ = 0;  // submitted but not yet finished
   std::size_t executed_ = 0;
   std::size_t edges_ = 0;

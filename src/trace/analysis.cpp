@@ -27,7 +27,7 @@ EfficiencySummary analyze_efficiency(const Tracer& tracer, double freq_ghz) {
   std::map<std::int64_t, double> compute;
   for (const auto& e : tracer.compute_events()) {
     compute.try_emplace(row_of(e.rank, e.thread), 0.0);
-    if (e.phase == PhaseKind::Abft) continue;
+    if (e.phase == PhaseKind::Abft || e.phase == PhaseKind::TaskWait) continue;
     compute[row_of(e.rank, e.thread)] += e.t_end - e.t_begin;
     s.total_instructions += e.instructions;
   }

@@ -59,13 +59,16 @@ constexpr int kMaxIncidentReasons = 32;
 ObsMode default_obs_mode() {
   const char* v = std::getenv("FFTX_OBS");
   if (v == nullptr || *v == '\0') return ObsMode::Off;
+  if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) {
+    return ObsMode::Off;
+  }
   if (std::strcmp(v, "watch") == 0 || std::strcmp(v, "1") == 0) {
     return ObsMode::Watch;
   }
   if (std::strcmp(v, "strict") == 0 || std::strcmp(v, "2") == 0) {
     return ObsMode::Strict;
   }
-  return ObsMode::Off;
+  core::invalid_env("FFTX_OBS", v, "off|watch|strict", "observatory");
 }
 
 int default_obs_ring() {
@@ -220,6 +223,10 @@ void Observatory::record_phase(int rank, PhaseKind phase, int iter,
   rr.phase_s[static_cast<std::size_t>(phase)] += seconds;
   if (phase == PhaseKind::Abft) {
     rr.abft_s += seconds;
+  } else if (phase == PhaseKind::TaskWait) {
+    // Scheduling delay is neither work nor overhead: it competes with the
+    // exchange column for straggler blame but never skews POP compute.
+    rr.sched_s += seconds;
   } else {
     rr.compute_s += seconds;
   }
@@ -286,7 +293,7 @@ void Observatory::finalize_iteration(IterationRecord& rec) {
     const auto& rr = rec.ranks[r];
     total_c += rr.compute_s;
     max_c = std::max(max_c, rr.compute_s);
-    busy[r] = rr.compute_s + rr.abft_s + rr.comm_s;
+    busy[r] = rr.compute_s + rr.abft_s + rr.comm_s + rr.sched_s;
   }
   const double wall = std::max(0.0, rec.t_end - rec.t_begin);
   rec.load_balance = max_c > 0.0 ? (total_c / static_cast<double>(n)) / max_c
@@ -358,7 +365,10 @@ void Observatory::finalize_iteration(IterationRecord& rec) {
   if (total_c > 0.0) {
     std::uint32_t mask = 0;
     for (int p = 0; p < kNumPhaseKinds; ++p) {
-      if (static_cast<PhaseKind>(p) == PhaseKind::Abft) continue;
+      if (static_cast<PhaseKind>(p) == PhaseKind::Abft ||
+          static_cast<PhaseKind>(p) == PhaseKind::TaskWait) {
+        continue;  // not compute: no model share, never a drift signal
+      }
       double share = 0.0;
       for (const auto& rr : rec.ranks) {
         share += rr.phase_s[static_cast<std::size_t>(p)];
@@ -496,6 +506,7 @@ core::json::Value Observatory::flight_json_locked() const {
       jr["compute_ms"] = rr.compute_s * 1e3;
       jr["abft_ms"] = rr.abft_s * 1e3;
       jr["exchange_ms"] = rr.comm_s * 1e3;
+      jr["sched_ms"] = rr.sched_s * 1e3;
       json::Object phases;
       for (int p = 0; p < kNumPhaseKinds; ++p) {
         const double s = rr.phase_s[static_cast<std::size_t>(p)];
@@ -534,6 +545,7 @@ std::string Observatory::attribution_report() const {
     const double want = expected_share_[static_cast<std::size_t>(p)];
     const bool drifting =
         have_expected_ && static_cast<PhaseKind>(p) != PhaseKind::Abft &&
+        static_cast<PhaseKind>(p) != PhaseKind::TaskWait &&
         share > want * det_.drift_factor + det_.drift_margin;
     t.row({obs_phase_name(p), core::cat(count),
            core::fixed(total / static_cast<double>(count) * 1e3, 3),

@@ -82,9 +82,10 @@ class Observatory {
 
   /// One rank's slice of one recorded iteration.
   struct RankRecord {
-    double compute_s = 0.0;  ///< sum of non-ABFT phase spans
+    double compute_s = 0.0;  ///< sum of non-ABFT, non-TaskWait phase spans
     double abft_s = 0.0;     ///< ABFT overhead spans
     double comm_s = 0.0;     ///< collective time attributed by tag
+    double sched_s = 0.0;    ///< task-queue wait (ready but unscheduled)
     std::array<double, kNumPhaseKinds> phase_s{};
   };
 

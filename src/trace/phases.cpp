@@ -22,6 +22,8 @@ const char* to_string(PhaseKind kind) {
       return "other";
     case PhaseKind::Abft:
       return "abft";
+    case PhaseKind::TaskWait:
+      return "task_wait";
   }
   return "?";
 }
@@ -69,6 +71,7 @@ double phase_nominal_ipc(PhaseKind kind) {
       return 1.40;
     case PhaseKind::Other:
     case PhaseKind::Abft:
+    case PhaseKind::TaskWait:
       return 1.0;
   }
   return 1.0;
@@ -87,6 +90,7 @@ PhaseCost phase_cost(PhaseKind kind, std::size_t elems, std::size_t len) {
     case PhaseKind::Unpack:
     case PhaseKind::Other:
     case PhaseKind::Abft:
+    case PhaseKind::TaskWait:
       return copy_cost(elems);
   }
   return copy_cost(elems);

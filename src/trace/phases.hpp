@@ -32,13 +32,14 @@ enum class PhaseKind {
   // Appended (not inserted): the integer values above are serialized in
   // traces, so they must stay stable.
   Abft,      ///< checksum-band / Parseval / digest integrity checks
+  TaskWait,  ///< ready-but-unscheduled queue wait (streaming scheduler)
 };
 
 /// Short stable name, e.g. "fft_z" (used by timelines and CSVs).
 const char* to_string(PhaseKind kind);
 
 /// Number of distinct PhaseKind values (for arrays indexed by phase).
-inline constexpr int kNumPhaseKinds = 9;
+inline constexpr int kNumPhaseKinds = 10;
 
 /// First-order operation counts for one phase execution.
 struct PhaseCost {

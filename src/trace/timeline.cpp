@@ -34,6 +34,8 @@ char phase_letter(PhaseKind kind) {
       return 'o';
     case PhaseKind::Abft:
       return 'A';
+    case PhaseKind::TaskWait:
+      return 'w';
   }
   return '?';
 }

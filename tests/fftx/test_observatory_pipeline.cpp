@@ -55,6 +55,12 @@ void run_pipeline(const RunOptions& opts, AbftMode abft = AbftMode::Off) {
     cfg.num_bands = kBands;
     cfg.mode = PipelineMode::Original;
     cfg.abft = abft;
+    // Pin the staged blocking exchanges: the stall/flip injections below
+    // target op indices of this exact path, so environment overrides
+    // (e.g. the CI fused-exchange sweep) must not leak in.
+    cfg.fused_exchange = false;
+    cfg.overlap_exchange = false;
+    cfg.guard_exchanges = false;
     BandFftPipeline pipe(world, desc, cfg);
     pipe.initialize_bands();
     pipe.run();
@@ -84,6 +90,37 @@ TEST_F(ObservatoryPipelineTest, CleanRunRecordsIterationsWithoutFlags) {
     EXPECT_EQ(rec.ranks.size(), static_cast<std::size_t>(kProc));
     EXPECT_GT(rec.load_balance, 0.0);
   }
+}
+
+TEST_F(ObservatoryPipelineTest, StreamingRunAttributesTaskQueueWait) {
+  auto& obs = Observatory::global();
+  obs.configure(ObsMode::Watch);
+  auto desc =
+      std::make_shared<const Descriptor>(Cell{kAlat}, kEcut, kProc, kTg);
+  Runtime::run(kProc, quiet_options(), [&](Comm& world) {
+    PipelineConfig cfg;
+    cfg.num_bands = kBands;
+    cfg.mode = PipelineMode::Streaming;
+    cfg.nthreads = 2;
+    cfg.stream_bands = 4;       // 4 bands in flight on 2 workers: tasks queue
+    cfg.fused_exchange = true;  // split post/wait path
+    BandFftPipeline pipe(world, desc, cfg);
+    pipe.initialize_bands();
+    pipe.run();
+  });
+  // All 4 iterations complete even though they ran overlapped, and the
+  // TaskWait pseudo-phase (ready-but-unscheduled queue time reported by the
+  // runtime's on_queue_wait observer) lands in the per-rank sched bucket.
+  EXPECT_EQ(obs.iterations_done(), 4u);
+  const auto flight = obs.flight();
+  ASSERT_EQ(flight.size(), 4u);
+  double sched = 0.0;
+  for (const auto& rec : flight) {
+    EXPECT_TRUE(rec.complete);
+    ASSERT_EQ(rec.ranks.size(), static_cast<std::size_t>(kProc));
+    for (const auto& rr : rec.ranks) sched += rr.sched_s;
+  }
+  EXPECT_GT(sched, 0.0) << "no TaskWait time attributed to any iteration";
 }
 
 TEST_F(ObservatoryPipelineTest, StalledRankIsFlaggedAsExchangeStraggler) {

@@ -73,25 +73,33 @@ TEST(ServeLadder, ChooseLevelFollowsPressureAndShrink) {
   EXPECT_EQ(fx::serve::choose_degrade_level(1.0, false, 0.75), 2);
   EXPECT_EQ(fx::serve::choose_degrade_level(0.0, true, 0.75), 1);
   EXPECT_EQ(fx::serve::choose_degrade_level(1.0, true, 0.75), 3);
+  // The ladder tops out at 3 even under maximal pressure and shrink: the
+  // stream-depth rung rides L2, it does not add a level of its own.
+  EXPECT_EQ(fx::serve::choose_degrade_level(1.0, true, 0.0), 3);
 }
 
-TEST(ServeLadder, ApplyLevelStepsWireChunksCheckpoint) {
+TEST(ServeLadder, ApplyLevelStepsWireChunksStreamDepthCheckpoint) {
   const auto l0 = fx::serve::apply_degrade_level(0, WireFormat::Fp64);
   EXPECT_EQ(l0.wire, WireFormat::Fp64);
   EXPECT_EQ(l0.overlap_chunks, 0);
   EXPECT_EQ(l0.checkpoint_bands, -1);
+  EXPECT_EQ(l0.stream_bands, 0);
 
   const auto l1 = fx::serve::apply_degrade_level(1, WireFormat::Fp64);
   EXPECT_EQ(l1.wire, WireFormat::Fp32);
   EXPECT_EQ(l1.overlap_chunks, 0);
+  EXPECT_EQ(l1.stream_bands, 0);  // streaming depth survives L1
 
+  // L2 sheds the extra in-flight band buffers along with the chunking.
   const auto l2 = fx::serve::apply_degrade_level(2, WireFormat::Fp64);
   EXPECT_EQ(l2.wire, WireFormat::Fp32);
   EXPECT_EQ(l2.overlap_chunks, 1);
+  EXPECT_EQ(l2.stream_bands, 1);
   EXPECT_EQ(l2.checkpoint_bands, -1);
 
   const auto l3 = fx::serve::apply_degrade_level(3, WireFormat::Fp64);
   EXPECT_EQ(l3.checkpoint_bands, 0);
+  EXPECT_EQ(l3.stream_bands, 1);
 
   // An already-narrow request does not widen or re-narrow.
   const auto n1 = fx::serve::apply_degrade_level(1, WireFormat::Fp32);

@@ -64,8 +64,9 @@ TEST(ObsMode, EnvParsing) {
   EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Strict);
   setenv("FFTX_OBS", "off", 1);
   EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Off);
+  // Typos fail loudly instead of silently disabling observability.
   setenv("FFTX_OBS", "nonsense", 1);
-  EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Off);
+  EXPECT_THROW(fx::trace::default_obs_mode(), fx::core::Error);
   unsetenv("FFTX_OBS");
   EXPECT_EQ(fx::trace::default_obs_mode(), ObsMode::Off);
 
